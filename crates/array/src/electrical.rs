@@ -1,0 +1,466 @@
+//! Electrical solver for a configured TEG array.
+//!
+//! Under a configuration the array is a series string of parallel groups.
+//! Each module is a linear Thévenin source, so a parallel group of modules
+//! `m ∈ g` with conductances `G_m = 1/R_m` and EMFs `E_m` collapses to a
+//! Norton equivalent: at string current `I` the group voltage is
+//!
+//! ```text
+//! V_g(I) = (Σ G_m·E_m − I) / Σ G_m
+//! ```
+//!
+//! The array voltage is the sum of group voltages and the delivered power
+//! `P(I) = I·ΣV_g(I)` is a concave parabola in `I`, whose maximum
+//!
+//! ```text
+//! I* = (Σ_g S_g/G_g) / (2·Σ_g 1/G_g),   S_g = Σ G_m·E_m,  G_g = Σ G_m
+//! ```
+//!
+//! is the array MPP that the charger's MPPT converges to.
+
+use teg_device::TegModule;
+use teg_units::{Amps, TemperatureDelta, Volts, Watts};
+
+use crate::configuration::Configuration;
+use crate::error::ArrayError;
+
+/// The solved state of one parallel group at a given string current.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupOperatingPoint {
+    voltage: Volts,
+    power: Watts,
+}
+
+impl GroupOperatingPoint {
+    /// Terminal voltage of the group.
+    #[must_use]
+    pub const fn voltage(&self) -> Volts {
+        self.voltage
+    }
+
+    /// Power delivered by the group (negative if the string current drives
+    /// the group above its open-circuit point).
+    #[must_use]
+    pub const fn power(&self) -> Watts {
+        self.power
+    }
+}
+
+/// The solved state of the whole array at a given string current.
+///
+/// # Examples
+///
+/// ```
+/// use teg_array::{Configuration, TegArray};
+/// use teg_device::{TegDatasheet, TegModule};
+/// use teg_units::TemperatureDelta;
+///
+/// # fn main() -> Result<(), teg_array::ArrayError> {
+/// let module = TegModule::from_datasheet(&TegDatasheet::tgm_199_1_4_0_8());
+/// let array = TegArray::uniform(module, 8);
+/// let deltas = vec![TemperatureDelta::new(60.0); 8];
+/// let config = Configuration::uniform(8, 4)?;
+/// let op = array.maximum_power_point(&config, &deltas)?;
+/// assert!(op.voltage().value() > 0.0);
+/// assert!((op.power().value() - (op.voltage() * op.current()).value()).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayOperatingPoint {
+    current: Amps,
+    voltage: Volts,
+    power: Watts,
+    groups: Vec<GroupOperatingPoint>,
+}
+
+impl ArrayOperatingPoint {
+    /// String current flowing through every group.
+    #[must_use]
+    pub const fn current(&self) -> Amps {
+        self.current
+    }
+
+    /// Total array terminal voltage.
+    #[must_use]
+    pub const fn voltage(&self) -> Volts {
+        self.voltage
+    }
+
+    /// Total delivered power.
+    #[must_use]
+    pub const fn power(&self) -> Watts {
+        self.power
+    }
+
+    /// Per-group operating points in series order.
+    #[must_use]
+    pub fn groups(&self) -> &[GroupOperatingPoint] {
+        &self.groups
+    }
+}
+
+/// A chain of TEG modules plus the electrical solver that evaluates any
+/// configuration of them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TegArray {
+    modules: Vec<TegModule>,
+}
+
+impl TegArray {
+    /// Creates an array from an explicit list of (possibly non-identical)
+    /// modules, ordered from the radiator entrance to the exit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrayError::EmptyArray`] if no modules are supplied.
+    pub fn new(modules: Vec<TegModule>) -> Result<Self, ArrayError> {
+        if modules.is_empty() {
+            return Err(ArrayError::EmptyArray);
+        }
+        Ok(Self { modules })
+    }
+
+    /// Creates an array of `count` identical modules (the paper's setting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    #[must_use]
+    pub fn uniform(module: TegModule, count: usize) -> Self {
+        assert!(count > 0, "array needs at least one module");
+        Self { modules: vec![module; count] }
+    }
+
+    /// Number of modules in the array.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// Returns `true` if the array holds no modules (never true for a
+    /// constructed array; provided for API completeness).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.modules.is_empty()
+    }
+
+    /// The modules in entrance-to-exit order.
+    #[must_use]
+    pub fn modules(&self) -> &[TegModule] {
+        &self.modules
+    }
+
+    /// Per-module MPP currents for the given temperature differences — the
+    /// `I_MPP,i` vector consumed by Algorithm 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrayError::DimensionMismatch`] if the ΔT vector length does
+    /// not match the module count.
+    pub fn mpp_currents(&self, deltas: &[TemperatureDelta]) -> Result<Vec<Amps>, ArrayError> {
+        self.check_deltas(deltas)?;
+        Ok(self
+            .modules
+            .iter()
+            .zip(deltas.iter())
+            .map(|(m, &dt)| m.mpp(dt).current())
+            .collect())
+    }
+
+    /// Solves the array at an imposed string current.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrayError::DimensionMismatch`] if the ΔT vector length does
+    /// not match the module count, or [`ArrayError::InvalidConfiguration`] if
+    /// the configuration covers a different module count.
+    pub fn operate_at(
+        &self,
+        config: &Configuration,
+        deltas: &[TemperatureDelta],
+        current: Amps,
+    ) -> Result<ArrayOperatingPoint, ArrayError> {
+        self.check_config(config)?;
+        self.check_deltas(deltas)?;
+        let mut groups = Vec::with_capacity(config.group_count());
+        let mut total_voltage = Volts::ZERO;
+        for group in config.groups() {
+            let (s_g, g_g) = self.group_sums(group.start(), group.end(), deltas);
+            let voltage = Volts::new((s_g - current.value()) / g_g);
+            let power = voltage * current;
+            total_voltage += voltage;
+            groups.push(GroupOperatingPoint { voltage, power });
+        }
+        Ok(ArrayOperatingPoint {
+            current,
+            voltage: total_voltage,
+            power: total_voltage * current,
+            groups,
+        })
+    }
+
+    /// Analytic maximum power point of the array under a configuration.
+    ///
+    /// The optimum string current is clamped at zero: with every module at
+    /// ΔT = 0 the array cannot deliver power.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`TegArray::operate_at`].
+    pub fn maximum_power_point(
+        &self,
+        config: &Configuration,
+        deltas: &[TemperatureDelta],
+    ) -> Result<ArrayOperatingPoint, ArrayError> {
+        self.check_config(config)?;
+        self.check_deltas(deltas)?;
+        let mut sum_voc = 0.0; // Σ_g S_g / G_g  (total open-circuit voltage)
+        let mut sum_res = 0.0; // Σ_g 1 / G_g    (total series resistance)
+        for group in config.groups() {
+            let (s_g, g_g) = self.group_sums(group.start(), group.end(), deltas);
+            sum_voc += s_g / g_g;
+            sum_res += 1.0 / g_g;
+        }
+        let optimum = (sum_voc / (2.0 * sum_res)).max(0.0);
+        self.operate_at(config, deltas, Amps::new(optimum))
+    }
+
+    /// Total array power at the analytic MPP — shorthand used by the
+    /// reconfiguration algorithms' inner loops.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`TegArray::operate_at`].
+    pub fn mpp_power(
+        &self,
+        config: &Configuration,
+        deltas: &[TemperatureDelta],
+    ) -> Result<Watts, ArrayError> {
+        Ok(self.maximum_power_point(config, deltas)?.power())
+    }
+
+    fn group_sums(&self, start: usize, end: usize, deltas: &[TemperatureDelta]) -> (f64, f64) {
+        let mut s_g = 0.0;
+        let mut g_g = 0.0;
+        for i in start..end {
+            let g = self.modules[i].internal_conductance(deltas[i]);
+            let e = self.modules[i].open_circuit_voltage(deltas[i]).value();
+            s_g += g * e;
+            g_g += g;
+        }
+        (s_g, g_g)
+    }
+
+    fn check_deltas(&self, deltas: &[TemperatureDelta]) -> Result<(), ArrayError> {
+        if deltas.len() != self.modules.len() {
+            return Err(ArrayError::DimensionMismatch {
+                modules: self.modules.len(),
+                temperatures: deltas.len(),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_config(&self, config: &Configuration) -> Result<(), ArrayError> {
+        if config.module_count() != self.modules.len() {
+            return Err(ArrayError::InvalidConfiguration {
+                reason: format!(
+                    "configuration covers {} modules but the array has {}",
+                    config.module_count(),
+                    self.modules.len()
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ideal::ideal_power;
+    use proptest::prelude::*;
+    use teg_device::TegDatasheet;
+
+    fn module() -> TegModule {
+        TegModule::from_datasheet(&TegDatasheet::tgm_199_1_4_0_8())
+    }
+
+    fn gradient_deltas(n: usize) -> Vec<TemperatureDelta> {
+        // Roughly what the radiator profile produces: hot near the entrance,
+        // cooler towards the exit.
+        (0..n)
+            .map(|i| TemperatureDelta::new(70.0 - 35.0 * i as f64 / (n.max(2) - 1) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn empty_array_is_rejected() {
+        assert!(matches!(TegArray::new(vec![]), Err(ArrayError::EmptyArray)));
+    }
+
+    #[test]
+    fn dimension_mismatches_are_rejected() {
+        let array = TegArray::uniform(module(), 10);
+        let config = Configuration::uniform(10, 2).unwrap();
+        let short = vec![TemperatureDelta::new(50.0); 9];
+        assert!(array.mpp_currents(&short).is_err());
+        assert!(array.operate_at(&config, &short, Amps::new(0.1)).is_err());
+        let wrong_config = Configuration::uniform(12, 2).unwrap();
+        let deltas = vec![TemperatureDelta::new(50.0); 10];
+        assert!(array.maximum_power_point(&wrong_config, &deltas).is_err());
+    }
+
+    #[test]
+    fn uniform_array_uniform_temperature_matches_hand_calculation() {
+        // 4 identical modules at the same ΔT split 2+2: each parallel pair has
+        // E = Voc, R = R/2; the string of two pairs has Voc_total = 2·Voc and
+        // R_total = R.  P_mpp = (2·Voc)²/(4·R).
+        let m = module();
+        let dt = TemperatureDelta::new(60.0);
+        let voc = m.open_circuit_voltage(dt).value();
+        let r = m.internal_resistance(dt).value();
+        let array = TegArray::uniform(m, 4);
+        let config = Configuration::uniform(4, 2).unwrap();
+        let op = array.maximum_power_point(&config, &vec![dt; 4]).unwrap();
+        let expected = (2.0 * voc) * (2.0 * voc) / (4.0 * r);
+        assert!((op.power().value() - expected).abs() < 1e-9);
+        // The MPP voltage of a symmetric array is half its total Voc.
+        assert!((op.voltage().value() - voc).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_conditions_make_all_configurations_equivalent() {
+        // With identical modules at identical ΔT every partition extracts the
+        // same maximum power (only the voltage/current split changes).
+        let array = TegArray::uniform(module(), 12);
+        let deltas = vec![TemperatureDelta::new(55.0); 12];
+        let p1 = array.mpp_power(&Configuration::uniform(12, 1).unwrap(), &deltas).unwrap();
+        let p3 = array.mpp_power(&Configuration::uniform(12, 3).unwrap(), &deltas).unwrap();
+        let p12 = array.mpp_power(&Configuration::uniform(12, 12).unwrap(), &deltas).unwrap();
+        assert!((p1.value() - p3.value()).abs() < 1e-9);
+        assert!((p3.value() - p12.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gradient_makes_partition_choice_matter() {
+        // Under a temperature gradient a pure series string wastes power
+        // compared to the ideal sum of module MPPs, and a well chosen
+        // grouping recovers part of the loss — this is the premise of the
+        // whole paper.
+        let array = TegArray::uniform(module(), 20);
+        let deltas = gradient_deltas(20);
+        let ideal = ideal_power(array.modules(), &deltas).unwrap();
+        let series = array.mpp_power(&Configuration::all_series(20).unwrap(), &deltas).unwrap();
+        assert!(series < ideal);
+        let grouped = array.mpp_power(&Configuration::uniform(20, 5).unwrap(), &deltas).unwrap();
+        assert!(grouped.value() <= ideal.value() + 1e-9);
+    }
+
+    #[test]
+    fn no_configuration_beats_the_ideal_power() {
+        let array = TegArray::uniform(module(), 15);
+        let deltas = gradient_deltas(15);
+        let ideal = ideal_power(array.modules(), &deltas).unwrap();
+        for groups in 1..=15 {
+            let config = Configuration::uniform(15, groups).unwrap();
+            let p = array.mpp_power(&config, &deltas).unwrap();
+            assert!(p.value() <= ideal.value() + 1e-9, "{groups} groups exceeded ideal");
+        }
+    }
+
+    #[test]
+    fn analytic_mpp_beats_nearby_currents() {
+        let array = TegArray::uniform(module(), 10);
+        let deltas = gradient_deltas(10);
+        let config = Configuration::uniform(10, 5).unwrap();
+        let op = array.maximum_power_point(&config, &deltas).unwrap();
+        for factor in [0.8_f64, 0.9, 0.95, 1.05, 1.1, 1.2] {
+            let other = array
+                .operate_at(&config, &deltas, op.current() * factor)
+                .unwrap();
+            assert!(other.power().value() <= op.power().value() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn power_equals_voltage_times_current_and_sums_over_groups() {
+        let array = TegArray::uniform(module(), 9);
+        let deltas = gradient_deltas(9);
+        let config = Configuration::uniform(9, 3).unwrap();
+        let op = array.operate_at(&config, &deltas, Amps::new(0.6)).unwrap();
+        let group_power: f64 = op.groups().iter().map(|g| g.power().value()).sum();
+        assert!((group_power - op.power().value()).abs() < 1e-9);
+        let vi = (op.voltage() * op.current()).value();
+        assert!((vi - op.power().value()).abs() < 1e-9);
+        let group_voltage: f64 = op.groups().iter().map(|g| g.voltage().value()).sum();
+        assert!((group_voltage - op.voltage().value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_delta_t_yields_zero_power() {
+        let array = TegArray::uniform(module(), 6);
+        let deltas = vec![TemperatureDelta::ZERO; 6];
+        let config = Configuration::uniform(6, 3).unwrap();
+        let op = array.maximum_power_point(&config, &deltas).unwrap();
+        assert_eq!(op.current(), Amps::ZERO);
+        assert_eq!(op.power(), Watts::ZERO);
+    }
+
+    #[test]
+    fn non_uniform_modules_are_supported() {
+        let hot = module().scaled(1.1, 0.95).unwrap();
+        let cold = module().scaled(0.9, 1.05).unwrap();
+        let array = TegArray::new(vec![hot, cold, module(), module()]).unwrap();
+        assert_eq!(array.len(), 4);
+        assert!(!array.is_empty());
+        let deltas = vec![TemperatureDelta::new(50.0); 4];
+        let p = array
+            .mpp_power(&Configuration::uniform(4, 2).unwrap(), &deltas)
+            .unwrap();
+        assert!(p.value() > 0.0);
+    }
+
+    proptest! {
+        /// The analytic MPP current maximises the concave power parabola: any
+        /// sampled current delivers no more power.
+        #[test]
+        fn prop_analytic_mpp_is_global(
+            n in 2usize..40,
+            groups in 1usize..10,
+            base in 10.0_f64..90.0,
+            span in 0.0_f64..60.0,
+            frac in 0.0_f64..2.0,
+        ) {
+            prop_assume!(groups <= n);
+            let array = TegArray::uniform(module(), n);
+            let deltas: Vec<_> = (0..n)
+                .map(|i| TemperatureDelta::new(base + span * i as f64 / n as f64))
+                .collect();
+            let config = Configuration::uniform(n, groups).unwrap();
+            let op = array.maximum_power_point(&config, &deltas).unwrap();
+            let probe = array.operate_at(&config, &deltas, op.current() * frac).unwrap();
+            prop_assert!(probe.power().value() <= op.power().value() + 1e-6);
+        }
+
+        /// No configuration can extract more than the sum of module MPPs.
+        #[test]
+        fn prop_ideal_power_is_an_upper_bound(
+            n in 2usize..30,
+            groups in 1usize..8,
+            base in 5.0_f64..80.0,
+            span in 0.0_f64..70.0,
+        ) {
+            prop_assume!(groups <= n);
+            let array = TegArray::uniform(module(), n);
+            let deltas: Vec<_> = (0..n)
+                .map(|i| TemperatureDelta::new(base + span * (i as f64 / n as f64)))
+                .collect();
+            let config = Configuration::uniform(n, groups).unwrap();
+            let p = array.mpp_power(&config, &deltas).unwrap();
+            let ideal = ideal_power(array.modules(), &deltas).unwrap();
+            prop_assert!(p.value() <= ideal.value() + 1e-6);
+        }
+    }
+}

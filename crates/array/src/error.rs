@@ -1,0 +1,84 @@
+//! Error type for the reconfigurable-array substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when building configurations or solving the array network.
+///
+/// # Examples
+///
+/// ```
+/// use teg_array::ArrayError;
+///
+/// let err = ArrayError::EmptyArray;
+/// assert!(err.to_string().contains("at least one module"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ArrayError {
+    /// The array or configuration would contain no modules.
+    EmptyArray,
+    /// A configuration's group boundaries were not valid for the array size.
+    InvalidConfiguration {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// The number of temperature samples does not match the number of
+    /// modules in the array.
+    DimensionMismatch {
+        /// Number of modules in the array.
+        modules: usize,
+        /// Number of temperature samples supplied.
+        temperatures: usize,
+    },
+    /// The requested group count cannot be formed from the module count.
+    InvalidGroupCount {
+        /// Requested group count.
+        groups: usize,
+        /// Available module count.
+        modules: usize,
+    },
+}
+
+impl fmt::Display for ArrayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyArray => write!(f, "the array must contain at least one module"),
+            Self::InvalidConfiguration { reason } => write!(f, "invalid configuration: {reason}"),
+            Self::DimensionMismatch { modules, temperatures } => write!(
+                f,
+                "temperature vector has {temperatures} entries but the array has {modules} modules"
+            ),
+            Self::InvalidGroupCount { groups, modules } => {
+                write!(f, "cannot split {modules} modules into {groups} groups")
+            }
+        }
+    }
+}
+
+impl Error for ArrayError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_descriptive() {
+        assert!(ArrayError::EmptyArray.to_string().contains("at least one"));
+        assert!(ArrayError::InvalidConfiguration { reason: "unsorted".into() }
+            .to_string()
+            .contains("unsorted"));
+        assert!(ArrayError::DimensionMismatch { modules: 10, temperatures: 9 }
+            .to_string()
+            .contains("10"));
+        assert!(ArrayError::InvalidGroupCount { groups: 11, modules: 10 }
+            .to_string()
+            .contains("11"));
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<ArrayError>();
+    }
+}

@@ -1,0 +1,100 @@
+//! The ideal (unconstrained) array power `P_ideal`.
+//!
+//! Fig. 7 of the paper normalises every scheme's output by the power obtained
+//! if every module could operate at its own MPP simultaneously — an upper
+//! bound no interconnection can exceed because series/parallel wiring forces
+//! shared currents/voltages.
+
+use teg_device::TegModule;
+use teg_units::{TemperatureDelta, Watts};
+
+use crate::error::ArrayError;
+
+/// Sum of the individual module MPP powers: the paper's `P_ideal`.
+///
+/// # Errors
+///
+/// Returns [`ArrayError::EmptyArray`] if `modules` is empty and
+/// [`ArrayError::DimensionMismatch`] if the ΔT vector length differs from the
+/// module count.
+///
+/// # Examples
+///
+/// ```
+/// use teg_array::ideal_power;
+/// use teg_device::{TegDatasheet, TegModule};
+/// use teg_units::TemperatureDelta;
+///
+/// # fn main() -> Result<(), teg_array::ArrayError> {
+/// let module = TegModule::from_datasheet(&TegDatasheet::tgm_199_1_4_0_8());
+/// let modules = vec![module; 4];
+/// let deltas = vec![TemperatureDelta::new(50.0); 4];
+/// let ideal = ideal_power(&modules, &deltas)?;
+/// assert!(ideal.value() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn ideal_power(
+    modules: &[TegModule],
+    deltas: &[TemperatureDelta],
+) -> Result<Watts, ArrayError> {
+    if modules.is_empty() {
+        return Err(ArrayError::EmptyArray);
+    }
+    if modules.len() != deltas.len() {
+        return Err(ArrayError::DimensionMismatch {
+            modules: modules.len(),
+            temperatures: deltas.len(),
+        });
+    }
+    Ok(modules
+        .iter()
+        .zip(deltas.iter())
+        .map(|(m, &dt)| m.mpp(dt).power())
+        .sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teg_device::TegDatasheet;
+
+    fn module() -> TegModule {
+        TegModule::from_datasheet(&TegDatasheet::tgm_199_1_4_0_8())
+    }
+
+    #[test]
+    fn ideal_power_is_sum_of_module_mpps() {
+        let modules = vec![module(); 3];
+        let deltas = vec![
+            TemperatureDelta::new(40.0),
+            TemperatureDelta::new(60.0),
+            TemperatureDelta::new(80.0),
+        ];
+        let expected: f64 = modules
+            .iter()
+            .zip(deltas.iter())
+            .map(|(m, &dt)| m.mpp(dt).power().value())
+            .sum();
+        let got = ideal_power(&modules, &deltas).unwrap();
+        assert!((got.value() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors_on_bad_inputs() {
+        assert!(matches!(ideal_power(&[], &[]), Err(ArrayError::EmptyArray)));
+        let modules = vec![module(); 2];
+        let deltas = vec![TemperatureDelta::new(40.0)];
+        assert!(matches!(
+            ideal_power(&modules, &deltas),
+            Err(ArrayError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_deltas_give_zero_ideal_power() {
+        let modules = vec![module(); 5];
+        let deltas = vec![TemperatureDelta::ZERO; 5];
+        assert_eq!(ideal_power(&modules, &deltas).unwrap(), Watts::ZERO);
+    }
+}

@@ -1,0 +1,39 @@
+//! Criterion bench behind Fig. 1: cost of evaluating the TEG module model
+//! and sampling its I-V / P-V characteristics.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use teg_bench::paper_module;
+use teg_device::IvCurve;
+use teg_units::{Ohms, TemperatureDelta};
+
+fn bench_module_queries(c: &mut Criterion) {
+    let module = paper_module();
+    let dt = TemperatureDelta::new(70.0);
+
+    c.bench_function("device/mpp_single_module", |b| {
+        b.iter(|| black_box(module.mpp(black_box(dt))))
+    });
+
+    c.bench_function("device/power_at_load", |b| {
+        b.iter(|| black_box(module.power_at_load(black_box(dt), black_box(Ohms::new(2.5)))))
+    });
+}
+
+fn bench_curve_sampling(c: &mut Criterion) {
+    let module = paper_module();
+    let mut group = c.benchmark_group("device/iv_curve_sampling");
+    for &samples in &[16usize, 64, 256] {
+        group.bench_function(format!("{samples}_points"), |b| {
+            b.iter_batched(
+                || module.clone(),
+                |m| black_box(IvCurve::sample(&m, TemperatureDelta::new(90.0), samples)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_module_queries, bench_curve_sampling);
+criterion_main!(benches);

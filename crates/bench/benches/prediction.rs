@@ -1,0 +1,73 @@
+//! Criterion bench behind Fig. 5: fitting and querying the three temperature
+//! predictors on drive-cycle data.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use teg_predict::{
+    BackPropagationNetwork, MultipleLinearRegression, Predictor, SupportVectorRegression,
+};
+use teg_thermal::DriveCycle;
+
+fn training_series() -> Vec<f64> {
+    DriveCycle::porter_ii_800s(7)
+        .expect("drive cycle")
+        .coolant_temperature_series()
+        .values()
+        .to_vec()
+}
+
+fn bench_fitting(c: &mut Criterion) {
+    let series = training_series();
+    let train = &series[..600];
+    let mut group = c.benchmark_group("prediction/fit_600_samples");
+    group.sample_size(20);
+
+    group.bench_function("mlr", |b| {
+        b.iter(|| {
+            let mut model = MultipleLinearRegression::new(5).expect("window");
+            model.fit(black_box(train)).expect("fit");
+            black_box(model)
+        })
+    });
+    group.bench_function("svr", |b| {
+        b.iter(|| {
+            let mut model = SupportVectorRegression::new(5, 42).expect("window");
+            model.fit(black_box(train)).expect("fit");
+            black_box(model)
+        })
+    });
+    group.bench_function("bpnn", |b| {
+        b.iter(|| {
+            let mut model = BackPropagationNetwork::new(5, 8, 42).expect("hyper-parameters");
+            model.fit(black_box(train)).expect("fit");
+            black_box(model)
+        })
+    });
+    group.finish();
+}
+
+fn bench_one_step_prediction(c: &mut Criterion) {
+    let series = training_series();
+    let train = &series[..600];
+    let mut mlr = MultipleLinearRegression::new(5).expect("window");
+    mlr.fit(train).expect("fit");
+    let mut bpnn = BackPropagationNetwork::new(5, 8, 42).expect("hyper-parameters");
+    bpnn.fit(train).expect("fit");
+    let mut svr = SupportVectorRegression::new(5, 42).expect("window");
+    svr.fit(train).expect("fit");
+
+    let mut group = c.benchmark_group("prediction/one_step");
+    group.bench_function("mlr", |b| {
+        b.iter(|| black_box(mlr.predict_next(black_box(&series))).expect("prediction"))
+    });
+    group.bench_function("bpnn", |b| {
+        b.iter(|| black_box(bpnn.predict_next(black_box(&series))).expect("prediction"))
+    });
+    group.bench_function("svr", |b| {
+        b.iter(|| black_box(svr.predict_next(black_box(&series))).expect("prediction"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fitting, bench_one_step_prediction);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench of the full co-simulation loop (the machinery behind
+//! Figs. 6–7 and Table I): one simulated drive second per scheme, end to
+//! end (radiator solve → decision → array MPP → charger).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use teg_reconfig::{Dnor, Inor, StaticBaseline};
+use teg_sim::{Scenario, SimulationEngine};
+
+fn bench_short_runs(c: &mut Criterion) {
+    let scenario = Scenario::builder()
+        .module_count(100)
+        .duration_seconds(10)
+        .seed(2024)
+        .build()
+        .expect("scenario");
+    let engine = SimulationEngine::new(scenario);
+
+    let mut group = c.benchmark_group("simulation/10s_100_modules");
+    group.sample_size(10);
+
+    group.bench_function("baseline", |b| {
+        b.iter_batched(
+            || StaticBaseline::grid_10x10(),
+            |mut scheme| black_box(engine.run(&mut scheme)).expect("run"),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("inor", |b| {
+        b.iter_batched(
+            Inor::default,
+            |mut scheme| black_box(engine.run(&mut scheme)).expect("run"),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("dnor", |b| {
+        b.iter_batched(
+            Dnor::default,
+            |mut scheme| black_box(engine.run(&mut scheme)).expect("run"),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_short_runs);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Fig. 1 — I-V and P-V output characteristics of the TGM-199-1.4-0.8 module
+//! for several temperature differences, with the maximum power points marked.
+//!
+//! Prints one CSV block per ΔT; pipe into a plotting tool to recreate the
+//! figure.
+
+use teg_bench::paper_module;
+use teg_device::{curve_family, IvCurve};
+use teg_units::TemperatureDelta;
+
+fn main() {
+    let module = paper_module();
+    let delta_ts = [30.0, 50.0, 70.0, 90.0, 110.0];
+    let family: Vec<IvCurve> = curve_family(&module, &delta_ts, 41);
+
+    println!("# Fig. 1 reproduction: I-V and P-V curves of TGM-199-1.4-0.8");
+    println!("delta_t_k,voltage_v,current_a,power_w");
+    for curve in &family {
+        for point in curve.points() {
+            println!(
+                "{:.0},{:.4},{:.4},{:.4}",
+                curve.delta_t().kelvin(),
+                point.voltage().value(),
+                point.current().value(),
+                point.power().value()
+            );
+        }
+    }
+
+    println!();
+    println!("# Maximum power points (the black dots of Fig. 1)");
+    println!("delta_t_k,v_mpp_v,i_mpp_a,p_mpp_w");
+    for curve in &family {
+        let mpp = curve.mpp();
+        println!(
+            "{:.0},{:.4},{:.4},{:.4}",
+            curve.delta_t().kelvin(),
+            mpp.voltage().value(),
+            mpp.current().value(),
+            mpp.power().value()
+        );
+    }
+
+    // Sanity echo of the qualitative shape: hotter curves dominate.
+    let p30 = module.mpp(TemperatureDelta::new(30.0)).power().value();
+    let p110 = module.mpp(TemperatureDelta::new(110.0)).power().value();
+    println!();
+    println!("# P_mpp grows from {p30:.2} W at dT=30 K to {p110:.2} W at dT=110 K");
+}

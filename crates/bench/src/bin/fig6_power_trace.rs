@@ -1,0 +1,50 @@
+//! Fig. 6 — output power of DNOR, INOR, EHTR and the baseline over a
+//! 120-second window of the drive.
+
+use teg_reconfig::{Dnor, Ehtr, Inor, StaticBaseline};
+use teg_sim::{Scenario, SimulationEngine};
+
+fn main() {
+    // The same 800-second scenario Table I uses, restricted to the 120-second
+    // window starting at t = 300 s (well after warm-up).
+    let scenario = Scenario::paper_table1(2024)
+        .expect("scenario")
+        .window(300, 420)
+        .expect("window");
+    let engine = SimulationEngine::new(scenario);
+
+    let mut dnor = Dnor::default();
+    let mut inor = Inor::default();
+    let mut ehtr = Ehtr::default();
+    let mut baseline = StaticBaseline::grid_10x10();
+    let reports = [
+        engine.run(&mut dnor).expect("DNOR"),
+        engine.run(&mut inor).expect("INOR"),
+        engine.run(&mut ehtr).expect("EHTR"),
+        engine.run(&mut baseline).expect("baseline"),
+    ];
+
+    println!("# Fig. 6 reproduction: array output power (W) over 120 s");
+    println!("t_s,dnor_w,inor_w,ehtr_w,baseline_w");
+    let n = reports[0].records().len();
+    for i in 0..n {
+        let t = reports[0].records()[i].time().value();
+        let row: Vec<String> = reports
+            .iter()
+            .map(|r| format!("{:.3}", r.records()[i].array_power().value()))
+            .collect();
+        println!("{t:.0},{}", row.join(","));
+    }
+
+    println!();
+    println!("# window totals");
+    for report in &reports {
+        println!(
+            "# {:<9} net energy {:>10.1} J, overhead {:>8.2} J, switches {}",
+            report.scheme(),
+            report.net_energy().value(),
+            report.overhead_energy().value(),
+            report.switch_count()
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! Fig. 7 — ratio of each scheme's output power to the ideal power
+//! `P_ideal` over the 120-second window, with DNOR's switch instants marked.
+
+use teg_reconfig::{Dnor, Ehtr, Inor, StaticBaseline};
+use teg_sim::{Scenario, SimulationEngine};
+
+fn main() {
+    let scenario = Scenario::paper_table1(2024)
+        .expect("scenario")
+        .window(300, 420)
+        .expect("window");
+    let engine = SimulationEngine::new(scenario);
+
+    let mut dnor = Dnor::default();
+    let mut inor = Inor::default();
+    let mut ehtr = Ehtr::default();
+    let mut baseline = StaticBaseline::grid_10x10();
+    let reports = [
+        engine.run(&mut dnor).expect("DNOR"),
+        engine.run(&mut inor).expect("INOR"),
+        engine.run(&mut ehtr).expect("EHTR"),
+        engine.run(&mut baseline).expect("baseline"),
+    ];
+
+    println!("# Fig. 7 reproduction: output power ratio P / P_ideal over 120 s");
+    println!("t_s,dnor_ratio,inor_ratio,ehtr_ratio,baseline_ratio,dnor_switched");
+    let n = reports[0].records().len();
+    for i in 0..n {
+        let t = reports[0].records()[i].time().value();
+        let ratios: Vec<String> = reports
+            .iter()
+            .map(|r| format!("{:.5}", r.records()[i].ideal_ratio()))
+            .collect();
+        let switched = u8::from(reports[0].records()[i].switched());
+        println!("{t:.0},{},{switched}", ratios.join(","));
+    }
+
+    println!();
+    println!("# average ratio over the window (paper: reconfiguring schemes sit close to 1)");
+    for report in &reports {
+        println!("# {:<9} {:.4}", report.scheme(), report.ideal_fraction());
+    }
+    println!(
+        "# DNOR switch instants (s): {:?}",
+        reports[0].switch_times()
+    );
+}

@@ -1,0 +1,146 @@
+//! The static (non-reconfigurable) baseline wiring.
+
+use teg_array::Configuration;
+use teg_units::Seconds;
+
+use crate::context::ReconfigInputs;
+use crate::error::ReconfigError;
+use crate::traits::{ReconfigDecision, Reconfigurer};
+
+/// The paper's baseline: a fixed series/parallel grid (10 × 10 for the
+/// 100-module array) that is wired once and never reconfigured.
+///
+/// # Examples
+///
+/// ```
+/// use teg_array::{Configuration, TegArray};
+/// use teg_device::{TegDatasheet, TegModule};
+/// use teg_reconfig::{ReconfigInputs, Reconfigurer, StaticBaseline};
+/// use teg_units::Celsius;
+///
+/// # fn main() -> Result<(), teg_reconfig::ReconfigError> {
+/// let module = TegModule::from_datasheet(&TegDatasheet::tgm_199_1_4_0_8());
+/// let array = TegArray::uniform(module, 100);
+/// let history = vec![vec![90.0; 100]];
+/// let inputs = ReconfigInputs::new(&array, &history, Celsius::new(25.0))?;
+/// let mut baseline = StaticBaseline::grid_10x10();
+/// let current = Configuration::uniform(100, 10).expect("valid");
+/// let decision = baseline.decide(&inputs, &current)?;
+/// assert_eq!(decision.configuration().group_count(), 10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaticBaseline {
+    groups: usize,
+}
+
+impl StaticBaseline {
+    /// Creates a baseline wiring with the given number of series groups.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReconfigError::InvalidParameter`] if `groups` is zero.
+    pub fn new(groups: usize) -> Result<Self, ReconfigError> {
+        if groups == 0 {
+            return Err(ReconfigError::InvalidParameter { name: "groups", value: 0.0 });
+        }
+        Ok(Self { groups })
+    }
+
+    /// The paper's 10 × 10 baseline for the 100-module array.
+    #[must_use]
+    pub fn grid_10x10() -> Self {
+        Self { groups: 10 }
+    }
+
+    /// A square-ish grid for an arbitrary module count: `⌈√N⌉` series groups.
+    #[must_use]
+    pub fn square_grid(module_count: usize) -> Self {
+        let groups = (module_count.max(1) as f64).sqrt().ceil() as usize;
+        Self { groups: groups.max(1) }
+    }
+
+    /// Number of series groups in the fixed wiring.
+    #[must_use]
+    pub const fn groups(&self) -> usize {
+        self.groups
+    }
+}
+
+impl Reconfigurer for StaticBaseline {
+    fn name(&self) -> &'static str {
+        "Baseline"
+    }
+
+    fn period(&self) -> Seconds {
+        // The baseline never reacts; polling it once a second is harmless and
+        // keeps the simulation loop uniform across schemes.
+        Seconds::new(1.0)
+    }
+
+    fn decide(
+        &mut self,
+        inputs: &ReconfigInputs<'_>,
+        current: &Configuration,
+    ) -> Result<ReconfigDecision, ReconfigError> {
+        let modules = inputs.array().len();
+        let groups = self.groups.min(modules);
+        let target = Configuration::uniform(modules, groups)?;
+        // No computation worth metering: the wiring is fixed and is only
+        // applied once, when the array is first connected.
+        let changed = current != &target;
+        Ok(ReconfigDecision::new(target, Seconds::ZERO, changed, changed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teg_array::TegArray;
+    use teg_device::{TegDatasheet, TegModule};
+    use teg_units::Celsius;
+
+    fn array(n: usize) -> TegArray {
+        TegArray::uniform(TegModule::from_datasheet(&TegDatasheet::tgm_199_1_4_0_8()), n)
+    }
+
+    #[test]
+    fn construction() {
+        assert!(StaticBaseline::new(0).is_err());
+        assert_eq!(StaticBaseline::new(7).unwrap().groups(), 7);
+        assert_eq!(StaticBaseline::grid_10x10().groups(), 10);
+        assert_eq!(StaticBaseline::square_grid(100).groups(), 10);
+        assert_eq!(StaticBaseline::square_grid(50).groups(), 8);
+        assert_eq!(StaticBaseline::square_grid(1).groups(), 1);
+    }
+
+    #[test]
+    fn decision_is_always_the_same_grid() {
+        let a = array(100);
+        let history = vec![vec![92.0; 100]];
+        let inputs = ReconfigInputs::new(&a, &history, Celsius::new(25.0)).unwrap();
+        let mut baseline = StaticBaseline::grid_10x10();
+        let grid = Configuration::uniform(100, 10).unwrap();
+        let first = baseline.decide(&inputs, &Configuration::uniform(100, 4).unwrap()).unwrap();
+        assert_eq!(first.configuration(), &grid);
+        assert!(first.evaluated());
+        // Once wired, subsequent decisions change nothing.
+        let second = baseline.decide(&inputs, &grid).unwrap();
+        assert_eq!(second.configuration(), &grid);
+        assert!(!second.evaluated());
+        assert_eq!(second.computation(), Seconds::ZERO);
+        assert_eq!(baseline.name(), "Baseline");
+        assert!(baseline.period().value() > 0.0);
+    }
+
+    #[test]
+    fn group_count_is_capped_by_module_count() {
+        let a = array(4);
+        let history = vec![vec![90.0; 4]];
+        let inputs = ReconfigInputs::new(&a, &history, Celsius::new(25.0)).unwrap();
+        let mut baseline = StaticBaseline::grid_10x10();
+        let decision = baseline.decide(&inputs, &Configuration::uniform(4, 1).unwrap()).unwrap();
+        assert_eq!(decision.configuration().group_count(), 4);
+    }
+}

@@ -1,0 +1,188 @@
+//! The per-invocation view a reconfiguration algorithm receives.
+
+use teg_array::TegArray;
+use teg_units::{Celsius, TemperatureDelta};
+
+use crate::error::ReconfigError;
+
+/// Everything a reconfigurer may consult when proposing a configuration:
+/// the array, the ambient (heatsink) temperature, and the history of module
+/// hot-side temperatures observed so far (most recent row last, one entry per
+/// module, in °C).
+///
+/// The history is what the paper's controller accumulates from its
+/// thermocouple/flow measurements through the radiator model; DNOR's
+/// per-module predictors are trained on it while INOR/EHTR only consume the
+/// latest row.
+///
+/// # Examples
+///
+/// ```
+/// use teg_array::TegArray;
+/// use teg_device::{TegDatasheet, TegModule};
+/// use teg_reconfig::ReconfigInputs;
+/// use teg_units::Celsius;
+///
+/// # fn main() -> Result<(), teg_reconfig::ReconfigError> {
+/// let module = TegModule::from_datasheet(&TegDatasheet::tgm_199_1_4_0_8());
+/// let array = TegArray::uniform(module, 4);
+/// let history = vec![vec![90.0, 85.0, 80.0, 75.0]];
+/// let inputs = ReconfigInputs::new(&array, &history, Celsius::new(25.0))?;
+/// let deltas = inputs.current_deltas();
+/// assert_eq!(deltas.len(), 4);
+/// assert!(deltas[0] > deltas[3]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ReconfigInputs<'a> {
+    array: &'a TegArray,
+    history: &'a [Vec<f64>],
+    ambient: Celsius,
+}
+
+impl<'a> ReconfigInputs<'a> {
+    /// Creates the inputs, validating that the history is non-empty and every
+    /// row has one temperature per module.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReconfigError::EmptyHistory`] for an empty history and
+    /// [`ReconfigError::InconsistentHistory`] when any row's length differs
+    /// from the array's module count.
+    pub fn new(
+        array: &'a TegArray,
+        history: &'a [Vec<f64>],
+        ambient: Celsius,
+    ) -> Result<Self, ReconfigError> {
+        if history.is_empty() {
+            return Err(ReconfigError::EmptyHistory);
+        }
+        for row in history {
+            if row.len() != array.len() {
+                return Err(ReconfigError::InconsistentHistory {
+                    modules: array.len(),
+                    row_len: row.len(),
+                });
+            }
+        }
+        Ok(Self { array, history, ambient })
+    }
+
+    /// The TEG array under control.
+    #[must_use]
+    pub const fn array(&self) -> &'a TegArray {
+        self.array
+    }
+
+    /// The observed per-module temperature history (°C), most recent last.
+    #[must_use]
+    pub const fn history(&self) -> &'a [Vec<f64>] {
+        self.history
+    }
+
+    /// The ambient / heatsink temperature.
+    #[must_use]
+    pub const fn ambient(&self) -> Celsius {
+        self.ambient
+    }
+
+    /// The most recent per-module temperatures (°C).
+    #[must_use]
+    pub fn current_temperatures(&self) -> &'a [f64] {
+        self.history.last().expect("validated non-empty")
+    }
+
+    /// The most recent per-module temperature differences ΔT relative to the
+    /// ambient (clamped at zero) — the quantity Eq. 2 consumes.
+    #[must_use]
+    pub fn current_deltas(&self) -> Vec<TemperatureDelta> {
+        Self::deltas_from_row(self.current_temperatures(), self.ambient)
+    }
+
+    /// Converts an arbitrary temperature row (°C) into ΔT values against the
+    /// same ambient, clamped at zero.
+    #[must_use]
+    pub fn deltas_from_row(row: &[f64], ambient: Celsius) -> Vec<TemperatureDelta> {
+        row.iter()
+            .map(|&t| (Celsius::new(t) - ambient).clamp_non_negative())
+            .collect()
+    }
+
+    /// The history of a single module as a scalar series (°C), oldest first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `module_index` is out of range; callers iterate over
+    /// `0..array.len()`.
+    #[must_use]
+    pub fn module_series(&self, module_index: usize) -> Vec<f64> {
+        assert!(module_index < self.array.len(), "module index out of range");
+        self.history.iter().map(|row| row[module_index]).collect()
+    }
+
+    /// Number of history rows available.
+    #[must_use]
+    pub fn history_len(&self) -> usize {
+        self.history.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teg_device::{TegDatasheet, TegModule};
+
+    fn array(n: usize) -> TegArray {
+        TegArray::uniform(TegModule::from_datasheet(&TegDatasheet::tgm_199_1_4_0_8()), n)
+    }
+
+    #[test]
+    fn validation() {
+        let a = array(3);
+        assert!(matches!(
+            ReconfigInputs::new(&a, &[], Celsius::new(25.0)),
+            Err(ReconfigError::EmptyHistory)
+        ));
+        let bad = vec![vec![90.0, 80.0]];
+        assert!(matches!(
+            ReconfigInputs::new(&a, &bad, Celsius::new(25.0)),
+            Err(ReconfigError::InconsistentHistory { .. })
+        ));
+    }
+
+    #[test]
+    fn accessors_and_deltas() {
+        let a = array(3);
+        let history = vec![vec![80.0, 75.0, 70.0], vec![90.0, 85.0, 20.0]];
+        let inputs = ReconfigInputs::new(&a, &history, Celsius::new(25.0)).unwrap();
+        assert_eq!(inputs.history_len(), 2);
+        assert_eq!(inputs.current_temperatures(), &[90.0, 85.0, 20.0]);
+        let deltas = inputs.current_deltas();
+        assert!((deltas[0].kelvin() - 65.0).abs() < 1e-12);
+        assert!((deltas[1].kelvin() - 60.0).abs() < 1e-12);
+        // Below-ambient modules clamp to zero instead of going negative.
+        assert_eq!(deltas[2].kelvin(), 0.0);
+        assert_eq!(inputs.ambient(), Celsius::new(25.0));
+        assert_eq!(inputs.array().len(), 3);
+        assert_eq!(inputs.history().len(), 2);
+    }
+
+    #[test]
+    fn module_series_extracts_columns() {
+        let a = array(2);
+        let history = vec![vec![80.0, 70.0], vec![81.0, 71.0], vec![82.0, 72.0]];
+        let inputs = ReconfigInputs::new(&a, &history, Celsius::new(25.0)).unwrap();
+        assert_eq!(inputs.module_series(0), vec![80.0, 81.0, 82.0]);
+        assert_eq!(inputs.module_series(1), vec![70.0, 71.0, 72.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "module index out of range")]
+    fn module_series_bounds_checked() {
+        let a = array(2);
+        let history = vec![vec![80.0, 70.0]];
+        let inputs = ReconfigInputs::new(&a, &history, Celsius::new(25.0)).unwrap();
+        let _ = inputs.module_series(2);
+    }
+}

@@ -1,0 +1,435 @@
+//! DNOR — Durable Near-Optimal Reconfiguration (Algorithm 2).
+
+use std::time::Instant;
+
+use teg_array::{Configuration, SwitchingOverheadModel};
+use teg_predict::{MultipleLinearRegression, Predictor};
+use teg_units::{Joules, Seconds, TemperatureDelta, Watts};
+
+use crate::context::ReconfigInputs;
+use crate::error::ReconfigError;
+use crate::inor::{Inor, InorConfig};
+use crate::traits::{ReconfigDecision, Reconfigurer};
+
+/// Tuning parameters of DNOR.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DnorConfig {
+    inor: InorConfig,
+    prediction_horizon: usize,
+    prediction_window: usize,
+    overhead: SwitchingOverheadModel,
+    period: Seconds,
+}
+
+impl DnorConfig {
+    /// Creates a DNOR configuration.
+    ///
+    /// * `inor` — tuning of the inner INOR invocation,
+    /// * `prediction_horizon` — `t_p`, the number of future seconds the
+    ///   predictor looks ahead (the algorithm re-evaluates every `t_p + 1`
+    ///   periods),
+    /// * `prediction_window` — autoregressive window of the per-module MLR,
+    /// * `overhead` — switching-overhead model used in the switch/no-switch
+    ///   comparison,
+    /// * `period` — how often the controller invokes DNOR (one second in the
+    ///   paper, matching the 1 Hz temperature sampling).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReconfigError::InvalidParameter`] if the horizon or window
+    /// is zero or the period is not strictly positive.
+    pub fn new(
+        inor: InorConfig,
+        prediction_horizon: usize,
+        prediction_window: usize,
+        overhead: SwitchingOverheadModel,
+        period: Seconds,
+    ) -> Result<Self, ReconfigError> {
+        if prediction_horizon == 0 {
+            return Err(ReconfigError::InvalidParameter { name: "prediction horizon", value: 0.0 });
+        }
+        if prediction_window == 0 {
+            return Err(ReconfigError::InvalidParameter { name: "prediction window", value: 0.0 });
+        }
+        if !(period.value() > 0.0) {
+            return Err(ReconfigError::InvalidParameter {
+                name: "period",
+                value: period.value(),
+            });
+        }
+        Ok(Self { inor, prediction_horizon, prediction_window, overhead, period })
+    }
+
+    /// The inner INOR tuning.
+    #[must_use]
+    pub const fn inor(&self) -> &InorConfig {
+        &self.inor
+    }
+
+    /// The prediction horizon `t_p` in seconds/steps.
+    #[must_use]
+    pub const fn prediction_horizon(&self) -> usize {
+        self.prediction_horizon
+    }
+
+    /// The autoregressive window of the per-module predictors.
+    #[must_use]
+    pub const fn prediction_window(&self) -> usize {
+        self.prediction_window
+    }
+
+    /// The switching-overhead model used in the switch decision.
+    #[must_use]
+    pub const fn overhead(&self) -> &SwitchingOverheadModel {
+        &self.overhead
+    }
+
+    /// The invocation period.
+    #[must_use]
+    pub const fn period(&self) -> Seconds {
+        self.period
+    }
+}
+
+impl Default for DnorConfig {
+    /// The paper's setting: 2-second MLR prediction with a 5-sample window,
+    /// default overhead model, invoked once per second.
+    fn default() -> Self {
+        Self {
+            inor: InorConfig::default(),
+            prediction_horizon: 2,
+            prediction_window: 5,
+            overhead: SwitchingOverheadModel::default(),
+            period: Seconds::new(1.0),
+        }
+    }
+}
+
+/// The prediction-gated reconfiguration algorithm (the paper's headline
+/// contribution).
+///
+/// Every `t_p + 1` invocations DNOR runs INOR on the current temperatures to
+/// obtain a candidate configuration, forecasts each module's temperature for
+/// the next `t_p` seconds with MLR, integrates the predicted array MPP power
+/// of the old and new configurations over those `t_p + 1` seconds, and only
+/// switches when the new configuration's predicted energy advantage exceeds
+/// the energy cost of switching.
+///
+/// # Examples
+///
+/// ```
+/// use teg_array::{Configuration, TegArray};
+/// use teg_device::{TegDatasheet, TegModule};
+/// use teg_reconfig::{Dnor, ReconfigInputs, Reconfigurer};
+/// use teg_units::Celsius;
+///
+/// # fn main() -> Result<(), teg_reconfig::ReconfigError> {
+/// let module = TegModule::from_datasheet(&TegDatasheet::tgm_199_1_4_0_8());
+/// let array = TegArray::uniform(module, 20);
+/// // Ten seconds of history with a stable gradient.
+/// let history: Vec<Vec<f64>> = (0..10)
+///     .map(|_| (0..20).map(|i| 94.0 - 1.3 * i as f64).collect())
+///     .collect();
+/// let inputs = ReconfigInputs::new(&array, &history, Celsius::new(25.0))?;
+/// let current = Configuration::uniform(20, 4).expect("valid");
+/// let mut dnor = Dnor::default();
+/// let decision = dnor.decide(&inputs, &current)?;
+/// assert!(decision.evaluated());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dnor {
+    config: DnorConfig,
+    inner: Inor,
+    periods_until_evaluation: usize,
+    evaluations: usize,
+    switches: usize,
+}
+
+impl Dnor {
+    /// Creates DNOR with explicit tuning parameters.
+    #[must_use]
+    pub fn new(config: DnorConfig) -> Self {
+        let inner = Inor::new(config.inor().clone());
+        Self { config, inner, periods_until_evaluation: 0, evaluations: 0, switches: 0 }
+    }
+
+    /// The tuning parameters in use.
+    #[must_use]
+    pub const fn config(&self) -> &DnorConfig {
+        &self.config
+    }
+
+    /// Number of full evaluations (INOR + prediction) performed so far.
+    #[must_use]
+    pub const fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+
+    /// Number of times a new configuration was actually adopted.
+    #[must_use]
+    pub const fn switches(&self) -> usize {
+        self.switches
+    }
+
+    /// Forecasts each module's temperature for the next `t_p` steps.
+    ///
+    /// All module temperatures are driven by the same coolant inlet signal
+    /// through the radiator model, so their autoregressive dynamics are
+    /// identical: one MLR is fitted on the entrance module (the strongest
+    /// signal) and its coefficients are applied to every module's own recent
+    /// window.  This keeps the prediction cost `O(N)` per evaluation, which
+    /// is what lets DNOR undercut INOR's amortised runtime.  Modules with too
+    /// little history fall back to persistence (repeating their latest
+    /// temperature), which is also what the paper's controller would do
+    /// before its history buffer fills.
+    fn predict_rows(&self, inputs: &ReconfigInputs<'_>) -> Vec<Vec<f64>> {
+        let horizon = self.config.prediction_horizon;
+        let window = self.config.prediction_window;
+        let modules = inputs.array().len();
+        let mut rows = vec![vec![0.0; modules]; horizon];
+
+        let reference = inputs.module_series(0);
+        let shared_model = if reference.len() >= window + 2 {
+            let mut mlr = MultipleLinearRegression::new(window)
+                .expect("window validated at construction");
+            mlr.fit(&reference).ok().map(|()| mlr)
+        } else {
+            None
+        };
+
+        for module in 0..modules {
+            let series = inputs.module_series(module);
+            let forecast = match &shared_model {
+                Some(model) => model
+                    .forecast(&series, horizon)
+                    .unwrap_or_else(|_| vec![*series.last().expect("non-empty history"); horizon]),
+                None => vec![*series.last().expect("non-empty history"); horizon],
+            };
+            for (step, value) in forecast.into_iter().enumerate() {
+                rows[step][module] = value;
+            }
+        }
+        rows
+    }
+
+    /// Integrates the predicted array MPP energy of a configuration over the
+    /// current second plus the `t_p` predicted seconds.
+    fn predicted_energy(
+        &self,
+        inputs: &ReconfigInputs<'_>,
+        configuration: &Configuration,
+        current_deltas: &[TemperatureDelta],
+        predicted_rows: &[Vec<f64>],
+    ) -> Result<Joules, ReconfigError> {
+        let step = self.config.period;
+        let mut energy = inputs.array().mpp_power(configuration, current_deltas)? * step;
+        for row in predicted_rows {
+            let deltas = ReconfigInputs::deltas_from_row(row, inputs.ambient());
+            energy += inputs.array().mpp_power(configuration, &deltas)? * step;
+        }
+        Ok(energy)
+    }
+}
+
+impl Default for Dnor {
+    fn default() -> Self {
+        Self::new(DnorConfig::default())
+    }
+}
+
+impl Reconfigurer for Dnor {
+    fn name(&self) -> &'static str {
+        "DNOR"
+    }
+
+    fn period(&self) -> Seconds {
+        self.config.period
+    }
+
+    fn decide(
+        &mut self,
+        inputs: &ReconfigInputs<'_>,
+        current: &Configuration,
+    ) -> Result<ReconfigDecision, ReconfigError> {
+        let started = Instant::now();
+
+        if self.periods_until_evaluation > 0 {
+            self.periods_until_evaluation -= 1;
+            let elapsed = Seconds::new(started.elapsed().as_secs_f64());
+            return Ok(ReconfigDecision::new(current.clone(), elapsed, false, false));
+        }
+
+        self.evaluations += 1;
+        let current_deltas = inputs.current_deltas();
+        let (candidate, _) = self.inner.optimise(inputs.array(), &current_deltas)?;
+        let predicted_rows = self.predict_rows(inputs);
+
+        let energy_old =
+            self.predicted_energy(inputs, current, &current_deltas, &predicted_rows)?;
+        let energy_new =
+            self.predicted_energy(inputs, &candidate, &current_deltas, &predicted_rows)?;
+
+        let toggles = current.switch_toggles_to(&candidate)?;
+        let current_power: Watts = inputs.array().mpp_power(current, &current_deltas)?;
+        let computation_so_far = Seconds::new(started.elapsed().as_secs_f64());
+        let overhead = self
+            .config
+            .overhead
+            .event(current_power, computation_so_far, toggles)
+            .total_energy();
+
+        let switch = energy_old <= energy_new - overhead && &candidate != current;
+        let chosen = if switch {
+            self.switches += 1;
+            candidate
+        } else {
+            current.clone()
+        };
+
+        self.periods_until_evaluation = self.config.prediction_horizon;
+        let elapsed = Seconds::new(started.elapsed().as_secs_f64());
+        // DNOR evaluates in the background while the array keeps harvesting;
+        // only an actual switch interrupts the output.
+        Ok(ReconfigDecision::new(chosen, elapsed, true, switch))
+    }
+
+    fn reset(&mut self) {
+        self.periods_until_evaluation = 0;
+        self.evaluations = 0;
+        self.switches = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teg_array::TegArray;
+    use teg_device::{TegDatasheet, TegModule};
+    use teg_units::Celsius;
+
+    fn array(n: usize) -> TegArray {
+        TegArray::uniform(TegModule::from_datasheet(&TegDatasheet::tgm_199_1_4_0_8()), n)
+    }
+
+    fn gradient_history(n: usize, steps: usize, hot: f64) -> Vec<Vec<f64>> {
+        (0..steps)
+            .map(|_| (0..n).map(|i| hot - 1.2 * i as f64).collect())
+            .collect()
+    }
+
+    #[test]
+    fn config_validation() {
+        let base = InorConfig::default();
+        let overhead = SwitchingOverheadModel::default();
+        assert!(DnorConfig::new(base.clone(), 0, 5, overhead, Seconds::new(1.0)).is_err());
+        assert!(DnorConfig::new(base.clone(), 2, 0, overhead, Seconds::new(1.0)).is_err());
+        assert!(DnorConfig::new(base.clone(), 2, 5, overhead, Seconds::ZERO).is_err());
+        let cfg = DnorConfig::new(base, 3, 6, overhead, Seconds::new(1.0)).unwrap();
+        assert_eq!(cfg.prediction_horizon(), 3);
+        assert_eq!(cfg.prediction_window(), 6);
+        assert!(cfg.overhead().per_toggle_energy().value() > 0.0);
+        assert_eq!(cfg.period(), Seconds::new(1.0));
+        assert_eq!(cfg.inor().min_converter_efficiency(), 0.9);
+    }
+
+    #[test]
+    fn evaluation_happens_every_horizon_plus_one_periods() {
+        let a = array(20);
+        let history = gradient_history(20, 12, 94.0);
+        let inputs = ReconfigInputs::new(&a, &history, Celsius::new(25.0)).unwrap();
+        let current = Configuration::uniform(20, 4).unwrap();
+        let mut dnor = Dnor::default();
+        let mut evaluated_pattern = Vec::new();
+        let mut config = current;
+        for _ in 0..9 {
+            let decision = dnor.decide(&inputs, &config).unwrap();
+            evaluated_pattern.push(decision.evaluated());
+            config = decision.into_configuration();
+        }
+        // Horizon 2 → evaluate on one period, skip the next two, repeat.
+        assert_eq!(
+            evaluated_pattern,
+            vec![true, false, false, true, false, false, true, false, false]
+        );
+        assert_eq!(dnor.evaluations(), 3);
+    }
+
+    #[test]
+    fn stable_temperatures_lead_to_few_switches() {
+        // With a constant gradient the first evaluation may adopt a better
+        // configuration, but subsequent evaluations must find no advantage
+        // worth the overhead and keep it — the core durability claim.
+        let a = array(40);
+        let history = gradient_history(40, 20, 95.0);
+        let inputs = ReconfigInputs::new(&a, &history, Celsius::new(25.0)).unwrap();
+        let mut config = Configuration::uniform(40, 4).unwrap();
+        let mut dnor = Dnor::default();
+        let mut switch_events = 0;
+        for _ in 0..30 {
+            let decision = dnor.decide(&inputs, &config).unwrap();
+            let config_changed = decision.configuration() != &config;
+            if config_changed {
+                switch_events += 1;
+            }
+            config = decision.into_configuration();
+        }
+        assert!(switch_events <= 1, "expected at most one switch, saw {switch_events}");
+        assert_eq!(dnor.switches(), switch_events);
+    }
+
+    #[test]
+    fn adopted_configuration_matches_inor_quality() {
+        let a = array(50);
+        let history = gradient_history(50, 15, 96.0);
+        let inputs = ReconfigInputs::new(&a, &history, Celsius::new(25.0)).unwrap();
+        let start = Configuration::uniform(50, 2).unwrap();
+        let mut dnor = Dnor::default();
+        let decision = dnor.decide(&inputs, &start).unwrap();
+        let deltas = inputs.current_deltas();
+        let adopted_power = a.mpp_power(decision.configuration(), &deltas).unwrap();
+        let (_, inor_power) = Inor::default().optimise(&a, &deltas).unwrap();
+        // DNOR either adopted INOR's configuration or found the old one good
+        // enough; in the latter case the start configuration was already
+        // within the overhead margin of INOR.
+        assert!(adopted_power.value() >= 0.8 * inor_power.value());
+    }
+
+    #[test]
+    fn short_history_falls_back_to_persistence() {
+        let a = array(10);
+        let history = gradient_history(10, 2, 92.0); // far below window + 2
+        let inputs = ReconfigInputs::new(&a, &history, Celsius::new(25.0)).unwrap();
+        let current = Configuration::uniform(10, 2).unwrap();
+        let mut dnor = Dnor::default();
+        let decision = dnor.decide(&inputs, &current).unwrap();
+        assert!(decision.evaluated());
+        assert_eq!(decision.configuration().module_count(), 10);
+    }
+
+    #[test]
+    fn reset_restarts_the_evaluation_phase() {
+        let a = array(10);
+        let history = gradient_history(10, 10, 92.0);
+        let inputs = ReconfigInputs::new(&a, &history, Celsius::new(25.0)).unwrap();
+        let current = Configuration::uniform(10, 2).unwrap();
+        let mut dnor = Dnor::default();
+        let first = dnor.decide(&inputs, &current).unwrap();
+        assert!(first.evaluated());
+        let second = dnor.decide(&inputs, &current).unwrap();
+        assert!(!second.evaluated());
+        dnor.reset();
+        assert_eq!(dnor.evaluations(), 0);
+        assert_eq!(dnor.switches(), 0);
+        let third = dnor.decide(&inputs, &current).unwrap();
+        assert!(third.evaluated());
+    }
+
+    #[test]
+    fn trait_metadata() {
+        let dnor = Dnor::default();
+        assert_eq!(dnor.name(), "DNOR");
+        assert_eq!(dnor.period(), Seconds::new(1.0));
+    }
+}

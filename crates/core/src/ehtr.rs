@@ -1,0 +1,272 @@
+//! EHTR — the prior-work Efficient Heuristic TEG Reconfiguration.
+//!
+//! The paper compares against the reconfiguration algorithm of Baek et al.
+//! (ISLPED 2017), characterising it as near-optimal but `O(N³)` and as
+//! reconfiguring on every period.  The original implementation is not
+//! public, so this module re-creates an algorithm with the same observable
+//! properties: for every feasible group count it finds the boundary placement
+//! minimising the squared imbalance of group MPP currents by dynamic
+//! programming over all `O(N²)` boundary pairs (cubic once the group count
+//! scales with `N`), then picks the group count with the highest array MPP
+//! power.  Output quality therefore matches or slightly exceeds INOR while
+//! the runtime grows much faster with the array size — exactly the trade-off
+//! Table I and the scalability discussion rely on.
+
+use std::time::Instant;
+
+use teg_array::{Configuration, TegArray};
+use teg_units::{Amps, Seconds, TemperatureDelta, Watts};
+
+use crate::context::ReconfigInputs;
+use crate::error::ReconfigError;
+use crate::inor::{Inor, InorConfig};
+use crate::traits::{ReconfigDecision, Reconfigurer};
+
+/// The dynamic-programming re-implementation of the prior-work heuristic.
+///
+/// # Examples
+///
+/// ```
+/// use teg_array::{Configuration, TegArray};
+/// use teg_device::{TegDatasheet, TegModule};
+/// use teg_reconfig::{Ehtr, ReconfigInputs, Reconfigurer};
+/// use teg_units::Celsius;
+///
+/// # fn main() -> Result<(), teg_reconfig::ReconfigError> {
+/// let module = TegModule::from_datasheet(&TegDatasheet::tgm_199_1_4_0_8());
+/// let array = TegArray::uniform(module, 24);
+/// let temps: Vec<f64> = (0..24).map(|i| 95.0 - 1.4 * i as f64).collect();
+/// let history = vec![temps];
+/// let inputs = ReconfigInputs::new(&array, &history, Celsius::new(25.0))?;
+/// let current = Configuration::uniform(24, 4).expect("valid");
+/// let decision = Ehtr::default().decide(&inputs, &current)?;
+/// assert!(decision.evaluated());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Ehtr {
+    config: InorConfig,
+}
+
+impl Ehtr {
+    /// Creates EHTR with the same tuning parameters INOR uses (charger,
+    /// efficiency floor, period) so comparisons are apples-to-apples.
+    #[must_use]
+    pub fn new(config: InorConfig) -> Self {
+        Self { config }
+    }
+
+    /// The tuning parameters in use.
+    #[must_use]
+    pub const fn config(&self) -> &InorConfig {
+        &self.config
+    }
+
+    /// Optimal (least-squared-imbalance) partition of the chain into `n`
+    /// groups, found by dynamic programming over boundary positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds the number of modules.
+    #[must_use]
+    pub fn optimal_partition(mpp_currents: &[Amps], n: usize) -> Configuration {
+        let modules = mpp_currents.len();
+        assert!(n >= 1 && n <= modules, "group count {n} out of range for {modules} modules");
+        let total: f64 = mpp_currents.iter().map(|c| c.value()).sum();
+        let ideal = total / n as f64;
+
+        // prefix[i] = sum of the first i currents.
+        let mut prefix = vec![0.0; modules + 1];
+        for (i, c) in mpp_currents.iter().enumerate() {
+            prefix[i + 1] = prefix[i] + c.value();
+        }
+        let group_cost = |from: usize, to: usize| {
+            let sum = prefix[to] - prefix[from];
+            (sum - ideal) * (sum - ideal)
+        };
+
+        // cost[j][i]: minimal cost of splitting the first i modules into j+1
+        // groups; choice[j][i]: the boundary that achieves it.
+        let mut cost = vec![vec![f64::INFINITY; modules + 1]; n];
+        let mut choice = vec![vec![0usize; modules + 1]; n];
+        for i in 1..=modules {
+            cost[0][i] = group_cost(0, i);
+        }
+        for j in 1..n {
+            for i in (j + 1)..=modules {
+                for k in j..i {
+                    let candidate = cost[j - 1][k] + group_cost(k, i);
+                    if candidate < cost[j][i] {
+                        cost[j][i] = candidate;
+                        choice[j][i] = k;
+                    }
+                }
+            }
+        }
+
+        // Reconstruct the boundaries.
+        let mut starts = vec![0usize; n];
+        let mut end = modules;
+        for j in (1..n).rev() {
+            let boundary = choice[j][end];
+            starts[j] = boundary;
+            end = boundary;
+        }
+        Configuration::new(starts, modules).expect("DP partition is always valid")
+    }
+
+    /// Runs the full heuristic: DP partition for every feasible group count,
+    /// keep the most powerful candidate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ReconfigError::Array`] if the ΔT vector does not match
+    /// the array.
+    pub fn optimise(
+        &self,
+        array: &TegArray,
+        deltas: &[TemperatureDelta],
+    ) -> Result<(Configuration, Watts), ReconfigError> {
+        let mpp_currents = array.mpp_currents(deltas)?;
+        let inor_view = Inor::new(self.config.clone());
+        let (n_min, n_max) = inor_view.group_bounds(array, deltas);
+        let mut best: Option<(Configuration, Watts)> = None;
+        for n in n_min..=n_max {
+            let candidate = Self::optimal_partition(&mpp_currents, n);
+            let power = array.mpp_power(&candidate, deltas)?;
+            let better = match &best {
+                None => true,
+                Some((_, best_power)) => power > *best_power,
+            };
+            if better {
+                best = Some((candidate, power));
+            }
+        }
+        Ok(best.expect("window always contains at least one group count"))
+    }
+}
+
+impl Reconfigurer for Ehtr {
+    fn name(&self) -> &'static str {
+        "EHTR"
+    }
+
+    fn period(&self) -> Seconds {
+        self.config.period()
+    }
+
+    fn decide(
+        &mut self,
+        inputs: &ReconfigInputs<'_>,
+        _current: &Configuration,
+    ) -> Result<ReconfigDecision, ReconfigError> {
+        let started = Instant::now();
+        let deltas = inputs.current_deltas();
+        let (configuration, _) = self.optimise(inputs.array(), &deltas)?;
+        let elapsed = Seconds::new(started.elapsed().as_secs_f64());
+        // Like INOR, the prior-work controller re-applies on every period.
+        Ok(ReconfigDecision::new(configuration, elapsed, true, true))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teg_array::ideal_power;
+    use teg_device::{TegDatasheet, TegModule};
+    use teg_units::Celsius;
+
+    fn array(n: usize) -> TegArray {
+        TegArray::uniform(TegModule::from_datasheet(&TegDatasheet::tgm_199_1_4_0_8()), n)
+    }
+
+    fn radiator_like_deltas(n: usize) -> Vec<TemperatureDelta> {
+        (0..n)
+            .map(|i| TemperatureDelta::new(70.0 * (-(i as f64) * 0.8 / n as f64).exp()))
+            .collect()
+    }
+
+    #[test]
+    fn dp_partition_is_at_least_as_balanced_as_the_greedy() {
+        let currents: Vec<Amps> =
+            (0..40).map(|i| Amps::new(2.0 * (-(i as f64) * 0.07).exp())).collect();
+        let total: f64 = currents.iter().map(|c| c.value()).sum();
+        for n in 2..=8 {
+            let ideal = total / n as f64;
+            let imbalance = |config: &Configuration| -> f64 {
+                config
+                    .groups()
+                    .map(|g| {
+                        let sum: f64 = g.indices().map(|i| currents[i].value()).sum();
+                        (sum - ideal) * (sum - ideal)
+                    })
+                    .sum()
+            };
+            let dp = Ehtr::optimal_partition(&currents, n);
+            let greedy = Inor::balanced_partition(&currents, n);
+            assert!(
+                imbalance(&dp) <= imbalance(&greedy) + 1e-9,
+                "DP imbalance should never exceed the greedy's (n={n})"
+            );
+        }
+    }
+
+    #[test]
+    fn dp_partition_covers_all_modules() {
+        let currents: Vec<Amps> = (0..25).map(|i| Amps::new(1.0 + (i % 7) as f64 * 0.2)).collect();
+        for n in 1..=25 {
+            let config = Ehtr::optimal_partition(&currents, n);
+            assert_eq!(config.group_count(), n);
+            assert_eq!(config.groups().map(|g| g.len()).sum::<usize>(), 25);
+        }
+    }
+
+    #[test]
+    fn ehtr_output_power_is_close_to_inor() {
+        let a = array(60);
+        let deltas = radiator_like_deltas(60);
+        let (_, p_ehtr) = Ehtr::default().optimise(&a, &deltas).unwrap();
+        let (_, p_inor) = Inor::default().optimise(&a, &deltas).unwrap();
+        let ideal = ideal_power(a.modules(), &deltas).unwrap();
+        assert!(p_ehtr.value() <= ideal.value() + 1e-9);
+        // The two near-optimal schemes land within a few percent of each
+        // other, as in the paper's Table I.
+        let ratio = p_ehtr.value() / p_inor.value();
+        assert!((0.95..=1.05).contains(&ratio), "EHTR/INOR power ratio {ratio:.3}");
+    }
+
+    #[test]
+    fn ehtr_is_slower_than_inor_on_large_arrays() {
+        let a = array(200);
+        let temps: Vec<f64> = (0..200).map(|i| 96.0 - 0.2 * i as f64).collect();
+        let history = vec![temps];
+        let inputs = ReconfigInputs::new(&a, &history, Celsius::new(25.0)).unwrap();
+        let current = Configuration::uniform(200, 10).unwrap();
+        let mut inor = Inor::default();
+        let mut ehtr = Ehtr::default();
+        let d_inor = inor.decide(&inputs, &current).unwrap();
+        let d_ehtr = ehtr.decide(&inputs, &current).unwrap();
+        assert!(
+            d_ehtr.computation().value() > d_inor.computation().value(),
+            "EHTR ({}) should take longer than INOR ({})",
+            d_ehtr.computation(),
+            d_inor.computation()
+        );
+    }
+
+    #[test]
+    fn trait_metadata() {
+        let ehtr = Ehtr::default();
+        assert_eq!(ehtr.name(), "EHTR");
+        assert_eq!(ehtr.period(), Seconds::new(0.5));
+        assert_eq!(ehtr.config().min_converter_efficiency(), 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_groups_is_rejected() {
+        let currents = vec![Amps::new(1.0); 4];
+        let _ = Ehtr::optimal_partition(&currents, 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Error type for the reconfiguration algorithms.
+
+use std::error::Error;
+use std::fmt;
+
+use teg_array::ArrayError;
+use teg_predict::PredictError;
+
+/// Errors produced by the reconfiguration algorithms.
+///
+/// # Examples
+///
+/// ```
+/// use teg_reconfig::ReconfigError;
+///
+/// let err = ReconfigError::EmptyHistory;
+/// assert!(err.to_string().contains("temperature history"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ReconfigError {
+    /// The temperature history handed to the algorithm contained no samples.
+    EmptyHistory,
+    /// The history rows do not all have one entry per module.
+    InconsistentHistory {
+        /// Number of modules in the array.
+        modules: usize,
+        /// Length of the offending history row.
+        row_len: usize,
+    },
+    /// A configuration parameter was invalid.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// An error bubbled up from the array substrate.
+    Array(ArrayError),
+    /// An error bubbled up from the prediction substrate.
+    Predict(PredictError),
+}
+
+impl fmt::Display for ReconfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyHistory => write!(f, "the temperature history contains no samples"),
+            Self::InconsistentHistory { modules, row_len } => write!(
+                f,
+                "temperature history row has {row_len} entries but the array has {modules} modules"
+            ),
+            Self::InvalidParameter { name, value } => {
+                write!(f, "invalid value {value} for parameter {name}")
+            }
+            Self::Array(err) => write!(f, "array error: {err}"),
+            Self::Predict(err) => write!(f, "prediction error: {err}"),
+        }
+    }
+}
+
+impl Error for ReconfigError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Array(err) => Some(err),
+            Self::Predict(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<ArrayError> for ReconfigError {
+    fn from(err: ArrayError) -> Self {
+        Self::Array(err)
+    }
+}
+
+impl From<PredictError> for ReconfigError {
+    fn from(err: PredictError) -> Self {
+        Self::Predict(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        assert!(ReconfigError::EmptyHistory.to_string().contains("no samples"));
+        assert!(ReconfigError::InconsistentHistory { modules: 10, row_len: 9 }
+            .to_string()
+            .contains("9"));
+        assert!(ReconfigError::InvalidParameter { name: "horizon", value: 0.0 }
+            .to_string()
+            .contains("horizon"));
+        let err = ReconfigError::from(ArrayError::EmptyArray);
+        assert!(std::error::Error::source(&err).is_some());
+        let err = ReconfigError::from(PredictError::NotFitted);
+        assert!(std::error::Error::source(&err).is_some());
+        assert!(std::error::Error::source(&ReconfigError::EmptyHistory).is_none());
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<ReconfigError>();
+    }
+}

@@ -1,0 +1,437 @@
+//! INOR — Instantaneous Near-Optimal Reconfiguration (Algorithm 1).
+
+use std::time::Instant;
+
+use teg_array::{Configuration, TegArray};
+use teg_power::Charger;
+use teg_units::{Amps, Seconds, TemperatureDelta, Watts};
+
+use crate::context::ReconfigInputs;
+use crate::error::ReconfigError;
+use crate::traits::{ReconfigDecision, Reconfigurer};
+
+/// Tuning parameters of INOR.
+///
+/// The charger model and the efficiency floor determine the feasible range of
+/// group counts `[n_min, n_max]`: the array MPP voltage is roughly `n` times
+/// one group's MPP voltage and must stay inside the converter's efficient
+/// input window (Section III-B of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InorConfig {
+    charger: Charger,
+    min_converter_efficiency: f64,
+    period: Seconds,
+}
+
+impl InorConfig {
+    /// Creates a configuration from a charger model, the minimum acceptable
+    /// converter efficiency and the reconfiguration period.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReconfigError::InvalidParameter`] if the efficiency is not
+    /// in `(0, 1]` or the period is not strictly positive.
+    pub fn new(
+        charger: Charger,
+        min_converter_efficiency: f64,
+        period: Seconds,
+    ) -> Result<Self, ReconfigError> {
+        if !(min_converter_efficiency > 0.0 && min_converter_efficiency <= 1.0) {
+            return Err(ReconfigError::InvalidParameter {
+                name: "minimum converter efficiency",
+                value: min_converter_efficiency,
+            });
+        }
+        if !(period.value() > 0.0) {
+            return Err(ReconfigError::InvalidParameter {
+                name: "reconfiguration period",
+                value: period.value(),
+            });
+        }
+        Ok(Self { charger, min_converter_efficiency, period })
+    }
+
+    /// The charger model used to derive the group-count window.
+    #[must_use]
+    pub const fn charger(&self) -> &Charger {
+        &self.charger
+    }
+
+    /// The efficiency floor the array voltage must keep the charger above.
+    #[must_use]
+    pub const fn min_converter_efficiency(&self) -> f64 {
+        self.min_converter_efficiency
+    }
+
+    /// The reconfiguration period.
+    #[must_use]
+    pub const fn period(&self) -> Seconds {
+        self.period
+    }
+}
+
+impl Default for InorConfig {
+    /// The paper's evaluation setting: LTM4607-class charger into a 13.8 V
+    /// lead-acid battery, a 90 % converter-efficiency floor and a 0.5 s
+    /// reconfiguration period (following the photovoltaic prior work).
+    fn default() -> Self {
+        Self {
+            charger: Charger::ltm4607_lead_acid(),
+            min_converter_efficiency: 0.90,
+            period: Seconds::new(0.5),
+        }
+    }
+}
+
+/// The `O(N)` instantaneous near-optimal reconfiguration algorithm.
+///
+/// For every feasible group count `n`, the chain of modules is partitioned
+/// greedily so that each group's summed MPP current is as close as possible
+/// to the ideal share `Σ I_MPP / n`; the candidate with the highest array MPP
+/// power wins.
+///
+/// # Examples
+///
+/// ```
+/// use teg_array::{Configuration, TegArray};
+/// use teg_device::{TegDatasheet, TegModule};
+/// use teg_reconfig::{Inor, ReconfigInputs, Reconfigurer};
+/// use teg_units::Celsius;
+///
+/// # fn main() -> Result<(), teg_reconfig::ReconfigError> {
+/// let module = TegModule::from_datasheet(&TegDatasheet::tgm_199_1_4_0_8());
+/// let array = TegArray::uniform(module, 30);
+/// let temps: Vec<f64> = (0..30).map(|i| 96.0 - 1.2 * i as f64).collect();
+/// let history = vec![temps];
+/// let inputs = ReconfigInputs::new(&array, &history, Celsius::new(25.0))?;
+/// let current = Configuration::uniform(30, 5).expect("valid");
+/// let decision = Inor::default().decide(&inputs, &current)?;
+/// assert!(decision.evaluated());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Inor {
+    config: InorConfig,
+}
+
+impl Inor {
+    /// Creates INOR with explicit tuning parameters.
+    #[must_use]
+    pub fn new(config: InorConfig) -> Self {
+        Self { config }
+    }
+
+    /// The tuning parameters in use.
+    #[must_use]
+    pub const fn config(&self) -> &InorConfig {
+        &self.config
+    }
+
+    /// Derives the feasible group-count window `[n_min, n_max]` from the
+    /// charger's efficient input-voltage window and the modules' current MPP
+    /// voltages.
+    #[must_use]
+    pub fn group_bounds(&self, array: &TegArray, deltas: &[TemperatureDelta]) -> (usize, usize) {
+        let n = array.len();
+        let mean_vmpp = array
+            .modules()
+            .iter()
+            .zip(deltas.iter())
+            .map(|(m, &dt)| m.mpp(dt).voltage().value())
+            .sum::<f64>()
+            / n as f64;
+        if mean_vmpp <= 1e-9 {
+            // No usable temperature difference anywhere: any wiring is as
+            // good as any other.
+            return (1, 1);
+        }
+        let Some((lo, hi)) = self
+            .config
+            .charger
+            .voltage_window(self.config.min_converter_efficiency)
+        else {
+            return (1, n);
+        };
+        let n_min = ((lo.value() / mean_vmpp).ceil() as usize).clamp(1, n);
+        let n_max = ((hi.value() / mean_vmpp).floor() as usize).clamp(n_min, n);
+        (n_min, n_max)
+    }
+
+    /// Greedily partitions the chain into `n` groups whose summed MPP
+    /// currents are balanced around `Σ I_MPP / n` — the inner loop of
+    /// Algorithm 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds the number of modules; callers derive
+    /// `n` from [`Inor::group_bounds`], which respects both limits.
+    #[must_use]
+    pub fn balanced_partition(mpp_currents: &[Amps], n: usize) -> Configuration {
+        let modules = mpp_currents.len();
+        assert!(n >= 1 && n <= modules, "group count {n} out of range for {modules} modules");
+        let total: f64 = mpp_currents.iter().map(|i| i.value()).sum();
+        let ideal = total / n as f64;
+
+        let mut starts = Vec::with_capacity(n);
+        starts.push(0usize);
+        let mut index = 0usize;
+        for group in 0..n - 1 {
+            let remaining_groups = n - 1 - group;
+            // Leave at least one module for each remaining group.
+            let max_take = modules - index - remaining_groups;
+            let mut sum = 0.0;
+            let mut taken = 0usize;
+            while taken < max_take {
+                let candidate = sum + mpp_currents[index + taken].value();
+                // Take at least one module, then keep taking while it brings
+                // the group sum closer to the ideal share.
+                if taken == 0 || (candidate - ideal).abs() <= (sum - ideal).abs() {
+                    sum = candidate;
+                    taken += 1;
+                } else {
+                    break;
+                }
+            }
+            index += taken.max(1);
+            starts.push(index);
+        }
+        Configuration::new(starts, modules).expect("greedy partition is always valid")
+    }
+
+    /// Runs Algorithm 1 on the given ΔT vector, returning the best
+    /// configuration found and its array MPP power.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ReconfigError::Array`] if the ΔT vector does not match
+    /// the array.
+    pub fn optimise(
+        &self,
+        array: &TegArray,
+        deltas: &[TemperatureDelta],
+    ) -> Result<(Configuration, Watts), ReconfigError> {
+        let mpp_currents = array.mpp_currents(deltas)?;
+        let (n_min, n_max) = self.group_bounds(array, deltas);
+        let mut best: Option<(Configuration, Watts)> = None;
+        for n in n_min..=n_max {
+            let candidate = Self::balanced_partition(&mpp_currents, n);
+            let power = array.mpp_power(&candidate, deltas)?;
+            let better = match &best {
+                None => true,
+                Some((_, best_power)) => power > *best_power,
+            };
+            if better {
+                best = Some((candidate, power));
+            }
+        }
+        Ok(best.expect("window always contains at least one group count"))
+    }
+}
+
+impl Reconfigurer for Inor {
+    fn name(&self) -> &'static str {
+        "INOR"
+    }
+
+    fn period(&self) -> Seconds {
+        self.config.period
+    }
+
+    fn decide(
+        &mut self,
+        inputs: &ReconfigInputs<'_>,
+        _current: &Configuration,
+    ) -> Result<ReconfigDecision, ReconfigError> {
+        let started = Instant::now();
+        let deltas = inputs.current_deltas();
+        let (configuration, _) = self.optimise(inputs.array(), &deltas)?;
+        let elapsed = Seconds::new(started.elapsed().as_secs_f64());
+        // The fixed-period controller re-applies its result every period,
+        // paying the reconfiguration dead time even when nothing changed.
+        Ok(ReconfigDecision::new(configuration, elapsed, true, true))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use teg_array::ideal_power;
+    use teg_device::{TegDatasheet, TegModule};
+    use teg_units::Celsius;
+
+    fn array(n: usize) -> TegArray {
+        TegArray::uniform(TegModule::from_datasheet(&TegDatasheet::tgm_199_1_4_0_8()), n)
+    }
+
+    fn radiator_like_deltas(n: usize) -> Vec<TemperatureDelta> {
+        (0..n)
+            .map(|i| TemperatureDelta::new(70.0 * (-(i as f64) * 0.8 / n as f64).exp()))
+            .collect()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(InorConfig::new(Charger::ltm4607_lead_acid(), 0.0, Seconds::new(0.5)).is_err());
+        assert!(InorConfig::new(Charger::ltm4607_lead_acid(), 1.1, Seconds::new(0.5)).is_err());
+        assert!(InorConfig::new(Charger::ltm4607_lead_acid(), 0.9, Seconds::ZERO).is_err());
+        let cfg = InorConfig::new(Charger::ltm4607_lead_acid(), 0.9, Seconds::new(0.5)).unwrap();
+        assert_eq!(cfg.period(), Seconds::new(0.5));
+        assert_eq!(cfg.min_converter_efficiency(), 0.9);
+        assert!(cfg.charger().output_voltage().value() > 13.0);
+    }
+
+    #[test]
+    fn group_bounds_bracket_the_battery_voltage() {
+        let inor = Inor::default();
+        let a = array(100);
+        let deltas = vec![TemperatureDelta::new(60.0); 100];
+        let (n_min, n_max) = inor.group_bounds(&a, &deltas);
+        assert!(n_min >= 1 && n_max <= 100 && n_min <= n_max);
+        // The implied array voltage window must straddle 13.8 V.
+        let vmpp = a.modules()[0].mpp(TemperatureDelta::new(60.0)).voltage().value();
+        assert!(n_min as f64 * vmpp <= 13.8 * 2.5);
+        assert!(n_max as f64 * vmpp >= 13.8 * 0.4);
+    }
+
+    #[test]
+    fn zero_delta_t_collapses_bounds() {
+        let inor = Inor::default();
+        let a = array(10);
+        let deltas = vec![TemperatureDelta::ZERO; 10];
+        assert_eq!(inor.group_bounds(&a, &deltas), (1, 1));
+    }
+
+    #[test]
+    fn balanced_partition_covers_all_modules() {
+        let currents: Vec<Amps> = (0..17).map(|i| Amps::new(1.0 + 0.1 * i as f64)).collect();
+        for n in 1..=17 {
+            let config = Inor::balanced_partition(&currents, n);
+            assert_eq!(config.group_count(), n);
+            assert_eq!(config.module_count(), 17);
+            let covered: usize = config.groups().map(|g| g.len()).sum();
+            assert_eq!(covered, 17);
+        }
+    }
+
+    #[test]
+    fn balanced_partition_balances_group_currents() {
+        // A strongly decaying current profile: a naive equal-size split would
+        // put far more current in the first group than the last.
+        let currents: Vec<Amps> =
+            (0..30).map(|i| Amps::new(2.0 * (-(i as f64) * 0.1).exp())).collect();
+        let total: f64 = currents.iter().map(|c| c.value()).sum();
+        let n = 5;
+        let ideal = total / n as f64;
+        let config = Inor::balanced_partition(&currents, n);
+        for group in config.groups() {
+            let sum: f64 = group.indices().map(|i| currents[i].value()).sum();
+            // Every group is within one module's worth of current of the
+            // ideal share (the greedy stops when crossing the ideal).
+            assert!(
+                (sum - ideal).abs() <= 2.0,
+                "group {group:?} sum {sum:.2} too far from ideal {ideal:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn inor_beats_the_static_grid_under_a_gradient() {
+        let a = array(100);
+        let deltas = radiator_like_deltas(100);
+        let inor = Inor::default();
+        let (best, power) = inor.optimise(&a, &deltas).unwrap();
+        let baseline = Configuration::uniform(100, 10).unwrap();
+        let baseline_power = a.mpp_power(&baseline, &deltas).unwrap();
+        assert!(
+            power.value() > baseline_power.value(),
+            "INOR {power} should beat the 10x10 baseline {baseline_power}"
+        );
+        assert!(best.group_count() >= 1);
+        // And it cannot exceed the physical upper bound.
+        let ideal = ideal_power(a.modules(), &deltas).unwrap();
+        assert!(power.value() <= ideal.value() + 1e-9);
+    }
+
+    #[test]
+    fn inor_reaches_a_large_fraction_of_ideal_power() {
+        let a = array(100);
+        let deltas = radiator_like_deltas(100);
+        let (_, power) = Inor::default().optimise(&a, &deltas).unwrap();
+        let ideal = ideal_power(a.modules(), &deltas).unwrap();
+        let ratio = power.value() / ideal.value();
+        assert!(ratio > 0.9, "INOR reached only {ratio:.3} of ideal");
+    }
+
+    #[test]
+    fn decide_reports_evaluation_and_runtime() {
+        let a = array(40);
+        let temps: Vec<f64> = (0..40).map(|i| 95.0 - 0.9 * i as f64).collect();
+        let history = vec![temps];
+        let inputs = ReconfigInputs::new(&a, &history, Celsius::new(25.0)).unwrap();
+        let current = Configuration::uniform(40, 4).unwrap();
+        let mut inor = Inor::default();
+        assert_eq!(inor.name(), "INOR");
+        assert_eq!(inor.period(), Seconds::new(0.5));
+        let decision = inor.decide(&inputs, &current).unwrap();
+        assert!(decision.evaluated());
+        assert!(decision.computation().value() >= 0.0);
+        assert_eq!(decision.configuration().module_count(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_groups_is_rejected() {
+        let currents = vec![Amps::new(1.0); 4];
+        let _ = Inor::balanced_partition(&currents, 0);
+    }
+
+    proptest! {
+        /// The greedy partition always produces a valid configuration whose
+        /// MPP power never exceeds the ideal bound, for arbitrary gradients.
+        #[test]
+        fn prop_partition_valid_and_bounded(
+            n in 2usize..60,
+            groups in 1usize..12,
+            hot in 40.0_f64..110.0,
+            decay in 0.0_f64..2.0,
+        ) {
+            prop_assume!(groups <= n);
+            let a = array(n);
+            let deltas: Vec<_> = (0..n)
+                .map(|i| TemperatureDelta::new(hot * (-(i as f64) * decay / n as f64).exp()))
+                .collect();
+            let currents = a.mpp_currents(&deltas).unwrap();
+            let config = Inor::balanced_partition(&currents, groups);
+            prop_assert_eq!(config.group_count(), groups);
+            let power = a.mpp_power(&config, &deltas).unwrap();
+            let ideal = ideal_power(a.modules(), &deltas).unwrap();
+            prop_assert!(power.value() <= ideal.value() + 1e-6);
+        }
+
+        /// INOR's chosen configuration is never worse than every uniform
+        /// split inside its own group window (it can only add candidates).
+        #[test]
+        fn prop_inor_at_least_as_good_as_uniform_splits(
+            n in 4usize..50,
+            hot in 40.0_f64..100.0,
+        ) {
+            let a = array(n);
+            let deltas: Vec<_> = (0..n)
+                .map(|i| TemperatureDelta::new(hot * (1.0 - 0.6 * i as f64 / n as f64)))
+                .collect();
+            let inor = Inor::default();
+            let (_, power) = inor.optimise(&a, &deltas).unwrap();
+            let (n_min, n_max) = inor.group_bounds(&a, &deltas);
+            for groups in n_min..=n_max {
+                let uniform = Configuration::uniform(n, groups).unwrap();
+                let uniform_power = a.mpp_power(&uniform, &deltas).unwrap();
+                // Allow a tiny slack: the greedy balances currents, which is
+                // not always identical to the best uniform split but must be
+                // competitive.
+                prop_assert!(power.value() >= 0.98 * uniform_power.value());
+            }
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Runtime instrumentation for the reconfiguration algorithms.
+//!
+//! Table I reports the *average runtime* of each scheme over the 800-second
+//! drive; this module provides the accumulator the simulation engine and the
+//! benchmark harness use to reproduce that column.
+
+use teg_units::{Milliseconds, Seconds};
+
+/// Accumulates per-invocation computation times and reports summary
+/// statistics.
+///
+/// # Examples
+///
+/// ```
+/// use teg_reconfig::RuntimeStats;
+/// use teg_units::Seconds;
+///
+/// let mut stats = RuntimeStats::new();
+/// stats.record(Seconds::new(0.004));
+/// stats.record(Seconds::new(0.002));
+/// assert_eq!(stats.invocations(), 2);
+/// assert!((stats.mean().value() - 3.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RuntimeStats {
+    total_seconds: f64,
+    max_seconds: f64,
+    invocations: usize,
+}
+
+impl RuntimeStats {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one invocation's computation time (negative durations are
+    /// clamped to zero).
+    pub fn record(&mut self, duration: Seconds) {
+        let d = duration.value().max(0.0);
+        self.total_seconds += d;
+        self.max_seconds = self.max_seconds.max(d);
+        self.invocations += 1;
+    }
+
+    /// Number of recorded invocations.
+    #[must_use]
+    pub const fn invocations(&self) -> usize {
+        self.invocations
+    }
+
+    /// Total computation time across all invocations.
+    #[must_use]
+    pub fn total(&self) -> Seconds {
+        Seconds::new(self.total_seconds)
+    }
+
+    /// Mean computation time per invocation (zero if nothing was recorded) —
+    /// the "Average Runtime" column of Table I.
+    #[must_use]
+    pub fn mean(&self) -> Milliseconds {
+        if self.invocations == 0 {
+            Milliseconds::ZERO
+        } else {
+            Seconds::new(self.total_seconds / self.invocations as f64).to_milliseconds()
+        }
+    }
+
+    /// The slowest single invocation observed.
+    #[must_use]
+    pub fn max(&self) -> Milliseconds {
+        Seconds::new(self.max_seconds).to_milliseconds()
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &Self) {
+        self.total_seconds += other.total_seconds;
+        self.max_seconds = self.max_seconds.max(other.max_seconds);
+        self.invocations += other.invocations;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_report_zero() {
+        let stats = RuntimeStats::new();
+        assert_eq!(stats.invocations(), 0);
+        assert_eq!(stats.mean(), Milliseconds::ZERO);
+        assert_eq!(stats.total(), Seconds::ZERO);
+        assert_eq!(stats.max(), Milliseconds::ZERO);
+    }
+
+    #[test]
+    fn mean_total_and_max() {
+        let mut stats = RuntimeStats::new();
+        stats.record(Seconds::new(0.010));
+        stats.record(Seconds::new(0.020));
+        stats.record(Seconds::new(0.030));
+        assert_eq!(stats.invocations(), 3);
+        assert!((stats.total().value() - 0.06).abs() < 1e-12);
+        assert!((stats.mean().value() - 20.0).abs() < 1e-9);
+        assert!((stats.max().value() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_durations_are_clamped() {
+        let mut stats = RuntimeStats::new();
+        stats.record(Seconds::new(-1.0));
+        assert_eq!(stats.invocations(), 1);
+        assert_eq!(stats.total(), Seconds::ZERO);
+    }
+
+    #[test]
+    fn merging_combines_counts_and_times() {
+        let mut a = RuntimeStats::new();
+        a.record(Seconds::new(0.01));
+        let mut b = RuntimeStats::new();
+        b.record(Seconds::new(0.03));
+        b.record(Seconds::new(0.02));
+        a.merge(&b);
+        assert_eq!(a.invocations(), 3);
+        assert!((a.total().value() - 0.06).abs() < 1e-12);
+        assert!((a.max().value() - 30.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,122 @@
+//! The common interface of all reconfiguration schemes.
+
+use teg_array::Configuration;
+use teg_units::Seconds;
+
+use crate::context::ReconfigInputs;
+use crate::error::ReconfigError;
+
+/// The outcome of one reconfiguration decision.
+///
+/// The decision carries the configuration the controller should use from now
+/// on (possibly the unchanged current one), how long the algorithm took to
+/// compute it, whether the algorithm actually evaluated a fresh candidate on
+/// this invocation (DNOR skips evaluation between its prediction periods),
+/// and whether the controller must *apply* the configuration — i.e. actuate
+/// the switch matrix and restart MPPT, which is what costs dead time.
+/// Fixed-period schemes (INOR, EHTR) re-apply on every period, which is why
+/// they accumulate the large switching overhead of Table I; DNOR applies only
+/// when it decides to switch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReconfigDecision {
+    configuration: Configuration,
+    computation: Seconds,
+    evaluated: bool,
+    applied: bool,
+}
+
+impl ReconfigDecision {
+    /// Creates a decision record.
+    #[must_use]
+    pub fn new(
+        configuration: Configuration,
+        computation: Seconds,
+        evaluated: bool,
+        applied: bool,
+    ) -> Self {
+        Self { configuration, computation, evaluated, applied }
+    }
+
+    /// The configuration the array should use after this decision.
+    #[must_use]
+    pub const fn configuration(&self) -> &Configuration {
+        &self.configuration
+    }
+
+    /// Consumes the decision and returns the configuration.
+    #[must_use]
+    pub fn into_configuration(self) -> Configuration {
+        self.configuration
+    }
+
+    /// Wall-clock time the algorithm spent computing this decision.
+    #[must_use]
+    pub const fn computation(&self) -> Seconds {
+        self.computation
+    }
+
+    /// `true` when the algorithm ran its optimisation (or prediction) on this
+    /// invocation rather than returning early.
+    #[must_use]
+    pub const fn evaluated(&self) -> bool {
+        self.evaluated
+    }
+
+    /// `true` when the controller must actuate the switch matrix and restart
+    /// the MPPT loop, interrupting harvesting for the reconfiguration dead
+    /// time.
+    #[must_use]
+    pub const fn applied(&self) -> bool {
+        self.applied
+    }
+}
+
+/// A reconfiguration scheme: INOR, DNOR, EHTR or the static baseline.
+///
+/// Implementations are stateful (DNOR remembers when it last evaluated and
+/// keeps its fitted predictors); the simulation engine invokes
+/// [`Reconfigurer::decide`] once per reconfiguration period and applies the
+/// returned configuration, charging switching overhead whenever it differs
+/// from the current one.
+pub trait Reconfigurer {
+    /// Human-readable scheme name as used in the paper's tables and figures.
+    fn name(&self) -> &'static str;
+
+    /// The period at which the controller should invoke this scheme.
+    fn period(&self) -> Seconds;
+
+    /// Proposes the configuration to use from this instant on.
+    ///
+    /// `current` is the configuration presently wired; schemes that decide
+    /// not to change anything simply return it.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`ReconfigError`] when the inputs are
+    /// inconsistent with the array or an underlying substrate fails.
+    fn decide(
+        &mut self,
+        inputs: &ReconfigInputs<'_>,
+        current: &Configuration,
+    ) -> Result<ReconfigDecision, ReconfigError>;
+
+    /// Resets any internal state (fitted predictors, evaluation phase).  The
+    /// default implementation does nothing, which suits stateless schemes.
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_accessors() {
+        let config = Configuration::uniform(10, 2).unwrap();
+        let d = ReconfigDecision::new(config.clone(), Seconds::new(0.004), true, false);
+        assert_eq!(d.configuration(), &config);
+        assert_eq!(d.computation(), Seconds::new(0.004));
+        assert!(d.evaluated());
+        assert!(!d.applied());
+        assert_eq!(d.into_configuration(), config);
+    }
+}

@@ -1,0 +1,214 @@
+//! I-V and P-V curve sampling (the content of the paper's Fig. 1).
+
+use teg_units::{Amps, TemperatureDelta, Volts, Watts};
+
+use crate::module::TegModule;
+use crate::mpp::MppPoint;
+
+/// One sample of a module's output characteristic: the terminal voltage, the
+/// sourced current and the delivered power.
+///
+/// # Examples
+///
+/// ```
+/// use teg_device::{CurvePoint};
+/// use teg_units::{Amps, Volts};
+///
+/// let p = CurvePoint::new(Volts::new(2.0), Amps::new(0.5));
+/// assert_eq!(p.power().value(), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurvePoint {
+    voltage: Volts,
+    current: Amps,
+    power: Watts,
+}
+
+impl CurvePoint {
+    /// Creates a sample from voltage and current.
+    #[must_use]
+    pub fn new(voltage: Volts, current: Amps) -> Self {
+        Self { voltage, current, power: voltage * current }
+    }
+
+    /// Terminal voltage.
+    #[must_use]
+    pub const fn voltage(&self) -> Volts {
+        self.voltage
+    }
+
+    /// Output current.
+    #[must_use]
+    pub const fn current(&self) -> Amps {
+        self.current
+    }
+
+    /// Output power.
+    #[must_use]
+    pub const fn power(&self) -> Watts {
+        self.power
+    }
+}
+
+/// A sampled I-V (and implicitly P-V) characteristic of one module at a fixed
+/// ΔT, together with its maximum power point — exactly the data plotted in
+/// the paper's Fig. 1.
+///
+/// # Examples
+///
+/// ```
+/// use teg_device::{IvCurve, TegDatasheet, TegModule};
+/// use teg_units::TemperatureDelta;
+///
+/// let module = TegModule::from_datasheet(&TegDatasheet::tgm_199_1_4_0_8());
+/// let curve = IvCurve::sample(&module, TemperatureDelta::new(90.0), 50);
+/// assert_eq!(curve.points().len(), 50);
+/// assert!(curve.mpp().power().value() > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct IvCurve {
+    delta_t: TemperatureDelta,
+    points: Vec<CurvePoint>,
+    mpp: MppPoint,
+}
+
+impl IvCurve {
+    /// Samples the characteristic of `module` at `delta_t` by sweeping the
+    /// output current from zero to the short-circuit current in
+    /// `sample_count` evenly spaced steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_count` is zero.
+    #[must_use]
+    pub fn sample(module: &TegModule, delta_t: TemperatureDelta, sample_count: usize) -> Self {
+        assert!(sample_count > 0, "sample count must be positive");
+        let isc = module.short_circuit_current(delta_t);
+        let points = (0..sample_count)
+            .map(|i| {
+                let frac = if sample_count == 1 {
+                    0.0
+                } else {
+                    i as f64 / (sample_count - 1) as f64
+                };
+                let current = isc * frac;
+                CurvePoint::new(module.voltage_at_current(delta_t, current), current)
+            })
+            .collect();
+        Self { delta_t, points, mpp: module.mpp(delta_t) }
+    }
+
+    /// The ΔT at which the curve was sampled.
+    #[must_use]
+    pub const fn delta_t(&self) -> TemperatureDelta {
+        self.delta_t
+    }
+
+    /// The sampled points, ordered from open circuit (maximum voltage) to
+    /// short circuit (zero voltage).
+    #[must_use]
+    pub fn points(&self) -> &[CurvePoint] {
+        &self.points
+    }
+
+    /// The analytic maximum power point of the module at this ΔT.
+    #[must_use]
+    pub const fn mpp(&self) -> MppPoint {
+        self.mpp
+    }
+
+    /// The largest power among the sampled points (approaches the analytic
+    /// MPP as the sample count grows).
+    #[must_use]
+    pub fn peak_sampled_power(&self) -> Watts {
+        self.points
+            .iter()
+            .map(|p| p.power())
+            .fold(Watts::ZERO, |acc, p| acc.max(p))
+    }
+}
+
+/// Samples a family of I-V curves for several ΔT values, reproducing Fig. 1
+/// of the paper.
+///
+/// # Examples
+///
+/// ```
+/// use teg_device::{curve_family, TegDatasheet, TegModule};
+///
+/// let module = TegModule::from_datasheet(&TegDatasheet::tgm_199_1_4_0_8());
+/// let family = curve_family(&module, &[30.0, 50.0, 70.0], 64);
+/// assert_eq!(family.len(), 3);
+/// ```
+#[must_use]
+pub fn curve_family(module: &TegModule, delta_ts_kelvin: &[f64], sample_count: usize) -> Vec<IvCurve> {
+    delta_ts_kelvin
+        .iter()
+        .map(|&dt| IvCurve::sample(module, TemperatureDelta::new(dt), sample_count))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasheet::TegDatasheet;
+
+    fn module() -> TegModule {
+        TegModule::from_datasheet(&TegDatasheet::tgm_199_1_4_0_8())
+    }
+
+    #[test]
+    fn curve_spans_open_to_short_circuit() {
+        let m = module();
+        let dt = TemperatureDelta::new(80.0);
+        let curve = IvCurve::sample(&m, dt, 101);
+        let first = curve.points().first().unwrap();
+        let last = curve.points().last().unwrap();
+        assert_eq!(first.current(), Amps::ZERO);
+        assert!((first.voltage().value() - m.open_circuit_voltage(dt).value()).abs() < 1e-9);
+        assert!(last.voltage().value().abs() < 1e-9);
+        assert!((last.current().value() - m.short_circuit_current(dt).value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn iv_curve_is_monotone_decreasing_in_voltage() {
+        let curve = IvCurve::sample(&module(), TemperatureDelta::new(60.0), 64);
+        for pair in curve.points().windows(2) {
+            assert!(pair[1].current() > pair[0].current());
+            assert!(pair[1].voltage() < pair[0].voltage());
+        }
+    }
+
+    #[test]
+    fn sampled_peak_power_approaches_analytic_mpp() {
+        let curve = IvCurve::sample(&module(), TemperatureDelta::new(100.0), 501);
+        let peak = curve.peak_sampled_power();
+        let mpp = curve.mpp().power();
+        assert!(peak.value() <= mpp.value() + 1e-9);
+        assert!(peak.value() > 0.999 * mpp.value());
+    }
+
+    #[test]
+    fn hotter_curves_dominate_cooler_curves() {
+        let family = curve_family(&module(), &[30.0, 50.0, 70.0, 90.0, 110.0], 64);
+        assert_eq!(family.len(), 5);
+        for pair in family.windows(2) {
+            assert!(pair[1].mpp().power() > pair[0].mpp().power());
+            assert!(pair[1].delta_t() > pair[0].delta_t());
+        }
+    }
+
+    #[test]
+    fn single_point_curve_is_open_circuit() {
+        let m = module();
+        let curve = IvCurve::sample(&m, TemperatureDelta::new(40.0), 1);
+        assert_eq!(curve.points().len(), 1);
+        assert_eq!(curve.points()[0].current(), Amps::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample count must be positive")]
+    fn zero_samples_is_rejected() {
+        let _ = IvCurve::sample(&module(), TemperatureDelta::new(40.0), 0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Catalogue (datasheet) descriptions of commercial TEG modules.
+
+use crate::error::DeviceError;
+
+/// Datasheet parameters of a commercial TEG module.
+///
+/// The paper uses the Kryotherm TGM-199-1.4-0.8 generator module; its preset
+/// here is derived from the catalogue figures (199 couples, a few ohms of
+/// internal resistance, several watts at ΔT ≈ 100 K).
+///
+/// # Examples
+///
+/// ```
+/// use teg_device::TegDatasheet;
+///
+/// let ds = TegDatasheet::tgm_199_1_4_0_8();
+/// assert_eq!(ds.couple_count(), 199);
+/// assert!(ds.internal_resistance_ohms() > 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TegDatasheet {
+    name: String,
+    couple_count: u32,
+    seebeck_per_couple_v_per_k: f64,
+    internal_resistance_ohms: f64,
+    max_delta_t_kelvin: f64,
+}
+
+impl TegDatasheet {
+    /// The TGM-199-1.4-0.8 module used throughout the paper (Fig. 1).
+    #[must_use]
+    pub fn tgm_199_1_4_0_8() -> Self {
+        Self {
+            name: "TGM-199-1.4-0.8".to_owned(),
+            couple_count: 199,
+            seebeck_per_couple_v_per_k: 4.0e-4,
+            internal_resistance_ohms: 2.5,
+            max_delta_t_kelvin: 200.0,
+        }
+    }
+
+    /// A smaller 127-couple module (typical 40 × 40 mm Peltier-style
+    /// generator), useful for sensitivity studies.
+    #[must_use]
+    pub fn tgm_127_1_4_1_5() -> Self {
+        Self {
+            name: "TGM-127-1.4-1.5".to_owned(),
+            couple_count: 127,
+            seebeck_per_couple_v_per_k: 4.0e-4,
+            internal_resistance_ohms: 1.6,
+            max_delta_t_kelvin: 200.0,
+        }
+    }
+
+    /// Creates a custom datasheet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidParameter`] if the couple count is zero,
+    /// the Seebeck coefficient or internal resistance are not strictly
+    /// positive, or the maximum ΔT is not positive; and
+    /// [`DeviceError::NonFiniteInput`] for non-finite values.
+    pub fn new(
+        name: impl Into<String>,
+        couple_count: u32,
+        seebeck_per_couple_v_per_k: f64,
+        internal_resistance_ohms: f64,
+        max_delta_t_kelvin: f64,
+    ) -> Result<Self, DeviceError> {
+        if !seebeck_per_couple_v_per_k.is_finite()
+            || !internal_resistance_ohms.is_finite()
+            || !max_delta_t_kelvin.is_finite()
+        {
+            return Err(DeviceError::NonFiniteInput { what: "datasheet parameters" });
+        }
+        if couple_count == 0 {
+            return Err(DeviceError::InvalidParameter { name: "couple count", value: 0.0 });
+        }
+        if seebeck_per_couple_v_per_k <= 0.0 {
+            return Err(DeviceError::InvalidParameter {
+                name: "seebeck coefficient",
+                value: seebeck_per_couple_v_per_k,
+            });
+        }
+        if internal_resistance_ohms <= 0.0 {
+            return Err(DeviceError::InvalidParameter {
+                name: "internal resistance",
+                value: internal_resistance_ohms,
+            });
+        }
+        if max_delta_t_kelvin <= 0.0 {
+            return Err(DeviceError::InvalidParameter {
+                name: "maximum delta T",
+                value: max_delta_t_kelvin,
+            });
+        }
+        Ok(Self {
+            name: name.into(),
+            couple_count,
+            seebeck_per_couple_v_per_k,
+            internal_resistance_ohms,
+            max_delta_t_kelvin,
+        })
+    }
+
+    /// Catalogue name of the module.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of thermoelectric couples (`N_cpl` in Eq. 2).
+    #[must_use]
+    pub const fn couple_count(&self) -> u32 {
+        self.couple_count
+    }
+
+    /// Per-couple Seebeck coefficient in V/K (`α` in Eq. 2).
+    #[must_use]
+    pub const fn seebeck_per_couple(&self) -> f64 {
+        self.seebeck_per_couple_v_per_k
+    }
+
+    /// Internal (series) resistance of the module in ohms (`R_teg`).
+    #[must_use]
+    pub const fn internal_resistance_ohms(&self) -> f64 {
+        self.internal_resistance_ohms
+    }
+
+    /// Maximum rated hot/cold temperature difference in kelvin.
+    #[must_use]
+    pub const fn max_delta_t_kelvin(&self) -> f64 {
+        self.max_delta_t_kelvin
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_module_preset_values() {
+        let ds = TegDatasheet::tgm_199_1_4_0_8();
+        assert_eq!(ds.name(), "TGM-199-1.4-0.8");
+        assert_eq!(ds.couple_count(), 199);
+        // Open-circuit voltage at ΔT = 100 K should land in the catalogue
+        // range of several volts.
+        let voc = ds.seebeck_per_couple() * f64::from(ds.couple_count()) * 100.0;
+        assert!(voc > 5.0 && voc < 12.0, "implausible Voc {voc}");
+        // Matched-load power at ΔT = 100 K is a handful of watts.
+        let p = voc * voc / (4.0 * ds.internal_resistance_ohms());
+        assert!(p > 3.0 && p < 10.0, "implausible matched power {p}");
+    }
+
+    #[test]
+    fn alternative_preset_is_smaller() {
+        let big = TegDatasheet::tgm_199_1_4_0_8();
+        let small = TegDatasheet::tgm_127_1_4_1_5();
+        assert!(small.couple_count() < big.couple_count());
+    }
+
+    #[test]
+    fn custom_datasheet_validation() {
+        assert!(TegDatasheet::new("X", 100, 4.0e-4, 2.0, 150.0).is_ok());
+        assert!(TegDatasheet::new("X", 0, 4.0e-4, 2.0, 150.0).is_err());
+        assert!(TegDatasheet::new("X", 100, 0.0, 2.0, 150.0).is_err());
+        assert!(TegDatasheet::new("X", 100, 4.0e-4, -2.0, 150.0).is_err());
+        assert!(TegDatasheet::new("X", 100, 4.0e-4, 2.0, 0.0).is_err());
+        assert!(TegDatasheet::new("X", 100, f64::NAN, 2.0, 150.0).is_err());
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type for the TEG device model.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or evaluating TEG module models.
+///
+/// # Examples
+///
+/// ```
+/// use teg_device::DeviceError;
+///
+/// let err = DeviceError::InvalidParameter { name: "couple count", value: 0.0 };
+/// assert!(err.to_string().contains("couple count"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DeviceError {
+    /// A constructor argument was outside its physical range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The value that was rejected.
+        value: f64,
+    },
+    /// A non-finite value (NaN or infinity) was supplied.
+    NonFiniteInput {
+        /// Which quantity was non-finite.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidParameter { name, value } => {
+                write!(f, "invalid value {value} for parameter {name}")
+            }
+            Self::NonFiniteInput { what } => write!(f, "non-finite value supplied for {what}"),
+        }
+    }
+}
+
+impl Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_parameter_names() {
+        let err = DeviceError::InvalidParameter { name: "internal resistance", value: -1.0 };
+        assert!(err.to_string().contains("internal resistance"));
+        assert!(err.to_string().contains("-1"));
+        let err = DeviceError::NonFiniteInput { what: "temperature difference" };
+        assert!(err.to_string().contains("temperature difference"));
+    }
+
+    #[test]
+    fn error_implements_std_error_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<DeviceError>();
+    }
+}

@@ -1,0 +1,72 @@
+//! Maximum power point of a single TEG module.
+
+use teg_units::{Amps, Volts, Watts};
+
+/// The maximum power point (MPP) of a module at a particular ΔT.
+///
+/// For the linear Thévenin model the MPP is reached at matched load:
+/// `V_mpp = E/2`, `I_mpp = E / (2·R_teg)`, `P_mpp = E² / (4·R_teg)`.
+///
+/// # Examples
+///
+/// ```
+/// use teg_device::{TegDatasheet, TegModule};
+/// use teg_units::TemperatureDelta;
+///
+/// let module = TegModule::from_datasheet(&TegDatasheet::tgm_199_1_4_0_8());
+/// let mpp = module.mpp(TemperatureDelta::new(60.0));
+/// let recomputed = mpp.voltage() * mpp.current();
+/// assert!((recomputed.value() - mpp.power().value()).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MppPoint {
+    voltage: Volts,
+    current: Amps,
+    power: Watts,
+}
+
+impl MppPoint {
+    /// Creates an MPP record from its voltage and current; the power is the
+    /// product of the two.
+    #[must_use]
+    pub fn new(voltage: Volts, current: Amps) -> Self {
+        Self { voltage, current, power: voltage * current }
+    }
+
+    /// Terminal voltage at the MPP.
+    #[must_use]
+    pub const fn voltage(&self) -> Volts {
+        self.voltage
+    }
+
+    /// Output current at the MPP (`I_MPP` in Algorithm 1).
+    #[must_use]
+    pub const fn current(&self) -> Amps {
+        self.current
+    }
+
+    /// Output power at the MPP.
+    #[must_use]
+    pub const fn power(&self) -> Watts {
+        self.power
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_is_consistent_with_voltage_and_current() {
+        let mpp = MppPoint::new(Volts::new(3.0), Amps::new(0.5));
+        assert_eq!(mpp.power(), Watts::new(1.5));
+        assert_eq!(mpp.voltage(), Volts::new(3.0));
+        assert_eq!(mpp.current(), Amps::new(0.5));
+    }
+
+    #[test]
+    fn default_is_all_zero() {
+        let mpp = MppPoint::default();
+        assert_eq!(mpp.power(), Watts::ZERO);
+    }
+}

@@ -1,0 +1,188 @@
+//! Module-to-module manufacturing variation.
+//!
+//! Commercial TEG modules of the same part number differ by a few percent in
+//! Seebeck coefficient and internal resistance.  The paper's algorithms only
+//! rely on per-module MPP currents, so injecting realistic spread is a useful
+//! robustness check for the reconfiguration logic — a balanced partition of
+//! identical modules is trivially optimal, a balanced partition of varied
+//! modules is not.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::error::DeviceError;
+use crate::module::TegModule;
+
+/// Seeded generator of per-module parameter spread.
+///
+/// # Examples
+///
+/// ```
+/// use teg_device::{TegDatasheet, TegModule, VariationModel};
+///
+/// # fn main() -> Result<(), teg_device::DeviceError> {
+/// let nominal = TegModule::from_datasheet(&TegDatasheet::tgm_199_1_4_0_8());
+/// let variation = VariationModel::new(0.03, 0.05)?;
+/// let modules = variation.apply(&nominal, 100, 7)?;
+/// assert_eq!(modules.len(), 100);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationModel {
+    seebeck_tolerance: f64,
+    resistance_tolerance: f64,
+}
+
+impl VariationModel {
+    /// Creates a variation model with the given relative tolerances
+    /// (e.g. `0.03` = ±3 % uniform spread).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidParameter`] if a tolerance is negative or
+    /// at least 1 (which would allow non-positive parameters), and
+    /// [`DeviceError::NonFiniteInput`] for non-finite values.
+    pub fn new(seebeck_tolerance: f64, resistance_tolerance: f64) -> Result<Self, DeviceError> {
+        if !seebeck_tolerance.is_finite() || !resistance_tolerance.is_finite() {
+            return Err(DeviceError::NonFiniteInput { what: "variation tolerances" });
+        }
+        if !(0.0..1.0).contains(&seebeck_tolerance) {
+            return Err(DeviceError::InvalidParameter {
+                name: "seebeck tolerance",
+                value: seebeck_tolerance,
+            });
+        }
+        if !(0.0..1.0).contains(&resistance_tolerance) {
+            return Err(DeviceError::InvalidParameter {
+                name: "resistance tolerance",
+                value: resistance_tolerance,
+            });
+        }
+        Ok(Self { seebeck_tolerance, resistance_tolerance })
+    }
+
+    /// A variation model with no spread: every module is an exact copy of the
+    /// nominal one (the paper's setting).
+    #[must_use]
+    pub fn none() -> Self {
+        Self { seebeck_tolerance: 0.0, resistance_tolerance: 0.0 }
+    }
+
+    /// Relative Seebeck-coefficient tolerance.
+    #[must_use]
+    pub const fn seebeck_tolerance(&self) -> f64 {
+        self.seebeck_tolerance
+    }
+
+    /// Relative internal-resistance tolerance.
+    #[must_use]
+    pub const fn resistance_tolerance(&self) -> f64 {
+        self.resistance_tolerance
+    }
+
+    /// Produces `count` copies of `nominal` with uniformly distributed
+    /// parameter spread, deterministically from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DeviceError`] from [`TegModule::scaled`] (cannot happen
+    /// for tolerances accepted by [`VariationModel::new`]).
+    pub fn apply(
+        &self,
+        nominal: &TegModule,
+        count: usize,
+        seed: u64,
+    ) -> Result<Vec<TegModule>, DeviceError> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..count)
+            .map(|_| {
+                let s = if self.seebeck_tolerance > 0.0 {
+                    1.0 + rng.gen_range(-self.seebeck_tolerance..=self.seebeck_tolerance)
+                } else {
+                    1.0
+                };
+                let r = if self.resistance_tolerance > 0.0 {
+                    1.0 + rng.gen_range(-self.resistance_tolerance..=self.resistance_tolerance)
+                } else {
+                    1.0
+                };
+                nominal.scaled(s, r)
+            })
+            .collect()
+    }
+}
+
+impl Default for VariationModel {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasheet::TegDatasheet;
+    use teg_units::TemperatureDelta;
+
+    fn nominal() -> TegModule {
+        TegModule::from_datasheet(&TegDatasheet::tgm_199_1_4_0_8())
+    }
+
+    #[test]
+    fn no_variation_reproduces_the_nominal_module() {
+        let modules = VariationModel::none().apply(&nominal(), 5, 3).unwrap();
+        let dt = TemperatureDelta::new(70.0);
+        for m in &modules {
+            assert_eq!(m.mpp(dt).power(), nominal().mpp(dt).power());
+        }
+    }
+
+    #[test]
+    fn variation_is_deterministic_per_seed() {
+        let variation = VariationModel::new(0.05, 0.08).unwrap();
+        let a = variation.apply(&nominal(), 20, 42).unwrap();
+        let b = variation.apply(&nominal(), 20, 42).unwrap();
+        assert_eq!(a, b);
+        let c = variation.apply(&nominal(), 20, 43).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn spread_stays_within_tolerance() {
+        let tol = 0.05;
+        let variation = VariationModel::new(tol, tol).unwrap();
+        let modules = variation.apply(&nominal(), 200, 11).unwrap();
+        let dt = TemperatureDelta::new(80.0);
+        let nominal_voc = nominal().open_circuit_voltage(dt).value();
+        let nominal_r = nominal().internal_resistance(dt).value();
+        for m in &modules {
+            let voc = m.open_circuit_voltage(dt).value();
+            let r = m.internal_resistance(dt).value();
+            assert!((voc / nominal_voc - 1.0).abs() <= tol + 1e-9);
+            assert!((r / nominal_r - 1.0).abs() <= tol + 1e-9);
+        }
+        // The spread must actually be exercised (not all identical).
+        let distinct: std::collections::BTreeSet<u64> = modules
+            .iter()
+            .map(|m| m.open_circuit_voltage(dt).value().to_bits())
+            .collect();
+        assert!(distinct.len() > 100);
+    }
+
+    #[test]
+    fn invalid_tolerances_are_rejected() {
+        assert!(VariationModel::new(-0.1, 0.0).is_err());
+        assert!(VariationModel::new(0.0, 1.0).is_err());
+        assert!(VariationModel::new(f64::NAN, 0.0).is_err());
+        assert!(VariationModel::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn default_is_no_variation() {
+        assert_eq!(VariationModel::default(), VariationModel::none());
+        assert_eq!(VariationModel::none().seebeck_tolerance(), 0.0);
+        assert_eq!(VariationModel::none().resistance_tolerance(), 0.0);
+    }
+}

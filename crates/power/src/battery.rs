@@ -1,0 +1,172 @@
+//! Lead-acid vehicle battery sink.
+
+use teg_units::{Joules, Volts, Watts};
+
+use crate::error::PowerError;
+
+/// A simple coulomb-counting lead-acid battery model.
+///
+/// The battery is the sink of the harvesting chain; the paper only needs its
+/// charging voltage (13.8 V) and the total energy delivered into it, but the
+/// model also tracks state of charge so long simulations can check that
+/// harvested energy is conserved.
+///
+/// # Examples
+///
+/// ```
+/// use teg_power::LeadAcidBattery;
+/// use teg_units::{Joules, Watts, Seconds};
+///
+/// # fn main() -> Result<(), teg_power::PowerError> {
+/// let mut battery = LeadAcidBattery::vehicle_12v(60.0, 0.5)?;
+/// battery.accept(Watts::new(50.0) * Seconds::new(10.0));
+/// assert!(battery.accepted_energy() >= Joules::new(500.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeadAcidBattery {
+    charging_voltage: Volts,
+    capacity_joules: f64,
+    state_of_charge: f64,
+    accepted_energy: Joules,
+}
+
+impl LeadAcidBattery {
+    /// A 12 V automotive battery with the given capacity in amp-hours and an
+    /// initial state of charge in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] if the capacity is not
+    /// positive or the state of charge lies outside `[0, 1]`.
+    pub fn vehicle_12v(capacity_ah: f64, state_of_charge: f64) -> Result<Self, PowerError> {
+        if !(capacity_ah > 0.0) {
+            return Err(PowerError::InvalidParameter { name: "capacity", value: capacity_ah });
+        }
+        if !(0.0..=1.0).contains(&state_of_charge) {
+            return Err(PowerError::InvalidParameter {
+                name: "state of charge",
+                value: state_of_charge,
+            });
+        }
+        Ok(Self {
+            charging_voltage: Volts::new(13.8),
+            capacity_joules: capacity_ah * 3600.0 * 12.0,
+            state_of_charge,
+            accepted_energy: Joules::ZERO,
+        })
+    }
+
+    /// Charging voltage the charger regulates to (13.8 V).
+    #[must_use]
+    pub const fn charging_voltage(&self) -> Volts {
+        self.charging_voltage
+    }
+
+    /// Current state of charge in `[0, 1]`.
+    #[must_use]
+    pub const fn state_of_charge(&self) -> f64 {
+        self.state_of_charge
+    }
+
+    /// Total energy accepted from the charger since construction.
+    #[must_use]
+    pub const fn accepted_energy(&self) -> Joules {
+        self.accepted_energy
+    }
+
+    /// Nominal full-charge capacity.
+    #[must_use]
+    pub fn capacity(&self) -> Joules {
+        Joules::new(self.capacity_joules)
+    }
+
+    /// Accepts a quantum of charging energy, clamping the state of charge at
+    /// 100 % (surplus is assumed burnt in the regulator, as on a real
+    /// vehicle), and returns the energy actually stored.
+    pub fn accept(&mut self, energy: Joules) -> Joules {
+        let energy = energy.max(Joules::ZERO);
+        self.accepted_energy += energy;
+        let headroom = (1.0 - self.state_of_charge) * self.capacity_joules;
+        let stored = energy.value().min(headroom);
+        self.state_of_charge += stored / self.capacity_joules;
+        Joules::new(stored)
+    }
+
+    /// Discharges the battery by the requested energy (vehicle loads),
+    /// returning the energy actually supplied before hitting empty.
+    pub fn discharge(&mut self, energy: Joules) -> Joules {
+        let energy = energy.max(Joules::ZERO);
+        let available = self.state_of_charge * self.capacity_joules;
+        let supplied = energy.value().min(available);
+        self.state_of_charge -= supplied / self.capacity_joules;
+        Joules::new(supplied)
+    }
+
+    /// Average charging current implied by a charging power at the battery
+    /// voltage.
+    #[must_use]
+    pub fn charging_current(&self, power: Watts) -> f64 {
+        power.max(Watts::ZERO).value() / self.charging_voltage.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teg_units::Seconds;
+
+    #[test]
+    fn construction_validation() {
+        assert!(LeadAcidBattery::vehicle_12v(60.0, 0.5).is_ok());
+        assert!(LeadAcidBattery::vehicle_12v(0.0, 0.5).is_err());
+        assert!(LeadAcidBattery::vehicle_12v(60.0, -0.1).is_err());
+        assert!(LeadAcidBattery::vehicle_12v(60.0, 1.1).is_err());
+    }
+
+    #[test]
+    fn accepting_energy_raises_state_of_charge() {
+        let mut b = LeadAcidBattery::vehicle_12v(60.0, 0.5).unwrap();
+        let before = b.state_of_charge();
+        let stored = b.accept(Watts::new(100.0) * Seconds::new(3600.0));
+        assert_eq!(stored, Joules::new(360_000.0));
+        assert!(b.state_of_charge() > before);
+        assert_eq!(b.accepted_energy(), Joules::new(360_000.0));
+    }
+
+    #[test]
+    fn full_battery_does_not_overcharge() {
+        let mut b = LeadAcidBattery::vehicle_12v(1.0, 1.0).unwrap();
+        let stored = b.accept(Joules::new(1_000.0));
+        assert_eq!(stored, Joules::ZERO);
+        assert_eq!(b.state_of_charge(), 1.0);
+        // Accepted energy is still metered (it reached the battery terminal).
+        assert_eq!(b.accepted_energy(), Joules::new(1_000.0));
+    }
+
+    #[test]
+    fn discharge_respects_available_energy() {
+        let mut b = LeadAcidBattery::vehicle_12v(1.0, 0.5).unwrap();
+        let available = b.capacity().value() * 0.5;
+        let supplied = b.discharge(Joules::new(available * 2.0));
+        assert!((supplied.value() - available).abs() < 1e-9);
+        assert!(b.state_of_charge().abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_quantities_are_clamped() {
+        let mut b = LeadAcidBattery::vehicle_12v(60.0, 0.5).unwrap();
+        assert_eq!(b.accept(Joules::new(-10.0)), Joules::ZERO);
+        assert_eq!(b.discharge(Joules::new(-10.0)), Joules::ZERO);
+        assert_eq!(b.charging_current(Watts::new(-5.0)), 0.0);
+    }
+
+    #[test]
+    fn charging_current_follows_ohms_law_at_terminal() {
+        let b = LeadAcidBattery::vehicle_12v(60.0, 0.5).unwrap();
+        let i = b.charging_current(Watts::new(138.0));
+        assert!((i - 10.0).abs() < 1e-12);
+        assert_eq!(b.charging_voltage(), Volts::new(13.8));
+    }
+}

@@ -1,0 +1,256 @@
+//! Charger (DC-DC converter) efficiency model.
+
+use teg_units::{Volts, Watts};
+
+use crate::error::PowerError;
+
+/// A buck-boost charger converting the TEG array voltage to the battery
+/// charging voltage.
+///
+/// The efficiency model captures the behaviour the paper relies on: the
+/// LTM4607-class converter is most efficient when its input voltage is close
+/// to its output voltage, and loses efficiency as the conversion ratio
+/// departs from unity (especially when boosting from a low input voltage).
+/// The model is
+///
+/// ```text
+/// η(V_in) = η_peak − k·|ln(V_in / V_out)|       clamped to [η_floor, η_peak]
+/// ```
+///
+/// with a hard cut-off below the converter's minimum operating voltage.
+///
+/// # Examples
+///
+/// ```
+/// use teg_power::Charger;
+/// use teg_units::Volts;
+///
+/// let charger = Charger::ltm4607_lead_acid();
+/// assert!(charger.efficiency(Volts::new(13.8)) > 0.95);
+/// assert_eq!(charger.efficiency(Volts::new(1.0)), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Charger {
+    output_voltage: Volts,
+    peak_efficiency: f64,
+    ratio_penalty: f64,
+    floor_efficiency: f64,
+    minimum_input: Volts,
+}
+
+impl Charger {
+    /// The paper's charger: an LTM4607 buck-boost regulator feeding a 13.8 V
+    /// lead-acid battery.
+    #[must_use]
+    pub fn ltm4607_lead_acid() -> Self {
+        Self {
+            output_voltage: Volts::new(13.8),
+            peak_efficiency: 0.97,
+            ratio_penalty: 0.10,
+            floor_efficiency: 0.55,
+            minimum_input: Volts::new(2.5),
+        }
+    }
+
+    /// Creates a custom charger model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] if the output voltage or
+    /// minimum input voltage is not positive, the peak efficiency is not in
+    /// `(0, 1]`, the floor efficiency is not in `[0, peak]`, or the ratio
+    /// penalty is negative.
+    pub fn new(
+        output_voltage: Volts,
+        peak_efficiency: f64,
+        ratio_penalty: f64,
+        floor_efficiency: f64,
+        minimum_input: Volts,
+    ) -> Result<Self, PowerError> {
+        if !(output_voltage.value() > 0.0) {
+            return Err(PowerError::InvalidParameter {
+                name: "output voltage",
+                value: output_voltage.value(),
+            });
+        }
+        if !(peak_efficiency > 0.0 && peak_efficiency <= 1.0) {
+            return Err(PowerError::InvalidParameter {
+                name: "peak efficiency",
+                value: peak_efficiency,
+            });
+        }
+        if !(0.0..=peak_efficiency).contains(&floor_efficiency) {
+            return Err(PowerError::InvalidParameter {
+                name: "floor efficiency",
+                value: floor_efficiency,
+            });
+        }
+        if !(ratio_penalty >= 0.0) {
+            return Err(PowerError::InvalidParameter {
+                name: "ratio penalty",
+                value: ratio_penalty,
+            });
+        }
+        if !(minimum_input.value() > 0.0) {
+            return Err(PowerError::InvalidParameter {
+                name: "minimum input voltage",
+                value: minimum_input.value(),
+            });
+        }
+        Ok(Self {
+            output_voltage,
+            peak_efficiency,
+            ratio_penalty,
+            floor_efficiency,
+            minimum_input,
+        })
+    }
+
+    /// Battery-side output voltage (13.8 V for the lead-acid preset).
+    #[must_use]
+    pub const fn output_voltage(&self) -> Volts {
+        self.output_voltage
+    }
+
+    /// Minimum input voltage below which the converter cannot operate.
+    #[must_use]
+    pub const fn minimum_input(&self) -> Volts {
+        self.minimum_input
+    }
+
+    /// Conversion efficiency at the given input (array) voltage, in `[0, 1]`.
+    #[must_use]
+    pub fn efficiency(&self, input_voltage: Volts) -> f64 {
+        let vin = input_voltage.value();
+        if !vin.is_finite() || vin < self.minimum_input.value() {
+            return 0.0;
+        }
+        let ratio = vin / self.output_voltage.value();
+        let eta = self.peak_efficiency - self.ratio_penalty * ratio.ln().abs();
+        eta.clamp(self.floor_efficiency, self.peak_efficiency)
+    }
+
+    /// Power delivered to the battery for a given array operating point.
+    #[must_use]
+    pub fn output_power(&self, input_voltage: Volts, input_power: Watts) -> Watts {
+        input_power.max(Watts::ZERO) * self.efficiency(input_voltage)
+    }
+
+    /// The inclusive input-voltage window within which the converter reaches
+    /// at least `min_efficiency`, or `None` if the demand exceeds the peak
+    /// efficiency.
+    ///
+    /// The reconfiguration algorithms use this window to bound the number of
+    /// series groups (`n_min..n_max` in Algorithm 1): the array MPP voltage is
+    /// roughly `n` times one group's MPP voltage, so `n` must keep the array
+    /// inside this window.
+    #[must_use]
+    pub fn voltage_window(&self, min_efficiency: f64) -> Option<(Volts, Volts)> {
+        if min_efficiency > self.peak_efficiency {
+            return None;
+        }
+        if self.ratio_penalty == 0.0 {
+            // Flat efficiency: any voltage above the minimum input works.
+            return Some((self.minimum_input, Volts::new(f64::MAX)));
+        }
+        let max_ln = ((self.peak_efficiency - min_efficiency) / self.ratio_penalty).max(0.0);
+        let lo = self.output_voltage.value() * (-max_ln).exp();
+        let hi = self.output_voltage.value() * max_ln.exp();
+        Some((Volts::new(lo.max(self.minimum_input.value())), Volts::new(hi)))
+    }
+}
+
+impl Default for Charger {
+    fn default() -> Self {
+        Self::ltm4607_lead_acid()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_peaks_at_matched_voltage() {
+        let c = Charger::ltm4607_lead_acid();
+        let at_output = c.efficiency(Volts::new(13.8));
+        assert!((at_output - 0.97).abs() < 1e-12);
+        for v in [4.0, 6.0, 9.0, 20.0, 40.0] {
+            assert!(c.efficiency(Volts::new(v)) <= at_output);
+        }
+    }
+
+    #[test]
+    fn efficiency_is_symmetric_in_log_ratio() {
+        let c = Charger::ltm4607_lead_acid();
+        let half = c.efficiency(Volts::new(13.8 / 2.0));
+        let double = c.efficiency(Volts::new(13.8 * 2.0));
+        assert!((half - double).abs() < 1e-12);
+    }
+
+    #[test]
+    fn below_minimum_input_no_conversion() {
+        let c = Charger::ltm4607_lead_acid();
+        assert_eq!(c.efficiency(Volts::new(2.0)), 0.0);
+        assert_eq!(c.efficiency(Volts::new(f64::NAN)), 0.0);
+        assert_eq!(c.output_power(Volts::new(2.0), Watts::new(50.0)), Watts::ZERO);
+    }
+
+    #[test]
+    fn efficiency_never_falls_below_floor_when_operating() {
+        let c = Charger::ltm4607_lead_acid();
+        for v in [3.0_f64, 5.0, 10.0, 30.0, 100.0, 400.0] {
+            let eta = c.efficiency(Volts::new(v));
+            assert!(eta >= 0.55 - 1e-12 && eta <= 0.97 + 1e-12, "v={v} eta={eta}");
+        }
+    }
+
+    #[test]
+    fn output_power_applies_efficiency_and_clamps_negative_input() {
+        let c = Charger::ltm4607_lead_acid();
+        let out = c.output_power(Volts::new(13.8), Watts::new(100.0));
+        assert!((out.value() - 97.0).abs() < 1e-9);
+        assert_eq!(c.output_power(Volts::new(13.8), Watts::new(-5.0)), Watts::ZERO);
+    }
+
+    #[test]
+    fn voltage_window_brackets_the_output_voltage() {
+        let c = Charger::ltm4607_lead_acid();
+        let (lo, hi) = c.voltage_window(0.9).unwrap();
+        assert!(lo.value() < 13.8 && hi.value() > 13.8);
+        // Demanding the peak efficiency collapses the window onto the output
+        // voltage.
+        let (lo, hi) = c.voltage_window(0.97).unwrap();
+        assert!((lo.value() - 13.8).abs() < 1e-9);
+        assert!((hi.value() - 13.8).abs() < 1e-9);
+        // Demanding more than the peak is impossible.
+        assert!(c.voltage_window(0.99).is_none());
+    }
+
+    #[test]
+    fn window_efficiency_is_met_inside_and_violated_outside() {
+        let c = Charger::ltm4607_lead_acid();
+        let (lo, hi) = c.voltage_window(0.9).unwrap();
+        assert!(c.efficiency(lo) >= 0.9 - 1e-9);
+        assert!(c.efficiency(hi) >= 0.9 - 1e-9);
+        assert!(c.efficiency(Volts::new(hi.value() * 1.5)) < 0.9);
+    }
+
+    #[test]
+    fn custom_charger_validation() {
+        assert!(Charger::new(Volts::new(12.0), 0.95, 0.1, 0.5, Volts::new(2.0)).is_ok());
+        assert!(Charger::new(Volts::new(0.0), 0.95, 0.1, 0.5, Volts::new(2.0)).is_err());
+        assert!(Charger::new(Volts::new(12.0), 1.2, 0.1, 0.5, Volts::new(2.0)).is_err());
+        assert!(Charger::new(Volts::new(12.0), 0.95, -0.1, 0.5, Volts::new(2.0)).is_err());
+        assert!(Charger::new(Volts::new(12.0), 0.95, 0.1, 0.99, Volts::new(2.0)).is_err());
+        assert!(Charger::new(Volts::new(12.0), 0.95, 0.1, 0.5, Volts::new(0.0)).is_err());
+    }
+
+    #[test]
+    fn flat_efficiency_window_is_unbounded_above() {
+        let c = Charger::new(Volts::new(13.8), 0.9, 0.0, 0.9, Volts::new(2.0)).unwrap();
+        let (lo, hi) = c.voltage_window(0.85).unwrap();
+        assert_eq!(lo.value(), 2.0);
+        assert!(hi.value() > 1e6);
+    }
+}

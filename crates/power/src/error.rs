@@ -1,0 +1,76 @@
+//! Error type for the power-electronics substrate.
+
+use std::error::Error;
+use std::fmt;
+
+use teg_array::ArrayError;
+
+/// Errors produced by the charger, MPPT and battery models.
+///
+/// # Examples
+///
+/// ```
+/// use teg_power::PowerError;
+///
+/// let err = PowerError::InvalidParameter { name: "efficiency", value: 1.4 };
+/// assert!(err.to_string().contains("efficiency"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PowerError {
+    /// A constructor argument was outside its physical range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// An error bubbled up from the array solver while tracking its MPP.
+    Array(ArrayError),
+}
+
+impl fmt::Display for PowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidParameter { name, value } => {
+                write!(f, "invalid value {value} for parameter {name}")
+            }
+            Self::Array(err) => write!(f, "array error during power tracking: {err}"),
+        }
+    }
+}
+
+impl Error for PowerError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Array(err) => Some(err),
+            Self::InvalidParameter { .. } => None,
+        }
+    }
+}
+
+impl From<ArrayError> for PowerError {
+    fn from(err: ArrayError) -> Self {
+        Self::Array(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let err = PowerError::from(ArrayError::EmptyArray);
+        assert!(err.to_string().contains("array error"));
+        assert!(std::error::Error::source(&err).is_some());
+        let err = PowerError::InvalidParameter { name: "step", value: -1.0 };
+        assert!(std::error::Error::source(&err).is_none());
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<PowerError>();
+    }
+}

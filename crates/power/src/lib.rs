@@ -1,0 +1,50 @@
+//! Power-electronics substrate: charger (DC-DC converter), MPPT and battery.
+//!
+//! The paper's harvesting chain is `TEG array → charger → lead-acid battery`.
+//! The charger (an LTM4607-class buck-boost converter) tracks the array's
+//! maximum power point with a perturb-and-observe loop and converts the
+//! array voltage to the battery's 13.8 V charging voltage.  Its conversion
+//! efficiency peaks when the input voltage is close to the output voltage and
+//! falls off as the ratio deviates — this is why the reconfiguration
+//! algorithms restrict the number of series groups `n` to a window
+//! `[n_min, n_max]` that keeps the array MPP voltage near 13.8 V
+//! (Section III-B / V-A of the paper).
+//!
+//! Provided types:
+//!
+//! * [`Charger`] — conversion-efficiency model and the voltage window it
+//!   implies,
+//! * [`PerturbObserve`] — the P&O MPPT loop of Femia et al. that the paper
+//!   cites, plus a convenience routine to track a configured array,
+//! * [`LeadAcidBattery`] — a simple charge-accumulating battery sink,
+//! * [`HarvestingFrontEnd`] — glue that meters harvested energy through the
+//!   charger into the battery.
+//!
+//! # Examples
+//!
+//! ```
+//! use teg_power::Charger;
+//! use teg_units::Volts;
+//!
+//! let charger = Charger::ltm4607_lead_acid();
+//! // Efficiency peaks near the battery voltage…
+//! let near = charger.efficiency(Volts::new(13.8));
+//! // …and degrades for a badly matched array voltage.
+//! let far = charger.efficiency(Volts::new(3.0));
+//! assert!(near > far);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod battery;
+mod converter;
+mod error;
+mod frontend;
+mod mppt;
+
+pub use battery::LeadAcidBattery;
+pub use converter::Charger;
+pub use error::PowerError;
+pub use frontend::{HarvestReport, HarvestingFrontEnd};
+pub use mppt::{MpptOutcome, PerturbObserve};

@@ -1,0 +1,299 @@
+//! Back-propagation neural network predictor.
+//!
+//! A small single-hidden-layer perceptron trained with plain stochastic
+//! gradient descent — the "BPNN" of the paper's Section IV.  Inputs and
+//! targets are z-score normalised over the training data so the network sees
+//! well-scaled values regardless of the absolute temperature level.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::dataset::SlidingWindowDataset;
+use crate::error::PredictError;
+use crate::predictor::Predictor;
+
+/// Single-hidden-layer MLP with tanh activations and a linear output.
+///
+/// # Examples
+///
+/// ```
+/// use teg_predict::{BackPropagationNetwork, Predictor};
+///
+/// # fn main() -> Result<(), teg_predict::PredictError> {
+/// let series: Vec<f64> = (0..200).map(|i| 90.0 + (i as f64 * 0.1).sin()).collect();
+/// let mut net = BackPropagationNetwork::new(5, 8, 42)?;
+/// net.fit(&series)?;
+/// let next = net.predict_next(&series)?;
+/// assert!((next - 90.0).abs() < 5.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackPropagationNetwork {
+    window: usize,
+    hidden: usize,
+    epochs: usize,
+    learning_rate: f64,
+    seed: u64,
+    state: Option<FittedNetwork>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct FittedNetwork {
+    // weights_hidden[h][i]: weight from input i to hidden unit h.
+    weights_hidden: Vec<Vec<f64>>,
+    bias_hidden: Vec<f64>,
+    weights_output: Vec<f64>,
+    bias_output: f64,
+    input_mean: f64,
+    input_std: f64,
+    target_mean: f64,
+    target_std: f64,
+}
+
+impl BackPropagationNetwork {
+    /// Creates an (unfitted) network with the given window length, hidden
+    /// layer size and RNG seed, using 300 epochs and a 0.01 learning rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PredictError::InvalidParameter`] if the window or hidden
+    /// size is zero.
+    pub fn new(window: usize, hidden: usize, seed: u64) -> Result<Self, PredictError> {
+        Self::with_training(window, hidden, seed, 300, 0.01)
+    }
+
+    /// Creates a network with explicit training hyper-parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PredictError::InvalidParameter`] if the window, hidden size
+    /// or epoch count is zero, or the learning rate is not strictly positive
+    /// and finite.
+    pub fn with_training(
+        window: usize,
+        hidden: usize,
+        seed: u64,
+        epochs: usize,
+        learning_rate: f64,
+    ) -> Result<Self, PredictError> {
+        if window == 0 {
+            return Err(PredictError::InvalidParameter { name: "window", value: 0.0 });
+        }
+        if hidden == 0 {
+            return Err(PredictError::InvalidParameter { name: "hidden units", value: 0.0 });
+        }
+        if epochs == 0 {
+            return Err(PredictError::InvalidParameter { name: "epochs", value: 0.0 });
+        }
+        if !(learning_rate > 0.0) || !learning_rate.is_finite() {
+            return Err(PredictError::InvalidParameter {
+                name: "learning rate",
+                value: learning_rate,
+            });
+        }
+        Ok(Self { window, hidden, epochs, learning_rate, seed, state: None })
+    }
+
+    fn normalise(value: f64, mean: f64, std: f64) -> f64 {
+        (value - mean) / std
+    }
+
+    fn forward(state: &FittedNetwork, inputs: &[f64]) -> (Vec<f64>, f64) {
+        let hidden: Vec<f64> = state
+            .weights_hidden
+            .iter()
+            .zip(state.bias_hidden.iter())
+            .map(|(weights, &bias)| {
+                let sum: f64 =
+                    weights.iter().zip(inputs.iter()).map(|(w, x)| w * x).sum::<f64>() + bias;
+                sum.tanh()
+            })
+            .collect();
+        let output: f64 = hidden
+            .iter()
+            .zip(state.weights_output.iter())
+            .map(|(h, w)| h * w)
+            .sum::<f64>()
+            + state.bias_output;
+        (hidden, output)
+    }
+}
+
+impl Predictor for BackPropagationNetwork {
+    fn name(&self) -> &'static str {
+        "BPNN"
+    }
+
+    fn window(&self) -> usize {
+        self.window
+    }
+
+    fn fit(&mut self, series: &[f64]) -> Result<(), PredictError> {
+        let dataset = SlidingWindowDataset::build(series, self.window, 1)?;
+        let all: Vec<f64> = dataset.features().iter().flatten().copied().collect();
+        let input_mean = all.iter().sum::<f64>() / all.len() as f64;
+        let input_var =
+            all.iter().map(|x| (x - input_mean) * (x - input_mean)).sum::<f64>() / all.len() as f64;
+        let input_std = input_var.sqrt().max(1e-9);
+        let target_mean = dataset.targets().iter().sum::<f64>() / dataset.len() as f64;
+        let target_var = dataset
+            .targets()
+            .iter()
+            .map(|y| (y - target_mean) * (y - target_mean))
+            .sum::<f64>()
+            / dataset.len() as f64;
+        let target_std = target_var.sqrt().max(1e-9);
+
+        let features: Vec<Vec<f64>> = dataset
+            .features()
+            .iter()
+            .map(|row| row.iter().map(|&x| Self::normalise(x, input_mean, input_std)).collect())
+            .collect();
+        let targets: Vec<f64> = dataset
+            .targets()
+            .iter()
+            .map(|&y| Self::normalise(y, target_mean, target_std))
+            .collect();
+
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let scale = 1.0 / (self.window as f64).sqrt();
+        let mut state = FittedNetwork {
+            weights_hidden: (0..self.hidden)
+                .map(|_| (0..self.window).map(|_| rng.gen_range(-scale..scale)).collect())
+                .collect(),
+            bias_hidden: vec![0.0; self.hidden],
+            weights_output: (0..self.hidden).map(|_| rng.gen_range(-0.5..0.5)).collect(),
+            bias_output: 0.0,
+            input_mean,
+            input_std,
+            target_mean,
+            target_std,
+        };
+
+        let mut order: Vec<usize> = (0..features.len()).collect();
+        for _ in 0..self.epochs {
+            order.shuffle(&mut rng);
+            for &idx in &order {
+                let x = &features[idx];
+                let y = targets[idx];
+                let (hidden, output) = Self::forward(&state, x);
+                let error = output - y;
+                // Output layer gradients.
+                for h in 0..self.hidden {
+                    let grad_out = error * hidden[h];
+                    // Hidden layer gradients (before updating the output
+                    // weight, as standard backprop prescribes).
+                    let grad_hidden = error * state.weights_output[h] * (1.0 - hidden[h] * hidden[h]);
+                    for i in 0..self.window {
+                        state.weights_hidden[h][i] -= self.learning_rate * grad_hidden * x[i];
+                    }
+                    state.bias_hidden[h] -= self.learning_rate * grad_hidden;
+                    state.weights_output[h] -= self.learning_rate * grad_out;
+                }
+                state.bias_output -= self.learning_rate * error;
+            }
+        }
+
+        self.state = Some(state);
+        Ok(())
+    }
+
+    fn is_fitted(&self) -> bool {
+        self.state.is_some()
+    }
+
+    fn predict_next(&self, history: &[f64]) -> Result<f64, PredictError> {
+        let Some(state) = &self.state else {
+            return Err(PredictError::NotFitted);
+        };
+        if history.len() < self.window {
+            return Err(PredictError::InsufficientData {
+                needed: self.window,
+                available: history.len(),
+            });
+        }
+        let inputs: Vec<f64> = history[history.len() - self.window..]
+            .iter()
+            .map(|&x| Self::normalise(x, state.input_mean, state.input_std))
+            .collect();
+        let (_, output) = Self::forward(state, &inputs);
+        Ok(output * state.target_std + state.target_mean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::mape;
+
+    #[test]
+    fn construction_validation() {
+        assert!(BackPropagationNetwork::new(0, 4, 1).is_err());
+        assert!(BackPropagationNetwork::new(4, 0, 1).is_err());
+        assert!(BackPropagationNetwork::with_training(4, 4, 1, 0, 0.01).is_err());
+        assert!(BackPropagationNetwork::with_training(4, 4, 1, 10, 0.0).is_err());
+        assert!(BackPropagationNetwork::with_training(4, 4, 1, 10, f64::NAN).is_err());
+        let net = BackPropagationNetwork::new(4, 6, 1).unwrap();
+        assert_eq!(net.name(), "BPNN");
+        assert_eq!(net.window(), 4);
+        assert!(!net.is_fitted());
+    }
+
+    #[test]
+    fn unfitted_network_refuses_to_predict() {
+        let net = BackPropagationNetwork::new(3, 4, 0).unwrap();
+        assert!(matches!(net.predict_next(&[1.0, 2.0, 3.0]), Err(PredictError::NotFitted)));
+    }
+
+    #[test]
+    fn learns_a_constant_series() {
+        let series = vec![90.0; 60];
+        let mut net = BackPropagationNetwork::new(4, 6, 3).unwrap();
+        net.fit(&series).unwrap();
+        let next = net.predict_next(&series).unwrap();
+        assert!((next - 90.0).abs() < 1.0, "predicted {next}");
+    }
+
+    #[test]
+    fn learns_a_slow_oscillation_reasonably_well() {
+        let series: Vec<f64> =
+            (0..500).map(|i| 92.0 + 3.0 * (i as f64 * 0.05).sin()).collect();
+        let mut net = BackPropagationNetwork::new(5, 8, 7).unwrap();
+        net.fit(&series[..400]).unwrap();
+        let mut actual = Vec::new();
+        let mut predicted = Vec::new();
+        for t in 400..499 {
+            predicted.push(net.predict_next(&series[..t]).unwrap());
+            actual.push(series[t]);
+        }
+        let err = mape(&actual, &predicted).unwrap();
+        assert!(err < 3.0, "BPNN MAPE {err}% is too large");
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let series: Vec<f64> = (0..120).map(|i| 85.0 + 0.02 * i as f64).collect();
+        let mut a = BackPropagationNetwork::new(4, 6, 9).unwrap();
+        let mut b = BackPropagationNetwork::new(4, 6, 9).unwrap();
+        a.fit(&series).unwrap();
+        b.fit(&series).unwrap();
+        assert_eq!(a.predict_next(&series).unwrap(), b.predict_next(&series).unwrap());
+        let mut c = BackPropagationNetwork::new(4, 6, 10).unwrap();
+        c.fit(&series).unwrap();
+        assert_ne!(a.predict_next(&series).unwrap(), c.predict_next(&series).unwrap());
+    }
+
+    #[test]
+    fn short_histories_are_rejected_after_fitting() {
+        let series: Vec<f64> = (0..60).map(f64::from).collect();
+        let mut net = BackPropagationNetwork::new(5, 4, 0).unwrap();
+        net.fit(&series).unwrap();
+        assert!(matches!(
+            net.predict_next(&[1.0, 2.0]),
+            Err(PredictError::InsufficientData { .. })
+        ));
+    }
+}

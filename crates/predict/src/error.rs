@@ -1,0 +1,90 @@
+//! Error type for the prediction substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building datasets, fitting predictors or
+/// forecasting.
+///
+/// # Examples
+///
+/// ```
+/// use teg_predict::PredictError;
+///
+/// let err = PredictError::InsufficientData { needed: 10, available: 3 };
+/// assert!(err.to_string().contains("10"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PredictError {
+    /// The training series is too short for the requested window/horizon.
+    InsufficientData {
+        /// Minimum number of samples required.
+        needed: usize,
+        /// Number of samples actually available.
+        available: usize,
+    },
+    /// A model hyper-parameter was invalid (zero window, non-positive
+    /// learning rate, …).
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The normal-equation system was singular and could not be solved.
+    SingularSystem,
+    /// Prediction was requested before the model was fitted.
+    NotFitted,
+    /// Vector dimensions did not match (e.g. MAPE over different lengths).
+    DimensionMismatch {
+        /// Length of the first operand.
+        left: usize,
+        /// Length of the second operand.
+        right: usize,
+    },
+}
+
+impl fmt::Display for PredictError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InsufficientData { needed, available } => {
+                write!(f, "training data too short: need {needed} samples, have {available}")
+            }
+            Self::InvalidParameter { name, value } => {
+                write!(f, "invalid value {value} for parameter {name}")
+            }
+            Self::SingularSystem => write!(f, "normal equations are singular"),
+            Self::NotFitted => write!(f, "predictor has not been fitted yet"),
+            Self::DimensionMismatch { left, right } => {
+                write!(f, "dimension mismatch: {left} vs {right}")
+            }
+        }
+    }
+}
+
+impl Error for PredictError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_descriptive() {
+        assert!(PredictError::InsufficientData { needed: 7, available: 2 }
+            .to_string()
+            .contains("7"));
+        assert!(PredictError::InvalidParameter { name: "window", value: 0.0 }
+            .to_string()
+            .contains("window"));
+        assert!(PredictError::SingularSystem.to_string().contains("singular"));
+        assert!(PredictError::NotFitted.to_string().contains("not been fitted"));
+        assert!(PredictError::DimensionMismatch { left: 3, right: 4 }.to_string().contains("3"));
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<PredictError>();
+    }
+}

@@ -1,0 +1,55 @@
+//! Time-series prediction substrate for DNOR.
+//!
+//! Section IV of the paper compares three prediction methods for forecasting
+//! the radiator temperature distribution a few seconds ahead — multiple
+//! linear regression (MLR), a back-propagation neural network (BPNN) and
+//! support vector regression (SVR) — and selects MLR for the best accuracy
+//! and lowest runtime.  DNOR then uses the chosen predictor to decide whether
+//! a freshly computed configuration is worth the switching overhead.
+//!
+//! This crate implements all three predictors from scratch (no external ML
+//! dependencies) on a shared [`Predictor`] trait, together with:
+//!
+//! * [`SlidingWindowDataset`] — the autoregressive design matrix both the
+//!   paper and this suite train on (predict the next sample from the last
+//!   `w` samples),
+//! * [`linalg`] — the small dense linear-algebra kernel (normal equations,
+//!   Gaussian elimination) MLR needs,
+//! * [`metrics`] — MAPE (the paper's Eq. 3), RMSE and MAE.
+//!
+//! # Examples
+//!
+//! ```
+//! use teg_predict::{MultipleLinearRegression, Predictor};
+//!
+//! # fn main() -> Result<(), teg_predict::PredictError> {
+//! // A slowly rising temperature signal.
+//! let series: Vec<f64> = (0..120).map(|i| 80.0 + 0.05 * i as f64).collect();
+//! let mut mlr = MultipleLinearRegression::new(5)?;
+//! mlr.fit(&series)?;
+//! let forecast = mlr.forecast(&series, 2)?;
+//! assert_eq!(forecast.len(), 2);
+//! // The forecast continues the trend.
+//! assert!(forecast[0] > series[series.len() - 1] - 0.1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bpnn;
+mod dataset;
+mod error;
+pub mod linalg;
+pub mod metrics;
+mod mlr;
+mod predictor;
+mod svr;
+
+pub use bpnn::BackPropagationNetwork;
+pub use dataset::SlidingWindowDataset;
+pub use error::PredictError;
+pub use mlr::MultipleLinearRegression;
+pub use predictor::Predictor;
+pub use svr::SupportVectorRegression;

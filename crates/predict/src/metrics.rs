@@ -1,0 +1,167 @@
+//! Forecast-accuracy metrics.
+//!
+//! The paper scores its predictors with the mean absolute percentage error
+//! (its Eq. 3); RMSE and MAE are provided as well because they remain
+//! meaningful when actual values approach zero.
+
+use crate::error::PredictError;
+
+fn check_pair(actual: &[f64], forecast: &[f64]) -> Result<(), PredictError> {
+    if actual.len() != forecast.len() {
+        return Err(PredictError::DimensionMismatch { left: actual.len(), right: forecast.len() });
+    }
+    if actual.is_empty() {
+        return Err(PredictError::InsufficientData { needed: 1, available: 0 });
+    }
+    Ok(())
+}
+
+/// Mean absolute percentage error in percent (the paper's Eq. 3):
+/// `M = (100/n)·Σ |A_t − F_t| / |A_t|`.
+///
+/// # Errors
+///
+/// Returns [`PredictError::DimensionMismatch`] for unequal lengths,
+/// [`PredictError::InsufficientData`] for empty inputs and
+/// [`PredictError::InvalidParameter`] if any actual value is zero (the metric
+/// is undefined there).
+///
+/// # Examples
+///
+/// ```
+/// use teg_predict::metrics::mape;
+///
+/// # fn main() -> Result<(), teg_predict::PredictError> {
+/// let err = mape(&[100.0, 200.0], &[99.0, 202.0])?;
+/// assert!((err - 1.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn mape(actual: &[f64], forecast: &[f64]) -> Result<f64, PredictError> {
+    check_pair(actual, forecast)?;
+    let mut sum = 0.0;
+    for (&a, &f) in actual.iter().zip(forecast.iter()) {
+        if a == 0.0 {
+            return Err(PredictError::InvalidParameter { name: "actual value", value: 0.0 });
+        }
+        sum += ((a - f) / a).abs();
+    }
+    Ok(100.0 * sum / actual.len() as f64)
+}
+
+/// Root-mean-square error.
+///
+/// # Errors
+///
+/// Returns [`PredictError::DimensionMismatch`] for unequal lengths and
+/// [`PredictError::InsufficientData`] for empty inputs.
+///
+/// # Examples
+///
+/// ```
+/// use teg_predict::metrics::rmse;
+///
+/// # fn main() -> Result<(), teg_predict::PredictError> {
+/// assert!((rmse(&[1.0, 2.0], &[1.0, 4.0])? - (2.0_f64).sqrt()).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn rmse(actual: &[f64], forecast: &[f64]) -> Result<f64, PredictError> {
+    check_pair(actual, forecast)?;
+    let sum: f64 = actual
+        .iter()
+        .zip(forecast.iter())
+        .map(|(&a, &f)| (a - f) * (a - f))
+        .sum();
+    Ok((sum / actual.len() as f64).sqrt())
+}
+
+/// Mean absolute error.
+///
+/// # Errors
+///
+/// Returns [`PredictError::DimensionMismatch`] for unequal lengths and
+/// [`PredictError::InsufficientData`] for empty inputs.
+///
+/// # Examples
+///
+/// ```
+/// use teg_predict::metrics::mae;
+///
+/// # fn main() -> Result<(), teg_predict::PredictError> {
+/// assert_eq!(mae(&[1.0, 2.0], &[2.0, 0.0])?, 1.5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn mae(actual: &[f64], forecast: &[f64]) -> Result<f64, PredictError> {
+    check_pair(actual, forecast)?;
+    let sum: f64 = actual
+        .iter()
+        .zip(forecast.iter())
+        .map(|(&a, &f)| (a - f).abs())
+        .sum();
+    Ok(sum / actual.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_forecasts_have_zero_error() {
+        let a = [95.0, 96.0, 97.0];
+        assert_eq!(mape(&a, &a).unwrap(), 0.0);
+        assert_eq!(rmse(&a, &a).unwrap(), 0.0);
+        assert_eq!(mae(&a, &a).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn hand_computed_values() {
+        let a = [100.0, 50.0];
+        let f = [90.0, 55.0];
+        assert!((mape(&a, &f).unwrap() - 10.0).abs() < 1e-12);
+        assert!((mae(&a, &f).unwrap() - 7.5).abs() < 1e-12);
+        assert!((rmse(&a, &f).unwrap() - ((100.0 + 25.0) / 2.0_f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dimension_and_emptiness_checks() {
+        assert!(matches!(
+            mape(&[1.0], &[1.0, 2.0]),
+            Err(PredictError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(rmse(&[], &[]), Err(PredictError::InsufficientData { .. })));
+        assert!(matches!(mae(&[], &[]), Err(PredictError::InsufficientData { .. })));
+    }
+
+    #[test]
+    fn mape_rejects_zero_actuals() {
+        assert!(matches!(
+            mape(&[0.0, 1.0], &[1.0, 1.0]),
+            Err(PredictError::InvalidParameter { .. })
+        ));
+    }
+
+    proptest! {
+        /// All three metrics are non-negative and zero only for perfect
+        /// forecasts (up to floating-point noise).
+        #[test]
+        fn prop_metrics_non_negative(
+            actual in proptest::collection::vec(1.0_f64..200.0, 1..30),
+            noise in proptest::collection::vec(-5.0_f64..5.0, 1..30),
+        ) {
+            let n = actual.len().min(noise.len());
+            let actual = &actual[..n];
+            let forecast: Vec<f64> =
+                actual.iter().zip(noise.iter()).map(|(a, e)| a + e).collect();
+            prop_assert!(mape(actual, &forecast).unwrap() >= 0.0);
+            prop_assert!(rmse(actual, &forecast).unwrap() >= 0.0);
+            prop_assert!(mae(actual, &forecast).unwrap() >= 0.0);
+            // RMSE dominates MAE by the power-mean inequality.
+            prop_assert!(
+                rmse(actual, &forecast).unwrap() + 1e-12 >= mae(actual, &forecast).unwrap()
+            );
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Multiple linear regression (the predictor the paper selects).
+
+use crate::dataset::SlidingWindowDataset;
+use crate::error::PredictError;
+use crate::linalg::{design_times_targets, dot, gram_matrix, solve};
+use crate::predictor::Predictor;
+
+/// Autoregressive multiple linear regression fitted by ridge-regularised
+/// normal equations.
+///
+/// The model predicts the next sample as an affine combination of the last
+/// `window` samples:
+///
+/// ```text
+/// ŷ_{t+1} = θ_1·y_{t−w+1} + … + θ_w·y_t + θ_0
+/// ```
+///
+/// A tiny ridge term keeps the system well conditioned when the window
+/// columns are nearly collinear, which is always the case for the slowly
+/// varying coolant temperature.
+///
+/// # Examples
+///
+/// ```
+/// use teg_predict::{MultipleLinearRegression, Predictor};
+///
+/// # fn main() -> Result<(), teg_predict::PredictError> {
+/// // A noiseless linear ramp is forecast almost exactly.
+/// let series: Vec<f64> = (0..50).map(|i| 2.0 * i as f64).collect();
+/// let mut mlr = MultipleLinearRegression::new(3)?;
+/// mlr.fit(&series)?;
+/// let next = mlr.predict_next(&series)?;
+/// assert!((next - 100.0).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultipleLinearRegression {
+    window: usize,
+    ridge: f64,
+    coefficients: Option<Vec<f64>>,
+}
+
+impl MultipleLinearRegression {
+    /// Creates an (unfitted) model with the given window length and the
+    /// default ridge regularisation of `1e-6`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PredictError::InvalidParameter`] if the window is zero.
+    pub fn new(window: usize) -> Result<Self, PredictError> {
+        Self::with_ridge(window, 1e-6)
+    }
+
+    /// Creates a model with an explicit ridge term.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PredictError::InvalidParameter`] if the window is zero or
+    /// the ridge term is negative/non-finite.
+    pub fn with_ridge(window: usize, ridge: f64) -> Result<Self, PredictError> {
+        if window == 0 {
+            return Err(PredictError::InvalidParameter { name: "window", value: 0.0 });
+        }
+        if !ridge.is_finite() || ridge < 0.0 {
+            return Err(PredictError::InvalidParameter { name: "ridge", value: ridge });
+        }
+        Ok(Self { window, ridge, coefficients: None })
+    }
+
+    /// The fitted coefficients (window weights followed by the intercept), if
+    /// the model has been fitted.
+    #[must_use]
+    pub fn coefficients(&self) -> Option<&[f64]> {
+        self.coefficients.as_deref()
+    }
+}
+
+impl Predictor for MultipleLinearRegression {
+    fn name(&self) -> &'static str {
+        "MLR"
+    }
+
+    fn window(&self) -> usize {
+        self.window
+    }
+
+    fn fit(&mut self, series: &[f64]) -> Result<(), PredictError> {
+        let dataset = SlidingWindowDataset::build(series, self.window, 1)?;
+        let design = dataset.features_with_bias();
+        let gram = gram_matrix(&design, self.ridge);
+        let rhs = design_times_targets(&design, dataset.targets());
+        let coefficients = solve(gram, rhs)?;
+        self.coefficients = Some(coefficients);
+        Ok(())
+    }
+
+    fn is_fitted(&self) -> bool {
+        self.coefficients.is_some()
+    }
+
+    fn predict_next(&self, history: &[f64]) -> Result<f64, PredictError> {
+        let Some(coefficients) = &self.coefficients else {
+            return Err(PredictError::NotFitted);
+        };
+        if history.len() < self.window {
+            return Err(PredictError::InsufficientData {
+                needed: self.window,
+                available: history.len(),
+            });
+        }
+        let tail = &history[history.len() - self.window..];
+        let weights = &coefficients[..self.window];
+        let intercept = coefficients[self.window];
+        Ok(dot(tail, weights) + intercept)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::mape;
+
+    #[test]
+    fn construction_validation() {
+        assert!(MultipleLinearRegression::new(0).is_err());
+        assert!(MultipleLinearRegression::with_ridge(3, -1.0).is_err());
+        assert!(MultipleLinearRegression::with_ridge(3, f64::NAN).is_err());
+        let m = MultipleLinearRegression::new(3).unwrap();
+        assert_eq!(m.window(), 3);
+        assert_eq!(m.name(), "MLR");
+        assert!(!m.is_fitted());
+        assert!(m.coefficients().is_none());
+    }
+
+    #[test]
+    fn unfitted_model_refuses_to_predict() {
+        let m = MultipleLinearRegression::new(3).unwrap();
+        assert!(matches!(m.predict_next(&[1.0, 2.0, 3.0]), Err(PredictError::NotFitted)));
+    }
+
+    #[test]
+    fn fits_a_linear_ramp_exactly() {
+        let series: Vec<f64> = (0..40).map(|i| 5.0 + 0.25 * i as f64).collect();
+        let mut m = MultipleLinearRegression::new(4).unwrap();
+        m.fit(&series).unwrap();
+        assert!(m.is_fitted());
+        let next = m.predict_next(&series).unwrap();
+        assert!((next - (5.0 + 0.25 * 40.0)).abs() < 1e-6);
+        // Multi-step forecasts keep following the ramp.
+        let forecast = m.forecast(&series, 5).unwrap();
+        for (k, value) in forecast.iter().enumerate() {
+            let expected = 5.0 + 0.25 * (40 + k) as f64;
+            assert!((value - expected).abs() < 1e-4, "step {k}: {value} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn fits_a_constant_series() {
+        let series = vec![91.5; 30];
+        let mut m = MultipleLinearRegression::new(5).unwrap();
+        m.fit(&series).unwrap();
+        let next = m.predict_next(&series).unwrap();
+        assert!((next - 91.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tracks_a_slow_sinusoid_with_small_error() {
+        // Representative of thermostat-regulated coolant temperature
+        // oscillation; the 1-step MAPE should be a fraction of a percent, in
+        // line with the paper's Fig. 5.
+        let series: Vec<f64> =
+            (0..400).map(|i| 92.0 + 3.0 * (i as f64 * 0.05).sin()).collect();
+        let mut m = MultipleLinearRegression::new(5).unwrap();
+        m.fit(&series[..300]).unwrap();
+        let mut actual = Vec::new();
+        let mut predicted = Vec::new();
+        for t in 300..399 {
+            predicted.push(m.predict_next(&series[..t]).unwrap());
+            actual.push(series[t]);
+        }
+        let err = mape(&actual, &predicted).unwrap();
+        assert!(err < 0.5, "MLR MAPE {err}% is too large");
+    }
+
+    #[test]
+    fn too_short_series_is_rejected() {
+        let mut m = MultipleLinearRegression::new(5).unwrap();
+        assert!(matches!(
+            m.fit(&[1.0, 2.0, 3.0]),
+            Err(PredictError::InsufficientData { .. })
+        ));
+        // Fit on something valid, then predict with a short window.
+        let series: Vec<f64> = (0..20).map(f64::from).collect();
+        m.fit(&series).unwrap();
+        assert!(matches!(
+            m.predict_next(&[1.0, 2.0]),
+            Err(PredictError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn coefficients_have_window_plus_one_entries() {
+        let series: Vec<f64> = (0..30).map(|i| (i as f64).sqrt()).collect();
+        let mut m = MultipleLinearRegression::new(6).unwrap();
+        m.fit(&series).unwrap();
+        assert_eq!(m.coefficients().unwrap().len(), 7);
+    }
+}

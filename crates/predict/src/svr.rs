@@ -1,0 +1,270 @@
+//! Linear support vector regression predictor.
+//!
+//! An ε-insensitive linear SVR trained by stochastic sub-gradient descent on
+//! the primal objective — the "SVR" of the paper's Section IV.  Inputs and
+//! targets are z-score normalised over the training data.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::dataset::SlidingWindowDataset;
+use crate::error::PredictError;
+use crate::linalg::dot;
+use crate::predictor::Predictor;
+
+/// Linear ε-SVR on the autoregressive window.
+///
+/// # Examples
+///
+/// ```
+/// use teg_predict::{Predictor, SupportVectorRegression};
+///
+/// # fn main() -> Result<(), teg_predict::PredictError> {
+/// let series: Vec<f64> = (0..150).map(|i| 88.0 + 0.03 * i as f64).collect();
+/// let mut svr = SupportVectorRegression::new(5, 11)?;
+/// svr.fit(&series)?;
+/// let next = svr.predict_next(&series)?;
+/// assert!((next - 92.5).abs() < 2.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupportVectorRegression {
+    window: usize,
+    epsilon: f64,
+    regularisation: f64,
+    epochs: usize,
+    learning_rate: f64,
+    seed: u64,
+    state: Option<FittedSvr>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct FittedSvr {
+    weights: Vec<f64>,
+    bias: f64,
+    input_mean: f64,
+    input_std: f64,
+    target_mean: f64,
+    target_std: f64,
+}
+
+impl SupportVectorRegression {
+    /// Creates an (unfitted) SVR with the given window and seed, using the
+    /// default tube width ε = 0.01 (in normalised units), weak L2
+    /// regularisation, 300 epochs and a 0.01 learning rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PredictError::InvalidParameter`] if the window is zero.
+    pub fn new(window: usize, seed: u64) -> Result<Self, PredictError> {
+        Self::with_hyperparameters(window, seed, 0.01, 1e-4, 300, 0.01)
+    }
+
+    /// Creates an SVR with explicit hyper-parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PredictError::InvalidParameter`] if the window or epoch
+    /// count is zero, ε or the regularisation is negative, or the learning
+    /// rate is not strictly positive and finite.
+    pub fn with_hyperparameters(
+        window: usize,
+        seed: u64,
+        epsilon: f64,
+        regularisation: f64,
+        epochs: usize,
+        learning_rate: f64,
+    ) -> Result<Self, PredictError> {
+        if window == 0 {
+            return Err(PredictError::InvalidParameter { name: "window", value: 0.0 });
+        }
+        if epochs == 0 {
+            return Err(PredictError::InvalidParameter { name: "epochs", value: 0.0 });
+        }
+        if !(epsilon >= 0.0) || !epsilon.is_finite() {
+            return Err(PredictError::InvalidParameter { name: "epsilon", value: epsilon });
+        }
+        if !(regularisation >= 0.0) || !regularisation.is_finite() {
+            return Err(PredictError::InvalidParameter {
+                name: "regularisation",
+                value: regularisation,
+            });
+        }
+        if !(learning_rate > 0.0) || !learning_rate.is_finite() {
+            return Err(PredictError::InvalidParameter {
+                name: "learning rate",
+                value: learning_rate,
+            });
+        }
+        Ok(Self { window, epsilon, regularisation, epochs, learning_rate, seed, state: None })
+    }
+}
+
+impl Predictor for SupportVectorRegression {
+    fn name(&self) -> &'static str {
+        "SVR"
+    }
+
+    fn window(&self) -> usize {
+        self.window
+    }
+
+    fn fit(&mut self, series: &[f64]) -> Result<(), PredictError> {
+        let dataset = SlidingWindowDataset::build(series, self.window, 1)?;
+        let all: Vec<f64> = dataset.features().iter().flatten().copied().collect();
+        let input_mean = all.iter().sum::<f64>() / all.len() as f64;
+        let input_std = (all.iter().map(|x| (x - input_mean).powi(2)).sum::<f64>()
+            / all.len() as f64)
+            .sqrt()
+            .max(1e-9);
+        let target_mean = dataset.targets().iter().sum::<f64>() / dataset.len() as f64;
+        let target_std = (dataset
+            .targets()
+            .iter()
+            .map(|y| (y - target_mean).powi(2))
+            .sum::<f64>()
+            / dataset.len() as f64)
+            .sqrt()
+            .max(1e-9);
+
+        let features: Vec<Vec<f64>> = dataset
+            .features()
+            .iter()
+            .map(|row| row.iter().map(|&x| (x - input_mean) / input_std).collect())
+            .collect();
+        let targets: Vec<f64> =
+            dataset.targets().iter().map(|&y| (y - target_mean) / target_std).collect();
+
+        let mut weights = vec![0.0; self.window];
+        let mut bias = 0.0;
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut order: Vec<usize> = (0..features.len()).collect();
+
+        for _ in 0..self.epochs {
+            order.shuffle(&mut rng);
+            for &idx in &order {
+                let x = &features[idx];
+                let y = targets[idx];
+                let prediction = dot(&weights, x) + bias;
+                let residual = prediction - y;
+                // ε-insensitive sub-gradient.
+                let grad = if residual > self.epsilon {
+                    1.0
+                } else if residual < -self.epsilon {
+                    -1.0
+                } else {
+                    0.0
+                };
+                for (w, &xi) in weights.iter_mut().zip(x.iter()) {
+                    *w -= self.learning_rate * (grad * xi + self.regularisation * *w);
+                }
+                bias -= self.learning_rate * grad;
+            }
+        }
+
+        self.state = Some(FittedSvr {
+            weights,
+            bias,
+            input_mean,
+            input_std,
+            target_mean,
+            target_std,
+        });
+        Ok(())
+    }
+
+    fn is_fitted(&self) -> bool {
+        self.state.is_some()
+    }
+
+    fn predict_next(&self, history: &[f64]) -> Result<f64, PredictError> {
+        let Some(state) = &self.state else {
+            return Err(PredictError::NotFitted);
+        };
+        if history.len() < self.window {
+            return Err(PredictError::InsufficientData {
+                needed: self.window,
+                available: history.len(),
+            });
+        }
+        let inputs: Vec<f64> = history[history.len() - self.window..]
+            .iter()
+            .map(|&x| (x - state.input_mean) / state.input_std)
+            .collect();
+        let normalised = dot(&state.weights, &inputs) + state.bias;
+        Ok(normalised * state.target_std + state.target_mean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::mape;
+
+    #[test]
+    fn construction_validation() {
+        assert!(SupportVectorRegression::new(0, 1).is_err());
+        assert!(SupportVectorRegression::with_hyperparameters(4, 1, -0.1, 1e-4, 100, 0.01).is_err());
+        assert!(SupportVectorRegression::with_hyperparameters(4, 1, 0.1, -1.0, 100, 0.01).is_err());
+        assert!(SupportVectorRegression::with_hyperparameters(4, 1, 0.1, 1e-4, 0, 0.01).is_err());
+        assert!(SupportVectorRegression::with_hyperparameters(4, 1, 0.1, 1e-4, 100, 0.0).is_err());
+        let svr = SupportVectorRegression::new(4, 1).unwrap();
+        assert_eq!(svr.name(), "SVR");
+        assert_eq!(svr.window(), 4);
+        assert!(!svr.is_fitted());
+    }
+
+    #[test]
+    fn unfitted_svr_refuses_to_predict() {
+        let svr = SupportVectorRegression::new(3, 1).unwrap();
+        assert!(matches!(svr.predict_next(&[1.0, 2.0, 3.0]), Err(PredictError::NotFitted)));
+    }
+
+    #[test]
+    fn learns_a_constant_series() {
+        let series = vec![88.0; 80];
+        let mut svr = SupportVectorRegression::new(4, 5).unwrap();
+        svr.fit(&series).unwrap();
+        let next = svr.predict_next(&series).unwrap();
+        assert!((next - 88.0).abs() < 1.0, "predicted {next}");
+    }
+
+    #[test]
+    fn tracks_a_slow_oscillation() {
+        let series: Vec<f64> =
+            (0..500).map(|i| 92.0 + 3.0 * (i as f64 * 0.05).sin()).collect();
+        let mut svr = SupportVectorRegression::new(5, 3).unwrap();
+        svr.fit(&series[..400]).unwrap();
+        let mut actual = Vec::new();
+        let mut predicted = Vec::new();
+        for t in 400..499 {
+            predicted.push(svr.predict_next(&series[..t]).unwrap());
+            actual.push(series[t]);
+        }
+        let err = mape(&actual, &predicted).unwrap();
+        assert!(err < 3.0, "SVR MAPE {err}% is too large");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let series: Vec<f64> = (0..150).map(|i| 85.0 + 0.05 * i as f64).collect();
+        let mut a = SupportVectorRegression::new(4, 21).unwrap();
+        let mut b = SupportVectorRegression::new(4, 21).unwrap();
+        a.fit(&series).unwrap();
+        b.fit(&series).unwrap();
+        assert_eq!(a.predict_next(&series).unwrap(), b.predict_next(&series).unwrap());
+    }
+
+    #[test]
+    fn short_histories_are_rejected_after_fitting() {
+        let series: Vec<f64> = (0..60).map(f64::from).collect();
+        let mut svr = SupportVectorRegression::new(5, 0).unwrap();
+        svr.fit(&series).unwrap();
+        assert!(matches!(
+            svr.predict_next(&[1.0]),
+            Err(PredictError::InsufficientData { .. })
+        ));
+    }
+}

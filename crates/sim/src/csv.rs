@@ -1,0 +1,94 @@
+//! CSV rendering of simulation records for external plotting.
+
+use std::fmt::Write as _;
+
+use crate::record::StepRecord;
+
+/// Renders step records as a CSV string with a header row, suitable for
+/// piping into a plotting tool to regenerate Figs. 6–7.
+///
+/// # Examples
+///
+/// ```
+/// use teg_sim::{records_to_csv, StepRecord};
+/// use teg_units::{Joules, Seconds, Watts};
+///
+/// let record = StepRecord::new(
+///     Seconds::new(0.0),
+///     Watts::new(50.0),
+///     Watts::new(49.0),
+///     Watts::new(47.0),
+///     Watts::new(60.0),
+///     5,
+///     false,
+///     Joules::new(0.0),
+///     Seconds::new(0.001),
+/// );
+/// let csv = records_to_csv(&[record]);
+/// assert!(csv.starts_with("time_s,"));
+/// assert_eq!(csv.lines().count(), 2);
+/// ```
+#[must_use]
+pub fn records_to_csv(records: &[StepRecord]) -> String {
+    let mut out = String::from(
+        "time_s,array_power_w,net_power_w,delivered_power_w,ideal_power_w,ideal_ratio,groups,switched,overhead_j,computation_ms\n",
+    );
+    for r in records {
+        let _ = writeln!(
+            out,
+            "{:.1},{:.4},{:.4},{:.4},{:.4},{:.5},{},{},{:.5},{:.5}",
+            r.time().value(),
+            r.array_power().value(),
+            r.net_power().value(),
+            r.delivered_power().value(),
+            r.ideal_power().value(),
+            r.ideal_ratio(),
+            r.group_count(),
+            u8::from(r.switched()),
+            r.overhead_energy().value(),
+            r.computation().to_milliseconds().value(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teg_units::{Joules, Seconds, Watts};
+
+    fn record(t: f64, switched: bool) -> StepRecord {
+        StepRecord::new(
+            Seconds::new(t),
+            Watts::new(55.0),
+            Watts::new(54.0),
+            Watts::new(52.0),
+            Watts::new(62.0),
+            6,
+            switched,
+            Joules::new(1.25),
+            Seconds::new(0.0031),
+        )
+    }
+
+    #[test]
+    fn header_plus_one_line_per_record() {
+        let csv = records_to_csv(&[record(0.0, false), record(1.0, true)]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("ideal_ratio"));
+        assert!(lines[1].starts_with("0.0,55.0000"));
+        assert!(lines[2].contains(",1,"));
+        // Every data row has the same number of fields as the header.
+        let header_fields = lines[0].split(',').count();
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), header_fields);
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_header_only() {
+        let csv = records_to_csv(&[]);
+        assert_eq!(csv.lines().count(), 1);
+    }
+}

@@ -1,0 +1,261 @@
+//! The time-stepped co-simulation loop.
+
+use teg_array::{ideal_power, Configuration};
+use teg_reconfig::{ReconfigInputs, Reconfigurer, RuntimeStats};
+use teg_units::{Joules, Seconds};
+
+use crate::error::SimError;
+use crate::record::StepRecord;
+use crate::report::SimulationReport;
+use crate::scenario::Scenario;
+
+/// Runs reconfiguration schemes against a fixed [`Scenario`].
+///
+/// All schemes start from the same square-grid wiring and see exactly the
+/// same drive cycle, radiator and overhead model, so their reports are
+/// directly comparable (Table I, Figs. 6–7).
+///
+/// # Examples
+///
+/// ```
+/// use teg_reconfig::{Dnor, Inor};
+/// use teg_sim::{Scenario, SimulationEngine};
+///
+/// # fn main() -> Result<(), teg_sim::SimError> {
+/// let scenario = Scenario::builder().module_count(16).duration_seconds(40).seed(3).build()?;
+/// let engine = SimulationEngine::new(scenario);
+/// let inor = engine.run(&mut Inor::default())?;
+/// let dnor = engine.run(&mut Dnor::default())?;
+/// // DNOR switches far less often than fixed-period INOR.
+/// assert!(dnor.switch_count() <= inor.switch_count());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimulationEngine {
+    scenario: Scenario,
+}
+
+impl SimulationEngine {
+    /// Creates an engine over the given scenario.
+    #[must_use]
+    pub fn new(scenario: Scenario) -> Self {
+        Self { scenario }
+    }
+
+    /// The scenario the engine replays.
+    #[must_use]
+    pub const fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Runs one scheme over the whole drive cycle and returns its report.
+    ///
+    /// The scheme is `reset` before the run so the same instance can be
+    /// reused across scenarios.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from any substrate (thermal solve, array
+    /// solve, reconfiguration decision).
+    pub fn run(&self, scheme: &mut dyn Reconfigurer) -> Result<SimulationReport, SimError> {
+        let scenario = &self.scenario;
+        let array = scenario.array();
+        let module_count = array.len();
+        let step = scenario.step();
+
+        // Every scheme starts from the same square-grid wiring the baseline
+        // uses, so differences come from the decisions, not the start state.
+        let initial_groups = (module_count as f64).sqrt().ceil().max(1.0) as usize;
+        let mut config = Configuration::uniform(module_count, initial_groups.min(module_count))?;
+
+        let invocations_per_step = (step.value() / scheme.period().value())
+            .round()
+            .max(1.0) as usize;
+
+        let mut history: Vec<Vec<f64>> = Vec::with_capacity(scenario.drive_cycle().len());
+        let mut records = Vec::with_capacity(scenario.drive_cycle().len());
+        let mut runtime = RuntimeStats::new();
+        let mut switch_count = 0usize;
+        scheme.reset();
+
+        for sample in scenario.drive_cycle().iter() {
+            let profile = scenario
+                .radiator()
+                .surface_profile(&sample.coolant(), &sample.ambient())?;
+            let temps: Vec<f64> = profile
+                .sample(scenario.placement())
+                .iter()
+                .map(|t| t.value())
+                .collect();
+            history.push(temps);
+            let ambient = sample.ambient().temperature();
+            let deltas = ReconfigInputs::deltas_from_row(
+                history.last().expect("just pushed"),
+                ambient,
+            );
+            let ideal = ideal_power(array.modules(), &deltas)?;
+
+            let mut overhead_energy = Joules::ZERO;
+            let mut computation_total = Seconds::ZERO;
+            let mut switched_this_step = false;
+
+            for _ in 0..invocations_per_step {
+                let inputs = ReconfigInputs::new(array, &history, ambient)?;
+                let decision = scheme.decide(&inputs, &config)?;
+                runtime.record(decision.computation());
+                computation_total += decision.computation();
+                let applied = decision.applied();
+                let computation = decision.computation();
+                let next = decision.into_configuration();
+                let toggles = config.switch_toggles_to(&next)?;
+                let current_power = array.mpp_power(&config, &deltas)?;
+                if applied {
+                    // Applying a configuration (even an unchanged one, as the
+                    // fixed-period schemes do) interrupts harvesting for the
+                    // reconfiguration dead time and costs actuation energy
+                    // for every toggled switch.
+                    let event = scenario.overhead().event(current_power, computation, toggles);
+                    overhead_energy += event.total_energy();
+                    if toggles > 0 {
+                        switched_this_step = true;
+                        switch_count += 1;
+                        config = next;
+                    }
+                }
+            }
+
+            let op = array.maximum_power_point(&config, &deltas)?;
+            let array_power = op.power();
+            let gross = array_power * step;
+            let net = (gross - overhead_energy).max(Joules::ZERO);
+            let net_power = net.average_power(step);
+            let delivered_power = scenario.charger().output_power(op.voltage(), net_power);
+
+            records.push(StepRecord::new(
+                sample.time(),
+                array_power,
+                net_power,
+                delivered_power,
+                ideal,
+                config.group_count(),
+                switched_this_step,
+                overhead_energy,
+                computation_total,
+            ));
+        }
+
+        Ok(SimulationReport::new(scheme.name(), records, step, switch_count, runtime))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teg_reconfig::{Dnor, Ehtr, Inor, StaticBaseline};
+
+    fn engine(modules: usize, seconds: usize, seed: u64) -> SimulationEngine {
+        let scenario = Scenario::builder()
+            .module_count(modules)
+            .duration_seconds(seconds)
+            .seed(seed)
+            .build()
+            .expect("valid scenario");
+        SimulationEngine::new(scenario)
+    }
+
+    #[test]
+    fn report_has_one_record_per_second() {
+        let engine = engine(12, 25, 1);
+        let report = engine.run(&mut StaticBaseline::square_grid(12)).unwrap();
+        assert_eq!(report.records().len(), 25);
+        assert_eq!(report.scheme(), "Baseline");
+        assert!(report.net_energy().value() > 0.0);
+        assert_eq!(engine.scenario().module_count(), 12);
+    }
+
+    #[test]
+    fn baseline_never_switches_after_initial_wiring() {
+        let engine = engine(16, 30, 2);
+        let report = engine.run(&mut StaticBaseline::square_grid(16)).unwrap();
+        // The engine already starts from the square grid, so the baseline has
+        // nothing to change.
+        assert_eq!(report.switch_count(), 0);
+        assert_eq!(report.overhead_energy(), Joules::ZERO);
+        assert_eq!(report.average_runtime().value(), 0.0);
+    }
+
+    #[test]
+    fn inor_beats_the_baseline_on_energy() {
+        let engine = engine(30, 40, 3);
+        let inor = engine.run(&mut Inor::default()).unwrap();
+        let baseline = engine.run(&mut StaticBaseline::square_grid(30)).unwrap();
+        assert!(
+            inor.net_energy().value() > baseline.net_energy().value(),
+            "INOR {} should beat baseline {}",
+            inor.net_energy(),
+            baseline.net_energy()
+        );
+    }
+
+    #[test]
+    fn dnor_switches_far_less_and_accumulates_less_overhead_than_inor() {
+        let engine = engine(24, 60, 4);
+        let inor = engine.run(&mut Inor::default()).unwrap();
+        let dnor = engine.run(&mut Dnor::default()).unwrap();
+        assert!(dnor.switch_count() < inor.switch_count());
+        assert!(dnor.overhead_energy().value() < inor.overhead_energy().value());
+        // And its net energy is at least as good (it loses less to overhead).
+        assert!(dnor.net_energy().value() >= 0.98 * inor.net_energy().value());
+    }
+
+    #[test]
+    fn net_energy_never_exceeds_gross_or_ideal() {
+        let engine = engine(20, 30, 5);
+        for report in [
+            engine.run(&mut Inor::default()).unwrap(),
+            engine.run(&mut Dnor::default()).unwrap(),
+            engine.run(&mut StaticBaseline::square_grid(20)).unwrap(),
+        ] {
+            assert!(report.net_energy() <= report.gross_energy());
+            assert!(report.net_energy().value() <= report.ideal_energy().value() + 1e-6);
+            assert!(report.ideal_fraction() <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn fixed_period_schemes_are_invoked_twice_per_second() {
+        let engine = engine(10, 10, 6);
+        let report = engine.run(&mut Inor::default()).unwrap();
+        // 0.5 s period over 10 one-second steps → 20 invocations.
+        assert_eq!(report.runtime().invocations(), 20);
+    }
+
+    #[test]
+    fn ehtr_matches_inor_energy_but_runs_slower() {
+        let engine = engine(20, 20, 7);
+        let inor = engine.run(&mut Inor::default()).unwrap();
+        let ehtr = engine.run(&mut Ehtr::default()).unwrap();
+        let ratio = ehtr.net_energy().value() / inor.net_energy().value();
+        assert!((0.95..=1.05).contains(&ratio), "energy ratio {ratio}");
+        assert!(ehtr.runtime().total().value() >= inor.runtime().total().value());
+    }
+
+    #[test]
+    fn runs_are_reproducible_up_to_timing_jitter() {
+        // The physics and the decisions are deterministic; only the measured
+        // wall-clock computation time (and hence a few millijoules of
+        // overhead) varies between runs.
+        let engine = engine(14, 20, 8);
+        let a = engine.run(&mut Dnor::default()).unwrap();
+        let b = engine.run(&mut Dnor::default()).unwrap();
+        assert_eq!(a.switch_count(), b.switch_count());
+        assert_eq!(a.gross_energy(), b.gross_energy());
+        let diff = (a.net_energy().value() - b.net_energy().value()).abs();
+        assert!(diff < 1.0, "net energy differs by {diff} J between identical runs");
+        // The array power trace (pre-overhead) is bit-identical.
+        let trace_a = a.power_trace();
+        let trace_b = b.power_trace();
+        assert_eq!(trace_a, trace_b);
+    }
+}

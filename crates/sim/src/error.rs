@@ -1,0 +1,111 @@
+//! Error type for the simulation engine.
+
+use std::error::Error;
+use std::fmt;
+
+use teg_array::ArrayError;
+use teg_power::PowerError;
+use teg_reconfig::ReconfigError;
+use teg_thermal::ThermalError;
+
+/// Errors produced while building scenarios or running simulations.
+///
+/// # Examples
+///
+/// ```
+/// use teg_sim::SimError;
+///
+/// let err = SimError::InvalidScenario { reason: "zero modules".into() };
+/// assert!(err.to_string().contains("zero modules"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A scenario parameter was invalid.
+    InvalidScenario {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// An error bubbled up from the thermal substrate.
+    Thermal(ThermalError),
+    /// An error bubbled up from the array substrate.
+    Array(ArrayError),
+    /// An error bubbled up from the power-electronics substrate.
+    Power(PowerError),
+    /// An error bubbled up from a reconfiguration algorithm.
+    Reconfig(ReconfigError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidScenario { reason } => write!(f, "invalid scenario: {reason}"),
+            Self::Thermal(err) => write!(f, "thermal model error: {err}"),
+            Self::Array(err) => write!(f, "array model error: {err}"),
+            Self::Power(err) => write!(f, "power model error: {err}"),
+            Self::Reconfig(err) => write!(f, "reconfiguration error: {err}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::InvalidScenario { .. } => None,
+            Self::Thermal(err) => Some(err),
+            Self::Array(err) => Some(err),
+            Self::Power(err) => Some(err),
+            Self::Reconfig(err) => Some(err),
+        }
+    }
+}
+
+impl From<ThermalError> for SimError {
+    fn from(err: ThermalError) -> Self {
+        Self::Thermal(err)
+    }
+}
+
+impl From<ArrayError> for SimError {
+    fn from(err: ArrayError) -> Self {
+        Self::Array(err)
+    }
+}
+
+impl From<PowerError> for SimError {
+    fn from(err: PowerError) -> Self {
+        Self::Power(err)
+    }
+}
+
+impl From<ReconfigError> for SimError {
+    fn from(err: ReconfigError) -> Self {
+        Self::Reconfig(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let err = SimError::from(ThermalError::NonPositiveFlowRate { kg_per_s: 0.0 });
+        assert!(err.to_string().contains("thermal"));
+        assert!(std::error::Error::source(&err).is_some());
+        let err = SimError::from(ArrayError::EmptyArray);
+        assert!(err.to_string().contains("array"));
+        let err = SimError::from(PowerError::InvalidParameter { name: "x", value: 1.0 });
+        assert!(err.to_string().contains("power"));
+        let err = SimError::from(ReconfigError::EmptyHistory);
+        assert!(err.to_string().contains("reconfiguration"));
+        let err = SimError::InvalidScenario { reason: "broken".into() };
+        assert!(std::error::Error::source(&err).is_none());
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<SimError>();
+    }
+}

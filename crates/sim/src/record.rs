@@ -1,0 +1,172 @@
+//! Per-step simulation records.
+
+use teg_units::{Joules, Seconds, Watts};
+
+/// Everything the engine observed during one simulation step.
+///
+/// # Examples
+///
+/// ```
+/// use teg_sim::StepRecord;
+/// use teg_units::{Joules, Seconds, Watts};
+///
+/// let record = StepRecord::new(
+///     Seconds::new(10.0),
+///     Watts::new(60.0),
+///     Watts::new(58.0),
+///     Watts::new(56.0),
+///     Watts::new(70.0),
+///     6,
+///     true,
+///     Joules::new(1.2),
+///     Seconds::new(0.003),
+/// );
+/// assert!((record.ideal_ratio() - 60.0 / 70.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepRecord {
+    time: Seconds,
+    array_power: Watts,
+    net_power: Watts,
+    delivered_power: Watts,
+    ideal_power: Watts,
+    group_count: usize,
+    switched: bool,
+    overhead_energy: Joules,
+    computation: Seconds,
+}
+
+impl StepRecord {
+    /// Creates a record; normally only the engine does this.
+    #[allow(clippy::too_many_arguments)]
+    #[must_use]
+    pub fn new(
+        time: Seconds,
+        array_power: Watts,
+        net_power: Watts,
+        delivered_power: Watts,
+        ideal_power: Watts,
+        group_count: usize,
+        switched: bool,
+        overhead_energy: Joules,
+        computation: Seconds,
+    ) -> Self {
+        Self {
+            time,
+            array_power,
+            net_power,
+            delivered_power,
+            ideal_power,
+            group_count,
+            switched,
+            overhead_energy,
+            computation,
+        }
+    }
+
+    /// Simulation time at the start of the step.
+    #[must_use]
+    pub const fn time(&self) -> Seconds {
+        self.time
+    }
+
+    /// Array output power at its MPP under the active configuration (the
+    /// quantity plotted in Fig. 6).
+    #[must_use]
+    pub const fn array_power(&self) -> Watts {
+        self.array_power
+    }
+
+    /// Array power net of the switching overhead charged to this step.
+    #[must_use]
+    pub const fn net_power(&self) -> Watts {
+        self.net_power
+    }
+
+    /// Power delivered into the battery after the charger.
+    #[must_use]
+    pub const fn delivered_power(&self) -> Watts {
+        self.delivered_power
+    }
+
+    /// The unconstrained upper bound `P_ideal` at this step.
+    #[must_use]
+    pub const fn ideal_power(&self) -> Watts {
+        self.ideal_power
+    }
+
+    /// Number of series groups in the active configuration.
+    #[must_use]
+    pub const fn group_count(&self) -> usize {
+        self.group_count
+    }
+
+    /// `true` if the configuration changed during this step (the black dots
+    /// of Fig. 7).
+    #[must_use]
+    pub const fn switched(&self) -> bool {
+        self.switched
+    }
+
+    /// Switching-overhead energy charged to this step.
+    #[must_use]
+    pub const fn overhead_energy(&self) -> Joules {
+        self.overhead_energy
+    }
+
+    /// Algorithm computation time spent during this step.
+    #[must_use]
+    pub const fn computation(&self) -> Seconds {
+        self.computation
+    }
+
+    /// Ratio of the array power to the ideal power (the y-axis of Fig. 7),
+    /// clamped to zero when no ideal power is available.
+    #[must_use]
+    pub fn ideal_ratio(&self) -> f64 {
+        if self.ideal_power.value() <= 0.0 {
+            0.0
+        } else {
+            self.array_power.value() / self.ideal_power.value()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(array: f64, ideal: f64, switched: bool) -> StepRecord {
+        StepRecord::new(
+            Seconds::new(1.0),
+            Watts::new(array),
+            Watts::new(array - 1.0),
+            Watts::new(array * 0.95),
+            Watts::new(ideal),
+            5,
+            switched,
+            Joules::new(0.5),
+            Seconds::new(0.002),
+        )
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let r = record(50.0, 60.0, true);
+        assert_eq!(r.time(), Seconds::new(1.0));
+        assert_eq!(r.array_power(), Watts::new(50.0));
+        assert_eq!(r.net_power(), Watts::new(49.0));
+        assert_eq!(r.delivered_power(), Watts::new(47.5));
+        assert_eq!(r.ideal_power(), Watts::new(60.0));
+        assert_eq!(r.group_count(), 5);
+        assert!(r.switched());
+        assert_eq!(r.overhead_energy(), Joules::new(0.5));
+        assert_eq!(r.computation(), Seconds::new(0.002));
+    }
+
+    #[test]
+    fn ideal_ratio_handles_zero_ideal_power() {
+        assert_eq!(record(10.0, 0.0, false).ideal_ratio(), 0.0);
+        assert!((record(45.0, 60.0, false).ideal_ratio() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,301 @@
+//! Simulation scenarios: everything that stays fixed while schemes are
+//! compared.
+
+use teg_array::{SwitchingOverheadModel, TegArray};
+use teg_device::{TegDatasheet, TegModule, VariationModel};
+use teg_power::Charger;
+use teg_thermal::{DriveCycle, DriveCycleBuilder, Radiator, RadiatorGeometry, SShapedPlacement};
+use teg_units::Seconds;
+
+use crate::error::SimError;
+
+/// A fully specified experiment: drive cycle, radiator, module placement,
+/// TEG array, charger and overhead model.
+///
+/// All four reconfiguration schemes are run against the *same* scenario so
+/// that Table I and Figs. 6–7 compare algorithms rather than workloads.
+///
+/// # Examples
+///
+/// ```
+/// use teg_sim::Scenario;
+///
+/// # fn main() -> Result<(), teg_sim::SimError> {
+/// let scenario = Scenario::paper_table1(42)?;
+/// assert_eq!(scenario.module_count(), 100);
+/// assert_eq!(scenario.drive_cycle().len(), 800);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    drive_cycle: DriveCycle,
+    radiator: Radiator,
+    placement: SShapedPlacement,
+    array: TegArray,
+    charger: Charger,
+    overhead: SwitchingOverheadModel,
+    step: Seconds,
+}
+
+impl Scenario {
+    /// The paper's main evaluation scenario: a 100-module array on the
+    /// Porter II radiator over the 800-second drive.
+    ///
+    /// # Errors
+    ///
+    /// Propagates builder validation errors (never expected for the preset).
+    pub fn paper_table1(seed: u64) -> Result<Self, SimError> {
+        Self::builder().module_count(100).duration_seconds(800).seed(seed).build()
+    }
+
+    /// Returns a builder with the Porter II defaults.
+    #[must_use]
+    pub fn builder() -> ScenarioBuilder {
+        ScenarioBuilder::new()
+    }
+
+    /// The drive cycle the scenario replays.
+    #[must_use]
+    pub const fn drive_cycle(&self) -> &DriveCycle {
+        &self.drive_cycle
+    }
+
+    /// The radiator model.
+    #[must_use]
+    pub const fn radiator(&self) -> &Radiator {
+        &self.radiator
+    }
+
+    /// The module placement along the radiator.
+    #[must_use]
+    pub const fn placement(&self) -> &SShapedPlacement {
+        &self.placement
+    }
+
+    /// The TEG array under control.
+    #[must_use]
+    pub const fn array(&self) -> &TegArray {
+        &self.array
+    }
+
+    /// The charger model.
+    #[must_use]
+    pub const fn charger(&self) -> &Charger {
+        &self.charger
+    }
+
+    /// The switching-overhead model.
+    #[must_use]
+    pub const fn overhead(&self) -> &SwitchingOverheadModel {
+        &self.overhead
+    }
+
+    /// The simulation step (1 s for the presets).
+    #[must_use]
+    pub const fn step(&self) -> Seconds {
+        self.step
+    }
+
+    /// Number of modules in the array.
+    #[must_use]
+    pub fn module_count(&self) -> usize {
+        self.array.len()
+    }
+
+    /// Restricts the scenario to a window of the drive cycle (sample indices
+    /// `[start, end)`), e.g. the 120-second slice plotted in Figs. 6–7.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError::Thermal`] if the window is empty or out of
+    /// range.
+    pub fn window(&self, start: usize, end: usize) -> Result<Self, SimError> {
+        let mut out = self.clone();
+        out.drive_cycle = self.drive_cycle.window(start, end)?;
+        Ok(out)
+    }
+}
+
+/// Builder for [`Scenario`] values.
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    module_count: usize,
+    duration_seconds: usize,
+    seed: u64,
+    geometry: RadiatorGeometry,
+    charger: Charger,
+    overhead: SwitchingOverheadModel,
+    module_variation: VariationModel,
+    datasheet: TegDatasheet,
+}
+
+impl ScenarioBuilder {
+    /// Creates a builder with the paper's defaults (100 modules, 800 s,
+    /// Porter II radiator, TGM-199-1.4-0.8 modules, LTM4607 charger).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            module_count: 100,
+            duration_seconds: 800,
+            seed: 0,
+            geometry: RadiatorGeometry::porter_ii(),
+            charger: Charger::ltm4607_lead_acid(),
+            overhead: SwitchingOverheadModel::default(),
+            module_variation: VariationModel::none(),
+            datasheet: TegDatasheet::tgm_199_1_4_0_8(),
+        }
+    }
+
+    /// Sets the number of TEG modules along the radiator.
+    #[must_use]
+    pub fn module_count(mut self, count: usize) -> Self {
+        self.module_count = count;
+        self
+    }
+
+    /// Sets the drive duration in seconds (1 Hz sampling).
+    #[must_use]
+    pub fn duration_seconds(mut self, seconds: usize) -> Self {
+        self.duration_seconds = seconds;
+        self
+    }
+
+    /// Sets the drive-cycle RNG seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the radiator geometry (e.g. the industrial-boiler preset for
+    /// scalability studies).
+    #[must_use]
+    pub fn geometry(mut self, geometry: RadiatorGeometry) -> Self {
+        self.geometry = geometry;
+        self
+    }
+
+    /// Replaces the charger model.
+    #[must_use]
+    pub fn charger(mut self, charger: Charger) -> Self {
+        self.charger = charger;
+        self
+    }
+
+    /// Replaces the switching-overhead model.
+    #[must_use]
+    pub fn overhead(mut self, overhead: SwitchingOverheadModel) -> Self {
+        self.overhead = overhead;
+        self
+    }
+
+    /// Enables module-to-module manufacturing variation.
+    #[must_use]
+    pub fn module_variation(mut self, variation: VariationModel) -> Self {
+        self.module_variation = variation;
+        self
+    }
+
+    /// Replaces the TEG module datasheet.
+    #[must_use]
+    pub fn datasheet(mut self, datasheet: TegDatasheet) -> Self {
+        self.datasheet = datasheet;
+        self
+    }
+
+    /// Validates the parameters and assembles the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidScenario`] for a zero module count or a
+    /// zero duration, and propagates substrate errors (drive-cycle or
+    /// placement construction).
+    pub fn build(self) -> Result<Scenario, SimError> {
+        if self.module_count == 0 {
+            return Err(SimError::InvalidScenario { reason: "module count must be positive".into() });
+        }
+        if self.duration_seconds == 0 {
+            return Err(SimError::InvalidScenario { reason: "duration must be positive".into() });
+        }
+        let drive_cycle = DriveCycleBuilder::new()
+            .duration(Seconds::new(self.duration_seconds as f64))
+            .seed(self.seed)
+            .build()?;
+        let radiator = Radiator::new(self.geometry);
+        let placement = SShapedPlacement::new(self.module_count)?;
+        let nominal = TegModule::from_datasheet(&self.datasheet);
+        let modules = self
+            .module_variation
+            .apply(&nominal, self.module_count, self.seed.wrapping_add(1))
+            .map_err(|e| SimError::InvalidScenario { reason: format!("module variation: {e}") })?;
+        let array = TegArray::new(modules)?;
+        Ok(Scenario {
+            drive_cycle,
+            radiator,
+            placement,
+            array,
+            charger: self.charger,
+            overhead: self.overhead,
+            step: Seconds::new(1.0),
+        })
+    }
+}
+
+impl Default for ScenarioBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_scenario_matches_the_paper_setup() {
+        let s = Scenario::paper_table1(3).unwrap();
+        assert_eq!(s.module_count(), 100);
+        assert_eq!(s.drive_cycle().len(), 800);
+        assert_eq!(s.step(), Seconds::new(1.0));
+        assert_eq!(s.placement().module_count(), 100);
+        assert!(s.charger().output_voltage().value() > 13.0);
+        assert!(s.overhead().per_toggle_energy().value() > 0.0);
+        assert!(s.radiator().geometry().flow_path_length().value() > 1.0);
+    }
+
+    #[test]
+    fn builder_validation() {
+        assert!(Scenario::builder().module_count(0).build().is_err());
+        assert!(Scenario::builder().duration_seconds(0).build().is_err());
+    }
+
+    #[test]
+    fn windowing_preserves_everything_but_the_cycle() {
+        let s = Scenario::builder().module_count(10).duration_seconds(200).seed(5).build().unwrap();
+        let w = s.window(50, 170).unwrap();
+        assert_eq!(w.drive_cycle().len(), 120);
+        assert_eq!(w.module_count(), 10);
+        assert!(s.window(10, 10).is_err());
+        assert!(s.window(150, 300).is_err());
+    }
+
+    #[test]
+    fn variation_changes_the_array() {
+        let plain = Scenario::builder().module_count(5).duration_seconds(10).build().unwrap();
+        let varied = Scenario::builder()
+            .module_count(5)
+            .duration_seconds(10)
+            .module_variation(VariationModel::new(0.05, 0.05).unwrap())
+            .build()
+            .unwrap();
+        assert_ne!(plain.array().modules(), varied.array().modules());
+    }
+
+    #[test]
+    fn same_seed_same_scenario() {
+        let a = Scenario::builder().module_count(8).duration_seconds(30).seed(9).build().unwrap();
+        let b = Scenario::builder().module_count(8).duration_seconds(30).seed(9).build().unwrap();
+        assert_eq!(a.drive_cycle(), b.drive_cycle());
+    }
+}

@@ -1,0 +1,105 @@
+//! Error type for the thermal substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the radiator and drive-cycle models.
+///
+/// # Examples
+///
+/// ```
+/// use teg_thermal::ThermalError;
+///
+/// let err = ThermalError::NonPositiveFlowRate { kg_per_s: -0.5 };
+/// assert!(err.to_string().contains("flow rate"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ThermalError {
+    /// A mass-flow rate was zero or negative where a positive value is
+    /// required (the ε-NTU method divides by capacity rates).
+    NonPositiveFlowRate {
+        /// The offending mass flow rate in kg/s.
+        kg_per_s: f64,
+    },
+    /// The coolant inlet temperature was not strictly hotter than the ambient
+    /// air; the harvesting model has no meaning in that regime.
+    InvertedTemperatures {
+        /// Coolant inlet temperature in °C.
+        coolant_c: f64,
+        /// Ambient temperature in °C.
+        ambient_c: f64,
+    },
+    /// A geometry parameter was invalid (zero or negative dimension, zero
+    /// tubes, …).
+    InvalidGeometry {
+        /// Human-readable description of the offending parameter.
+        reason: String,
+    },
+    /// A requested position lies outside the radiator fin path.
+    PositionOutOfRange {
+        /// The requested fractional position (0.0..=1.0 expected).
+        fraction: f64,
+    },
+    /// A drive-cycle configuration parameter was invalid.
+    InvalidDriveCycle {
+        /// Human-readable description of the offending parameter.
+        reason: String,
+    },
+    /// A non-finite value (NaN or infinity) was encountered in an input.
+    NonFiniteInput {
+        /// Which quantity was non-finite.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for ThermalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NonPositiveFlowRate { kg_per_s } => {
+                write!(f, "mass flow rate must be positive, got {kg_per_s} kg/s")
+            }
+            Self::InvertedTemperatures { coolant_c, ambient_c } => write!(
+                f,
+                "coolant inlet ({coolant_c} °C) must be hotter than ambient air ({ambient_c} °C)"
+            ),
+            Self::InvalidGeometry { reason } => write!(f, "invalid radiator geometry: {reason}"),
+            Self::PositionOutOfRange { fraction } => {
+                write!(f, "position fraction {fraction} outside the radiator (expected 0..=1)")
+            }
+            Self::InvalidDriveCycle { reason } => write!(f, "invalid drive cycle: {reason}"),
+            Self::NonFiniteInput { what } => write!(f, "non-finite value supplied for {what}"),
+        }
+    }
+}
+
+impl Error for ThermalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_descriptive() {
+        let cases: Vec<(ThermalError, &str)> = vec![
+            (ThermalError::NonPositiveFlowRate { kg_per_s: 0.0 }, "flow rate"),
+            (
+                ThermalError::InvertedTemperatures { coolant_c: 20.0, ambient_c: 30.0 },
+                "hotter than ambient",
+            ),
+            (ThermalError::InvalidGeometry { reason: "zero tubes".into() }, "zero tubes"),
+            (ThermalError::PositionOutOfRange { fraction: 1.5 }, "outside the radiator"),
+            (ThermalError::InvalidDriveCycle { reason: "empty".into() }, "drive cycle"),
+            (ThermalError::NonFiniteInput { what: "coolant temperature" }, "non-finite"),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err} should mention {needle}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync_and_std_error() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<ThermalError>();
+    }
+}

@@ -1,0 +1,303 @@
+//! Fluid property models for the engine coolant and the ambient air stream,
+//! plus the instantaneous inlet states the radiator model consumes.
+
+use teg_units::Celsius;
+
+use crate::error::ThermalError;
+
+/// Properties of the hot fluid: a 50/50 water–ethylene-glycol engine coolant.
+///
+/// Only the specific heat matters for the ε-NTU energy balance; it is modelled
+/// with a mild linear temperature dependence fitted to tabulated data for
+/// 50/50 glycol between 20 °C and 110 °C.
+///
+/// # Examples
+///
+/// ```
+/// use teg_thermal::CoolantProperties;
+/// use teg_units::Celsius;
+///
+/// let props = CoolantProperties::ethylene_glycol_50();
+/// let cp = props.specific_heat(Celsius::new(90.0));
+/// assert!(cp > 3300.0 && cp < 3900.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoolantProperties {
+    /// Specific heat at 0 °C in J/(kg·K).
+    cp_at_zero: f64,
+    /// Linear temperature coefficient of the specific heat in J/(kg·K²).
+    cp_slope: f64,
+    /// Density at reference conditions in kg/m³ (used when flow is given as a
+    /// volumetric rate).
+    density: f64,
+}
+
+impl CoolantProperties {
+    /// Properties of a 50/50 water–ethylene-glycol mixture, the typical
+    /// vehicle coolant assumed by the paper's radiator model.
+    #[must_use]
+    pub fn ethylene_glycol_50() -> Self {
+        Self { cp_at_zero: 3300.0, cp_slope: 3.5, density: 1060.0 }
+    }
+
+    /// Properties of pure water, useful for sensitivity studies.
+    #[must_use]
+    pub fn water() -> Self {
+        Self { cp_at_zero: 4205.0, cp_slope: -0.3, density: 998.0 }
+    }
+
+    /// Specific heat in J/(kg·K) at the given temperature.
+    #[must_use]
+    pub fn specific_heat(&self, temperature: Celsius) -> f64 {
+        self.cp_at_zero + self.cp_slope * temperature.value()
+    }
+
+    /// Density in kg/m³.
+    #[must_use]
+    pub fn density(&self) -> f64 {
+        self.density
+    }
+}
+
+impl Default for CoolantProperties {
+    fn default() -> Self {
+        Self::ethylene_glycol_50()
+    }
+}
+
+/// Properties of the cold fluid: ambient air drawn across the radiator fins.
+///
+/// # Examples
+///
+/// ```
+/// use teg_thermal::AirProperties;
+/// use teg_units::Celsius;
+///
+/// let air = AirProperties::standard();
+/// assert!((air.specific_heat(Celsius::new(25.0)) - 1006.0).abs() < 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AirProperties {
+    cp_at_zero: f64,
+    cp_slope: f64,
+    density: f64,
+}
+
+impl AirProperties {
+    /// Dry air at roughly sea-level pressure.
+    #[must_use]
+    pub fn standard() -> Self {
+        Self { cp_at_zero: 1005.5, cp_slope: 0.02, density: 1.184 }
+    }
+
+    /// Specific heat in J/(kg·K) at the given temperature.
+    #[must_use]
+    pub fn specific_heat(&self, temperature: Celsius) -> f64 {
+        self.cp_at_zero + self.cp_slope * temperature.value()
+    }
+
+    /// Density in kg/m³.
+    #[must_use]
+    pub fn density(&self) -> f64 {
+        self.density
+    }
+}
+
+impl Default for AirProperties {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+/// The instantaneous state of the coolant at the radiator inlet: temperature
+/// and mass-flow rate.
+///
+/// This is the pair the paper measured on the Hyundai Porter II (thermocouple
+/// + industrial flow meter) and the pair the synthetic drive cycle generates.
+///
+/// # Examples
+///
+/// ```
+/// use teg_thermal::CoolantState;
+/// use teg_units::Celsius;
+///
+/// let state = CoolantState::new(Celsius::new(92.0), 0.75);
+/// assert_eq!(state.mass_flow(), 0.75);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoolantState {
+    inlet_temperature: Celsius,
+    mass_flow_kg_per_s: f64,
+}
+
+impl CoolantState {
+    /// Creates a coolant inlet state from the inlet temperature and the
+    /// mass-flow rate in kg/s.
+    #[must_use]
+    pub const fn new(inlet_temperature: Celsius, mass_flow_kg_per_s: f64) -> Self {
+        Self { inlet_temperature, mass_flow_kg_per_s }
+    }
+
+    /// Coolant temperature at the radiator entrance (`T_h,i` in Eq. 1).
+    #[must_use]
+    pub const fn inlet_temperature(&self) -> Celsius {
+        self.inlet_temperature
+    }
+
+    /// Coolant mass-flow rate in kg/s.
+    #[must_use]
+    pub const fn mass_flow(&self) -> f64 {
+        self.mass_flow_kg_per_s
+    }
+
+    /// Hot-fluid capacity rate `C_h = ṁ·c_p` in W/K.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::NonPositiveFlowRate`] if the flow rate is not
+    /// positive and [`ThermalError::NonFiniteInput`] if either input is NaN
+    /// or infinite.
+    pub fn capacity_rate(&self, props: &CoolantProperties) -> Result<f64, ThermalError> {
+        if !self.mass_flow_kg_per_s.is_finite() || !self.inlet_temperature.is_finite() {
+            return Err(ThermalError::NonFiniteInput { what: "coolant state" });
+        }
+        if self.mass_flow_kg_per_s <= 0.0 {
+            return Err(ThermalError::NonPositiveFlowRate { kg_per_s: self.mass_flow_kg_per_s });
+        }
+        Ok(self.mass_flow_kg_per_s * props.specific_heat(self.inlet_temperature))
+    }
+}
+
+/// The instantaneous state of the ambient air stream: temperature and
+/// mass-flow rate across the radiator core (ram air plus fan).
+///
+/// # Examples
+///
+/// ```
+/// use teg_thermal::AmbientState;
+/// use teg_units::Celsius;
+///
+/// let ambient = AmbientState::new(Celsius::new(27.0), 1.4);
+/// assert_eq!(ambient.temperature().value(), 27.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AmbientState {
+    temperature: Celsius,
+    mass_flow_kg_per_s: f64,
+}
+
+impl AmbientState {
+    /// Creates an ambient-air state from the air inlet temperature and the
+    /// air mass-flow rate in kg/s.
+    #[must_use]
+    pub const fn new(temperature: Celsius, mass_flow_kg_per_s: f64) -> Self {
+        Self { temperature, mass_flow_kg_per_s }
+    }
+
+    /// Air inlet temperature, which the paper also uses as the heatsink
+    /// temperature of every TEG module.
+    #[must_use]
+    pub const fn temperature(&self) -> Celsius {
+        self.temperature
+    }
+
+    /// Air mass-flow rate in kg/s.
+    #[must_use]
+    pub const fn mass_flow(&self) -> f64 {
+        self.mass_flow_kg_per_s
+    }
+
+    /// Cold-fluid capacity rate `C_c = ṁ·c_p` in W/K.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::NonPositiveFlowRate`] if the flow rate is not
+    /// positive and [`ThermalError::NonFiniteInput`] if either input is NaN
+    /// or infinite.
+    pub fn capacity_rate(&self, props: &AirProperties) -> Result<f64, ThermalError> {
+        if !self.mass_flow_kg_per_s.is_finite() || !self.temperature.is_finite() {
+            return Err(ThermalError::NonFiniteInput { what: "ambient state" });
+        }
+        if self.mass_flow_kg_per_s <= 0.0 {
+            return Err(ThermalError::NonPositiveFlowRate { kg_per_s: self.mass_flow_kg_per_s });
+        }
+        Ok(self.mass_flow_kg_per_s * props.specific_heat(self.temperature))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glycol_specific_heat_increases_with_temperature() {
+        let props = CoolantProperties::ethylene_glycol_50();
+        assert!(props.specific_heat(Celsius::new(90.0)) > props.specific_heat(Celsius::new(20.0)));
+    }
+
+    #[test]
+    fn water_specific_heat_is_near_4200() {
+        let props = CoolantProperties::water();
+        let cp = props.specific_heat(Celsius::new(60.0));
+        assert!(cp > 4100.0 && cp < 4300.0, "got {cp}");
+    }
+
+    #[test]
+    fn air_specific_heat_is_near_1005() {
+        let air = AirProperties::standard();
+        let cp = air.specific_heat(Celsius::new(25.0));
+        assert!(cp > 1000.0 && cp < 1010.0);
+        assert!(air.density() > 1.0 && air.density() < 1.3);
+    }
+
+    #[test]
+    fn coolant_capacity_rate_scales_with_flow() {
+        let props = CoolantProperties::default();
+        let low = CoolantState::new(Celsius::new(90.0), 0.4).capacity_rate(&props).unwrap();
+        let high = CoolantState::new(Celsius::new(90.0), 0.8).capacity_rate(&props).unwrap();
+        assert!((high / low - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_positive_flow_is_rejected() {
+        let props = CoolantProperties::default();
+        let err = CoolantState::new(Celsius::new(90.0), 0.0).capacity_rate(&props).unwrap_err();
+        assert!(matches!(err, ThermalError::NonPositiveFlowRate { .. }));
+        let air = AirProperties::default();
+        let err = AmbientState::new(Celsius::new(25.0), -1.0).capacity_rate(&air).unwrap_err();
+        assert!(matches!(err, ThermalError::NonPositiveFlowRate { .. }));
+    }
+
+    #[test]
+    fn non_finite_inputs_are_rejected() {
+        let props = CoolantProperties::default();
+        let err =
+            CoolantState::new(Celsius::new(f64::NAN), 0.5).capacity_rate(&props).unwrap_err();
+        assert!(matches!(err, ThermalError::NonFiniteInput { .. }));
+        let air = AirProperties::default();
+        let err = AmbientState::new(Celsius::new(25.0), f64::INFINITY)
+            .capacity_rate(&air)
+            .unwrap_err();
+        assert!(matches!(err, ThermalError::NonFiniteInput { .. }));
+    }
+
+    #[test]
+    fn typical_vehicle_capacity_rates_have_air_as_cmin() {
+        // At cruise the coolant loop moves ~0.5-1 kg/s while the air stream is
+        // of comparable mass flow but with ~3.5x smaller cp, so the air side is
+        // the minimum capacity rate; the paper's Eq. 1 relies on this.
+        let coolant = CoolantState::new(Celsius::new(95.0), 0.8)
+            .capacity_rate(&CoolantProperties::default())
+            .unwrap();
+        let air = AmbientState::new(Celsius::new(25.0), 1.2)
+            .capacity_rate(&AirProperties::default())
+            .unwrap();
+        assert!(air < coolant);
+    }
+
+    #[test]
+    fn default_constructors_match_named_presets() {
+        assert_eq!(CoolantProperties::default(), CoolantProperties::ethylene_glycol_50());
+        assert_eq!(AirProperties::default(), AirProperties::standard());
+    }
+}

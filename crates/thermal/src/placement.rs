@@ -1,0 +1,135 @@
+//! Placement of TEG modules along the S-shaped radiator fin path.
+
+use teg_units::Meters;
+
+use crate::error::ThermalError;
+
+/// Evenly spaced placement of `N` TEG modules along the serpentine
+/// (S-shaped) radiator flow path, entrance first.
+///
+/// Module `i` (1-based in the paper, 0-based here) is centred at distance
+/// `(i + 0.5)·L/N` from the radiator entrance, so the first module sits just
+/// after the entrance and the last just before the exit — exactly the
+/// geometry of Fig. 2 in the paper.
+///
+/// # Examples
+///
+/// ```
+/// use teg_thermal::SShapedPlacement;
+/// use teg_units::Meters;
+///
+/// # fn main() -> Result<(), teg_thermal::ThermalError> {
+/// let placement = SShapedPlacement::new(4)?;
+/// let positions: Vec<_> = placement.positions(Meters::new(4.0)).collect();
+/// assert_eq!(positions.len(), 4);
+/// assert!((positions[0].value() - 0.5).abs() < 1e-12);
+/// assert!((positions[3].value() - 3.5).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SShapedPlacement {
+    module_count: usize,
+}
+
+impl SShapedPlacement {
+    /// Creates a placement of `module_count` modules.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidGeometry`] if `module_count` is zero.
+    pub fn new(module_count: usize) -> Result<Self, ThermalError> {
+        if module_count == 0 {
+            return Err(ThermalError::InvalidGeometry {
+                reason: "placement needs at least one module".to_owned(),
+            });
+        }
+        Ok(Self { module_count })
+    }
+
+    /// Number of modules placed along the path.
+    #[must_use]
+    pub const fn module_count(&self) -> usize {
+        self.module_count
+    }
+
+    /// Iterator over the centre position of each module for a path of the
+    /// given length, ordered from the radiator entrance to the exit.
+    pub fn positions(&self, path_length: Meters) -> impl Iterator<Item = Meters> + '_ {
+        let n = self.module_count as f64;
+        let length = path_length.value();
+        (0..self.module_count)
+            .map(move |i| Meters::new((i as f64 + 0.5) / n * length))
+    }
+
+    /// Centre position of a single module.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::PositionOutOfRange`] if `index` is not a valid
+    /// module index.
+    pub fn position_of(&self, index: usize, path_length: Meters) -> Result<Meters, ThermalError> {
+        if index >= self.module_count {
+            return Err(ThermalError::PositionOutOfRange {
+                fraction: index as f64 / self.module_count as f64,
+            });
+        }
+        let n = self.module_count as f64;
+        Ok(Meters::new((index as f64 + 0.5) / n * path_length.value()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_modules_is_rejected() {
+        assert!(SShapedPlacement::new(0).is_err());
+    }
+
+    #[test]
+    fn positions_are_strictly_increasing_and_inside_path() {
+        let placement = SShapedPlacement::new(100).unwrap();
+        let length = Meters::new(3.2);
+        let positions: Vec<_> = placement.positions(length).collect();
+        assert_eq!(positions.len(), 100);
+        for window in positions.windows(2) {
+            assert!(window[1] > window[0]);
+        }
+        assert!(positions[0].value() > 0.0);
+        assert!(positions[99].value() < length.value());
+    }
+
+    #[test]
+    fn positions_are_symmetric_about_the_midpoint() {
+        let placement = SShapedPlacement::new(10).unwrap();
+        let length = Meters::new(2.0);
+        let positions: Vec<_> = placement.positions(length).collect();
+        for i in 0..5 {
+            let left = positions[i].value();
+            let right = positions[9 - i].value();
+            assert!((left + right - length.value()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_module_sits_in_the_middle() {
+        let placement = SShapedPlacement::new(1).unwrap();
+        let pos: Vec<_> = placement.positions(Meters::new(3.0)).collect();
+        assert_eq!(pos.len(), 1);
+        assert!((pos[0].value() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn position_of_matches_iterator() {
+        let placement = SShapedPlacement::new(7).unwrap();
+        let length = Meters::new(3.5);
+        let from_iter: Vec<_> = placement.positions(length).collect();
+        for (i, expected) in from_iter.iter().enumerate() {
+            let got = placement.position_of(i, length).unwrap();
+            assert!((got.value() - expected.value()).abs() < 1e-12);
+        }
+        assert!(placement.position_of(7, length).is_err());
+    }
+}

@@ -1,0 +1,294 @@
+//! Uniformly sampled time series used for drive-cycle signals and for the
+//! per-module temperature histories consumed by the predictors.
+
+use teg_units::Seconds;
+
+/// One sample of a uniformly sampled series: a timestamp and a value.
+///
+/// # Examples
+///
+/// ```
+/// use teg_thermal::TracePoint;
+/// use teg_units::Seconds;
+///
+/// let p = TracePoint::new(Seconds::new(3.0), 92.5);
+/// assert_eq!(p.value(), 92.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracePoint {
+    time: Seconds,
+    value: f64,
+}
+
+impl TracePoint {
+    /// Creates a sample at the given time.
+    #[must_use]
+    pub const fn new(time: Seconds, value: f64) -> Self {
+        Self { time, value }
+    }
+
+    /// Timestamp of the sample.
+    #[must_use]
+    pub const fn time(&self) -> Seconds {
+        self.time
+    }
+
+    /// Value of the sample.
+    #[must_use]
+    pub const fn value(&self) -> f64 {
+        self.value
+    }
+}
+
+/// A uniformly sampled scalar time series (fixed step, starting at t = 0).
+///
+/// The drive-cycle signals (coolant inlet temperature, coolant flow, vehicle
+/// speed) and the per-module hot-side temperature histories handed to the
+/// predictors are all [`TimeSeries`] values.
+///
+/// # Examples
+///
+/// ```
+/// use teg_thermal::TimeSeries;
+/// use teg_units::Seconds;
+///
+/// let mut series = TimeSeries::new(Seconds::new(1.0));
+/// series.push(90.0);
+/// series.push(91.0);
+/// series.push(92.0);
+/// assert_eq!(series.len(), 3);
+/// assert_eq!(series.interpolate(Seconds::new(0.5)), Some(90.5));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    step: Seconds,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series with the given sampling step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the step is not strictly positive.
+    #[must_use]
+    pub fn new(step: Seconds) -> Self {
+        assert!(step.value() > 0.0, "sampling step must be positive");
+        Self { step, values: Vec::new() }
+    }
+
+    /// Creates a series from existing samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the step is not strictly positive.
+    #[must_use]
+    pub fn from_values(step: Seconds, values: Vec<f64>) -> Self {
+        assert!(step.value() > 0.0, "sampling step must be positive");
+        Self { step, values }
+    }
+
+    /// Sampling step.
+    #[must_use]
+    pub const fn step(&self) -> Seconds {
+        self.step
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` when the series holds no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total covered duration (`(len − 1) · step`, zero for fewer than two
+    /// samples).
+    #[must_use]
+    pub fn duration(&self) -> Seconds {
+        if self.values.len() < 2 {
+            Seconds::ZERO
+        } else {
+            self.step * (self.values.len() - 1) as f64
+        }
+    }
+
+    /// Appends a sample at the next time step.
+    pub fn push(&mut self, value: f64) {
+        self.values.push(value);
+    }
+
+    /// Returns the sample at `index`, if present.
+    #[must_use]
+    pub fn get(&self, index: usize) -> Option<f64> {
+        self.values.get(index).copied()
+    }
+
+    /// Returns the most recent sample, if any.
+    #[must_use]
+    pub fn last(&self) -> Option<f64> {
+        self.values.last().copied()
+    }
+
+    /// Returns the underlying values as a slice.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Linearly interpolates the series at an arbitrary time.
+    ///
+    /// Returns `None` for an empty series or a time outside the covered
+    /// range.
+    #[must_use]
+    pub fn interpolate(&self, time: Seconds) -> Option<f64> {
+        if self.values.is_empty() || time.value() < 0.0 {
+            return None;
+        }
+        let pos = time.value() / self.step.value();
+        let lower = pos.floor() as usize;
+        if lower >= self.values.len() {
+            return None;
+        }
+        let upper = lower + 1;
+        if upper >= self.values.len() {
+            return if (pos - lower as f64).abs() < 1e-9 {
+                Some(self.values[lower])
+            } else {
+                None
+            };
+        }
+        let frac = pos - lower as f64;
+        Some(self.values[lower] * (1.0 - frac) + self.values[upper] * frac)
+    }
+
+    /// Returns the trailing `count` samples (fewer if the series is shorter).
+    #[must_use]
+    pub fn tail(&self, count: usize) -> &[f64] {
+        let start = self.values.len().saturating_sub(count);
+        &self.values[start..]
+    }
+
+    /// Iterator over `(time, value)` samples.
+    pub fn iter(&self) -> impl Iterator<Item = TracePoint> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| TracePoint::new(self.step * i as f64, v))
+    }
+
+    /// Minimum sample value, if the series is non-empty.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        self.values.iter().copied().fold(None, |acc, v| match acc {
+            None => Some(v),
+            Some(a) => Some(a.min(v)),
+        })
+    }
+
+    /// Maximum sample value, if the series is non-empty.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        self.values.iter().copied().fold(None, |acc, v| match acc {
+            None => Some(v),
+            Some(a) => Some(a.max(v)),
+        })
+    }
+
+    /// Arithmetic mean of the samples, if the series is non-empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            None
+        } else {
+            Some(self.values.iter().sum::<f64>() / self.values.len() as f64)
+        }
+    }
+}
+
+impl Extend<f64> for TimeSeries {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        self.values.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> TimeSeries {
+        TimeSeries::from_values(Seconds::new(1.0), vec![90.0, 91.0, 93.0, 92.0])
+    }
+
+    #[test]
+    fn length_and_duration() {
+        let s = series();
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+        assert_eq!(s.duration().value(), 3.0);
+        assert_eq!(TimeSeries::new(Seconds::new(1.0)).duration(), Seconds::ZERO);
+    }
+
+    #[test]
+    fn interpolation_between_samples() {
+        let s = series();
+        assert_eq!(s.interpolate(Seconds::new(0.0)), Some(90.0));
+        assert_eq!(s.interpolate(Seconds::new(0.5)), Some(90.5));
+        assert_eq!(s.interpolate(Seconds::new(2.5)), Some(92.5));
+        assert_eq!(s.interpolate(Seconds::new(3.0)), Some(92.0));
+        assert_eq!(s.interpolate(Seconds::new(3.5)), None);
+        assert_eq!(s.interpolate(Seconds::new(-1.0)), None);
+    }
+
+    #[test]
+    fn tail_returns_trailing_window() {
+        let s = series();
+        assert_eq!(s.tail(2), &[93.0, 92.0]);
+        assert_eq!(s.tail(10), &[90.0, 91.0, 93.0, 92.0]);
+        assert_eq!(s.tail(0), &[] as &[f64]);
+    }
+
+    #[test]
+    fn statistics() {
+        let s = series();
+        assert_eq!(s.min(), Some(90.0));
+        assert_eq!(s.max(), Some(93.0));
+        assert_eq!(s.mean(), Some(91.5));
+        let empty = TimeSeries::new(Seconds::new(1.0));
+        assert_eq!(empty.min(), None);
+        assert_eq!(empty.max(), None);
+        assert_eq!(empty.mean(), None);
+    }
+
+    #[test]
+    fn iteration_yields_timestamps() {
+        let s = series();
+        let points: Vec<_> = s.iter().collect();
+        assert_eq!(points.len(), 4);
+        assert_eq!(points[2].time().value(), 2.0);
+        assert_eq!(points[2].value(), 93.0);
+    }
+
+    #[test]
+    fn push_extend_and_accessors() {
+        let mut s = TimeSeries::new(Seconds::new(0.5));
+        s.push(1.0);
+        s.extend([2.0, 3.0]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.get(1), Some(2.0));
+        assert_eq!(s.get(9), None);
+        assert_eq!(s.last(), Some(3.0));
+        assert_eq!(s.values(), &[1.0, 2.0, 3.0]);
+        assert_eq!(s.step().value(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling step must be positive")]
+    fn zero_step_is_rejected() {
+        let _ = TimeSeries::new(Seconds::ZERO);
+    }
+}

@@ -1,0 +1,350 @@
+//! Electrical quantities: voltage, current, resistance, conductance and power.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+macro_rules! scalar_quantity {
+    ($(#[$meta:meta])* $name:ident, $unit:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Creates the quantity from a raw value in SI units.
+            #[must_use]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the raw value in SI units.
+            #[must_use]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Absolute value.
+            #[must_use]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns the larger of two quantities.
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of two quantities.
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Returns `true` when the value is finite (not NaN or infinite).
+            #[must_use]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!("{:.4} ", $unit), self.0)
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|v| v.0).sum())
+            }
+        }
+    };
+}
+
+scalar_quantity!(
+    /// Electric potential in volts.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use teg_units::{Volts, Amps};
+    /// let p = Volts::new(13.8) * Amps::new(3.0);
+    /// assert!((p.value() - 41.4).abs() < 1e-12);
+    /// ```
+    Volts,
+    "V"
+);
+
+scalar_quantity!(
+    /// Electric current in amperes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use teg_units::{Amps, Ohms};
+    /// let v = Amps::new(2.0) * Ohms::new(1.5);
+    /// assert_eq!(v.value(), 3.0);
+    /// ```
+    Amps,
+    "A"
+);
+
+scalar_quantity!(
+    /// Electrical resistance in ohms.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use teg_units::Ohms;
+    /// let r = Ohms::new(1.7);
+    /// assert!((r.to_siemens().value() - 1.0 / 1.7).abs() < 1e-12);
+    /// ```
+    Ohms,
+    "Ω"
+);
+
+scalar_quantity!(
+    /// Electrical conductance in siemens (the reciprocal of resistance).
+    ///
+    /// Parallel combinations of TEG modules are naturally expressed as sums of
+    /// conductances, which is why the array solver works in siemens.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use teg_units::Siemens;
+    /// let g = Siemens::new(0.5) + Siemens::new(0.25);
+    /// assert!((g.to_ohms().value() - 1.0 / 0.75).abs() < 1e-12);
+    /// ```
+    Siemens,
+    "S"
+);
+
+scalar_quantity!(
+    /// Power in watts.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use teg_units::{Watts, Seconds};
+    /// let e = Watts::new(55.0) * Seconds::new(2.0);
+    /// assert_eq!(e.value(), 110.0);
+    /// ```
+    Watts,
+    "W"
+);
+
+impl Ohms {
+    /// Converts a resistance into the equivalent conductance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resistance is zero (a short has no finite conductance).
+    #[must_use]
+    pub fn to_siemens(self) -> Siemens {
+        assert!(self.0 != 0.0, "zero resistance has no finite conductance");
+        Siemens::new(1.0 / self.0)
+    }
+}
+
+impl Siemens {
+    /// Converts a conductance into the equivalent resistance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the conductance is zero (an open circuit has no finite
+    /// resistance).
+    #[must_use]
+    pub fn to_ohms(self) -> Ohms {
+        assert!(self.0 != 0.0, "zero conductance has no finite resistance");
+        Ohms::new(1.0 / self.0)
+    }
+}
+
+impl Mul<Amps> for Volts {
+    type Output = Watts;
+
+    fn mul(self, rhs: Amps) -> Watts {
+        Watts::new(self.value() * rhs.value())
+    }
+}
+
+impl Mul<Volts> for Amps {
+    type Output = Watts;
+
+    fn mul(self, rhs: Volts) -> Watts {
+        rhs * self
+    }
+}
+
+impl Mul<Ohms> for Amps {
+    type Output = Volts;
+
+    fn mul(self, rhs: Ohms) -> Volts {
+        Volts::new(self.value() * rhs.value())
+    }
+}
+
+impl Mul<Amps> for Ohms {
+    type Output = Volts;
+
+    fn mul(self, rhs: Amps) -> Volts {
+        rhs * self
+    }
+}
+
+impl Div<Ohms> for Volts {
+    type Output = Amps;
+
+    fn div(self, rhs: Ohms) -> Amps {
+        Amps::new(self.value() / rhs.value())
+    }
+}
+
+impl Div<Amps> for Volts {
+    type Output = Ohms;
+
+    fn div(self, rhs: Amps) -> Ohms {
+        Ohms::new(self.value() / rhs.value())
+    }
+}
+
+impl Mul<Volts> for Siemens {
+    type Output = Amps;
+
+    fn mul(self, rhs: Volts) -> Amps {
+        Amps::new(self.value() * rhs.value())
+    }
+}
+
+impl Div<Watts> for Watts {
+    type Output = f64;
+
+    fn div(self, rhs: Watts) -> f64 {
+        self.value() / rhs.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ohms_law_identities() {
+        let v = Volts::new(6.0);
+        let r = Ohms::new(2.0);
+        let i = v / r;
+        assert_eq!(i.value(), 3.0);
+        assert_eq!((i * r).value(), 6.0);
+        assert_eq!((v / i).value(), 2.0);
+    }
+
+    #[test]
+    fn power_from_voltage_and_current() {
+        let p = Volts::new(4.0) * Amps::new(2.5);
+        assert_eq!(p.value(), 10.0);
+        let p2 = Amps::new(2.5) * Volts::new(4.0);
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn conductance_resistance_round_trip() {
+        let r = Ohms::new(1.7);
+        let back = r.to_siemens().to_ohms();
+        assert!((r.value() - back.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero resistance")]
+    fn zero_resistance_has_no_conductance() {
+        let _ = Ohms::new(0.0).to_siemens();
+    }
+
+    #[test]
+    #[should_panic(expected = "zero conductance")]
+    fn zero_conductance_has_no_resistance() {
+        let _ = Siemens::new(0.0).to_ohms();
+    }
+
+    #[test]
+    fn conductance_times_voltage_is_current() {
+        let i = Siemens::new(0.5) * Volts::new(4.0);
+        assert_eq!(i.value(), 2.0);
+    }
+
+    #[test]
+    fn watt_ratio_is_dimensionless() {
+        let ratio = Watts::new(30.0) / Watts::new(60.0);
+        assert_eq!(ratio, 0.5);
+    }
+
+    #[test]
+    fn sums_and_scaling() {
+        let total: Amps = [1.0, 2.0, 3.0].iter().map(|&x| Amps::new(x)).sum();
+        assert_eq!(total.value(), 6.0);
+        assert_eq!((total * 2.0).value(), 12.0);
+        assert_eq!((total / 3.0).value(), 2.0);
+        assert_eq!((-total).value(), -6.0);
+    }
+
+    #[test]
+    fn display_includes_units() {
+        assert_eq!(format!("{}", Volts::new(13.8)), "13.8000 V");
+        assert_eq!(format!("{}", Watts::new(1.5)), "1.5000 W");
+        assert_eq!(format!("{}", Ohms::new(2.0)), "2.0000 Ω");
+    }
+
+    #[test]
+    fn min_max_abs_helpers() {
+        assert_eq!(Amps::new(-2.0).abs().value(), 2.0);
+        assert_eq!(Watts::new(3.0).max(Watts::new(5.0)).value(), 5.0);
+        assert_eq!(Watts::new(3.0).min(Watts::new(5.0)).value(), 3.0);
+        assert!(Volts::new(1.0).is_finite());
+        assert!(!Volts::new(f64::NAN).is_finite());
+    }
+}

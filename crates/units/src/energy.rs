@@ -1,0 +1,220 @@
+//! Energy quantities.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use crate::electrical::Watts;
+use crate::time::Seconds;
+
+/// Energy in joules.
+///
+/// Table I of the paper reports harvested energy and switching-overhead
+/// energy in joules over the 800-second drive; the simulator accumulates
+/// both as [`Joules`].
+///
+/// # Examples
+///
+/// ```
+/// use teg_units::{Joules, Watts, Seconds};
+///
+/// let step = Watts::new(50.0) * Seconds::new(1.0);
+/// let mut total = Joules::ZERO;
+/// total += step;
+/// assert_eq!(total, Joules::new(50.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Joules(f64);
+
+impl Joules {
+    /// Zero energy.
+    pub const ZERO: Self = Self(0.0);
+
+    /// Creates an energy from a value in joules.
+    #[must_use]
+    pub const fn new(value: f64) -> Self {
+        Self(value)
+    }
+
+    /// Returns the raw value in joules.
+    #[must_use]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Absolute value.
+    #[must_use]
+    pub fn abs(self) -> Self {
+        Self(self.0.abs())
+    }
+
+    /// Returns the larger of two energies.
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        Self(self.0.max(other.0))
+    }
+
+    /// Returns the average power that would produce this energy over the
+    /// given duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` is zero or negative.
+    #[must_use]
+    pub fn average_power(self, duration: Seconds) -> Watts {
+        assert!(duration.value() > 0.0, "duration must be positive");
+        Watts::new(self.0 / duration.value())
+    }
+
+    /// Returns `true` when the value is finite.
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+}
+
+impl fmt::Display for Joules {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} J", self.0)
+    }
+}
+
+impl Add for Joules {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Joules {
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Joules {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Self(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Joules {
+    fn sub_assign(&mut self, rhs: Self) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Joules {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Self(-self.0)
+    }
+}
+
+impl Mul<f64> for Joules {
+    type Output = Self;
+    fn mul(self, rhs: f64) -> Self {
+        Self(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Joules {
+    type Output = Self;
+    fn div(self, rhs: f64) -> Self {
+        Self(self.0 / rhs)
+    }
+}
+
+impl Div<Joules> for Joules {
+    type Output = f64;
+    fn div(self, rhs: Joules) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Joules {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        Self(iter.map(|v| v.0).sum())
+    }
+}
+
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules::new(self.value() * rhs.value())
+    }
+}
+
+impl Mul<Watts> for Seconds {
+    type Output = Joules;
+
+    fn mul(self, rhs: Watts) -> Joules {
+        rhs * self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let e = Watts::new(25.0) * Seconds::new(4.0);
+        assert_eq!(e, Joules::new(100.0));
+        let e2 = Seconds::new(4.0) * Watts::new(25.0);
+        assert_eq!(e, e2);
+    }
+
+    #[test]
+    fn energy_accumulation() {
+        let mut acc = Joules::ZERO;
+        for _ in 0..10 {
+            acc += Joules::new(1.5);
+        }
+        assert!((acc.value() - 15.0).abs() < 1e-12);
+        acc -= Joules::new(5.0);
+        assert!((acc.value() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_power_round_trip() {
+        let e = Joules::new(120.0);
+        let p = e.average_power(Seconds::new(60.0));
+        assert_eq!(p.value(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must be positive")]
+    fn average_power_rejects_zero_duration() {
+        let _ = Joules::new(1.0).average_power(Seconds::new(0.0));
+    }
+
+    #[test]
+    fn energy_ratio_is_dimensionless() {
+        assert_eq!(Joules::new(30.0) / Joules::new(60.0), 0.5);
+    }
+
+    #[test]
+    fn scaling_and_negation() {
+        let e = Joules::new(10.0);
+        assert_eq!((e * 3.0).value(), 30.0);
+        assert_eq!((e / 4.0).value(), 2.5);
+        assert_eq!((-e).value(), -10.0);
+        assert_eq!(e.abs().value(), 10.0);
+        assert_eq!((-e).abs().value(), 10.0);
+        assert_eq!(e.max(Joules::new(12.0)).value(), 12.0);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Joules = (1..=5).map(|i| Joules::new(f64::from(i))).sum();
+        assert_eq!(total.value(), 15.0);
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        assert_eq!(format!("{}", Joules::new(43309.6)), "43309.60 J");
+    }
+}

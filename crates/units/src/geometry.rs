@@ -1,0 +1,244 @@
+//! Geometric quantities used by the radiator model: lengths and areas.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A length in metres.
+///
+/// The 1-D radiator model evaluates the coolant temperature at a distance `d`
+/// (in metres) from the radiator entrance; module positions along the
+/// S-shaped fin are also lengths.
+///
+/// # Examples
+///
+/// ```
+/// use teg_units::Meters;
+///
+/// let tube = Meters::new(0.6);
+/// let half = tube / 2.0;
+/// assert_eq!(half.value(), 0.3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Meters(f64);
+
+impl Meters {
+    /// Zero length.
+    pub const ZERO: Self = Self(0.0);
+
+    /// Creates a length from a value in metres.
+    #[must_use]
+    pub const fn new(value: f64) -> Self {
+        Self(value)
+    }
+
+    /// Returns the raw value in metres.
+    #[must_use]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Returns `true` when the value is finite.
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// Returns the larger of two lengths.
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        Self(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two lengths.
+    #[must_use]
+    pub fn min(self, other: Self) -> Self {
+        Self(self.0.min(other.0))
+    }
+}
+
+impl fmt::Display for Meters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} m", self.0)
+    }
+}
+
+impl Add for Meters {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Meters {
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Meters {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Self(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Meters {
+    type Output = Self;
+    fn mul(self, rhs: f64) -> Self {
+        Self(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Meters {
+    type Output = Self;
+    fn div(self, rhs: f64) -> Self {
+        Self(self.0 / rhs)
+    }
+}
+
+impl Div<Meters> for Meters {
+    type Output = f64;
+    fn div(self, rhs: Meters) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Mul<Meters> for Meters {
+    type Output = SquareMeters;
+    fn mul(self, rhs: Meters) -> SquareMeters {
+        SquareMeters::new(self.0 * rhs.0)
+    }
+}
+
+impl Sum for Meters {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        Self(iter.map(|v| v.0).sum())
+    }
+}
+
+/// An area in square metres.
+///
+/// Heat-exchanger surface areas (tube outer area, fin area) are expressed in
+/// square metres when computing the overall heat-transfer coefficient.
+///
+/// # Examples
+///
+/// ```
+/// use teg_units::{Meters, SquareMeters};
+///
+/// let a = Meters::new(0.6) * Meters::new(0.4);
+/// assert_eq!(a, SquareMeters::new(0.24));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct SquareMeters(f64);
+
+impl SquareMeters {
+    /// Zero area.
+    pub const ZERO: Self = Self(0.0);
+
+    /// Creates an area from a value in square metres.
+    #[must_use]
+    pub const fn new(value: f64) -> Self {
+        Self(value)
+    }
+
+    /// Returns the raw value in square metres.
+    #[must_use]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for SquareMeters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.5} m²", self.0)
+    }
+}
+
+impl Add for SquareMeters {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl Sub for SquareMeters {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Self(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for SquareMeters {
+    type Output = Self;
+    fn mul(self, rhs: f64) -> Self {
+        Self(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for SquareMeters {
+    type Output = Self;
+    fn div(self, rhs: f64) -> Self {
+        Self(self.0 / rhs)
+    }
+}
+
+impl Sum for SquareMeters {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        Self(iter.map(|v| v.0).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_arithmetic() {
+        let a = Meters::new(1.2);
+        let b = Meters::new(0.3);
+        assert_eq!((a + b).value(), 1.5);
+        assert!(((a - b).value() - 0.9).abs() < 1e-12);
+        assert_eq!((a * 2.0).value(), 2.4);
+        assert_eq!((a / 4.0).value(), 0.3);
+        assert_eq!(a / b, 4.0);
+    }
+
+    #[test]
+    fn length_product_is_area() {
+        let area = Meters::new(0.5) * Meters::new(0.2);
+        assert!((area.value() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn area_arithmetic() {
+        let a = SquareMeters::new(0.3);
+        let b = SquareMeters::new(0.1);
+        assert!(((a + b).value() - 0.4).abs() < 1e-12);
+        assert!(((a - b).value() - 0.2).abs() < 1e-12);
+        assert!(((a * 2.0).value() - 0.6).abs() < 1e-12);
+        assert!(((a / 3.0).value() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sums_work() {
+        let l: Meters = (1..=3).map(|i| Meters::new(f64::from(i))).sum();
+        assert_eq!(l.value(), 6.0);
+        let a: SquareMeters = (1..=3).map(|i| SquareMeters::new(f64::from(i))).sum();
+        assert_eq!(a.value(), 6.0);
+    }
+
+    #[test]
+    fn display_includes_units() {
+        assert_eq!(format!("{}", Meters::new(0.6)), "0.6000 m");
+        assert_eq!(format!("{}", SquareMeters::new(0.24)), "0.24000 m²");
+    }
+
+    #[test]
+    fn min_max_helpers() {
+        assert_eq!(Meters::new(1.0).max(Meters::new(2.0)).value(), 2.0);
+        assert_eq!(Meters::new(1.0).min(Meters::new(2.0)).value(), 1.0);
+        assert!(Meters::new(1.0).is_finite());
+    }
+}

@@ -1,0 +1,364 @@
+//! Temperature quantities: absolute temperatures in Celsius and kelvin, and
+//! temperature differences.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Offset between the Celsius and kelvin scales.
+pub(crate) const CELSIUS_TO_KELVIN_OFFSET: f64 = 273.15;
+
+/// An absolute temperature on the Celsius scale.
+///
+/// This is the unit used for user-facing temperatures throughout the suite
+/// (coolant inlet temperature, ambient temperature, module hot-side
+/// temperature) because the paper and the underlying datasheets quote
+/// everything in °C.
+///
+/// # Examples
+///
+/// ```
+/// use teg_units::Celsius;
+///
+/// let coolant = Celsius::new(95.5);
+/// assert_eq!(coolant.value(), 95.5);
+/// assert!((coolant.to_kelvin().value() - 368.65).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Celsius(f64);
+
+impl Celsius {
+    /// Creates a temperature from a value in degrees Celsius.
+    #[must_use]
+    pub const fn new(degrees: f64) -> Self {
+        Self(degrees)
+    }
+
+    /// Returns the raw value in degrees Celsius.
+    #[must_use]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to an absolute temperature in kelvin.
+    #[must_use]
+    pub fn to_kelvin(self) -> Kelvin {
+        Kelvin::new(self.0 + CELSIUS_TO_KELVIN_OFFSET)
+    }
+
+    /// Returns the larger of two temperatures.
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        Self(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two temperatures.
+    #[must_use]
+    pub fn min(self, other: Self) -> Self {
+        Self(self.0.min(other.0))
+    }
+
+    /// Clamps the temperature to the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[must_use]
+    pub fn clamp(self, lo: Self, hi: Self) -> Self {
+        assert!(lo.0 <= hi.0, "invalid clamp range");
+        Self(self.0.clamp(lo.0, hi.0))
+    }
+
+    /// Returns `true` when the value is finite (not NaN or infinite).
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+}
+
+impl fmt::Display for Celsius {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} °C", self.0)
+    }
+}
+
+impl From<Kelvin> for Celsius {
+    fn from(k: Kelvin) -> Self {
+        Self(k.value() - CELSIUS_TO_KELVIN_OFFSET)
+    }
+}
+
+/// An absolute temperature in kelvin.
+///
+/// Used where thermodynamic relations require an absolute scale (e.g. fluid
+/// property correlations).
+///
+/// # Examples
+///
+/// ```
+/// use teg_units::{Celsius, Kelvin};
+///
+/// let k = Kelvin::new(300.0);
+/// let c: Celsius = k.into();
+/// assert!((c.value() - 26.85).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Kelvin(f64);
+
+impl Kelvin {
+    /// Creates a temperature from a value in kelvin.
+    #[must_use]
+    pub const fn new(kelvin: f64) -> Self {
+        Self(kelvin)
+    }
+
+    /// Returns the raw value in kelvin.
+    #[must_use]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to the Celsius scale.
+    #[must_use]
+    pub fn to_celsius(self) -> Celsius {
+        Celsius::from(self)
+    }
+}
+
+impl fmt::Display for Kelvin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} K", self.0)
+    }
+}
+
+impl From<Celsius> for Kelvin {
+    fn from(c: Celsius) -> Self {
+        c.to_kelvin()
+    }
+}
+
+/// A temperature *difference*, identical in magnitude on the Celsius and
+/// kelvin scales.
+///
+/// This is the ΔT that drives every thermoelectric relation in the paper
+/// (Eq. 2): the difference between a module's hot-side temperature and the
+/// heatsink / ambient temperature.
+///
+/// # Examples
+///
+/// ```
+/// use teg_units::{Celsius, TemperatureDelta};
+///
+/// let delta = Celsius::new(90.0) - Celsius::new(25.0);
+/// assert_eq!(delta, TemperatureDelta::new(65.0));
+/// assert_eq!(delta.kelvin(), 65.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct TemperatureDelta(f64);
+
+impl TemperatureDelta {
+    /// A zero temperature difference.
+    pub const ZERO: Self = Self(0.0);
+
+    /// Creates a temperature difference in kelvin (equivalently °C).
+    #[must_use]
+    pub const fn new(kelvin: f64) -> Self {
+        Self(kelvin)
+    }
+
+    /// Returns the difference in kelvin.
+    #[must_use]
+    pub const fn kelvin(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the difference clamped below at zero.
+    ///
+    /// TEG modules mounted on a radiator never see a *negative* useful ΔT in
+    /// this application (the hot side is the radiator surface); a negative
+    /// value would correspond to the module acting as a cooler, which the
+    /// electrical model does not cover, so callers clamp before evaluating.
+    #[must_use]
+    pub fn clamp_non_negative(self) -> Self {
+        Self(self.0.max(0.0))
+    }
+
+    /// Absolute value of the difference.
+    #[must_use]
+    pub fn abs(self) -> Self {
+        Self(self.0.abs())
+    }
+
+    /// Returns `true` when the value is finite.
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+}
+
+impl fmt::Display for TemperatureDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} K", self.0)
+    }
+}
+
+impl Sub for Celsius {
+    type Output = TemperatureDelta;
+
+    fn sub(self, rhs: Self) -> TemperatureDelta {
+        TemperatureDelta::new(self.0 - rhs.0)
+    }
+}
+
+impl Add<TemperatureDelta> for Celsius {
+    type Output = Celsius;
+
+    fn add(self, rhs: TemperatureDelta) -> Celsius {
+        Celsius::new(self.0 + rhs.0)
+    }
+}
+
+impl Sub<TemperatureDelta> for Celsius {
+    type Output = Celsius;
+
+    fn sub(self, rhs: TemperatureDelta) -> Celsius {
+        Celsius::new(self.0 - rhs.0)
+    }
+}
+
+impl AddAssign<TemperatureDelta> for Celsius {
+    fn add_assign(&mut self, rhs: TemperatureDelta) {
+        self.0 += rhs.0;
+    }
+}
+
+impl SubAssign<TemperatureDelta> for Celsius {
+    fn sub_assign(&mut self, rhs: TemperatureDelta) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Add for TemperatureDelta {
+    type Output = Self;
+
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl Sub for TemperatureDelta {
+    type Output = Self;
+
+    fn sub(self, rhs: Self) -> Self {
+        Self(self.0 - rhs.0)
+    }
+}
+
+impl Neg for TemperatureDelta {
+    type Output = Self;
+
+    fn neg(self) -> Self {
+        Self(-self.0)
+    }
+}
+
+impl Mul<f64> for TemperatureDelta {
+    type Output = Self;
+
+    fn mul(self, rhs: f64) -> Self {
+        Self(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for TemperatureDelta {
+    type Output = Self;
+
+    fn div(self, rhs: f64) -> Self {
+        Self(self.0 / rhs)
+    }
+}
+
+impl Sum for TemperatureDelta {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        Self(iter.map(|d| d.0).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn celsius_kelvin_round_trip() {
+        let c = Celsius::new(42.5);
+        let back = c.to_kelvin().to_celsius();
+        assert!((c.value() - back.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subtracting_celsius_gives_delta() {
+        let d = Celsius::new(100.0) - Celsius::new(30.0);
+        assert_eq!(d.kelvin(), 70.0);
+    }
+
+    #[test]
+    fn adding_delta_moves_temperature() {
+        let t = Celsius::new(50.0) + TemperatureDelta::new(10.0);
+        assert_eq!(t.value(), 60.0);
+        let t = t - TemperatureDelta::new(25.0);
+        assert_eq!(t.value(), 35.0);
+    }
+
+    #[test]
+    fn delta_clamps_negative_values() {
+        assert_eq!(TemperatureDelta::new(-5.0).clamp_non_negative().kelvin(), 0.0);
+        assert_eq!(TemperatureDelta::new(5.0).clamp_non_negative().kelvin(), 5.0);
+    }
+
+    #[test]
+    fn delta_arithmetic() {
+        let a = TemperatureDelta::new(10.0);
+        let b = TemperatureDelta::new(4.0);
+        assert_eq!((a + b).kelvin(), 14.0);
+        assert_eq!((a - b).kelvin(), 6.0);
+        assert_eq!((-a).kelvin(), -10.0);
+        assert_eq!((a * 2.0).kelvin(), 20.0);
+        assert_eq!((a / 2.0).kelvin(), 5.0);
+    }
+
+    #[test]
+    fn delta_sum_over_iterator() {
+        let total: TemperatureDelta = (1..=4).map(|i| TemperatureDelta::new(f64::from(i))).sum();
+        assert_eq!(total.kelvin(), 10.0);
+    }
+
+    #[test]
+    fn celsius_clamp_and_extremes() {
+        let t = Celsius::new(120.0);
+        assert_eq!(t.clamp(Celsius::new(0.0), Celsius::new(100.0)).value(), 100.0);
+        assert_eq!(Celsius::new(40.0).max(Celsius::new(60.0)).value(), 60.0);
+        assert_eq!(Celsius::new(40.0).min(Celsius::new(60.0)).value(), 40.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid clamp range")]
+    fn celsius_clamp_rejects_inverted_range() {
+        let _ = Celsius::new(1.0).clamp(Celsius::new(10.0), Celsius::new(0.0));
+    }
+
+    #[test]
+    fn display_formats_include_units() {
+        assert_eq!(format!("{}", Celsius::new(25.0)), "25.000 °C");
+        assert_eq!(format!("{}", Kelvin::new(300.0)), "300.000 K");
+        assert_eq!(format!("{}", TemperatureDelta::new(65.0)), "65.000 K");
+    }
+
+    #[test]
+    fn compound_assignments() {
+        let mut t = Celsius::new(20.0);
+        t += TemperatureDelta::new(5.0);
+        assert_eq!(t.value(), 25.0);
+        t -= TemperatureDelta::new(10.0);
+        assert_eq!(t.value(), 15.0);
+    }
+}

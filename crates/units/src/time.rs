@@ -1,0 +1,334 @@
+//! Time-related quantities: durations in seconds and milliseconds, and
+//! frequencies.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A duration in seconds.
+///
+/// The simulation clock, reconfiguration periods and prediction horizons are
+/// all expressed in seconds, matching the paper's 1 Hz temperature trace and
+/// 0.5 s reconfiguration period.
+///
+/// # Examples
+///
+/// ```
+/// use teg_units::Seconds;
+///
+/// let period = Seconds::new(0.5);
+/// assert_eq!((period * 4.0).value(), 2.0);
+/// assert_eq!(period.to_milliseconds().value(), 500.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Seconds(f64);
+
+impl Seconds {
+    /// Zero duration.
+    pub const ZERO: Self = Self(0.0);
+
+    /// Creates a duration from a value in seconds.
+    #[must_use]
+    pub const fn new(value: f64) -> Self {
+        Self(value)
+    }
+
+    /// Returns the raw value in seconds.
+    #[must_use]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to milliseconds.
+    #[must_use]
+    pub fn to_milliseconds(self) -> Milliseconds {
+        Milliseconds::new(self.0 * 1e3)
+    }
+
+    /// Returns the corresponding frequency (1 / period).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the duration is zero or negative.
+    #[must_use]
+    pub fn to_frequency(self) -> Hertz {
+        assert!(self.0 > 0.0, "period must be positive to form a frequency");
+        Hertz::new(1.0 / self.0)
+    }
+
+    /// Returns `true` when the value is finite.
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// Returns the larger of two durations.
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        Self(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two durations.
+    #[must_use]
+    pub fn min(self, other: Self) -> Self {
+        Self(self.0.min(other.0))
+    }
+}
+
+impl fmt::Display for Seconds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} s", self.0)
+    }
+}
+
+impl Add for Seconds {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Seconds {
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Seconds {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Self(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Seconds {
+    type Output = Self;
+    fn mul(self, rhs: f64) -> Self {
+        Self(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Seconds {
+    type Output = Self;
+    fn div(self, rhs: f64) -> Self {
+        Self(self.0 / rhs)
+    }
+}
+
+impl Div<Seconds> for Seconds {
+    type Output = f64;
+    fn div(self, rhs: Seconds) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Seconds {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        Self(iter.map(|v| v.0).sum())
+    }
+}
+
+/// A duration in milliseconds.
+///
+/// Table I reports average algorithm runtime in milliseconds, so runtime
+/// instrumentation uses this type for its report output.
+///
+/// # Examples
+///
+/// ```
+/// use teg_units::Milliseconds;
+///
+/// let rt = Milliseconds::new(2.6);
+/// assert!((rt.to_seconds().value() - 0.0026).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Milliseconds(f64);
+
+impl Milliseconds {
+    /// Zero duration.
+    pub const ZERO: Self = Self(0.0);
+
+    /// Creates a duration from a value in milliseconds.
+    #[must_use]
+    pub const fn new(value: f64) -> Self {
+        Self(value)
+    }
+
+    /// Returns the raw value in milliseconds.
+    #[must_use]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to seconds.
+    #[must_use]
+    pub fn to_seconds(self) -> Seconds {
+        Seconds::new(self.0 * 1e-3)
+    }
+}
+
+impl fmt::Display for Milliseconds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} ms", self.0)
+    }
+}
+
+impl Add for Milliseconds {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Milliseconds {
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Milliseconds {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Self(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Milliseconds {
+    type Output = Self;
+    fn mul(self, rhs: f64) -> Self {
+        Self(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Milliseconds {
+    type Output = Self;
+    fn div(self, rhs: f64) -> Self {
+        Self(self.0 / rhs)
+    }
+}
+
+impl Sum for Milliseconds {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        Self(iter.map(|v| v.0).sum())
+    }
+}
+
+impl From<Seconds> for Milliseconds {
+    fn from(s: Seconds) -> Self {
+        s.to_milliseconds()
+    }
+}
+
+impl From<Milliseconds> for Seconds {
+    fn from(ms: Milliseconds) -> Self {
+        ms.to_seconds()
+    }
+}
+
+/// A frequency in hertz.
+///
+/// # Examples
+///
+/// ```
+/// use teg_units::Hertz;
+///
+/// let f = Hertz::new(2.0);
+/// assert_eq!(f.to_period().value(), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Hertz(f64);
+
+impl Hertz {
+    /// Creates a frequency from a value in hertz.
+    #[must_use]
+    pub const fn new(value: f64) -> Self {
+        Self(value)
+    }
+
+    /// Returns the raw value in hertz.
+    #[must_use]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the corresponding period (1 / frequency).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero or negative.
+    #[must_use]
+    pub fn to_period(self) -> Seconds {
+        assert!(self.0 > 0.0, "frequency must be positive to form a period");
+        Seconds::new(1.0 / self.0)
+    }
+}
+
+impl fmt::Display for Hertz {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} Hz", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seconds_milliseconds_round_trip() {
+        let s = Seconds::new(0.5);
+        let back = s.to_milliseconds().to_seconds();
+        assert!((s.value() - back.value()).abs() < 1e-12);
+        let ms: Milliseconds = s.into();
+        assert_eq!(ms.value(), 500.0);
+        let s2: Seconds = ms.into();
+        assert_eq!(s2, s);
+    }
+
+    #[test]
+    fn frequency_period_round_trip() {
+        let f = Seconds::new(0.25).to_frequency();
+        assert_eq!(f.value(), 4.0);
+        assert_eq!(f.to_period().value(), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_has_no_frequency() {
+        let _ = Seconds::ZERO.to_frequency();
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency must be positive")]
+    fn zero_frequency_has_no_period() {
+        let _ = Hertz::new(0.0).to_period();
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let a = Seconds::new(1.5);
+        let b = Seconds::new(0.5);
+        assert_eq!((a + b).value(), 2.0);
+        assert_eq!((a - b).value(), 1.0);
+        assert_eq!((a * 2.0).value(), 3.0);
+        assert_eq!((a / 3.0).value(), 0.5);
+        assert_eq!(a / b, 3.0);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn millisecond_arithmetic() {
+        let total: Milliseconds = [2.6, 4.1, 37.2].iter().map(|&x| Milliseconds::new(x)).sum();
+        assert!((total.value() - 43.9).abs() < 1e-12);
+        assert!((total / 3.0).value() > 14.0);
+    }
+
+    #[test]
+    fn sums_and_display() {
+        let total: Seconds = (0..4).map(|_| Seconds::new(0.5)).sum();
+        assert_eq!(total.value(), 2.0);
+        assert_eq!(format!("{}", Seconds::new(0.5)), "0.500 s");
+        assert_eq!(format!("{}", Milliseconds::new(2.6)), "2.6000 ms");
+        assert_eq!(format!("{}", Hertz::new(2.0)), "2.000 Hz");
+    }
+}

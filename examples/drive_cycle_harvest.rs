@@ -1,0 +1,44 @@
+//! Full-chain harvesting comparison over a synthetic drive-cycle window:
+//! DNOR vs INOR vs EHTR vs the static baseline (the experiment behind
+//! Figs. 6–7 and Table I, on a shorter window so it runs quickly in debug
+//! builds).
+//!
+//! Run with `cargo run --release --example drive_cycle_harvest`.
+
+use teg_harvest::reconfig::{Dnor, Ehtr, Inor, Reconfigurer, StaticBaseline};
+use teg_harvest::sim::{Scenario, SimulationEngine};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = Scenario::builder()
+        .module_count(100)
+        .duration_seconds(120)
+        .seed(2024)
+        .build()?;
+    let engine = SimulationEngine::new(scenario);
+
+    let mut schemes: Vec<Box<dyn Reconfigurer>> = vec![
+        Box::new(Dnor::default()),
+        Box::new(Inor::default()),
+        Box::new(Ehtr::default()),
+        Box::new(StaticBaseline::grid_10x10()),
+    ];
+
+    println!(
+        "{:<10} {:>14} {:>16} {:>10} {:>16}",
+        "scheme", "energy (J)", "overhead (J)", "switches", "avg runtime (ms)"
+    );
+    for scheme in &mut schemes {
+        let report = engine.run(scheme.as_mut())?;
+        let (energy, overhead, runtime) = report.table1_row();
+        println!(
+            "{:<10} {:>14.1} {:>16.2} {:>10} {:>16.3}",
+            report.scheme(),
+            energy,
+            overhead,
+            report.switch_count(),
+            runtime
+        );
+    }
+    println!("\n(120-second window; run the teg-bench `table1_comparison` binary for the full 800 s drive)");
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! Compare the three temperature predictors (MLR, BPNN, SVR) on a synthetic
+//! drive cycle — the experiment behind the paper's Fig. 5.
+//!
+//! Run with `cargo run --release --example prediction_comparison`.
+
+use teg_harvest::predict::metrics::mape;
+use teg_harvest::predict::{
+    BackPropagationNetwork, MultipleLinearRegression, Predictor, SupportVectorRegression,
+};
+use teg_harvest::thermal::DriveCycle;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cycle = DriveCycle::porter_ii_800s(7)?;
+    let series = cycle.coolant_temperature_series();
+    let values = series.values();
+    let split = 600; // train on the first 600 s, score on the rest
+
+    let mut predictors: Vec<Box<dyn Predictor>> = vec![
+        Box::new(MultipleLinearRegression::new(5)?),
+        Box::new(BackPropagationNetwork::new(5, 8, 42)?),
+        Box::new(SupportVectorRegression::new(5, 42)?),
+    ];
+
+    println!("{:<6} {:>18} {:>18}", "method", "1-s MAPE (%)", "2-s MAPE (%)");
+    for predictor in &mut predictors {
+        predictor.fit(&values[..split])?;
+        for horizon in [1usize, 2] {
+            let mut actual = Vec::new();
+            let mut forecast = Vec::new();
+            for t in split..(values.len() - horizon) {
+                let prediction = predictor.forecast(&values[..t], horizon)?;
+                forecast.push(prediction[horizon - 1]);
+                actual.push(values[t + horizon - 1]);
+            }
+            let err = mape(&actual, &forecast)?;
+            if horizon == 1 {
+                print!("{:<6} {:>18.4}", predictor.name(), err);
+            } else {
+                println!(" {:>18.4}", err);
+            }
+        }
+    }
+    println!("\nMLR should show the smallest error, matching the paper's choice for DNOR.");
+    Ok(())
+}
