@@ -113,7 +113,9 @@ impl Configuration {
         if module_count == 0 {
             return Err(ArrayError::EmptyArray);
         }
-        let invalid = |reason: &str| ArrayError::InvalidConfiguration { reason: reason.to_owned() };
+        let invalid = |reason: &str| ArrayError::InvalidConfiguration {
+            reason: reason.to_owned(),
+        };
         if group_starts.is_empty() {
             return Err(invalid("a configuration needs at least one group"));
         }
@@ -128,7 +130,10 @@ impl Configuration {
         if *group_starts.last().expect("non-empty") >= module_count {
             return Err(invalid("a group start lies beyond the last module"));
         }
-        Ok(Self { group_starts, module_count })
+        Ok(Self {
+            group_starts,
+            module_count,
+        })
     }
 
     /// Splits `module_count` modules into `group_count` groups of (near)
@@ -145,7 +150,10 @@ impl Configuration {
             return Err(ArrayError::EmptyArray);
         }
         if group_count == 0 || group_count > module_count {
-            return Err(ArrayError::InvalidGroupCount { groups: group_count, modules: module_count });
+            return Err(ArrayError::InvalidGroupCount {
+                groups: group_count,
+                modules: module_count,
+            });
         }
         let starts = (0..group_count)
             .map(|j| j * module_count / group_count)
@@ -285,7 +293,10 @@ mod tests {
     #[test]
     fn construction_validation() {
         assert!(Configuration::new(vec![0, 3, 6], 10).is_ok());
-        assert!(matches!(Configuration::new(vec![0], 0), Err(ArrayError::EmptyArray)));
+        assert!(matches!(
+            Configuration::new(vec![0], 0),
+            Err(ArrayError::EmptyArray)
+        ));
         assert!(Configuration::new(vec![], 10).is_err());
         assert!(Configuration::new(vec![1, 3], 10).is_err());
         assert!(Configuration::new(vec![0, 3, 3], 10).is_err());

@@ -129,7 +129,9 @@ impl TegArray {
     #[must_use]
     pub fn uniform(module: TegModule, count: usize) -> Self {
         assert!(count > 0, "array needs at least one module");
-        Self { modules: vec![module; count] }
+        Self {
+            modules: vec![module; count],
+        }
     }
 
     /// Number of modules in the array.
@@ -240,6 +242,8 @@ impl TegArray {
         Ok(self.maximum_power_point(config, deltas)?.power())
     }
 
+    // Parallel indexing of modules and deltas over a sub-range.
+    #[allow(clippy::needless_range_loop)]
     fn group_sums(&self, start: usize, end: usize, deltas: &[TemperatureDelta]) -> (f64, f64) {
         let mut s_g = 0.0;
         let mut g_g = 0.0;
@@ -323,7 +327,7 @@ mod tests {
         let r = m.internal_resistance(dt).value();
         let array = TegArray::uniform(m, 4);
         let config = Configuration::uniform(4, 2).unwrap();
-        let op = array.maximum_power_point(&config, &vec![dt; 4]).unwrap();
+        let op = array.maximum_power_point(&config, &[dt; 4]).unwrap();
         let expected = (2.0 * voc) * (2.0 * voc) / (4.0 * r);
         assert!((op.power().value() - expected).abs() < 1e-9);
         // The MPP voltage of a symmetric array is half its total Voc.
@@ -336,9 +340,15 @@ mod tests {
         // same maximum power (only the voltage/current split changes).
         let array = TegArray::uniform(module(), 12);
         let deltas = vec![TemperatureDelta::new(55.0); 12];
-        let p1 = array.mpp_power(&Configuration::uniform(12, 1).unwrap(), &deltas).unwrap();
-        let p3 = array.mpp_power(&Configuration::uniform(12, 3).unwrap(), &deltas).unwrap();
-        let p12 = array.mpp_power(&Configuration::uniform(12, 12).unwrap(), &deltas).unwrap();
+        let p1 = array
+            .mpp_power(&Configuration::uniform(12, 1).unwrap(), &deltas)
+            .unwrap();
+        let p3 = array
+            .mpp_power(&Configuration::uniform(12, 3).unwrap(), &deltas)
+            .unwrap();
+        let p12 = array
+            .mpp_power(&Configuration::uniform(12, 12).unwrap(), &deltas)
+            .unwrap();
         assert!((p1.value() - p3.value()).abs() < 1e-9);
         assert!((p3.value() - p12.value()).abs() < 1e-9);
     }
@@ -352,9 +362,13 @@ mod tests {
         let array = TegArray::uniform(module(), 20);
         let deltas = gradient_deltas(20);
         let ideal = ideal_power(array.modules(), &deltas).unwrap();
-        let series = array.mpp_power(&Configuration::all_series(20).unwrap(), &deltas).unwrap();
+        let series = array
+            .mpp_power(&Configuration::all_series(20).unwrap(), &deltas)
+            .unwrap();
         assert!(series < ideal);
-        let grouped = array.mpp_power(&Configuration::uniform(20, 5).unwrap(), &deltas).unwrap();
+        let grouped = array
+            .mpp_power(&Configuration::uniform(20, 5).unwrap(), &deltas)
+            .unwrap();
         assert!(grouped.value() <= ideal.value() + 1e-9);
     }
 
@@ -366,7 +380,10 @@ mod tests {
         for groups in 1..=15 {
             let config = Configuration::uniform(15, groups).unwrap();
             let p = array.mpp_power(&config, &deltas).unwrap();
-            assert!(p.value() <= ideal.value() + 1e-9, "{groups} groups exceeded ideal");
+            assert!(
+                p.value() <= ideal.value() + 1e-9,
+                "{groups} groups exceeded ideal"
+            );
         }
     }
 

@@ -45,7 +45,10 @@ impl fmt::Display for ArrayError {
         match self {
             Self::EmptyArray => write!(f, "the array must contain at least one module"),
             Self::InvalidConfiguration { reason } => write!(f, "invalid configuration: {reason}"),
-            Self::DimensionMismatch { modules, temperatures } => write!(
+            Self::DimensionMismatch {
+                modules,
+                temperatures,
+            } => write!(
                 f,
                 "temperature vector has {temperatures} entries but the array has {modules} modules"
             ),
@@ -65,15 +68,23 @@ mod tests {
     #[test]
     fn messages_are_descriptive() {
         assert!(ArrayError::EmptyArray.to_string().contains("at least one"));
-        assert!(ArrayError::InvalidConfiguration { reason: "unsorted".into() }
-            .to_string()
-            .contains("unsorted"));
-        assert!(ArrayError::DimensionMismatch { modules: 10, temperatures: 9 }
-            .to_string()
-            .contains("10"));
-        assert!(ArrayError::InvalidGroupCount { groups: 11, modules: 10 }
-            .to_string()
-            .contains("11"));
+        assert!(ArrayError::InvalidConfiguration {
+            reason: "unsorted".into()
+        }
+        .to_string()
+        .contains("unsorted"));
+        assert!(ArrayError::DimensionMismatch {
+            modules: 10,
+            temperatures: 9
+        }
+        .to_string()
+        .contains("10"));
+        assert!(ArrayError::InvalidGroupCount {
+            groups: 11,
+            modules: 10
+        }
+        .to_string()
+        .contains("11"));
     }
 
     #[test]

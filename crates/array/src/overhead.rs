@@ -81,11 +81,28 @@ impl SwitchingOverheadModel {
         mppt_settling: Seconds,
         per_toggle_energy: Joules,
     ) -> Self {
-        assert!(sensing_delay.value() >= 0.0, "sensing delay must be non-negative");
-        assert!(reconfiguration_delay.value() >= 0.0, "reconfiguration delay must be non-negative");
-        assert!(mppt_settling.value() >= 0.0, "MPPT settling time must be non-negative");
-        assert!(per_toggle_energy.value() >= 0.0, "per-toggle energy must be non-negative");
-        Self { sensing_delay, reconfiguration_delay, mppt_settling, per_toggle_energy }
+        assert!(
+            sensing_delay.value() >= 0.0,
+            "sensing delay must be non-negative"
+        );
+        assert!(
+            reconfiguration_delay.value() >= 0.0,
+            "reconfiguration delay must be non-negative"
+        );
+        assert!(
+            mppt_settling.value() >= 0.0,
+            "MPPT settling time must be non-negative"
+        );
+        assert!(
+            per_toggle_energy.value() >= 0.0,
+            "per-toggle energy must be non-negative"
+        );
+        Self {
+            sensing_delay,
+            reconfiguration_delay,
+            mppt_settling,
+            per_toggle_energy,
+        }
     }
 
     /// Sensor read-out delay before the algorithm can run.
@@ -117,7 +134,9 @@ impl SwitchingOverheadModel {
     /// Dead time of one event given the measured algorithm computation time.
     #[must_use]
     pub fn dead_time(&self, computation: Seconds) -> Seconds {
-        self.sensing_delay + computation.max(Seconds::ZERO) + self.reconfiguration_delay
+        self.sensing_delay
+            + computation.max(Seconds::ZERO)
+            + self.reconfiguration_delay
             + self.mppt_settling
     }
 
@@ -136,7 +155,11 @@ impl SwitchingOverheadModel {
         let dead_time = self.dead_time(computation);
         let lost_energy = current_power.max(Watts::ZERO) * dead_time;
         let actuation_energy = self.per_toggle_energy * toggles as f64;
-        OverheadBreakdown { dead_time, lost_energy, actuation_energy }
+        OverheadBreakdown {
+            dead_time,
+            lost_energy,
+            actuation_energy,
+        }
     }
 
     /// Overhead of an evaluation-only step: the controller sensed and ran the
@@ -217,9 +240,14 @@ mod tests {
         // should land in the low thousands of joules, as EHTR/INOR do in
         // Table I.
         let model = SwitchingOverheadModel::default();
-        let per_event = model.event(Watts::new(60.0), Seconds::new(0.004), 20).total_energy();
+        let per_event = model
+            .event(Watts::new(60.0), Seconds::new(0.004), 20)
+            .total_energy();
         let total = per_event.value() * 1600.0;
-        assert!(total > 800.0 && total < 5000.0, "800 s overhead {total} J is out of range");
+        assert!(
+            total > 800.0 && total < 5000.0,
+            "800 s overhead {total} J is out of range"
+        );
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! Criterion bench quantifying the streaming redesign.
+//!
+//! Three arms:
+//!
+//! 1. `lockstep_shared_trace` — one `Comparison` driving the scheme field
+//!    (DNOR, INOR, baseline) over a single cached thermal trace;
+//! 2. `sequential_sessions` — one `SimulationEngine::run` call per scheme on
+//!    fresh scenarios, each paying its own thermal solve (but already using
+//!    the streaming session internals);
+//! 3. `legacy_unbounded` — a faithful emulation of the pre-redesign loop,
+//!    which re-solved the radiator every run *and* rebuilt an unbounded
+//!    history (with full `O(T)` re-validation per invocation, so `O(T²)`
+//!    per run).
+//!
+//! The printed `comparison/speedup` line records the ratios.  The thermal
+//! solve is cheap next to the schemes' decision work, so arm 1 vs arm 2 is
+//! near parity; the redesign's real win — bounded telemetry — shows up
+//! against arm 3 and grows quadratically with the drive length.  EHTR is
+//! excluded from the field: its `O(N³)` decision cost dwarfs the loop
+//! overhead under measurement (it has its own scalability bench).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+use teg_array::{ideal_power, Configuration};
+use teg_reconfig::{Dnor, Inor, Reconfigurer, RuntimeStats, StaticBaseline, TelemetryWindow};
+use teg_sim::{Comparison, Scenario, SimulationEngine};
+use teg_units::Joules;
+
+const MODULES: usize = 40;
+const SECONDS: usize = 1600;
+const SEED: u64 = 2024;
+
+fn scenario() -> Scenario {
+    Scenario::builder()
+        .module_count(MODULES)
+        .duration_seconds(SECONDS)
+        .seed(SEED)
+        .build()
+        .expect("scenario")
+}
+
+fn schemes() -> (Dnor, Inor, StaticBaseline) {
+    (
+        Dnor::default(),
+        Inor::default(),
+        StaticBaseline::square_grid(MODULES),
+    )
+}
+
+fn run_comparison(s: &Scenario) {
+    let (dnor, inor, baseline) = schemes();
+    let report = Comparison::new(s)
+        .scheme(dnor)
+        .scheme(inor)
+        .scheme(baseline)
+        .run()
+        .expect("comparison");
+    black_box(report);
+}
+
+fn run_sequential() {
+    // A fresh scenario per scheme: every run pays its own thermal solve,
+    // like four independent pre-redesign engine invocations would.
+    let (mut dnor, mut inor, mut baseline) = schemes();
+    let field: [&mut dyn Reconfigurer; 3] = [&mut dnor, &mut inor, &mut baseline];
+    for scheme in field {
+        let engine = SimulationEngine::new(scenario());
+        black_box(engine.run(scheme).expect("run"));
+    }
+}
+
+/// The pre-redesign simulation loop: per-step radiator solve, unbounded
+/// history, full re-validation on every invocation.
+fn legacy_run(scenario: &Scenario, scheme: &mut dyn Reconfigurer) {
+    let array = scenario.array();
+    let module_count = array.len();
+    let step = scenario.step();
+    let initial_groups = (module_count as f64).sqrt().ceil().max(1.0) as usize;
+    let mut config =
+        Configuration::uniform(module_count, initial_groups.min(module_count)).expect("config");
+    let invocations_per_step = (step.value() / scheme.period().value()).round().max(1.0) as usize;
+    let mut history: Vec<Vec<f64>> = Vec::new();
+    let mut runtime = RuntimeStats::new();
+    scheme.reset();
+    for sample in scenario.drive_cycle().iter() {
+        let profile = scenario
+            .radiator()
+            .surface_profile(&sample.coolant(), &sample.ambient())
+            .expect("thermal solve");
+        let temps: Vec<f64> = profile
+            .sample(scenario.placement())
+            .iter()
+            .map(|t| t.value())
+            .collect();
+        history.push(temps);
+        let ambient = sample.ambient().temperature();
+        let deltas = TelemetryWindow::deltas_from_row(history.last().expect("pushed"), ambient);
+        black_box(ideal_power(array.modules(), &deltas).expect("ideal"));
+        let mut overhead_energy = Joules::ZERO;
+        for _ in 0..invocations_per_step {
+            // The expensive part being benchmarked: the window is rebuilt
+            // over (and re-validates) the entire history every invocation.
+            let window = TelemetryWindow::new(array, &history, ambient).expect("window");
+            let decision = scheme.decide(&window, &config).expect("decision");
+            runtime.record(decision.computation());
+            let applied = decision.applied();
+            let computation = decision.computation();
+            let next = decision.into_configuration();
+            let toggles = config.switch_toggles_to(&next).expect("toggles");
+            let current_power = array.mpp_power(&config, &deltas).expect("power");
+            if applied {
+                let event = scenario
+                    .overhead()
+                    .event(current_power, computation, toggles);
+                overhead_energy += event.total_energy();
+                if toggles > 0 {
+                    config = next;
+                }
+            }
+        }
+        black_box(array.maximum_power_point(&config, &deltas).expect("mpp"));
+        black_box(overhead_energy);
+    }
+}
+
+fn run_legacy() {
+    let (mut dnor, mut inor, mut baseline) = schemes();
+    let field: [&mut dyn Reconfigurer; 3] = [&mut dnor, &mut inor, &mut baseline];
+    for scheme in field {
+        legacy_run(&scenario(), scheme);
+    }
+}
+
+fn bench_comparison_vs_sequential(c: &mut Criterion) {
+    let mut group = c.benchmark_group(format!("comparison/{SECONDS}s_{MODULES}_modules"));
+    group.sample_size(5);
+
+    group.bench_function("lockstep_shared_trace", |b| {
+        b.iter(|| {
+            // A fresh scenario per iteration so the trace solve is included
+            // (the comparison still solves it only once for all schemes).
+            let s = scenario();
+            run_comparison(&s)
+        })
+    });
+    group.bench_function("sequential_sessions", |b| b.iter(run_sequential));
+    group.bench_function("legacy_unbounded", |b| b.iter(run_legacy));
+    group.finish();
+
+    // Direct ratio measurements, printed for the record.
+    let timed = |f: &dyn Fn()| {
+        let samples = 3u32;
+        let start = Instant::now();
+        for _ in 0..samples {
+            f();
+        }
+        start.elapsed().as_secs_f64() / f64::from(samples)
+    };
+    let shared = timed(&|| {
+        let s = scenario();
+        run_comparison(&s)
+    });
+    let sequential = timed(&run_sequential);
+    let legacy = timed(&run_legacy);
+    println!(
+        "comparison/speedup: lockstep {shared:.3} s | sequential sessions {sequential:.3} s \
+         ({:.2}x vs lockstep) | legacy unbounded {legacy:.3} s ({:.2}x vs lockstep)",
+        sequential / shared,
+        legacy / shared,
+    );
+}
+
+criterion_group!(benches, bench_comparison_vs_sequential);
+criterion_main!(benches);

@@ -22,11 +22,15 @@ fn bench_decisions(c: &mut Criterion) {
 
     group.bench_function("inor", |b| {
         let mut scheme = Inor::default();
-        b.iter(|| black_box(scheme.decide(black_box(&inputs), black_box(&current))).expect("decision"))
+        b.iter(|| {
+            black_box(scheme.decide(black_box(&inputs), black_box(&current))).expect("decision")
+        })
     });
     group.bench_function("ehtr", |b| {
         let mut scheme = Ehtr::default();
-        b.iter(|| black_box(scheme.decide(black_box(&inputs), black_box(&current))).expect("decision"))
+        b.iter(|| {
+            black_box(scheme.decide(black_box(&inputs), black_box(&current))).expect("decision")
+        })
     });
     group.bench_function("dnor_full_evaluation", |b| {
         let mut scheme = Dnor::default();

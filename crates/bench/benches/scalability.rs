@@ -16,8 +16,7 @@ fn bench_scaling(c: &mut Criterion) {
         let array = paper_array(n);
         let history = vec![exponential_temperatures(n, 70.0, 1.5, 25.0)];
         let inputs = ReconfigInputs::new(&array, &history, Celsius::new(25.0)).expect("inputs");
-        let current =
-            Configuration::uniform(n, (n as f64).sqrt().ceil() as usize).expect("config");
+        let current = Configuration::uniform(n, (n as f64).sqrt().ceil() as usize).expect("config");
 
         group.bench_with_input(BenchmarkId::new("inor", n), &n, |b, _| {
             let mut scheme = Inor::default();

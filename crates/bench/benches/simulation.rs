@@ -21,7 +21,7 @@ fn bench_short_runs(c: &mut Criterion) {
 
     group.bench_function("baseline", |b| {
         b.iter_batched(
-            || StaticBaseline::grid_10x10(),
+            StaticBaseline::grid_10x10,
             |mut scheme| black_box(engine.run(&mut scheme)).expect("run"),
             BatchSize::SmallInput,
         )

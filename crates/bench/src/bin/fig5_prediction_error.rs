@@ -42,9 +42,21 @@ fn main() {
     let max = |v: &[f64]| v.iter().cloned().fold(0.0_f64, f64::max);
     println!();
     println!("# summary (mean / max percentage error over the evaluation window)");
-    println!("MLR : mean {:.4} %, max {:.4} %", mean(&err_mlr), max(&err_mlr));
-    println!("BPNN: mean {:.4} %, max {:.4} %", mean(&err_bpnn), max(&err_bpnn));
-    println!("SVR : mean {:.4} %, max {:.4} %", mean(&err_svr), max(&err_svr));
+    println!(
+        "MLR : mean {:.4} %, max {:.4} %",
+        mean(&err_mlr),
+        max(&err_mlr)
+    );
+    println!(
+        "BPNN: mean {:.4} %, max {:.4} %",
+        mean(&err_bpnn),
+        max(&err_bpnn)
+    );
+    println!(
+        "SVR : mean {:.4} %, max {:.4} %",
+        mean(&err_svr),
+        max(&err_svr)
+    );
 
     // The 2-second MLR prediction the paper highlights (error around 0.3 %).
     let mut mlr2 = MultipleLinearRegression::new(5).expect("window");

@@ -1,8 +1,8 @@
 //! Fig. 6 — output power of DNOR, INOR, EHTR and the baseline over a
-//! 120-second window of the drive.
+//! 120-second window of the drive, produced by one lockstep comparison over
+//! the window's shared thermal trace.
 
-use teg_reconfig::{Dnor, Ehtr, Inor, StaticBaseline};
-use teg_sim::{Scenario, SimulationEngine};
+use teg_sim::{Comparison, Scenario};
 
 fn main() {
     // The same 800-second scenario Table I uses, restricted to the 120-second
@@ -11,18 +11,10 @@ fn main() {
         .expect("scenario")
         .window(300, 420)
         .expect("window");
-    let engine = SimulationEngine::new(scenario);
-
-    let mut dnor = Dnor::default();
-    let mut inor = Inor::default();
-    let mut ehtr = Ehtr::default();
-    let mut baseline = StaticBaseline::grid_10x10();
-    let reports = [
-        engine.run(&mut dnor).expect("DNOR"),
-        engine.run(&mut inor).expect("INOR"),
-        engine.run(&mut ehtr).expect("EHTR"),
-        engine.run(&mut baseline).expect("baseline"),
-    ];
+    let comparison = Comparison::paper_schemes(&scenario)
+        .run()
+        .expect("comparison");
+    let reports = comparison.reports();
 
     println!("# Fig. 6 reproduction: array output power (W) over 120 s");
     println!("t_s,dnor_w,inor_w,ehtr_w,baseline_w");
@@ -38,7 +30,7 @@ fn main() {
 
     println!();
     println!("# window totals");
-    for report in &reports {
+    for report in reports {
         println!(
             "# {:<9} net energy {:>10.1} J, overhead {:>8.2} J, switches {}",
             report.scheme(),

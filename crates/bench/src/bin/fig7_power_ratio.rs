@@ -1,26 +1,19 @@
 //! Fig. 7 — ratio of each scheme's output power to the ideal power
-//! `P_ideal` over the 120-second window, with DNOR's switch instants marked.
+//! `P_ideal` over the 120-second window, with DNOR's switch instants marked,
+//! produced by one lockstep comparison over the window's shared thermal
+//! trace.
 
-use teg_reconfig::{Dnor, Ehtr, Inor, StaticBaseline};
-use teg_sim::{Scenario, SimulationEngine};
+use teg_sim::{Comparison, Scenario};
 
 fn main() {
     let scenario = Scenario::paper_table1(2024)
         .expect("scenario")
         .window(300, 420)
         .expect("window");
-    let engine = SimulationEngine::new(scenario);
-
-    let mut dnor = Dnor::default();
-    let mut inor = Inor::default();
-    let mut ehtr = Ehtr::default();
-    let mut baseline = StaticBaseline::grid_10x10();
-    let reports = [
-        engine.run(&mut dnor).expect("DNOR"),
-        engine.run(&mut inor).expect("INOR"),
-        engine.run(&mut ehtr).expect("EHTR"),
-        engine.run(&mut baseline).expect("baseline"),
-    ];
+    let comparison = Comparison::paper_schemes(&scenario)
+        .run()
+        .expect("comparison");
+    let reports = comparison.reports();
 
     println!("# Fig. 7 reproduction: output power ratio P / P_ideal over 120 s");
     println!("t_s,dnor_ratio,inor_ratio,ehtr_ratio,baseline_ratio,dnor_switched");
@@ -37,7 +30,7 @@ fn main() {
 
     println!();
     println!("# average ratio over the window (paper: reconfiguring schemes sit close to 1)");
-    for report in &reports {
+    for report in reports {
         println!("# {:<9} {:.4}", report.scheme(), report.ideal_fraction());
     }
     println!(

@@ -4,8 +4,8 @@
 
 use std::time::Instant;
 
-use teg_bench::{exponential_temperatures, paper_array};
 use teg_array::Configuration;
+use teg_bench::{exponential_temperatures, paper_array};
 use teg_reconfig::{Dnor, Ehtr, Inor, ReconfigInputs, Reconfigurer};
 use teg_units::Celsius;
 

@@ -1,64 +1,49 @@
 //! Table I — total output energy, switching overhead and average runtime of
 //! DNOR, INOR, EHTR and the baseline over the full 800-second drive with a
-//! 100-module array.
+//! 100-module array, produced by one lockstep [`Comparison`] pass over the
+//! shared thermal trace.
 
-use teg_reconfig::{Dnor, Ehtr, Inor, Reconfigurer, StaticBaseline};
-use teg_sim::{Scenario, SimulationEngine};
+use teg_reconfig::{Dnor, Ehtr, Inor, StaticBaseline};
+use teg_sim::{Comparison, Scenario};
 
 fn main() {
     let scenario = Scenario::paper_table1(2024).expect("scenario");
-    let engine = SimulationEngine::new(scenario);
-
-    let mut schemes: Vec<Box<dyn Reconfigurer>> = vec![
-        Box::new(Dnor::default()),
-        Box::new(Inor::default()),
-        Box::new(Ehtr::default()),
-        Box::new(StaticBaseline::grid_10x10()),
-    ];
+    let comparison = Comparison::new(&scenario)
+        .scheme(Dnor::default())
+        .scheme(Inor::default())
+        .scheme(Ehtr::default())
+        .scheme(StaticBaseline::grid_10x10())
+        .run()
+        .expect("comparison");
 
     println!("# Table I reproduction: 800-second drive, 100-module array");
     println!(
-        "{:<10} {:>16} {:>18} {:>12} {:>18} {:>14}",
-        "scheme", "energy (J)", "overhead (J)", "switches", "avg runtime (ms)", "ideal frac"
+        "# thermal solves: {} (one per drive second, shared by all four schemes)",
+        scenario.thermal_solve_count()
     );
-    let mut rows = Vec::new();
-    for scheme in &mut schemes {
-        let report = engine.run(scheme.as_mut()).expect("simulation");
-        let (energy, overhead, runtime) = report.table1_row();
-        println!(
-            "{:<10} {:>16.1} {:>18.2} {:>12} {:>18.4} {:>14.4}",
-            report.scheme(),
-            energy,
-            overhead,
-            report.switch_count(),
-            runtime,
-            report.ideal_fraction()
-        );
-        rows.push((report.scheme().to_owned(), energy, overhead, runtime));
-    }
+    println!("{}", comparison.table1());
 
     // Echo the paper's headline ratios for quick comparison.
-    let find = |name: &str| rows.iter().find(|r| r.0 == name).expect("scheme present");
-    let dnor = find("DNOR");
-    let inor = find("INOR");
-    let ehtr = find("EHTR");
-    let baseline = find("Baseline");
-    println!();
+    let row = |name: &str| comparison.report(name).expect("scheme present");
+    let dnor = row("DNOR");
+    let inor = row("INOR");
+    let ehtr = row("EHTR");
+    let baseline = row("Baseline");
     println!("# headline ratios (paper values in parentheses)");
     println!(
         "# DNOR vs baseline energy gain : {:+.1} %   (paper: +30 %)",
-        100.0 * (dnor.1 / baseline.1 - 1.0)
+        100.0 * (dnor.net_energy().value() / baseline.net_energy().value() - 1.0)
     );
     println!(
         "# EHTR / DNOR overhead ratio   : {:.0}x      (paper: ~100x)",
-        ehtr.2 / dnor.2.max(1e-9)
+        ehtr.overhead_energy().value() / dnor.overhead_energy().value().max(1e-9)
     );
     println!(
         "# EHTR / INOR runtime ratio    : {:.1}x      (paper: ~8x)",
-        ehtr.3 / inor.3.max(1e-9)
+        ehtr.average_runtime().value() / inor.average_runtime().value().max(1e-9)
     );
     println!(
         "# EHTR / DNOR runtime ratio    : {:.1}x      (paper: ~13x)",
-        ehtr.3 / dnor.3.max(1e-9)
+        ehtr.average_runtime().value() / dnor.average_runtime().value().max(1e-9)
     );
 }

@@ -3,8 +3,8 @@
 use teg_array::Configuration;
 use teg_units::Seconds;
 
-use crate::context::ReconfigInputs;
 use crate::error::ReconfigError;
+use crate::telemetry::TelemetryWindow;
 use crate::traits::{ReconfigDecision, Reconfigurer};
 
 /// The paper's baseline: a fixed series/parallel grid (10 × 10 for the
@@ -15,14 +15,14 @@ use crate::traits::{ReconfigDecision, Reconfigurer};
 /// ```
 /// use teg_array::{Configuration, TegArray};
 /// use teg_device::{TegDatasheet, TegModule};
-/// use teg_reconfig::{ReconfigInputs, Reconfigurer, StaticBaseline};
+/// use teg_reconfig::{Reconfigurer, StaticBaseline, TelemetryWindow};
 /// use teg_units::Celsius;
 ///
 /// # fn main() -> Result<(), teg_reconfig::ReconfigError> {
 /// let module = TegModule::from_datasheet(&TegDatasheet::tgm_199_1_4_0_8());
 /// let array = TegArray::uniform(module, 100);
 /// let history = vec![vec![90.0; 100]];
-/// let inputs = ReconfigInputs::new(&array, &history, Celsius::new(25.0))?;
+/// let inputs = TelemetryWindow::new(&array, &history, Celsius::new(25.0))?;
 /// let mut baseline = StaticBaseline::grid_10x10();
 /// let current = Configuration::uniform(100, 10).expect("valid");
 /// let decision = baseline.decide(&inputs, &current)?;
@@ -43,7 +43,10 @@ impl StaticBaseline {
     /// Returns [`ReconfigError::InvalidParameter`] if `groups` is zero.
     pub fn new(groups: usize) -> Result<Self, ReconfigError> {
         if groups == 0 {
-            return Err(ReconfigError::InvalidParameter { name: "groups", value: 0.0 });
+            return Err(ReconfigError::InvalidParameter {
+                name: "groups",
+                value: 0.0,
+            });
         }
         Ok(Self { groups })
     }
@@ -58,7 +61,9 @@ impl StaticBaseline {
     #[must_use]
     pub fn square_grid(module_count: usize) -> Self {
         let groups = (module_count.max(1) as f64).sqrt().ceil() as usize;
-        Self { groups: groups.max(1) }
+        Self {
+            groups: groups.max(1),
+        }
     }
 
     /// Number of series groups in the fixed wiring.
@@ -81,16 +86,21 @@ impl Reconfigurer for StaticBaseline {
 
     fn decide(
         &mut self,
-        inputs: &ReconfigInputs<'_>,
+        window: &TelemetryWindow<'_>,
         current: &Configuration,
     ) -> Result<ReconfigDecision, ReconfigError> {
-        let modules = inputs.array().len();
+        let modules = window.array().len();
         let groups = self.groups.min(modules);
         let target = Configuration::uniform(modules, groups)?;
         // No computation worth metering: the wiring is fixed and is only
         // applied once, when the array is first connected.
         let changed = current != &target;
-        Ok(ReconfigDecision::new(target, Seconds::ZERO, changed, changed))
+        Ok(ReconfigDecision::new(
+            target,
+            Seconds::ZERO,
+            changed,
+            changed,
+        ))
     }
 }
 
@@ -102,7 +112,10 @@ mod tests {
     use teg_units::Celsius;
 
     fn array(n: usize) -> TegArray {
-        TegArray::uniform(TegModule::from_datasheet(&TegDatasheet::tgm_199_1_4_0_8()), n)
+        TegArray::uniform(
+            TegModule::from_datasheet(&TegDatasheet::tgm_199_1_4_0_8()),
+            n,
+        )
     }
 
     #[test]
@@ -119,10 +132,12 @@ mod tests {
     fn decision_is_always_the_same_grid() {
         let a = array(100);
         let history = vec![vec![92.0; 100]];
-        let inputs = ReconfigInputs::new(&a, &history, Celsius::new(25.0)).unwrap();
+        let inputs = TelemetryWindow::new(&a, &history, Celsius::new(25.0)).unwrap();
         let mut baseline = StaticBaseline::grid_10x10();
         let grid = Configuration::uniform(100, 10).unwrap();
-        let first = baseline.decide(&inputs, &Configuration::uniform(100, 4).unwrap()).unwrap();
+        let first = baseline
+            .decide(&inputs, &Configuration::uniform(100, 4).unwrap())
+            .unwrap();
         assert_eq!(first.configuration(), &grid);
         assert!(first.evaluated());
         // Once wired, subsequent decisions change nothing.
@@ -138,9 +153,11 @@ mod tests {
     fn group_count_is_capped_by_module_count() {
         let a = array(4);
         let history = vec![vec![90.0; 4]];
-        let inputs = ReconfigInputs::new(&a, &history, Celsius::new(25.0)).unwrap();
+        let inputs = TelemetryWindow::new(&a, &history, Celsius::new(25.0)).unwrap();
         let mut baseline = StaticBaseline::grid_10x10();
-        let decision = baseline.decide(&inputs, &Configuration::uniform(4, 1).unwrap()).unwrap();
+        let decision = baseline
+            .decide(&inputs, &Configuration::uniform(4, 1).unwrap())
+            .unwrap();
         assert_eq!(decision.configuration().group_count(), 4);
     }
 }

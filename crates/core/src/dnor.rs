@@ -6,9 +6,9 @@ use teg_array::{Configuration, SwitchingOverheadModel};
 use teg_predict::{MultipleLinearRegression, Predictor};
 use teg_units::{Joules, Seconds, TemperatureDelta, Watts};
 
-use crate::context::ReconfigInputs;
 use crate::error::ReconfigError;
 use crate::inor::{Inor, InorConfig};
+use crate::telemetry::TelemetryWindow;
 use crate::traits::{ReconfigDecision, Reconfigurer};
 
 /// Tuning parameters of DNOR.
@@ -46,10 +46,16 @@ impl DnorConfig {
         period: Seconds,
     ) -> Result<Self, ReconfigError> {
         if prediction_horizon == 0 {
-            return Err(ReconfigError::InvalidParameter { name: "prediction horizon", value: 0.0 });
+            return Err(ReconfigError::InvalidParameter {
+                name: "prediction horizon",
+                value: 0.0,
+            });
         }
         if prediction_window == 0 {
-            return Err(ReconfigError::InvalidParameter { name: "prediction window", value: 0.0 });
+            return Err(ReconfigError::InvalidParameter {
+                name: "prediction window",
+                value: 0.0,
+            });
         }
         if !(period.value() > 0.0) {
             return Err(ReconfigError::InvalidParameter {
@@ -57,7 +63,13 @@ impl DnorConfig {
                 value: period.value(),
             });
         }
-        Ok(Self { inor, prediction_horizon, prediction_window, overhead, period })
+        Ok(Self {
+            inor,
+            prediction_horizon,
+            prediction_window,
+            overhead,
+            period,
+        })
     }
 
     /// The inner INOR tuning.
@@ -88,6 +100,19 @@ impl DnorConfig {
     #[must_use]
     pub const fn period(&self) -> Seconds {
         self.period
+    }
+
+    /// How many multiples of the autoregressive window the bounded history
+    /// keeps for training.
+    pub const TRAINING_SPAN_FACTOR: usize = 8;
+
+    /// Telemetry rows DNOR asks the controller to retain: enough for the
+    /// autoregressive MLR to fit on several multiples of its window (the
+    /// fit needs `window + 2` rows at minimum; more rows stabilise the
+    /// least-squares solve without reintroducing unbounded history).
+    #[must_use]
+    pub const fn lookback(&self) -> usize {
+        self.prediction_window * Self::TRAINING_SPAN_FACTOR + 2
     }
 }
 
@@ -120,7 +145,7 @@ impl Default for DnorConfig {
 /// ```
 /// use teg_array::{Configuration, TegArray};
 /// use teg_device::{TegDatasheet, TegModule};
-/// use teg_reconfig::{Dnor, ReconfigInputs, Reconfigurer};
+/// use teg_reconfig::{Dnor, Reconfigurer, TelemetryWindow};
 /// use teg_units::Celsius;
 ///
 /// # fn main() -> Result<(), teg_reconfig::ReconfigError> {
@@ -130,7 +155,7 @@ impl Default for DnorConfig {
 /// let history: Vec<Vec<f64>> = (0..10)
 ///     .map(|_| (0..20).map(|i| 94.0 - 1.3 * i as f64).collect())
 ///     .collect();
-/// let inputs = ReconfigInputs::new(&array, &history, Celsius::new(25.0))?;
+/// let inputs = TelemetryWindow::new(&array, &history, Celsius::new(25.0))?;
 /// let current = Configuration::uniform(20, 4).expect("valid");
 /// let mut dnor = Dnor::default();
 /// let decision = dnor.decide(&inputs, &current)?;
@@ -152,7 +177,13 @@ impl Dnor {
     #[must_use]
     pub fn new(config: DnorConfig) -> Self {
         let inner = Inor::new(config.inor().clone());
-        Self { config, inner, periods_until_evaluation: 0, evaluations: 0, switches: 0 }
+        Self {
+            config,
+            inner,
+            periods_until_evaluation: 0,
+            evaluations: 0,
+            switches: 0,
+        }
     }
 
     /// The tuning parameters in use.
@@ -184,23 +215,25 @@ impl Dnor {
     /// little history fall back to persistence (repeating their latest
     /// temperature), which is also what the paper's controller would do
     /// before its history buffer fills.
-    fn predict_rows(&self, inputs: &ReconfigInputs<'_>) -> Vec<Vec<f64>> {
+    // `module` indexes both the window's series and the forecast rows.
+    #[allow(clippy::needless_range_loop)]
+    fn predict_rows(&self, window: &TelemetryWindow<'_>) -> Vec<Vec<f64>> {
         let horizon = self.config.prediction_horizon;
-        let window = self.config.prediction_window;
-        let modules = inputs.array().len();
+        let ar_window = self.config.prediction_window;
+        let modules = window.array().len();
         let mut rows = vec![vec![0.0; modules]; horizon];
 
-        let reference = inputs.module_series(0);
-        let shared_model = if reference.len() >= window + 2 {
-            let mut mlr = MultipleLinearRegression::new(window)
-                .expect("window validated at construction");
+        let reference = window.module_series(0);
+        let shared_model = if reference.len() >= ar_window + 2 {
+            let mut mlr =
+                MultipleLinearRegression::new(ar_window).expect("window validated at construction");
             mlr.fit(&reference).ok().map(|()| mlr)
         } else {
             None
         };
 
         for module in 0..modules {
-            let series = inputs.module_series(module);
+            let series = window.module_series(module);
             let forecast = match &shared_model {
                 Some(model) => model
                     .forecast(&series, horizon)
@@ -218,16 +251,16 @@ impl Dnor {
     /// current second plus the `t_p` predicted seconds.
     fn predicted_energy(
         &self,
-        inputs: &ReconfigInputs<'_>,
+        window: &TelemetryWindow<'_>,
         configuration: &Configuration,
         current_deltas: &[TemperatureDelta],
         predicted_rows: &[Vec<f64>],
     ) -> Result<Joules, ReconfigError> {
         let step = self.config.period;
-        let mut energy = inputs.array().mpp_power(configuration, current_deltas)? * step;
+        let mut energy = window.array().mpp_power(configuration, current_deltas)? * step;
         for row in predicted_rows {
-            let deltas = ReconfigInputs::deltas_from_row(row, inputs.ambient());
-            energy += inputs.array().mpp_power(configuration, &deltas)? * step;
+            let deltas = TelemetryWindow::deltas_from_row(row, window.ambient());
+            energy += window.array().mpp_power(configuration, &deltas)? * step;
         }
         Ok(energy)
     }
@@ -248,9 +281,13 @@ impl Reconfigurer for Dnor {
         self.config.period
     }
 
+    fn lookback(&self) -> usize {
+        self.config.lookback()
+    }
+
     fn decide(
         &mut self,
-        inputs: &ReconfigInputs<'_>,
+        window: &TelemetryWindow<'_>,
         current: &Configuration,
     ) -> Result<ReconfigDecision, ReconfigError> {
         let started = Instant::now();
@@ -258,21 +295,26 @@ impl Reconfigurer for Dnor {
         if self.periods_until_evaluation > 0 {
             self.periods_until_evaluation -= 1;
             let elapsed = Seconds::new(started.elapsed().as_secs_f64());
-            return Ok(ReconfigDecision::new(current.clone(), elapsed, false, false));
+            return Ok(ReconfigDecision::new(
+                current.clone(),
+                elapsed,
+                false,
+                false,
+            ));
         }
 
         self.evaluations += 1;
-        let current_deltas = inputs.current_deltas();
-        let (candidate, _) = self.inner.optimise(inputs.array(), &current_deltas)?;
-        let predicted_rows = self.predict_rows(inputs);
+        let current_deltas = window.current_deltas();
+        let (candidate, _) = self.inner.optimise(window.array(), &current_deltas)?;
+        let predicted_rows = self.predict_rows(window);
 
         let energy_old =
-            self.predicted_energy(inputs, current, &current_deltas, &predicted_rows)?;
+            self.predicted_energy(window, current, &current_deltas, &predicted_rows)?;
         let energy_new =
-            self.predicted_energy(inputs, &candidate, &current_deltas, &predicted_rows)?;
+            self.predicted_energy(window, &candidate, &current_deltas, &predicted_rows)?;
 
         let toggles = current.switch_toggles_to(&candidate)?;
-        let current_power: Watts = inputs.array().mpp_power(current, &current_deltas)?;
+        let current_power: Watts = window.array().mpp_power(current, &current_deltas)?;
         let computation_so_far = Seconds::new(started.elapsed().as_secs_f64());
         let overhead = self
             .config
@@ -310,7 +352,10 @@ mod tests {
     use teg_units::Celsius;
 
     fn array(n: usize) -> TegArray {
-        TegArray::uniform(TegModule::from_datasheet(&TegDatasheet::tgm_199_1_4_0_8()), n)
+        TegArray::uniform(
+            TegModule::from_datasheet(&TegDatasheet::tgm_199_1_4_0_8()),
+            n,
+        )
     }
 
     fn gradient_history(n: usize, steps: usize, hot: f64) -> Vec<Vec<f64>> {
@@ -338,7 +383,7 @@ mod tests {
     fn evaluation_happens_every_horizon_plus_one_periods() {
         let a = array(20);
         let history = gradient_history(20, 12, 94.0);
-        let inputs = ReconfigInputs::new(&a, &history, Celsius::new(25.0)).unwrap();
+        let inputs = TelemetryWindow::new(&a, &history, Celsius::new(25.0)).unwrap();
         let current = Configuration::uniform(20, 4).unwrap();
         let mut dnor = Dnor::default();
         let mut evaluated_pattern = Vec::new();
@@ -363,7 +408,7 @@ mod tests {
         // worth the overhead and keep it — the core durability claim.
         let a = array(40);
         let history = gradient_history(40, 20, 95.0);
-        let inputs = ReconfigInputs::new(&a, &history, Celsius::new(25.0)).unwrap();
+        let inputs = TelemetryWindow::new(&a, &history, Celsius::new(25.0)).unwrap();
         let mut config = Configuration::uniform(40, 4).unwrap();
         let mut dnor = Dnor::default();
         let mut switch_events = 0;
@@ -375,7 +420,10 @@ mod tests {
             }
             config = decision.into_configuration();
         }
-        assert!(switch_events <= 1, "expected at most one switch, saw {switch_events}");
+        assert!(
+            switch_events <= 1,
+            "expected at most one switch, saw {switch_events}"
+        );
         assert_eq!(dnor.switches(), switch_events);
     }
 
@@ -383,7 +431,7 @@ mod tests {
     fn adopted_configuration_matches_inor_quality() {
         let a = array(50);
         let history = gradient_history(50, 15, 96.0);
-        let inputs = ReconfigInputs::new(&a, &history, Celsius::new(25.0)).unwrap();
+        let inputs = TelemetryWindow::new(&a, &history, Celsius::new(25.0)).unwrap();
         let start = Configuration::uniform(50, 2).unwrap();
         let mut dnor = Dnor::default();
         let decision = dnor.decide(&inputs, &start).unwrap();
@@ -400,7 +448,7 @@ mod tests {
     fn short_history_falls_back_to_persistence() {
         let a = array(10);
         let history = gradient_history(10, 2, 92.0); // far below window + 2
-        let inputs = ReconfigInputs::new(&a, &history, Celsius::new(25.0)).unwrap();
+        let inputs = TelemetryWindow::new(&a, &history, Celsius::new(25.0)).unwrap();
         let current = Configuration::uniform(10, 2).unwrap();
         let mut dnor = Dnor::default();
         let decision = dnor.decide(&inputs, &current).unwrap();
@@ -412,7 +460,7 @@ mod tests {
     fn reset_restarts_the_evaluation_phase() {
         let a = array(10);
         let history = gradient_history(10, 10, 92.0);
-        let inputs = ReconfigInputs::new(&a, &history, Celsius::new(25.0)).unwrap();
+        let inputs = TelemetryWindow::new(&a, &history, Celsius::new(25.0)).unwrap();
         let current = Configuration::uniform(10, 2).unwrap();
         let mut dnor = Dnor::default();
         let first = dnor.decide(&inputs, &current).unwrap();

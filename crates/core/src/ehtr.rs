@@ -17,9 +17,9 @@ use std::time::Instant;
 use teg_array::{Configuration, TegArray};
 use teg_units::{Amps, Seconds, TemperatureDelta, Watts};
 
-use crate::context::ReconfigInputs;
 use crate::error::ReconfigError;
 use crate::inor::{Inor, InorConfig};
+use crate::telemetry::TelemetryWindow;
 use crate::traits::{ReconfigDecision, Reconfigurer};
 
 /// The dynamic-programming re-implementation of the prior-work heuristic.
@@ -29,7 +29,7 @@ use crate::traits::{ReconfigDecision, Reconfigurer};
 /// ```
 /// use teg_array::{Configuration, TegArray};
 /// use teg_device::{TegDatasheet, TegModule};
-/// use teg_reconfig::{Ehtr, ReconfigInputs, Reconfigurer};
+/// use teg_reconfig::{Ehtr, Reconfigurer, TelemetryWindow};
 /// use teg_units::Celsius;
 ///
 /// # fn main() -> Result<(), teg_reconfig::ReconfigError> {
@@ -37,7 +37,7 @@ use crate::traits::{ReconfigDecision, Reconfigurer};
 /// let array = TegArray::uniform(module, 24);
 /// let temps: Vec<f64> = (0..24).map(|i| 95.0 - 1.4 * i as f64).collect();
 /// let history = vec![temps];
-/// let inputs = ReconfigInputs::new(&array, &history, Celsius::new(25.0))?;
+/// let inputs = TelemetryWindow::new(&array, &history, Celsius::new(25.0))?;
 /// let current = Configuration::uniform(24, 4).expect("valid");
 /// let decision = Ehtr::default().decide(&inputs, &current)?;
 /// assert!(decision.evaluated());
@@ -70,9 +70,14 @@ impl Ehtr {
     ///
     /// Panics if `n` is zero or exceeds the number of modules.
     #[must_use]
+    // DP over parallel tables reads clearest with explicit indices.
+    #[allow(clippy::needless_range_loop)]
     pub fn optimal_partition(mpp_currents: &[Amps], n: usize) -> Configuration {
         let modules = mpp_currents.len();
-        assert!(n >= 1 && n <= modules, "group count {n} out of range for {modules} modules");
+        assert!(
+            n >= 1 && n <= modules,
+            "group count {n} out of range for {modules} modules"
+        );
         let total: f64 = mpp_currents.iter().map(|c| c.value()).sum();
         let ideal = total / n as f64;
 
@@ -158,12 +163,12 @@ impl Reconfigurer for Ehtr {
 
     fn decide(
         &mut self,
-        inputs: &ReconfigInputs<'_>,
+        window: &TelemetryWindow<'_>,
         _current: &Configuration,
     ) -> Result<ReconfigDecision, ReconfigError> {
         let started = Instant::now();
-        let deltas = inputs.current_deltas();
-        let (configuration, _) = self.optimise(inputs.array(), &deltas)?;
+        let deltas = window.current_deltas();
+        let (configuration, _) = self.optimise(window.array(), &deltas)?;
         let elapsed = Seconds::new(started.elapsed().as_secs_f64());
         // Like INOR, the prior-work controller re-applies on every period.
         Ok(ReconfigDecision::new(configuration, elapsed, true, true))
@@ -178,7 +183,10 @@ mod tests {
     use teg_units::Celsius;
 
     fn array(n: usize) -> TegArray {
-        TegArray::uniform(TegModule::from_datasheet(&TegDatasheet::tgm_199_1_4_0_8()), n)
+        TegArray::uniform(
+            TegModule::from_datasheet(&TegDatasheet::tgm_199_1_4_0_8()),
+            n,
+        )
     }
 
     fn radiator_like_deltas(n: usize) -> Vec<TemperatureDelta> {
@@ -189,8 +197,9 @@ mod tests {
 
     #[test]
     fn dp_partition_is_at_least_as_balanced_as_the_greedy() {
-        let currents: Vec<Amps> =
-            (0..40).map(|i| Amps::new(2.0 * (-(i as f64) * 0.07).exp())).collect();
+        let currents: Vec<Amps> = (0..40)
+            .map(|i| Amps::new(2.0 * (-(i as f64) * 0.07).exp()))
+            .collect();
         let total: f64 = currents.iter().map(|c| c.value()).sum();
         for n in 2..=8 {
             let ideal = total / n as f64;
@@ -214,7 +223,9 @@ mod tests {
 
     #[test]
     fn dp_partition_covers_all_modules() {
-        let currents: Vec<Amps> = (0..25).map(|i| Amps::new(1.0 + (i % 7) as f64 * 0.2)).collect();
+        let currents: Vec<Amps> = (0..25)
+            .map(|i| Amps::new(1.0 + (i % 7) as f64 * 0.2))
+            .collect();
         for n in 1..=25 {
             let config = Ehtr::optimal_partition(&currents, n);
             assert_eq!(config.group_count(), n);
@@ -233,7 +244,10 @@ mod tests {
         // The two near-optimal schemes land within a few percent of each
         // other, as in the paper's Table I.
         let ratio = p_ehtr.value() / p_inor.value();
-        assert!((0.95..=1.05).contains(&ratio), "EHTR/INOR power ratio {ratio:.3}");
+        assert!(
+            (0.95..=1.05).contains(&ratio),
+            "EHTR/INOR power ratio {ratio:.3}"
+        );
     }
 
     #[test]
@@ -241,7 +255,7 @@ mod tests {
         let a = array(200);
         let temps: Vec<f64> = (0..200).map(|i| 96.0 - 0.2 * i as f64).collect();
         let history = vec![temps];
-        let inputs = ReconfigInputs::new(&a, &history, Celsius::new(25.0)).unwrap();
+        let inputs = TelemetryWindow::new(&a, &history, Celsius::new(25.0)).unwrap();
         let current = Configuration::uniform(200, 10).unwrap();
         let mut inor = Inor::default();
         let mut ehtr = Ehtr::default();

@@ -86,13 +86,21 @@ mod tests {
 
     #[test]
     fn display_and_sources() {
-        assert!(ReconfigError::EmptyHistory.to_string().contains("no samples"));
-        assert!(ReconfigError::InconsistentHistory { modules: 10, row_len: 9 }
+        assert!(ReconfigError::EmptyHistory
             .to_string()
-            .contains("9"));
-        assert!(ReconfigError::InvalidParameter { name: "horizon", value: 0.0 }
-            .to_string()
-            .contains("horizon"));
+            .contains("no samples"));
+        assert!(ReconfigError::InconsistentHistory {
+            modules: 10,
+            row_len: 9
+        }
+        .to_string()
+        .contains("9"));
+        assert!(ReconfigError::InvalidParameter {
+            name: "horizon",
+            value: 0.0
+        }
+        .to_string()
+        .contains("horizon"));
         let err = ReconfigError::from(ArrayError::EmptyArray);
         assert!(std::error::Error::source(&err).is_some());
         let err = ReconfigError::from(PredictError::NotFitted);

@@ -6,8 +6,8 @@ use teg_array::{Configuration, TegArray};
 use teg_power::Charger;
 use teg_units::{Amps, Seconds, TemperatureDelta, Watts};
 
-use crate::context::ReconfigInputs;
 use crate::error::ReconfigError;
+use crate::telemetry::TelemetryWindow;
 use crate::traits::{ReconfigDecision, Reconfigurer};
 
 /// Tuning parameters of INOR.
@@ -48,7 +48,11 @@ impl InorConfig {
                 value: period.value(),
             });
         }
-        Ok(Self { charger, min_converter_efficiency, period })
+        Ok(Self {
+            charger,
+            min_converter_efficiency,
+            period,
+        })
     }
 
     /// The charger model used to derive the group-count window.
@@ -95,7 +99,7 @@ impl Default for InorConfig {
 /// ```
 /// use teg_array::{Configuration, TegArray};
 /// use teg_device::{TegDatasheet, TegModule};
-/// use teg_reconfig::{Inor, ReconfigInputs, Reconfigurer};
+/// use teg_reconfig::{Inor, Reconfigurer, TelemetryWindow};
 /// use teg_units::Celsius;
 ///
 /// # fn main() -> Result<(), teg_reconfig::ReconfigError> {
@@ -103,7 +107,7 @@ impl Default for InorConfig {
 /// let array = TegArray::uniform(module, 30);
 /// let temps: Vec<f64> = (0..30).map(|i| 96.0 - 1.2 * i as f64).collect();
 /// let history = vec![temps];
-/// let inputs = ReconfigInputs::new(&array, &history, Celsius::new(25.0))?;
+/// let inputs = TelemetryWindow::new(&array, &history, Celsius::new(25.0))?;
 /// let current = Configuration::uniform(30, 5).expect("valid");
 /// let decision = Inor::default().decide(&inputs, &current)?;
 /// assert!(decision.evaluated());
@@ -169,7 +173,10 @@ impl Inor {
     #[must_use]
     pub fn balanced_partition(mpp_currents: &[Amps], n: usize) -> Configuration {
         let modules = mpp_currents.len();
-        assert!(n >= 1 && n <= modules, "group count {n} out of range for {modules} modules");
+        assert!(
+            n >= 1 && n <= modules,
+            "group count {n} out of range for {modules} modules"
+        );
         let total: f64 = mpp_currents.iter().map(|i| i.value()).sum();
         let ideal = total / n as f64;
 
@@ -240,12 +247,12 @@ impl Reconfigurer for Inor {
 
     fn decide(
         &mut self,
-        inputs: &ReconfigInputs<'_>,
+        window: &TelemetryWindow<'_>,
         _current: &Configuration,
     ) -> Result<ReconfigDecision, ReconfigError> {
         let started = Instant::now();
-        let deltas = inputs.current_deltas();
-        let (configuration, _) = self.optimise(inputs.array(), &deltas)?;
+        let deltas = window.current_deltas();
+        let (configuration, _) = self.optimise(window.array(), &deltas)?;
         let elapsed = Seconds::new(started.elapsed().as_secs_f64());
         // The fixed-period controller re-applies its result every period,
         // paying the reconfiguration dead time even when nothing changed.
@@ -262,7 +269,10 @@ mod tests {
     use teg_units::Celsius;
 
     fn array(n: usize) -> TegArray {
-        TegArray::uniform(TegModule::from_datasheet(&TegDatasheet::tgm_199_1_4_0_8()), n)
+        TegArray::uniform(
+            TegModule::from_datasheet(&TegDatasheet::tgm_199_1_4_0_8()),
+            n,
+        )
     }
 
     fn radiator_like_deltas(n: usize) -> Vec<TemperatureDelta> {
@@ -290,7 +300,10 @@ mod tests {
         let (n_min, n_max) = inor.group_bounds(&a, &deltas);
         assert!(n_min >= 1 && n_max <= 100 && n_min <= n_max);
         // The implied array voltage window must straddle 13.8 V.
-        let vmpp = a.modules()[0].mpp(TemperatureDelta::new(60.0)).voltage().value();
+        let vmpp = a.modules()[0]
+            .mpp(TemperatureDelta::new(60.0))
+            .voltage()
+            .value();
         assert!(n_min as f64 * vmpp <= 13.8 * 2.5);
         assert!(n_max as f64 * vmpp >= 13.8 * 0.4);
     }
@@ -319,8 +332,9 @@ mod tests {
     fn balanced_partition_balances_group_currents() {
         // A strongly decaying current profile: a naive equal-size split would
         // put far more current in the first group than the last.
-        let currents: Vec<Amps> =
-            (0..30).map(|i| Amps::new(2.0 * (-(i as f64) * 0.1).exp())).collect();
+        let currents: Vec<Amps> = (0..30)
+            .map(|i| Amps::new(2.0 * (-(i as f64) * 0.1).exp()))
+            .collect();
         let total: f64 = currents.iter().map(|c| c.value()).sum();
         let n = 5;
         let ideal = total / n as f64;
@@ -369,7 +383,7 @@ mod tests {
         let a = array(40);
         let temps: Vec<f64> = (0..40).map(|i| 95.0 - 0.9 * i as f64).collect();
         let history = vec![temps];
-        let inputs = ReconfigInputs::new(&a, &history, Celsius::new(25.0)).unwrap();
+        let inputs = TelemetryWindow::new(&a, &history, Celsius::new(25.0)).unwrap();
         let current = Configuration::uniform(40, 4).unwrap();
         let mut inor = Inor::default();
         assert_eq!(inor.name(), "INOR");

@@ -47,21 +47,33 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// `!(x > 0.0)`-style validation is used deliberately throughout: unlike
+// `x <= 0.0` it also rejects NaN parameters.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
 
 mod baseline;
-mod context;
 mod dnor;
 mod ehtr;
 mod error;
 mod inor;
 mod runtime;
+mod telemetry;
 mod traits;
 
 pub use baseline::StaticBaseline;
-pub use context::ReconfigInputs;
 pub use dnor::{Dnor, DnorConfig};
 pub use ehtr::Ehtr;
 pub use error::ReconfigError;
 pub use inor::{Inor, InorConfig};
 pub use runtime::RuntimeStats;
+pub use telemetry::{TelemetryBuffer, TelemetryWindow};
 pub use traits::{ReconfigDecision, Reconfigurer};
+
+/// The historical name of [`TelemetryWindow`], kept so the common patterns
+/// of the original unbounded-history API — `ReconfigInputs::new`,
+/// `current_deltas`, `current_temperatures`, `module_series`,
+/// `deltas_from_row` — keep compiling unchanged.  The one removed member is
+/// the `history()` slice accessor, which cannot exist on a ring-buffer
+/// window; iterate [`TelemetryWindow::rows`] or index
+/// [`TelemetryWindow::row`] instead.
+pub type ReconfigInputs<'a> = TelemetryWindow<'a>;

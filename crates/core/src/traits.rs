@@ -3,8 +3,8 @@
 use teg_array::Configuration;
 use teg_units::Seconds;
 
-use crate::context::ReconfigInputs;
 use crate::error::ReconfigError;
+use crate::telemetry::TelemetryWindow;
 
 /// The outcome of one reconfiguration decision.
 ///
@@ -34,7 +34,12 @@ impl ReconfigDecision {
         evaluated: bool,
         applied: bool,
     ) -> Self {
-        Self { configuration, computation, evaluated, applied }
+        Self {
+            configuration,
+            computation,
+            evaluated,
+            applied,
+        }
     }
 
     /// The configuration the array should use after this decision.
@@ -85,10 +90,23 @@ pub trait Reconfigurer {
     /// The period at which the controller should invoke this scheme.
     fn period(&self) -> Seconds;
 
+    /// Number of recent telemetry rows the scheme needs to see in its
+    /// [`TelemetryWindow`].
+    ///
+    /// The simulation session sizes its bounded ring buffer from this value,
+    /// which is what keeps every invocation `O(window)` instead of `O(T)` in
+    /// the run length.  Instantaneous schemes (INOR, EHTR, the baseline)
+    /// only read the latest row, hence the default of 1; predictive schemes
+    /// such as DNOR declare the training span their predictors require.
+    fn lookback(&self) -> usize {
+        1
+    }
+
     /// Proposes the configuration to use from this instant on.
     ///
-    /// `current` is the configuration presently wired; schemes that decide
-    /// not to change anything simply return it.
+    /// `window` carries the bounded recent telemetry; `current` is the
+    /// configuration presently wired, and schemes that decide not to change
+    /// anything simply return it.
     ///
     /// # Errors
     ///
@@ -96,7 +114,7 @@ pub trait Reconfigurer {
     /// inconsistent with the array or an underlying substrate fails.
     fn decide(
         &mut self,
-        inputs: &ReconfigInputs<'_>,
+        window: &TelemetryWindow<'_>,
         current: &Configuration,
     ) -> Result<ReconfigDecision, ReconfigError>;
 

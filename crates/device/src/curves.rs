@@ -28,7 +28,11 @@ impl CurvePoint {
     /// Creates a sample from voltage and current.
     #[must_use]
     pub fn new(voltage: Volts, current: Amps) -> Self {
-        Self { voltage, current, power: voltage * current }
+        Self {
+            voltage,
+            current,
+            power: voltage * current,
+        }
     }
 
     /// Terminal voltage.
@@ -95,7 +99,11 @@ impl IvCurve {
                 CurvePoint::new(module.voltage_at_current(delta_t, current), current)
             })
             .collect();
-        Self { delta_t, points, mpp: module.mpp(delta_t) }
+        Self {
+            delta_t,
+            points,
+            mpp: module.mpp(delta_t),
+        }
     }
 
     /// The ΔT at which the curve was sampled.
@@ -141,7 +149,11 @@ impl IvCurve {
 /// assert_eq!(family.len(), 3);
 /// ```
 #[must_use]
-pub fn curve_family(module: &TegModule, delta_ts_kelvin: &[f64], sample_count: usize) -> Vec<IvCurve> {
+pub fn curve_family(
+    module: &TegModule,
+    delta_ts_kelvin: &[f64],
+    sample_count: usize,
+) -> Vec<IvCurve> {
     delta_ts_kelvin
         .iter()
         .map(|&dt| IvCurve::sample(module, TemperatureDelta::new(dt), sample_count))

@@ -71,10 +71,15 @@ impl TegDatasheet {
             || !internal_resistance_ohms.is_finite()
             || !max_delta_t_kelvin.is_finite()
         {
-            return Err(DeviceError::NonFiniteInput { what: "datasheet parameters" });
+            return Err(DeviceError::NonFiniteInput {
+                what: "datasheet parameters",
+            });
         }
         if couple_count == 0 {
-            return Err(DeviceError::InvalidParameter { name: "couple count", value: 0.0 });
+            return Err(DeviceError::InvalidParameter {
+                name: "couple count",
+                value: 0.0,
+            });
         }
         if seebeck_per_couple_v_per_k <= 0.0 {
             return Err(DeviceError::InvalidParameter {

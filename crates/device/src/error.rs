@@ -49,10 +49,15 @@ mod tests {
 
     #[test]
     fn messages_mention_parameter_names() {
-        let err = DeviceError::InvalidParameter { name: "internal resistance", value: -1.0 };
+        let err = DeviceError::InvalidParameter {
+            name: "internal resistance",
+            value: -1.0,
+        };
         assert!(err.to_string().contains("internal resistance"));
         assert!(err.to_string().contains("-1"));
-        let err = DeviceError::NonFiniteInput { what: "temperature difference" };
+        let err = DeviceError::NonFiniteInput {
+            what: "temperature difference",
+        };
         assert!(err.to_string().contains("temperature difference"));
     }
 

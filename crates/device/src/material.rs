@@ -74,7 +74,9 @@ impl ThermoelectricMaterial {
             || !seebeck_temp_coeff.is_finite()
             || !resistance_temp_coeff.is_finite()
         {
-            return Err(DeviceError::NonFiniteInput { what: "material coefficients" });
+            return Err(DeviceError::NonFiniteInput {
+                what: "material coefficients",
+            });
         }
         if seebeck_v_per_k <= 0.0 {
             return Err(DeviceError::InvalidParameter {
@@ -82,7 +84,11 @@ impl ThermoelectricMaterial {
                 value: seebeck_v_per_k,
             });
         }
-        Ok(Self { seebeck_v_per_k, seebeck_temp_coeff, resistance_temp_coeff })
+        Ok(Self {
+            seebeck_v_per_k,
+            seebeck_temp_coeff,
+            resistance_temp_coeff,
+        })
     }
 
     /// Per-couple Seebeck coefficient in V/K at the given ΔT (in kelvin).
@@ -147,6 +153,9 @@ mod tests {
     fn bismuth_telluride_seebeck_magnitude() {
         // Per-couple Seebeck of Bi2Te3 is a few hundred µV/K.
         let s = ThermoelectricMaterial::bismuth_telluride().seebeck_per_couple(50.0);
-        assert!(s > 1.0e-4 && s < 1.0e-3, "implausible Seebeck coefficient {s}");
+        assert!(
+            s > 1.0e-4 && s < 1.0e-3,
+            "implausible Seebeck coefficient {s}"
+        );
     }
 }

@@ -76,7 +76,9 @@ impl TegModule {
     /// strictly positive, or [`DeviceError::NonFiniteInput`] if not finite.
     pub fn scaled(&self, seebeck_factor: f64, resistance_factor: f64) -> Result<Self, DeviceError> {
         if !seebeck_factor.is_finite() || !resistance_factor.is_finite() {
-            return Err(DeviceError::NonFiniteInput { what: "scaling factors" });
+            return Err(DeviceError::NonFiniteInput {
+                what: "scaling factors",
+            });
         }
         if seebeck_factor <= 0.0 {
             return Err(DeviceError::InvalidParameter {
@@ -202,7 +204,10 @@ mod tests {
     #[test]
     fn negative_delta_t_produces_no_voltage() {
         let m = module();
-        assert_eq!(m.open_circuit_voltage(TemperatureDelta::new(-10.0)), Volts::ZERO);
+        assert_eq!(
+            m.open_circuit_voltage(TemperatureDelta::new(-10.0)),
+            Volts::ZERO
+        );
         assert_eq!(m.mpp(TemperatureDelta::new(-10.0)).power(), Watts::ZERO);
     }
 
@@ -235,7 +240,10 @@ mod tests {
         let p_mpp = m.mpp(dt).power();
         for load in [0.1_f64, 0.5, 1.0, 5.0, 10.0, 50.0] {
             let p = m.power_at_load(dt, Ohms::new(load));
-            assert!(p.value() <= p_mpp.value() + 1e-9, "load {load} exceeded MPP");
+            assert!(
+                p.value() <= p_mpp.value() + 1e-9,
+                "load {load} exceeded MPP"
+            );
         }
     }
 

@@ -30,7 +30,11 @@ impl MppPoint {
     /// product of the two.
     #[must_use]
     pub fn new(voltage: Volts, current: Amps) -> Self {
-        Self { voltage, current, power: voltage * current }
+        Self {
+            voltage,
+            current,
+            power: voltage * current,
+        }
     }
 
     /// Terminal voltage at the MPP.

@@ -46,7 +46,9 @@ impl VariationModel {
     /// [`DeviceError::NonFiniteInput`] for non-finite values.
     pub fn new(seebeck_tolerance: f64, resistance_tolerance: f64) -> Result<Self, DeviceError> {
         if !seebeck_tolerance.is_finite() || !resistance_tolerance.is_finite() {
-            return Err(DeviceError::NonFiniteInput { what: "variation tolerances" });
+            return Err(DeviceError::NonFiniteInput {
+                what: "variation tolerances",
+            });
         }
         if !(0.0..1.0).contains(&seebeck_tolerance) {
             return Err(DeviceError::InvalidParameter {
@@ -60,14 +62,20 @@ impl VariationModel {
                 value: resistance_tolerance,
             });
         }
-        Ok(Self { seebeck_tolerance, resistance_tolerance })
+        Ok(Self {
+            seebeck_tolerance,
+            resistance_tolerance,
+        })
     }
 
     /// A variation model with no spread: every module is an exact copy of the
     /// nominal one (the paper's setting).
     #[must_use]
     pub fn none() -> Self {
-        Self { seebeck_tolerance: 0.0, resistance_tolerance: 0.0 }
+        Self {
+            seebeck_tolerance: 0.0,
+            resistance_tolerance: 0.0,
+        }
     }
 
     /// Relative Seebeck-coefficient tolerance.

@@ -42,7 +42,10 @@ impl LeadAcidBattery {
     /// positive or the state of charge lies outside `[0, 1]`.
     pub fn vehicle_12v(capacity_ah: f64, state_of_charge: f64) -> Result<Self, PowerError> {
         if !(capacity_ah > 0.0) {
-            return Err(PowerError::InvalidParameter { name: "capacity", value: capacity_ah });
+            return Err(PowerError::InvalidParameter {
+                name: "capacity",
+                value: capacity_ah,
+            });
         }
         if !(0.0..=1.0).contains(&state_of_charge) {
             return Err(PowerError::InvalidParameter {

@@ -156,7 +156,10 @@ impl Charger {
         let max_ln = ((self.peak_efficiency - min_efficiency) / self.ratio_penalty).max(0.0);
         let lo = self.output_voltage.value() * (-max_ln).exp();
         let hi = self.output_voltage.value() * max_ln.exp();
-        Some((Volts::new(lo.max(self.minimum_input.value())), Volts::new(hi)))
+        Some((
+            Volts::new(lo.max(self.minimum_input.value())),
+            Volts::new(hi),
+        ))
     }
 }
 
@@ -193,7 +196,10 @@ mod tests {
         let c = Charger::ltm4607_lead_acid();
         assert_eq!(c.efficiency(Volts::new(2.0)), 0.0);
         assert_eq!(c.efficiency(Volts::new(f64::NAN)), 0.0);
-        assert_eq!(c.output_power(Volts::new(2.0), Watts::new(50.0)), Watts::ZERO);
+        assert_eq!(
+            c.output_power(Volts::new(2.0), Watts::new(50.0)),
+            Watts::ZERO
+        );
     }
 
     #[test]
@@ -201,7 +207,10 @@ mod tests {
         let c = Charger::ltm4607_lead_acid();
         for v in [3.0_f64, 5.0, 10.0, 30.0, 100.0, 400.0] {
             let eta = c.efficiency(Volts::new(v));
-            assert!(eta >= 0.55 - 1e-12 && eta <= 0.97 + 1e-12, "v={v} eta={eta}");
+            assert!(
+                (0.55 - 1e-12..=0.97 + 1e-12).contains(&eta),
+                "v={v} eta={eta}"
+            );
         }
     }
 
@@ -210,7 +219,10 @@ mod tests {
         let c = Charger::ltm4607_lead_acid();
         let out = c.output_power(Volts::new(13.8), Watts::new(100.0));
         assert!((out.value() - 97.0).abs() < 1e-9);
-        assert_eq!(c.output_power(Volts::new(13.8), Watts::new(-5.0)), Watts::ZERO);
+        assert_eq!(
+            c.output_power(Volts::new(13.8), Watts::new(-5.0)),
+            Watts::ZERO
+        );
     }
 
     #[test]

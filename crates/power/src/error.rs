@@ -64,7 +64,10 @@ mod tests {
         let err = PowerError::from(ArrayError::EmptyArray);
         assert!(err.to_string().contains("array error"));
         assert!(std::error::Error::source(&err).is_some());
-        let err = PowerError::InvalidParameter { name: "step", value: -1.0 };
+        let err = PowerError::InvalidParameter {
+            name: "step",
+            value: -1.0,
+        };
         assert!(std::error::Error::source(&err).is_none());
     }
 

@@ -126,7 +126,9 @@ impl HarvestingFrontEnd {
         deltas: &[TemperatureDelta],
         duration: Seconds,
     ) -> Result<HarvestReport, PowerError> {
-        let outcome = self.mppt.track(array, config, deltas, self.mppt_iterations)?;
+        let outcome = self
+            .mppt
+            .track(array, config, deltas, self.mppt_iterations)?;
         let point = outcome.operating_point().clone();
         let efficiency = self.charger.efficiency(point.voltage());
         let delivered_power = self.charger.output_power(point.voltage(), point.power());
@@ -163,7 +165,9 @@ mod tests {
         let (array, deltas, mut frontend) = setup(20);
         let config = Configuration::uniform(20, 4).unwrap();
         let soc_before = frontend.battery().state_of_charge();
-        let report = frontend.harvest(&array, &config, &deltas, Seconds::new(1.0)).unwrap();
+        let report = frontend
+            .harvest(&array, &config, &deltas, Seconds::new(1.0))
+            .unwrap();
         assert!(report.delivered_power().value() > 0.0);
         assert!(report.converter_efficiency() > 0.0);
         assert!(frontend.battery().state_of_charge() > soc_before);
@@ -176,7 +180,9 @@ mod tests {
         let config = Configuration::uniform(16, 4).unwrap();
         let mut sum = Joules::ZERO;
         for _ in 0..5 {
-            let report = frontend.harvest(&array, &config, &deltas, Seconds::new(2.0)).unwrap();
+            let report = frontend
+                .harvest(&array, &config, &deltas, Seconds::new(2.0))
+                .unwrap();
             sum += report.delivered_energy();
         }
         assert!((frontend.total_delivered().value() - sum.value()).abs() < 1e-9);
@@ -186,7 +192,9 @@ mod tests {
     fn delivered_power_is_bounded_by_array_power() {
         let (array, deltas, mut frontend) = setup(24);
         let config = Configuration::uniform(24, 6).unwrap();
-        let report = frontend.harvest(&array, &config, &deltas, Seconds::new(1.0)).unwrap();
+        let report = frontend
+            .harvest(&array, &config, &deltas, Seconds::new(1.0))
+            .unwrap();
         assert!(report.delivered_power().value() <= report.array_point().power().value() + 1e-9);
     }
 
@@ -198,8 +206,12 @@ mod tests {
         let flat = Configuration::uniform(24, 1).unwrap();
         // A sensible series/parallel split keeps the voltage near the battery.
         let good = Configuration::uniform(24, 6).unwrap();
-        let report_flat = frontend.harvest(&array, &config_clone(&flat), &deltas, Seconds::new(1.0)).unwrap();
-        let report_good = frontend.harvest(&array, &config_clone(&good), &deltas, Seconds::new(1.0)).unwrap();
+        let report_flat = frontend
+            .harvest(&array, &config_clone(&flat), &deltas, Seconds::new(1.0))
+            .unwrap();
+        let report_good = frontend
+            .harvest(&array, &config_clone(&good), &deltas, Seconds::new(1.0))
+            .unwrap();
         assert!(report_good.converter_efficiency() > report_flat.converter_efficiency());
     }
 
@@ -212,7 +224,9 @@ mod tests {
         let (array, _deltas, mut frontend) = setup(10);
         let config = Configuration::uniform(10, 2).unwrap();
         let wrong = vec![TemperatureDelta::new(50.0); 9];
-        assert!(frontend.harvest(&array, &config, &wrong, Seconds::new(1.0)).is_err());
+        assert!(frontend
+            .harvest(&array, &config, &wrong, Seconds::new(1.0))
+            .is_err());
     }
 
     #[test]
@@ -228,7 +242,9 @@ mod tests {
             400,
         );
         let config = Configuration::uniform(12, 4).unwrap();
-        let report = frontend.harvest(&array, &config, &deltas, Seconds::new(1.0)).unwrap();
+        let report = frontend
+            .harvest(&array, &config, &deltas, Seconds::new(1.0))
+            .unwrap();
         assert!(report.delivered_power().value() > 0.0);
     }
 }

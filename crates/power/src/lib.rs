@@ -36,6 +36,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// `!(x > 0.0)`-style validation is used deliberately throughout: unlike
+// `x <= 0.0` it also rejects NaN parameters.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
 
 mod battery;
 mod converter;

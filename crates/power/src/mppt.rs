@@ -80,7 +80,11 @@ impl PerturbObserve {
     /// Returns [`PowerError::InvalidParameter`] if the steps are not positive,
     /// the minimum step exceeds the initial step, or the shrink factor is not
     /// in `(0, 1)`.
-    pub fn new(initial_step: Amps, minimum_step: Amps, shrink_factor: f64) -> Result<Self, PowerError> {
+    pub fn new(
+        initial_step: Amps,
+        minimum_step: Amps,
+        shrink_factor: f64,
+    ) -> Result<Self, PowerError> {
         if !(initial_step.value() > 0.0) {
             return Err(PowerError::InvalidParameter {
                 name: "initial step",
@@ -99,7 +103,11 @@ impl PerturbObserve {
                 value: shrink_factor,
             });
         }
-        Ok(Self { initial_step, minimum_step, shrink_factor })
+        Ok(Self {
+            initial_step,
+            minimum_step,
+            shrink_factor,
+        })
     }
 
     /// Runs the P&O loop against a configured array and temperature state.
@@ -163,7 +171,11 @@ impl PerturbObserve {
         }
         let _ = last_power;
 
-        Ok(MpptOutcome { operating_point: best, iterations, converged })
+        Ok(MpptOutcome {
+            operating_point: best,
+            iterations,
+            converged,
+        })
     }
 }
 
@@ -185,7 +197,10 @@ mod tests {
     use teg_device::{TegDatasheet, TegModule};
 
     fn array(n: usize) -> TegArray {
-        TegArray::uniform(TegModule::from_datasheet(&TegDatasheet::tgm_199_1_4_0_8()), n)
+        TegArray::uniform(
+            TegModule::from_datasheet(&TegDatasheet::tgm_199_1_4_0_8()),
+            n,
+        )
     }
 
     fn gradient(n: usize) -> Vec<TemperatureDelta> {
@@ -200,9 +215,14 @@ mod tests {
         let deltas = gradient(20);
         let config = Configuration::uniform(20, 5).unwrap();
         let analytic = a.maximum_power_point(&config, &deltas).unwrap();
-        let outcome = PerturbObserve::default().track(&a, &config, &deltas, 500).unwrap();
+        let outcome = PerturbObserve::default()
+            .track(&a, &config, &deltas, 500)
+            .unwrap();
         let ratio = outcome.operating_point().power().value() / analytic.power().value();
-        assert!(ratio > 0.97, "P&O reached only {ratio:.3} of the analytic MPP");
+        assert!(
+            ratio > 0.97,
+            "P&O reached only {ratio:.3} of the analytic MPP"
+        );
         assert!(ratio <= 1.0 + 1e-9);
     }
 
@@ -211,7 +231,9 @@ mod tests {
         let a = array(10);
         let deltas = gradient(10);
         let config = Configuration::uniform(10, 5).unwrap();
-        let outcome = PerturbObserve::default().track(&a, &config, &deltas, 10_000).unwrap();
+        let outcome = PerturbObserve::default()
+            .track(&a, &config, &deltas, 10_000)
+            .unwrap();
         assert!(outcome.converged());
         assert!(outcome.iterations() < 10_000);
     }
@@ -221,7 +243,9 @@ mod tests {
         let a = array(10);
         let deltas = gradient(10);
         let config = Configuration::uniform(10, 2).unwrap();
-        let outcome = PerturbObserve::default().track(&a, &config, &deltas, 0).unwrap();
+        let outcome = PerturbObserve::default()
+            .track(&a, &config, &deltas, 0)
+            .unwrap();
         assert_eq!(outcome.iterations(), 0);
         assert!(!outcome.converged());
         assert!(outcome.operating_point().power().value() > 0.0);
@@ -242,7 +266,9 @@ mod tests {
         let a = array(10);
         let deltas = gradient(9);
         let config = Configuration::uniform(10, 2).unwrap();
-        let err = PerturbObserve::default().track(&a, &config, &deltas, 10).unwrap_err();
+        let err = PerturbObserve::default()
+            .track(&a, &config, &deltas, 10)
+            .unwrap_err();
         assert!(matches!(err, PowerError::Array(_)));
     }
 
@@ -252,7 +278,9 @@ mod tests {
         let deltas = vec![TemperatureDelta::new(55.0); 16];
         let config = Configuration::uniform(16, 4).unwrap();
         let analytic = a.maximum_power_point(&config, &deltas).unwrap();
-        let outcome = PerturbObserve::default().track(&a, &config, &deltas, 300).unwrap();
+        let outcome = PerturbObserve::default()
+            .track(&a, &config, &deltas, 300)
+            .unwrap();
         assert!(outcome.operating_point().power().value() > 0.95 * analytic.power().value());
     }
 }

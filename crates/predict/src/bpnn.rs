@@ -80,13 +80,22 @@ impl BackPropagationNetwork {
         learning_rate: f64,
     ) -> Result<Self, PredictError> {
         if window == 0 {
-            return Err(PredictError::InvalidParameter { name: "window", value: 0.0 });
+            return Err(PredictError::InvalidParameter {
+                name: "window",
+                value: 0.0,
+            });
         }
         if hidden == 0 {
-            return Err(PredictError::InvalidParameter { name: "hidden units", value: 0.0 });
+            return Err(PredictError::InvalidParameter {
+                name: "hidden units",
+                value: 0.0,
+            });
         }
         if epochs == 0 {
-            return Err(PredictError::InvalidParameter { name: "epochs", value: 0.0 });
+            return Err(PredictError::InvalidParameter {
+                name: "epochs",
+                value: 0.0,
+            });
         }
         if !(learning_rate > 0.0) || !learning_rate.is_finite() {
             return Err(PredictError::InvalidParameter {
@@ -94,7 +103,14 @@ impl BackPropagationNetwork {
                 value: learning_rate,
             });
         }
-        Ok(Self { window, hidden, epochs, learning_rate, seed, state: None })
+        Ok(Self {
+            window,
+            hidden,
+            epochs,
+            learning_rate,
+            seed,
+            state: None,
+        })
     }
 
     fn normalise(value: f64, mean: f64, std: f64) -> f64 {
@@ -107,8 +123,12 @@ impl BackPropagationNetwork {
             .iter()
             .zip(state.bias_hidden.iter())
             .map(|(weights, &bias)| {
-                let sum: f64 =
-                    weights.iter().zip(inputs.iter()).map(|(w, x)| w * x).sum::<f64>() + bias;
+                let sum: f64 = weights
+                    .iter()
+                    .zip(inputs.iter())
+                    .map(|(w, x)| w * x)
+                    .sum::<f64>()
+                    + bias;
                 sum.tanh()
             })
             .collect();
@@ -131,12 +151,17 @@ impl Predictor for BackPropagationNetwork {
         self.window
     }
 
+    // Backprop updates index several parallel weight/bias tables at once.
+    #[allow(clippy::needless_range_loop)]
     fn fit(&mut self, series: &[f64]) -> Result<(), PredictError> {
         let dataset = SlidingWindowDataset::build(series, self.window, 1)?;
         let all: Vec<f64> = dataset.features().iter().flatten().copied().collect();
         let input_mean = all.iter().sum::<f64>() / all.len() as f64;
-        let input_var =
-            all.iter().map(|x| (x - input_mean) * (x - input_mean)).sum::<f64>() / all.len() as f64;
+        let input_var = all
+            .iter()
+            .map(|x| (x - input_mean) * (x - input_mean))
+            .sum::<f64>()
+            / all.len() as f64;
         let input_std = input_var.sqrt().max(1e-9);
         let target_mean = dataset.targets().iter().sum::<f64>() / dataset.len() as f64;
         let target_var = dataset
@@ -150,7 +175,11 @@ impl Predictor for BackPropagationNetwork {
         let features: Vec<Vec<f64>> = dataset
             .features()
             .iter()
-            .map(|row| row.iter().map(|&x| Self::normalise(x, input_mean, input_std)).collect())
+            .map(|row| {
+                row.iter()
+                    .map(|&x| Self::normalise(x, input_mean, input_std))
+                    .collect()
+            })
             .collect();
         let targets: Vec<f64> = dataset
             .targets()
@@ -162,7 +191,11 @@ impl Predictor for BackPropagationNetwork {
         let scale = 1.0 / (self.window as f64).sqrt();
         let mut state = FittedNetwork {
             weights_hidden: (0..self.hidden)
-                .map(|_| (0..self.window).map(|_| rng.gen_range(-scale..scale)).collect())
+                .map(|_| {
+                    (0..self.window)
+                        .map(|_| rng.gen_range(-scale..scale))
+                        .collect()
+                })
                 .collect(),
             bias_hidden: vec![0.0; self.hidden],
             weights_output: (0..self.hidden).map(|_| rng.gen_range(-0.5..0.5)).collect(),
@@ -186,7 +219,8 @@ impl Predictor for BackPropagationNetwork {
                     let grad_out = error * hidden[h];
                     // Hidden layer gradients (before updating the output
                     // weight, as standard backprop prescribes).
-                    let grad_hidden = error * state.weights_output[h] * (1.0 - hidden[h] * hidden[h]);
+                    let grad_hidden =
+                        error * state.weights_output[h] * (1.0 - hidden[h] * hidden[h]);
                     for i in 0..self.window {
                         state.weights_hidden[h][i] -= self.learning_rate * grad_hidden * x[i];
                     }
@@ -245,7 +279,10 @@ mod tests {
     #[test]
     fn unfitted_network_refuses_to_predict() {
         let net = BackPropagationNetwork::new(3, 4, 0).unwrap();
-        assert!(matches!(net.predict_next(&[1.0, 2.0, 3.0]), Err(PredictError::NotFitted)));
+        assert!(matches!(
+            net.predict_next(&[1.0, 2.0, 3.0]),
+            Err(PredictError::NotFitted)
+        ));
     }
 
     #[test]
@@ -259,8 +296,9 @@ mod tests {
 
     #[test]
     fn learns_a_slow_oscillation_reasonably_well() {
-        let series: Vec<f64> =
-            (0..500).map(|i| 92.0 + 3.0 * (i as f64 * 0.05).sin()).collect();
+        let series: Vec<f64> = (0..500)
+            .map(|i| 92.0 + 3.0 * (i as f64 * 0.05).sin())
+            .collect();
         let mut net = BackPropagationNetwork::new(5, 8, 7).unwrap();
         net.fit(&series[..400]).unwrap();
         let mut actual = Vec::new();
@@ -280,10 +318,16 @@ mod tests {
         let mut b = BackPropagationNetwork::new(4, 6, 9).unwrap();
         a.fit(&series).unwrap();
         b.fit(&series).unwrap();
-        assert_eq!(a.predict_next(&series).unwrap(), b.predict_next(&series).unwrap());
+        assert_eq!(
+            a.predict_next(&series).unwrap(),
+            b.predict_next(&series).unwrap()
+        );
         let mut c = BackPropagationNetwork::new(4, 6, 10).unwrap();
         c.fit(&series).unwrap();
-        assert_ne!(a.predict_next(&series).unwrap(), c.predict_next(&series).unwrap());
+        assert_ne!(
+            a.predict_next(&series).unwrap(),
+            c.predict_next(&series).unwrap()
+        );
     }
 
     #[test]

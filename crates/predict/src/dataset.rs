@@ -42,10 +42,16 @@ impl SlidingWindowDataset {
     /// short to produce at least one sample.
     pub fn build(series: &[f64], window: usize, horizon: usize) -> Result<Self, PredictError> {
         if window == 0 {
-            return Err(PredictError::InvalidParameter { name: "window", value: 0.0 });
+            return Err(PredictError::InvalidParameter {
+                name: "window",
+                value: 0.0,
+            });
         }
         if horizon == 0 {
-            return Err(PredictError::InvalidParameter { name: "horizon", value: 0.0 });
+            return Err(PredictError::InvalidParameter {
+                name: "horizon",
+                value: 0.0,
+            });
         }
         let needed = window + horizon;
         if series.len() < needed {
@@ -60,7 +66,12 @@ impl SlidingWindowDataset {
             features.push(series[start..start + window].to_vec());
             targets.push(series[start + window + horizon - 1]);
         }
-        Ok(Self { features, targets, window, horizon })
+        Ok(Self {
+            features,
+            targets,
+            window,
+            horizon,
+        })
     }
 
     /// Number of (feature, target) samples.
@@ -142,7 +153,10 @@ mod tests {
         assert!(SlidingWindowDataset::build(&series, 3, 0).is_err());
         assert!(matches!(
             SlidingWindowDataset::build(&series[..3], 3, 1).unwrap_err(),
-            PredictError::InsufficientData { needed: 4, available: 3 }
+            PredictError::InsufficientData {
+                needed: 4,
+                available: 3
+            }
         ));
     }
 

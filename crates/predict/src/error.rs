@@ -49,7 +49,10 @@ impl fmt::Display for PredictError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::InsufficientData { needed, available } => {
-                write!(f, "training data too short: need {needed} samples, have {available}")
+                write!(
+                    f,
+                    "training data too short: need {needed} samples, have {available}"
+                )
             }
             Self::InvalidParameter { name, value } => {
                 write!(f, "invalid value {value} for parameter {name}")
@@ -71,15 +74,27 @@ mod tests {
 
     #[test]
     fn messages_are_descriptive() {
-        assert!(PredictError::InsufficientData { needed: 7, available: 2 }
+        assert!(PredictError::InsufficientData {
+            needed: 7,
+            available: 2
+        }
+        .to_string()
+        .contains("7"));
+        assert!(PredictError::InvalidParameter {
+            name: "window",
+            value: 0.0
+        }
+        .to_string()
+        .contains("window"));
+        assert!(PredictError::SingularSystem
             .to_string()
-            .contains("7"));
-        assert!(PredictError::InvalidParameter { name: "window", value: 0.0 }
+            .contains("singular"));
+        assert!(PredictError::NotFitted
             .to_string()
-            .contains("window"));
-        assert!(PredictError::SingularSystem.to_string().contains("singular"));
-        assert!(PredictError::NotFitted.to_string().contains("not been fitted"));
-        assert!(PredictError::DimensionMismatch { left: 3, right: 4 }.to_string().contains("3"));
+            .contains("not been fitted"));
+        assert!(PredictError::DimensionMismatch { left: 3, right: 4 }
+            .to_string()
+            .contains("3"));
     }
 
     #[test]

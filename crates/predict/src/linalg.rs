@@ -31,14 +31,23 @@ use crate::error::PredictError;
 /// # Ok(())
 /// # }
 /// ```
+// Gaussian elimination over parallel row/column tables reads clearest with
+// explicit indices.
+#[allow(clippy::needless_range_loop)]
 pub fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, PredictError> {
     let n = a.len();
     if b.len() != n {
-        return Err(PredictError::DimensionMismatch { left: n, right: b.len() });
+        return Err(PredictError::DimensionMismatch {
+            left: n,
+            right: b.len(),
+        });
     }
     for (i, row) in a.iter().enumerate() {
         if row.len() != n {
-            return Err(PredictError::DimensionMismatch { left: n, right: a[i].len() });
+            return Err(PredictError::DimensionMismatch {
+                left: n,
+                right: a[i].len(),
+            });
         }
     }
 
@@ -112,7 +121,11 @@ pub fn gram_matrix(design: &[Vec<f64>], ridge: f64) -> Vec<Vec<f64>> {
 /// Panics if the number of design rows differs from the number of targets.
 #[must_use]
 pub fn design_times_targets(design: &[Vec<f64>], targets: &[f64]) -> Vec<f64> {
-    assert_eq!(design.len(), targets.len(), "design and target row counts differ");
+    assert_eq!(
+        design.len(),
+        targets.len(),
+        "design and target row counts differ"
+    );
     let cols = design.first().map_or(0, Vec::len);
     let mut out = vec![0.0; cols];
     for (row, &y) in design.iter().zip(targets.iter()) {
@@ -141,7 +154,11 @@ mod tests {
 
     #[test]
     fn solves_identity_system() {
-        let a = vec![vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0], vec![0.0, 0.0, 1.0]];
+        let a = vec![
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ];
         let b = vec![4.0, -2.0, 7.5];
         let x = solve(a, b.clone()).unwrap();
         assert_eq!(x, b);
@@ -160,7 +177,10 @@ mod tests {
     #[test]
     fn rejects_singular_and_mismatched_systems() {
         let singular = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
-        assert_eq!(solve(singular, vec![1.0, 2.0]).unwrap_err(), PredictError::SingularSystem);
+        assert_eq!(
+            solve(singular, vec![1.0, 2.0]).unwrap_err(),
+            PredictError::SingularSystem
+        );
         let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
         assert!(matches!(
             solve(a, vec![1.0]).unwrap_err(),

@@ -8,10 +8,16 @@ use crate::error::PredictError;
 
 fn check_pair(actual: &[f64], forecast: &[f64]) -> Result<(), PredictError> {
     if actual.len() != forecast.len() {
-        return Err(PredictError::DimensionMismatch { left: actual.len(), right: forecast.len() });
+        return Err(PredictError::DimensionMismatch {
+            left: actual.len(),
+            right: forecast.len(),
+        });
     }
     if actual.is_empty() {
-        return Err(PredictError::InsufficientData { needed: 1, available: 0 });
+        return Err(PredictError::InsufficientData {
+            needed: 1,
+            available: 0,
+        });
     }
     Ok(())
 }
@@ -42,7 +48,10 @@ pub fn mape(actual: &[f64], forecast: &[f64]) -> Result<f64, PredictError> {
     let mut sum = 0.0;
     for (&a, &f) in actual.iter().zip(forecast.iter()) {
         if a == 0.0 {
-            return Err(PredictError::InvalidParameter { name: "actual value", value: 0.0 });
+            return Err(PredictError::InvalidParameter {
+                name: "actual value",
+                value: 0.0,
+            });
         }
         sum += ((a - f) / a).abs();
     }
@@ -131,8 +140,14 @@ mod tests {
             mape(&[1.0], &[1.0, 2.0]),
             Err(PredictError::DimensionMismatch { .. })
         ));
-        assert!(matches!(rmse(&[], &[]), Err(PredictError::InsufficientData { .. })));
-        assert!(matches!(mae(&[], &[]), Err(PredictError::InsufficientData { .. })));
+        assert!(matches!(
+            rmse(&[], &[]),
+            Err(PredictError::InsufficientData { .. })
+        ));
+        assert!(matches!(
+            mae(&[], &[]),
+            Err(PredictError::InsufficientData { .. })
+        ));
     }
 
     #[test]

@@ -60,12 +60,22 @@ impl MultipleLinearRegression {
     /// the ridge term is negative/non-finite.
     pub fn with_ridge(window: usize, ridge: f64) -> Result<Self, PredictError> {
         if window == 0 {
-            return Err(PredictError::InvalidParameter { name: "window", value: 0.0 });
+            return Err(PredictError::InvalidParameter {
+                name: "window",
+                value: 0.0,
+            });
         }
         if !ridge.is_finite() || ridge < 0.0 {
-            return Err(PredictError::InvalidParameter { name: "ridge", value: ridge });
+            return Err(PredictError::InvalidParameter {
+                name: "ridge",
+                value: ridge,
+            });
         }
-        Ok(Self { window, ridge, coefficients: None })
+        Ok(Self {
+            window,
+            ridge,
+            coefficients: None,
+        })
     }
 
     /// The fitted coefficients (window weights followed by the intercept), if
@@ -136,7 +146,10 @@ mod tests {
     #[test]
     fn unfitted_model_refuses_to_predict() {
         let m = MultipleLinearRegression::new(3).unwrap();
-        assert!(matches!(m.predict_next(&[1.0, 2.0, 3.0]), Err(PredictError::NotFitted)));
+        assert!(matches!(
+            m.predict_next(&[1.0, 2.0, 3.0]),
+            Err(PredictError::NotFitted)
+        ));
     }
 
     #[test]
@@ -151,7 +164,10 @@ mod tests {
         let forecast = m.forecast(&series, 5).unwrap();
         for (k, value) in forecast.iter().enumerate() {
             let expected = 5.0 + 0.25 * (40 + k) as f64;
-            assert!((value - expected).abs() < 1e-4, "step {k}: {value} vs {expected}");
+            assert!(
+                (value - expected).abs() < 1e-4,
+                "step {k}: {value} vs {expected}"
+            );
         }
     }
 
@@ -169,8 +185,9 @@ mod tests {
         // Representative of thermostat-regulated coolant temperature
         // oscillation; the 1-step MAPE should be a fraction of a percent, in
         // line with the paper's Fig. 5.
-        let series: Vec<f64> =
-            (0..400).map(|i| 92.0 + 3.0 * (i as f64 * 0.05).sin()).collect();
+        let series: Vec<f64> = (0..400)
+            .map(|i| 92.0 + 3.0 * (i as f64 * 0.05).sin())
+            .collect();
         let mut m = MultipleLinearRegression::new(5).unwrap();
         m.fit(&series[..300]).unwrap();
         let mut actual = Vec::new();

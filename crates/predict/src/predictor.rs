@@ -62,7 +62,10 @@ pub trait Predictor {
     /// rejected as [`PredictError::InvalidParameter`].
     fn forecast(&self, history: &[f64], horizon: usize) -> Result<Vec<f64>, PredictError> {
         if horizon == 0 {
-            return Err(PredictError::InvalidParameter { name: "horizon", value: 0.0 });
+            return Err(PredictError::InvalidParameter {
+                name: "horizon",
+                value: 0.0,
+            });
         }
         let window = self.window();
         if history.len() < window {
@@ -104,7 +107,10 @@ mod tests {
 
         fn fit(&mut self, series: &[f64]) -> Result<(), PredictError> {
             if series.len() < 2 {
-                return Err(PredictError::InsufficientData { needed: 2, available: series.len() });
+                return Err(PredictError::InsufficientData {
+                    needed: 2,
+                    available: series.len(),
+                });
             }
             self.fitted = true;
             Ok(())
@@ -139,7 +145,10 @@ mod tests {
     #[test]
     fn forecast_validates_inputs() {
         let mut p = Persistence { fitted: false };
-        assert!(matches!(p.forecast(&[1.0, 2.0], 1), Err(PredictError::NotFitted)));
+        assert!(matches!(
+            p.forecast(&[1.0, 2.0], 1),
+            Err(PredictError::NotFitted)
+        ));
         p.fit(&[1.0, 2.0]).unwrap();
         assert!(matches!(
             p.forecast(&[1.0, 2.0], 0),

@@ -78,13 +78,22 @@ impl SupportVectorRegression {
         learning_rate: f64,
     ) -> Result<Self, PredictError> {
         if window == 0 {
-            return Err(PredictError::InvalidParameter { name: "window", value: 0.0 });
+            return Err(PredictError::InvalidParameter {
+                name: "window",
+                value: 0.0,
+            });
         }
         if epochs == 0 {
-            return Err(PredictError::InvalidParameter { name: "epochs", value: 0.0 });
+            return Err(PredictError::InvalidParameter {
+                name: "epochs",
+                value: 0.0,
+            });
         }
         if !(epsilon >= 0.0) || !epsilon.is_finite() {
-            return Err(PredictError::InvalidParameter { name: "epsilon", value: epsilon });
+            return Err(PredictError::InvalidParameter {
+                name: "epsilon",
+                value: epsilon,
+            });
         }
         if !(regularisation >= 0.0) || !regularisation.is_finite() {
             return Err(PredictError::InvalidParameter {
@@ -98,7 +107,15 @@ impl SupportVectorRegression {
                 value: learning_rate,
             });
         }
-        Ok(Self { window, epsilon, regularisation, epochs, learning_rate, seed, state: None })
+        Ok(Self {
+            window,
+            epsilon,
+            regularisation,
+            epochs,
+            learning_rate,
+            seed,
+            state: None,
+        })
     }
 }
 
@@ -134,8 +151,11 @@ impl Predictor for SupportVectorRegression {
             .iter()
             .map(|row| row.iter().map(|&x| (x - input_mean) / input_std).collect())
             .collect();
-        let targets: Vec<f64> =
-            dataset.targets().iter().map(|&y| (y - target_mean) / target_std).collect();
+        let targets: Vec<f64> = dataset
+            .targets()
+            .iter()
+            .map(|&y| (y - target_mean) / target_std)
+            .collect();
 
         let mut weights = vec![0.0; self.window];
         let mut bias = 0.0;
@@ -206,7 +226,9 @@ mod tests {
     #[test]
     fn construction_validation() {
         assert!(SupportVectorRegression::new(0, 1).is_err());
-        assert!(SupportVectorRegression::with_hyperparameters(4, 1, -0.1, 1e-4, 100, 0.01).is_err());
+        assert!(
+            SupportVectorRegression::with_hyperparameters(4, 1, -0.1, 1e-4, 100, 0.01).is_err()
+        );
         assert!(SupportVectorRegression::with_hyperparameters(4, 1, 0.1, -1.0, 100, 0.01).is_err());
         assert!(SupportVectorRegression::with_hyperparameters(4, 1, 0.1, 1e-4, 0, 0.01).is_err());
         assert!(SupportVectorRegression::with_hyperparameters(4, 1, 0.1, 1e-4, 100, 0.0).is_err());
@@ -219,7 +241,10 @@ mod tests {
     #[test]
     fn unfitted_svr_refuses_to_predict() {
         let svr = SupportVectorRegression::new(3, 1).unwrap();
-        assert!(matches!(svr.predict_next(&[1.0, 2.0, 3.0]), Err(PredictError::NotFitted)));
+        assert!(matches!(
+            svr.predict_next(&[1.0, 2.0, 3.0]),
+            Err(PredictError::NotFitted)
+        ));
     }
 
     #[test]
@@ -233,8 +258,9 @@ mod tests {
 
     #[test]
     fn tracks_a_slow_oscillation() {
-        let series: Vec<f64> =
-            (0..500).map(|i| 92.0 + 3.0 * (i as f64 * 0.05).sin()).collect();
+        let series: Vec<f64> = (0..500)
+            .map(|i| 92.0 + 3.0 * (i as f64 * 0.05).sin())
+            .collect();
         let mut svr = SupportVectorRegression::new(5, 3).unwrap();
         svr.fit(&series[..400]).unwrap();
         let mut actual = Vec::new();
@@ -254,7 +280,10 @@ mod tests {
         let mut b = SupportVectorRegression::new(4, 21).unwrap();
         a.fit(&series).unwrap();
         b.fit(&series).unwrap();
-        assert_eq!(a.predict_next(&series).unwrap(), b.predict_next(&series).unwrap());
+        assert_eq!(
+            a.predict_next(&series).unwrap(),
+            b.predict_next(&series).unwrap()
+        );
     }
 
     #[test]

@@ -1,0 +1,260 @@
+//! Offline stand-in for the subset of the `criterion` benchmarking API this
+//! workspace uses: `criterion_group!`/`criterion_main!`, `Criterion`,
+//! `BenchmarkGroup` (`sample_size`, `bench_function`, `bench_with_input`,
+//! `finish`), `BenchmarkId`, `Bencher` (`iter`, `iter_batched`) and
+//! `BatchSize`.
+//!
+//! The build container has no network access to a cargo registry, so the real
+//! crate cannot be fetched.  This shim keeps every bench target compiling and
+//! producing honest wall-clock numbers: each benchmark is warmed up, then
+//! timed over `sample_size` samples of adaptively sized iteration batches,
+//! and the mean/min per-iteration time is printed in a `name ... time` line.
+//! There is no statistical analysis, HTML report or regression detection.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How a batched benchmark's per-batch setup output is sized (accepted for
+/// API compatibility; the shim treats every variant identically).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup values: iterations may be batched together.
+    SmallInput,
+    /// Large setup values.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Identifier for a parameterised benchmark (`group.bench_with_input`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayed parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Builds an id from the displayed parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Per-benchmark measurement driver handed to the closure.
+pub struct Bencher {
+    samples: usize,
+    measured: Vec<Duration>,
+    iters_per_sample: Vec<u64>,
+}
+
+/// Target wall-clock budget for one benchmark's measurement phase.
+const MEASURE_BUDGET: Duration = Duration::from_millis(250);
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Self {
+            samples,
+            measured: Vec::new(),
+            iters_per_sample: Vec::new(),
+        }
+    }
+
+    /// Benchmarks a routine.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm up and estimate a single iteration.
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let estimate = start.elapsed().max(Duration::from_nanos(50));
+        let per_sample = MEASURE_BUDGET.div_f64(self.samples as f64).as_secs_f64();
+        let iters = (per_sample / estimate.as_secs_f64()).clamp(1.0, 1e6) as u64;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            self.measured.push(start.elapsed());
+            self.iters_per_sample.push(iters);
+        }
+    }
+
+    /// Benchmarks a routine with a fresh setup value per call.
+    pub fn iter_batched<S, O, Setup, Routine>(
+        &mut self,
+        mut setup: Setup,
+        mut routine: Routine,
+        _size: BatchSize,
+    ) where
+        Setup: FnMut() -> S,
+        Routine: FnMut(S) -> O,
+    {
+        // Setup time is excluded by timing each routine call individually.
+        std::hint::black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.measured.push(start.elapsed());
+            self.iters_per_sample.push(1);
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.measured.is_empty() {
+            println!("{id:<50} (no measurements)");
+            return;
+        }
+        let per_iter: Vec<f64> = self
+            .measured
+            .iter()
+            .zip(&self.iters_per_sample)
+            .map(|(d, &n)| d.as_secs_f64() / n as f64)
+            .collect();
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let min = per_iter.iter().copied().fold(f64::INFINITY, f64::min);
+        println!(
+            "{id:<50} mean {:>12}  min {:>12}",
+            format_time(mean),
+            format_time(min)
+        );
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Runs one named benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id.as_ref()));
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher, input);
+        bencher.report(&format!("{}/{}", self.name, id.id));
+        self
+    }
+
+    /// Ends the group (accepted for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one stand-alone named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher::new(10);
+        f(&mut bencher);
+        bencher.report(id.as_ref());
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a group-runner function calling each benchmark function in turn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` invoking every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("group");
+        group.sample_size(3);
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.bench_with_input(BenchmarkId::new("param", 42), &42, |b, &n| b.iter(|| n * 2));
+        group.finish();
+    }
+
+    #[test]
+    fn time_formatting_covers_scales() {
+        assert!(format_time(5e-9).ends_with("ns"));
+        assert!(format_time(5e-6).ends_with("µs"));
+        assert!(format_time(5e-3).ends_with("ms"));
+        assert!(format_time(5.0).ends_with(" s"));
+    }
+}

@@ -1,0 +1,232 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The build container has no network access to a cargo registry, so the real
+//! crate cannot be fetched.  This shim supports exactly the patterns found in
+//! the suite's property tests:
+//!
+//! * `proptest! { #[test] fn name(x in 1usize..10, y in 0.0_f64..1.0) { .. } }`
+//! * `proptest::collection::vec(strategy, len)` with a fixed or ranged length
+//! * `prop_assume!`, `prop_assert!`, `prop_assert_eq!`
+//!
+//! Each property runs a fixed number of deterministic cases (64 by default,
+//! seeded from the test name), so failures are reproducible.  There is no
+//! shrinking: a failing case panics with the usual assert message, and the
+//! deterministic seeding means re-running reproduces it exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Number of cases each property runs.
+pub const CASES: usize = 64;
+
+/// Maximum attempts (including cases discarded by `prop_assume!`) before a
+/// property gives up looking for satisfiable inputs.
+pub const MAX_ATTEMPTS: usize = CASES * 20;
+
+/// Deterministic generator used to sample strategy values.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator seeded from an arbitrary string (the test name).
+    #[must_use]
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the name gives a stable per-test seed.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self { state: hash | 1 }
+    }
+
+    /// Returns the next raw 64-bit value (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A value generator: the tiny core of proptest's `Strategy`.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+    /// Samples one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for Range<usize> {
+    type Value = usize;
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty usize strategy range");
+        let span = (self.end - self.start) as u64;
+        self.start + (((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as usize)
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 strategy range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// A strategy producing `Vec`s of values from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        min_len: usize,
+        max_len: usize,
+    }
+
+    /// Anything usable as the length argument of [`vec`]: a fixed length or
+    /// a half-open range of lengths.
+    pub trait IntoLenRange {
+        /// Returns the inclusive minimum and exclusive maximum length.
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl IntoLenRange for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self + 1)
+        }
+    }
+
+    impl IntoLenRange for Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    /// Builds a strategy for `Vec`s whose elements come from `element` and
+    /// whose length is drawn from `len`.
+    pub fn vec<S: Strategy, L: IntoLenRange>(element: S, len: L) -> VecStrategy<S> {
+        let (min_len, max_len) = len.bounds();
+        assert!(min_len < max_len, "empty length range in collection::vec");
+        VecStrategy {
+            element,
+            min_len,
+            max_len,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = (self.min_len..self.max_len).sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The glob-import surface (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest, Strategy};
+}
+
+/// Discards the current case when the condition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return false;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return false;
+        }
+    };
+}
+
+/// Asserts a property within a case (panics with context on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality within a case (panics with context on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Declares property tests.  Each `fn` inside becomes one `#[test]` running
+/// [`CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::TestRng::from_name(stringify!($name));
+                let mut accepted = 0usize;
+                let mut attempts = 0usize;
+                while accepted < $crate::CASES {
+                    attempts += 1;
+                    assert!(
+                        attempts <= $crate::MAX_ATTEMPTS,
+                        "property {} discarded too many cases via prop_assume!",
+                        stringify!($name),
+                    );
+                    $(let $arg = $crate::Strategy::sample(&($strategy), &mut rng);)*
+                    // `prop_assume!` expands to `return false`, skipping the
+                    // case; reaching the end of the body accepts it.
+                    let case = move || -> bool {
+                        $body
+                        #[allow(unreachable_code)]
+                        true
+                    };
+                    if case() {
+                        accepted += 1;
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_are_respected(n in 3usize..10, x in -2.0_f64..2.0) {
+            prop_assert!((3..10).contains(&n));
+            prop_assert!((-2.0..2.0).contains(&x));
+        }
+
+        #[test]
+        fn assume_discards(n in 0usize..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn vec_strategy_lengths(v in collection::vec(-1.0_f64..1.0, 5..60), w in collection::vec(0.0_f64..1.0, 36)) {
+            prop_assert!((5..60).contains(&v.len()));
+            prop_assert_eq!(w.len(), 36);
+            prop_assert!(v.iter().all(|x| (-1.0..1.0).contains(x)));
+        }
+    }
+}

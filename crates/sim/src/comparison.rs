@@ -1,0 +1,276 @@
+//! Lockstep comparison of several schemes over one shared thermal trace.
+//!
+//! The paper's headline artefacts (Table I, Figs. 6–7) all pit INOR, DNOR,
+//! EHTR and the static baseline against each other on the *same* drive
+//! cycle.  [`Comparison`] drives one [`SimSession`] per scheme in lockstep —
+//! step 0 of every scheme, then step 1, … — over the scenario's cached
+//! [`ThermalTrace`], so the radiator model is solved exactly once per
+//! drive-cycle sample no matter how many schemes compete.
+//!
+//! [`ThermalTrace`]: crate::ThermalTrace
+
+use std::fmt;
+
+use teg_reconfig::{Dnor, Ehtr, Inor, Reconfigurer, StaticBaseline};
+
+use crate::error::SimError;
+use crate::record::StepRecord;
+use crate::report::SimulationReport;
+use crate::scenario::Scenario;
+use crate::session::SimSession;
+
+/// A builder driving N schemes in lockstep over one scenario.
+///
+/// # Examples
+///
+/// ```
+/// use teg_reconfig::{Inor, StaticBaseline};
+/// use teg_sim::{Comparison, Scenario};
+///
+/// # fn main() -> Result<(), teg_sim::SimError> {
+/// let scenario = Scenario::builder().module_count(16).duration_seconds(30).seed(1).build()?;
+/// let comparison = Comparison::new(&scenario)
+///     .scheme(Inor::default())
+///     .scheme(StaticBaseline::square_grid(16))
+///     .run()?;
+/// assert_eq!(comparison.reports().len(), 2);
+/// // One thermal solve per drive-cycle second, not one per scheme.
+/// assert_eq!(scenario.thermal_solve_count(), 30);
+/// let inor = comparison.report("INOR").expect("ran");
+/// assert!(inor.net_energy() >= comparison.report("Baseline").unwrap().net_energy());
+/// # Ok(())
+/// # }
+/// ```
+pub struct Comparison<'s> {
+    scenario: &'s Scenario,
+    schemes: Vec<Box<dyn Reconfigurer + 's>>,
+}
+
+impl<'s> Comparison<'s> {
+    /// Starts an empty comparison over the given scenario.
+    #[must_use]
+    pub fn new(scenario: &'s Scenario) -> Self {
+        Self {
+            scenario,
+            schemes: Vec::new(),
+        }
+    }
+
+    /// Adds one scheme to the field.
+    #[must_use]
+    pub fn scheme(mut self, scheme: impl Reconfigurer + 's) -> Self {
+        self.schemes.push(Box::new(scheme));
+        self
+    }
+
+    /// Adds a boxed scheme (for dynamically assembled fields).
+    #[must_use]
+    pub fn boxed_scheme(mut self, scheme: Box<dyn Reconfigurer + 's>) -> Self {
+        self.schemes.push(scheme);
+        self
+    }
+
+    /// The paper's Table I field: DNOR, INOR, EHTR and the square-grid
+    /// baseline for this scenario's module count.
+    #[must_use]
+    pub fn paper_schemes(scenario: &'s Scenario) -> Self {
+        let modules = scenario.module_count();
+        Self::new(scenario)
+            .scheme(Dnor::default())
+            .scheme(Inor::default())
+            .scheme(Ehtr::default())
+            .scheme(StaticBaseline::square_grid(modules))
+    }
+
+    /// Number of schemes added so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.schemes.len()
+    }
+
+    /// Returns `true` when no scheme has been added yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.schemes.is_empty()
+    }
+
+    /// Drives every scheme over the whole drive cycle in lockstep and
+    /// returns the collected reports.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidScenario`] when no scheme was added, and
+    /// propagates the first error any session produces.
+    pub fn run(mut self) -> Result<ComparisonReport, SimError> {
+        if self.schemes.is_empty() {
+            return Err(SimError::InvalidScenario {
+                reason: "comparison needs at least one scheme".into(),
+            });
+        }
+        let steps = self.scenario.thermal_trace()?.len();
+        let mut sessions = self
+            .schemes
+            .iter_mut()
+            .map(|scheme| SimSession::new(self.scenario, scheme.as_mut()))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut records: Vec<Vec<StepRecord>> =
+            sessions.iter().map(|_| Vec::with_capacity(steps)).collect();
+
+        // Lockstep: advance every scheme through the same drive second
+        // before moving to the next, as the paper's shared testbed does.
+        for _ in 0..steps {
+            for (session, sink) in sessions.iter_mut().zip(records.iter_mut()) {
+                let record = session.step()?.expect("trace length bounds the loop");
+                sink.push(record);
+            }
+        }
+
+        let reports = sessions
+            .iter_mut()
+            .zip(records)
+            .map(|(session, records)| {
+                let summary = session.summary();
+                SimulationReport::new(
+                    summary.scheme().to_owned(),
+                    records,
+                    self.scenario.step(),
+                    summary.switch_count(),
+                    summary.runtime().clone(),
+                )
+            })
+            .collect();
+        Ok(ComparisonReport { reports })
+    }
+}
+
+/// The outcome of a [`Comparison`]: one [`SimulationReport`] per scheme, in
+/// insertion order, plus Table I rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonReport {
+    reports: Vec<SimulationReport>,
+}
+
+impl ComparisonReport {
+    /// The per-scheme reports in the order the schemes were added.
+    #[must_use]
+    pub fn reports(&self) -> &[SimulationReport] {
+        &self.reports
+    }
+
+    /// The report of the scheme with the given name, if it ran.
+    #[must_use]
+    pub fn report(&self, scheme: &str) -> Option<&SimulationReport> {
+        self.reports.iter().find(|r| r.scheme() == scheme)
+    }
+
+    /// The scheme that harvested the most net energy.
+    #[must_use]
+    pub fn best(&self) -> Option<&SimulationReport> {
+        self.reports
+            .iter()
+            .max_by(|a, b| a.net_energy().value().total_cmp(&b.net_energy().value()))
+    }
+
+    /// Renders the comparison as the paper's Table I: energy output, switch
+    /// overhead, switch count, average runtime and fraction of ideal, one
+    /// row per scheme.
+    #[must_use]
+    pub fn table1(&self) -> String {
+        let mut out = String::from(
+            "Scheme    | Energy Output (J) | Switch Overhead (J) | Switches | Avg Runtime (ms) | % of Ideal\n",
+        );
+        out.push_str(
+            "----------+-------------------+---------------------+----------+------------------+-----------\n",
+        );
+        for report in &self.reports {
+            let (energy, overhead, runtime) = report.table1_row();
+            out.push_str(&format!(
+                "{:<10}| {:>17.1} | {:>19.2} | {:>8} | {:>16.3} | {:>9.1}%\n",
+                report.scheme(),
+                energy,
+                overhead,
+                report.switch_count(),
+                runtime,
+                100.0 * report.ideal_fraction(),
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for ComparisonReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.table1())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario(modules: usize, seconds: usize, seed: u64) -> Scenario {
+        Scenario::builder()
+            .module_count(modules)
+            .duration_seconds(seconds)
+            .seed(seed)
+            .build()
+            .expect("valid scenario")
+    }
+
+    #[test]
+    fn empty_comparison_is_rejected() {
+        let s = scenario(10, 10, 1);
+        let c = Comparison::new(&s);
+        assert!(c.is_empty());
+        assert!(matches!(c.run(), Err(SimError::InvalidScenario { .. })));
+    }
+
+    #[test]
+    fn paper_schemes_runs_all_four_with_one_thermal_solve_per_sample() {
+        let s = scenario(20, 30, 2);
+        let comparison = Comparison::paper_schemes(&s);
+        assert_eq!(comparison.len(), 4);
+        let report = comparison.run().unwrap();
+        assert_eq!(report.reports().len(), 4);
+        // The acceptance hook: four schemes over a 30-sample cycle cost
+        // exactly 30 radiator solves, not 120.
+        assert_eq!(s.thermal_solve_count(), 30);
+        for scheme in ["DNOR", "INOR", "EHTR", "Baseline"] {
+            let r = report.report(scheme).expect("scheme ran");
+            assert_eq!(r.records().len(), 30);
+        }
+        assert!(report.report("nonesuch").is_none());
+    }
+
+    #[test]
+    fn best_scheme_beats_the_baseline() {
+        let s = scenario(24, 40, 3);
+        let report = Comparison::paper_schemes(&s).run().unwrap();
+        let best = report.best().expect("non-empty");
+        let baseline = report.report("Baseline").unwrap();
+        assert!(best.net_energy() >= baseline.net_energy());
+        assert_ne!(best.scheme(), "Baseline");
+    }
+
+    #[test]
+    fn table1_renders_one_row_per_scheme() {
+        let s = scenario(12, 15, 4);
+        let report = Comparison::paper_schemes(&s).run().unwrap();
+        let table = report.table1();
+        assert_eq!(table.lines().count(), 6); // header + separator + 4 rows
+        for scheme in ["DNOR", "INOR", "EHTR", "Baseline"] {
+            assert!(table.contains(scheme), "table missing {scheme}:\n{table}");
+        }
+        assert_eq!(report.to_string(), table);
+    }
+
+    #[test]
+    fn boxed_schemes_are_accepted() {
+        let s = scenario(9, 10, 5);
+        let report = Comparison::new(&s)
+            .boxed_scheme(Box::new(Inor::default()))
+            .run()
+            .unwrap();
+        assert_eq!(report.reports().len(), 1);
+    }
+}

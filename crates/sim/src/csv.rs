@@ -1,8 +1,118 @@
-//! CSV rendering of simulation records for external plotting.
+//! CSV rendering of simulation records for external plotting — as a whole
+//! buffer ([`records_to_csv`]) or as a streaming [`CsvSink`] observer that
+//! writes rows as the session produces them.
 
 use std::fmt::Write as _;
+use std::io;
 
 use crate::record::StepRecord;
+use crate::session::StepObserver;
+
+/// The CSV header row shared by [`records_to_csv`] and [`CsvSink`].
+pub const CSV_HEADER: &str =
+    "time_s,array_power_w,net_power_w,delivered_power_w,ideal_power_w,ideal_ratio,groups,switched,overhead_j,computation_ms";
+
+fn record_to_row(r: &StepRecord) -> String {
+    format!(
+        "{:.1},{:.4},{:.4},{:.4},{:.4},{:.5},{},{},{:.5},{:.5}",
+        r.time().value(),
+        r.array_power().value(),
+        r.net_power().value(),
+        r.delivered_power().value(),
+        r.ideal_power().value(),
+        r.ideal_ratio(),
+        r.group_count(),
+        u8::from(r.switched()),
+        r.overhead_energy().value(),
+        r.computation().to_milliseconds().value(),
+    )
+}
+
+/// A [`StepObserver`] streaming one CSV row per step into any writer, so a
+/// Fig. 6-style trace can be exported without buffering the run.
+///
+/// The header is written before the first row.  I/O errors are retained and
+/// reported by [`CsvSink::finish`] rather than panicking mid-simulation.
+///
+/// # Examples
+///
+/// ```
+/// use teg_reconfig::Inor;
+/// use teg_sim::{CsvSink, Scenario, SimSession};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let scenario = Scenario::builder().module_count(8).duration_seconds(12).seed(1).build()?;
+/// let mut sink = CsvSink::new(Vec::new());
+/// let mut inor = Inor::default();
+/// let mut session = SimSession::new(&scenario, &mut inor)?;
+/// session.attach(&mut sink);
+/// while session.step()?.is_some() {}
+/// drop(session);
+/// let csv = String::from_utf8(sink.finish()?)?;
+/// assert_eq!(csv.lines().count(), 13); // header + one row per second
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct CsvSink<W: io::Write> {
+    writer: W,
+    header_written: bool,
+    rows: usize,
+    error: Option<io::Error>,
+}
+
+impl<W: io::Write> CsvSink<W> {
+    /// Wraps a writer (file, socket, `Vec<u8>`, …) as a streaming CSV sink.
+    pub fn new(writer: W) -> Self {
+        Self {
+            writer,
+            header_written: false,
+            rows: 0,
+            error: None,
+        }
+    }
+
+    /// Number of data rows written so far.
+    #[must_use]
+    pub const fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Flushes and returns the writer, surfacing any I/O error encountered
+    /// while streaming.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`io::Error`] hit during streaming or flushing.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(error) = self.error.take() {
+            return Err(error);
+        }
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+
+    fn write_row(&mut self, record: &StepRecord) -> io::Result<()> {
+        if !self.header_written {
+            self.header_written = true;
+            writeln!(self.writer, "{CSV_HEADER}")?;
+        }
+        writeln!(self.writer, "{}", record_to_row(record))?;
+        self.rows += 1;
+        Ok(())
+    }
+}
+
+impl<W: io::Write> StepObserver for CsvSink<W> {
+    fn on_step(&mut self, record: &StepRecord) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(error) = self.write_row(record) {
+            self.error = Some(error);
+        }
+    }
+}
 
 /// Renders step records as a CSV string with a header row, suitable for
 /// piping into a plotting tool to regenerate Figs. 6–7.
@@ -30,24 +140,10 @@ use crate::record::StepRecord;
 /// ```
 #[must_use]
 pub fn records_to_csv(records: &[StepRecord]) -> String {
-    let mut out = String::from(
-        "time_s,array_power_w,net_power_w,delivered_power_w,ideal_power_w,ideal_ratio,groups,switched,overhead_j,computation_ms\n",
-    );
+    let mut out = String::from(CSV_HEADER);
+    out.push('\n');
     for r in records {
-        let _ = writeln!(
-            out,
-            "{:.1},{:.4},{:.4},{:.4},{:.4},{:.5},{},{},{:.5},{:.5}",
-            r.time().value(),
-            r.array_power().value(),
-            r.net_power().value(),
-            r.delivered_power().value(),
-            r.ideal_power().value(),
-            r.ideal_ratio(),
-            r.group_count(),
-            u8::from(r.switched()),
-            r.overhead_energy().value(),
-            r.computation().to_milliseconds().value(),
-        );
+        let _ = writeln!(out, "{}", record_to_row(r));
     }
     out
 }
@@ -90,5 +186,40 @@ mod tests {
     fn empty_input_yields_header_only() {
         let csv = records_to_csv(&[]);
         assert_eq!(csv.lines().count(), 1);
+    }
+
+    #[test]
+    fn sink_streams_header_and_rows() {
+        let mut sink = CsvSink::new(Vec::new());
+        sink.on_step(&record(0.0, false));
+        sink.on_step(&record(1.0, true));
+        assert_eq!(sink.rows(), 2);
+        let bytes = sink.finish().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(
+            text,
+            records_to_csv(&[record(0.0, false), record(1.0, true)])
+        );
+    }
+
+    #[test]
+    fn sink_surfaces_io_errors_at_finish() {
+        #[derive(Debug)]
+        struct Broken;
+        impl std::io::Write for Broken {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk on fire"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = CsvSink::new(Broken);
+        sink.on_step(&record(0.0, false));
+        // Further steps are no-ops once poisoned.
+        sink.on_step(&record(1.0, false));
+        assert_eq!(sink.rows(), 0);
+        let err = sink.finish().unwrap_err();
+        assert!(err.to_string().contains("disk on fire"));
     }
 }

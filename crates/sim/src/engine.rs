@@ -1,19 +1,24 @@
-//! The time-stepped co-simulation loop.
+//! The classic run-to-completion entry point, now a thin wrapper over the
+//! streaming [`SimSession`].
 
-use teg_array::{ideal_power, Configuration};
-use teg_reconfig::{ReconfigInputs, Reconfigurer, RuntimeStats};
-use teg_units::{Joules, Seconds};
+use teg_reconfig::Reconfigurer;
 
 use crate::error::SimError;
-use crate::record::StepRecord;
 use crate::report::SimulationReport;
 use crate::scenario::Scenario;
+use crate::session::SimSession;
 
 /// Runs reconfiguration schemes against a fixed [`Scenario`].
 ///
 /// All schemes start from the same square-grid wiring and see exactly the
 /// same drive cycle, radiator and overhead model, so their reports are
-/// directly comparable (Table I, Figs. 6–7).
+/// directly comparable (Table I, Figs. 6–7).  Each run is one
+/// [`SimSession`] driven to completion; the scenario's thermal trace is
+/// solved once and shared by every run (and by any [`Comparison`]), so
+/// back-to-back runs of several schemes no longer repeat the radiator
+/// solve.
+///
+/// [`Comparison`]: crate::Comparison
 ///
 /// # Examples
 ///
@@ -52,100 +57,17 @@ impl SimulationEngine {
     /// Runs one scheme over the whole drive cycle and returns its report.
     ///
     /// The scheme is `reset` before the run so the same instance can be
-    /// reused across scenarios.
+    /// reused across scenarios.  This is a compatibility wrapper: it opens a
+    /// [`SimSession`] and drives it to completion, so stepping manually,
+    /// attaching observers or comparing schemes in lockstep all produce the
+    /// same physics.
     ///
     /// # Errors
     ///
     /// Propagates [`SimError`] from any substrate (thermal solve, array
     /// solve, reconfiguration decision).
     pub fn run(&self, scheme: &mut dyn Reconfigurer) -> Result<SimulationReport, SimError> {
-        let scenario = &self.scenario;
-        let array = scenario.array();
-        let module_count = array.len();
-        let step = scenario.step();
-
-        // Every scheme starts from the same square-grid wiring the baseline
-        // uses, so differences come from the decisions, not the start state.
-        let initial_groups = (module_count as f64).sqrt().ceil().max(1.0) as usize;
-        let mut config = Configuration::uniform(module_count, initial_groups.min(module_count))?;
-
-        let invocations_per_step = (step.value() / scheme.period().value())
-            .round()
-            .max(1.0) as usize;
-
-        let mut history: Vec<Vec<f64>> = Vec::with_capacity(scenario.drive_cycle().len());
-        let mut records = Vec::with_capacity(scenario.drive_cycle().len());
-        let mut runtime = RuntimeStats::new();
-        let mut switch_count = 0usize;
-        scheme.reset();
-
-        for sample in scenario.drive_cycle().iter() {
-            let profile = scenario
-                .radiator()
-                .surface_profile(&sample.coolant(), &sample.ambient())?;
-            let temps: Vec<f64> = profile
-                .sample(scenario.placement())
-                .iter()
-                .map(|t| t.value())
-                .collect();
-            history.push(temps);
-            let ambient = sample.ambient().temperature();
-            let deltas = ReconfigInputs::deltas_from_row(
-                history.last().expect("just pushed"),
-                ambient,
-            );
-            let ideal = ideal_power(array.modules(), &deltas)?;
-
-            let mut overhead_energy = Joules::ZERO;
-            let mut computation_total = Seconds::ZERO;
-            let mut switched_this_step = false;
-
-            for _ in 0..invocations_per_step {
-                let inputs = ReconfigInputs::new(array, &history, ambient)?;
-                let decision = scheme.decide(&inputs, &config)?;
-                runtime.record(decision.computation());
-                computation_total += decision.computation();
-                let applied = decision.applied();
-                let computation = decision.computation();
-                let next = decision.into_configuration();
-                let toggles = config.switch_toggles_to(&next)?;
-                let current_power = array.mpp_power(&config, &deltas)?;
-                if applied {
-                    // Applying a configuration (even an unchanged one, as the
-                    // fixed-period schemes do) interrupts harvesting for the
-                    // reconfiguration dead time and costs actuation energy
-                    // for every toggled switch.
-                    let event = scenario.overhead().event(current_power, computation, toggles);
-                    overhead_energy += event.total_energy();
-                    if toggles > 0 {
-                        switched_this_step = true;
-                        switch_count += 1;
-                        config = next;
-                    }
-                }
-            }
-
-            let op = array.maximum_power_point(&config, &deltas)?;
-            let array_power = op.power();
-            let gross = array_power * step;
-            let net = (gross - overhead_energy).max(Joules::ZERO);
-            let net_power = net.average_power(step);
-            let delivered_power = scenario.charger().output_power(op.voltage(), net_power);
-
-            records.push(StepRecord::new(
-                sample.time(),
-                array_power,
-                net_power,
-                delivered_power,
-                ideal,
-                config.group_count(),
-                switched_this_step,
-                overhead_energy,
-                computation_total,
-            ));
-        }
-
-        Ok(SimulationReport::new(scheme.name(), records, step, switch_count, runtime))
+        SimSession::new(&self.scenario, scheme)?.run()
     }
 }
 
@@ -153,6 +75,7 @@ impl SimulationEngine {
 mod tests {
     use super::*;
     use teg_reconfig::{Dnor, Ehtr, Inor, StaticBaseline};
+    use teg_units::Joules;
 
     fn engine(modules: usize, seconds: usize, seed: u64) -> SimulationEngine {
         let scenario = Scenario::builder()
@@ -252,7 +175,10 @@ mod tests {
         assert_eq!(a.switch_count(), b.switch_count());
         assert_eq!(a.gross_energy(), b.gross_energy());
         let diff = (a.net_energy().value() - b.net_energy().value()).abs();
-        assert!(diff < 1.0, "net energy differs by {diff} J between identical runs");
+        assert!(
+            diff < 1.0,
+            "net energy differs by {diff} J between identical runs"
+        );
         // The array power trace (pre-overhead) is bit-identical.
         let trace_a = a.power_trace();
         let trace_b = b.power_trace();

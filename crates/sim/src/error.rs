@@ -95,11 +95,16 @@ mod tests {
         assert!(std::error::Error::source(&err).is_some());
         let err = SimError::from(ArrayError::EmptyArray);
         assert!(err.to_string().contains("array"));
-        let err = SimError::from(PowerError::InvalidParameter { name: "x", value: 1.0 });
+        let err = SimError::from(PowerError::InvalidParameter {
+            name: "x",
+            value: 1.0,
+        });
         assert!(err.to_string().contains("power"));
         let err = SimError::from(ReconfigError::EmptyHistory);
         assert!(err.to_string().contains("reconfiguration"));
-        let err = SimError::InvalidScenario { reason: "broken".into() };
+        let err = SimError::InvalidScenario {
+            reason: "broken".into(),
+        };
         assert!(std::error::Error::source(&err).is_none());
     }
 

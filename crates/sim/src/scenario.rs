@@ -1,6 +1,9 @@
 //! Simulation scenarios: everything that stays fixed while schemes are
 //! compared.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
 use teg_array::{SwitchingOverheadModel, TegArray};
 use teg_device::{TegDatasheet, TegModule, VariationModel};
 use teg_power::Charger;
@@ -8,6 +11,7 @@ use teg_thermal::{DriveCycle, DriveCycleBuilder, Radiator, RadiatorGeometry, SSh
 use teg_units::Seconds;
 
 use crate::error::SimError;
+use crate::thermal_trace::ThermalTrace;
 
 /// A fully specified experiment: drive cycle, radiator, module placement,
 /// TEG array, charger and overhead model.
@@ -36,6 +40,17 @@ pub struct Scenario {
     charger: Charger,
     overhead: SwitchingOverheadModel,
     step: Seconds,
+    // Lazily solved thermal history.  The cache cell itself sits behind an
+    // Arc so every clone — made before *or* after the first solve — shares
+    // one solve per drive cycle.
+    trace: Arc<OnceLock<Arc<ThermalTrace>>>,
+    // Serialises the initial solve so concurrent first accesses cannot run
+    // it twice (which would also double-count `thermal_solves`).
+    solve_lock: Arc<Mutex<()>>,
+    // Total radiator solves performed through this scenario (shared across
+    // clones) — the hook the comparison tests use to prove the trace is
+    // solved exactly once.
+    thermal_solves: Arc<AtomicUsize>,
 }
 
 impl Scenario {
@@ -46,7 +61,11 @@ impl Scenario {
     ///
     /// Propagates builder validation errors (never expected for the preset).
     pub fn paper_table1(seed: u64) -> Result<Self, SimError> {
-        Self::builder().module_count(100).duration_seconds(800).seed(seed).build()
+        Self::builder()
+            .module_count(100)
+            .duration_seconds(800)
+            .seed(seed)
+            .build()
     }
 
     /// Returns a builder with the Porter II defaults.
@@ -106,6 +125,9 @@ impl Scenario {
     /// Restricts the scenario to a window of the drive cycle (sample indices
     /// `[start, end)`), e.g. the 120-second slice plotted in Figs. 6–7.
     ///
+    /// The windowed scenario solves its own (shorter) thermal trace; the
+    /// solve counter stays shared with the parent.
+    ///
     /// # Errors
     ///
     /// Propagates [`SimError::Thermal`] if the window is empty or out of
@@ -113,7 +135,57 @@ impl Scenario {
     pub fn window(&self, start: usize, end: usize) -> Result<Self, SimError> {
         let mut out = self.clone();
         out.drive_cycle = self.drive_cycle.window(start, end)?;
+        out.trace = Arc::new(OnceLock::new());
         Ok(out)
+    }
+
+    /// The solved thermal history of this scenario's drive cycle.
+    ///
+    /// The first call runs the radiator solve for every sample; subsequent
+    /// calls — including through clones, whenever they were made — return
+    /// the cached trace, so any number of schemes, sessions and comparisons
+    /// share one thermal solve per drive-cycle second.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError::Thermal`] from the radiator solve.
+    pub fn thermal_trace(&self) -> Result<&ThermalTrace, SimError> {
+        self.thermal_trace_shared().map(Arc::as_ref)
+    }
+
+    /// Like [`Scenario::thermal_trace`] but returning the shared handle, for
+    /// callers that need to outlive `&self` borrows (the session keeps one).
+    pub(crate) fn thermal_trace_shared(&self) -> Result<&Arc<ThermalTrace>, SimError> {
+        if let Some(trace) = self.trace.get() {
+            return Ok(trace);
+        }
+        // Serialise the initial solve: without the lock two concurrent first
+        // callers would both run the full radiator solve (discarding one
+        // result) and double-count `thermal_solves`.
+        let guard = self
+            .solve_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(trace) = self.trace.get() {
+            return Ok(trace);
+        }
+        let solved = Arc::new(ThermalTrace::solve(self)?);
+        let stored = self.trace.get_or_init(|| solved);
+        drop(guard);
+        Ok(stored)
+    }
+
+    /// Total number of radiator solves performed through this scenario (and
+    /// its clones) so far — one per drive-cycle sample when the trace cache
+    /// is working.
+    #[must_use]
+    pub fn thermal_solve_count(&self) -> usize {
+        self.thermal_solves.load(Ordering::Relaxed)
+    }
+
+    /// Records one radiator solve (called by [`ThermalTrace::solve`]).
+    pub(crate) fn count_thermal_solve(&self) {
+        self.thermal_solves.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -213,10 +285,14 @@ impl ScenarioBuilder {
     /// placement construction).
     pub fn build(self) -> Result<Scenario, SimError> {
         if self.module_count == 0 {
-            return Err(SimError::InvalidScenario { reason: "module count must be positive".into() });
+            return Err(SimError::InvalidScenario {
+                reason: "module count must be positive".into(),
+            });
         }
         if self.duration_seconds == 0 {
-            return Err(SimError::InvalidScenario { reason: "duration must be positive".into() });
+            return Err(SimError::InvalidScenario {
+                reason: "duration must be positive".into(),
+            });
         }
         let drive_cycle = DriveCycleBuilder::new()
             .duration(Seconds::new(self.duration_seconds as f64))
@@ -228,7 +304,9 @@ impl ScenarioBuilder {
         let modules = self
             .module_variation
             .apply(&nominal, self.module_count, self.seed.wrapping_add(1))
-            .map_err(|e| SimError::InvalidScenario { reason: format!("module variation: {e}") })?;
+            .map_err(|e| SimError::InvalidScenario {
+                reason: format!("module variation: {e}"),
+            })?;
         let array = TegArray::new(modules)?;
         Ok(Scenario {
             drive_cycle,
@@ -238,6 +316,9 @@ impl ScenarioBuilder {
             charger: self.charger,
             overhead: self.overhead,
             step: Seconds::new(1.0),
+            trace: Arc::new(OnceLock::new()),
+            solve_lock: Arc::new(Mutex::new(())),
+            thermal_solves: Arc::new(AtomicUsize::new(0)),
         })
     }
 }
@@ -272,7 +353,12 @@ mod tests {
 
     #[test]
     fn windowing_preserves_everything_but_the_cycle() {
-        let s = Scenario::builder().module_count(10).duration_seconds(200).seed(5).build().unwrap();
+        let s = Scenario::builder()
+            .module_count(10)
+            .duration_seconds(200)
+            .seed(5)
+            .build()
+            .unwrap();
         let w = s.window(50, 170).unwrap();
         assert_eq!(w.drive_cycle().len(), 120);
         assert_eq!(w.module_count(), 10);
@@ -282,7 +368,11 @@ mod tests {
 
     #[test]
     fn variation_changes_the_array() {
-        let plain = Scenario::builder().module_count(5).duration_seconds(10).build().unwrap();
+        let plain = Scenario::builder()
+            .module_count(5)
+            .duration_seconds(10)
+            .build()
+            .unwrap();
         let varied = Scenario::builder()
             .module_count(5)
             .duration_seconds(10)
@@ -294,8 +384,18 @@ mod tests {
 
     #[test]
     fn same_seed_same_scenario() {
-        let a = Scenario::builder().module_count(8).duration_seconds(30).seed(9).build().unwrap();
-        let b = Scenario::builder().module_count(8).duration_seconds(30).seed(9).build().unwrap();
+        let a = Scenario::builder()
+            .module_count(8)
+            .duration_seconds(30)
+            .seed(9)
+            .build()
+            .unwrap();
+        let b = Scenario::builder()
+            .module_count(8)
+            .duration_seconds(30)
+            .seed(9)
+            .build()
+            .unwrap();
         assert_eq!(a.drive_cycle(), b.drive_cycle());
     }
 }

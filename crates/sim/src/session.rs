@@ -1,0 +1,703 @@
+//! Streaming step-wise simulation sessions.
+//!
+//! [`SimSession`] replaces the monolithic simulation loop: it advances one
+//! drive-cycle second per [`SimSession::step`] call, feeding the scheme a
+//! bounded [`TelemetryWindow`] and emitting a [`StepRecord`] the caller can
+//! consume immediately — through the return value, the [`Iterator`] adapter
+//! or attached [`StepObserver`] sinks.  Per-session state stays `O(window)`
+//! on top of the scenario's shared, precomputed thermal trace (`O(T ×
+//! modules)`, solved once and shared by every session); only
+//! [`SimSession::run`], which must assemble a full [`SimulationReport`],
+//! buffers records.
+//!
+//! [`SimulationReport`]: crate::SimulationReport
+
+use std::sync::Arc;
+
+use teg_array::Configuration;
+use teg_reconfig::{Reconfigurer, RuntimeStats, TelemetryBuffer};
+use teg_units::{Joules, Seconds};
+
+use crate::error::SimError;
+use crate::record::StepRecord;
+use crate::report::SimulationReport;
+use crate::scenario::Scenario;
+use crate::thermal_trace::ThermalTrace;
+
+/// A streaming sink notified as a session advances.
+///
+/// All methods have empty defaults, so a sink implements only what it needs
+/// (a CSV exporter overrides `on_step`, a switch logger `on_switch`, a
+/// progress bar perhaps both).
+pub trait StepObserver {
+    /// Called after every simulated step with the fresh record.
+    fn on_step(&mut self, record: &StepRecord) {
+        let _ = record;
+    }
+
+    /// Called additionally whenever the step actually rewired the array
+    /// (the black dots of Fig. 7).
+    fn on_switch(&mut self, record: &StepRecord) {
+        let _ = record;
+    }
+
+    /// Called once, when the session has consumed its whole drive cycle.
+    fn on_finish(&mut self, summary: &SessionSummary) {
+        let _ = summary;
+    }
+}
+
+/// A [`StepObserver`] built from a closure, for one-off streaming sinks.
+///
+/// # Examples
+///
+/// ```
+/// use teg_reconfig::Inor;
+/// use teg_sim::{Scenario, SimSession, StepFn};
+///
+/// # fn main() -> Result<(), teg_sim::SimError> {
+/// use std::cell::Cell;
+/// let scenario = Scenario::builder().module_count(8).duration_seconds(10).seed(1).build()?;
+/// let peak = Cell::new(0.0_f64);
+/// let mut observer = StepFn::new(|record| {
+///     peak.set(peak.get().max(record.array_power().value()));
+/// });
+/// let mut inor = Inor::default();
+/// let mut session = SimSession::new(&scenario, &mut inor)?;
+/// session.attach(&mut observer);
+/// while session.step()?.is_some() {}
+/// drop(session);
+/// assert!(peak.get() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub struct StepFn<F: FnMut(&StepRecord)> {
+    callback: F,
+}
+
+impl<F: FnMut(&StepRecord)> StepFn<F> {
+    /// Wraps a closure as an observer invoked on every step.
+    pub fn new(callback: F) -> Self {
+        Self { callback }
+    }
+}
+
+impl<F: FnMut(&StepRecord)> StepObserver for StepFn<F> {
+    fn on_step(&mut self, record: &StepRecord) {
+        (self.callback)(record);
+    }
+}
+
+/// Running totals of a session — everything Table I needs, in `O(1)` memory.
+///
+/// Produced by [`SimSession::summary`] at any point of the run and handed to
+/// [`StepObserver::on_finish`] when the drive cycle is exhausted.
+///
+/// Totals are accumulated per step from exact per-step energies, while a
+/// [`SimulationReport`](crate::SimulationReport) re-derives them from its
+/// buffered records' *power* values; the two agree exactly for the 1-second
+/// step every preset uses (the round trip is `E / step * step`), which the
+/// session tests pin down.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSummary {
+    scheme: String,
+    steps: usize,
+    step: Seconds,
+    gross_energy: Joules,
+    net_energy: Joules,
+    delivered_energy: Joules,
+    overhead_energy: Joules,
+    ideal_energy: Joules,
+    switch_count: usize,
+    runtime: RuntimeStats,
+}
+
+impl SessionSummary {
+    /// Name of the scheme driving the session.
+    #[must_use]
+    pub fn scheme(&self) -> &str {
+        &self.scheme
+    }
+
+    /// Steps simulated so far.
+    #[must_use]
+    pub const fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Simulated duration so far.
+    #[must_use]
+    pub fn duration(&self) -> Seconds {
+        self.step * self.steps as f64
+    }
+
+    /// Array energy before switching overhead.
+    #[must_use]
+    pub const fn gross_energy(&self) -> Joules {
+        self.gross_energy
+    }
+
+    /// Array energy net of switching overhead (Table I "Energy Output").
+    #[must_use]
+    pub const fn net_energy(&self) -> Joules {
+        self.net_energy
+    }
+
+    /// Energy delivered into the battery after the charger.
+    #[must_use]
+    pub const fn delivered_energy(&self) -> Joules {
+        self.delivered_energy
+    }
+
+    /// Total switching-overhead energy (Table I "Switch Overhead").
+    #[must_use]
+    pub const fn overhead_energy(&self) -> Joules {
+        self.overhead_energy
+    }
+
+    /// The integral of `P_ideal` so far.
+    #[must_use]
+    pub const fn ideal_energy(&self) -> Joules {
+        self.ideal_energy
+    }
+
+    /// Number of reconfiguration (switch) events so far.
+    #[must_use]
+    pub const fn switch_count(&self) -> usize {
+        self.switch_count
+    }
+
+    /// Per-invocation runtime statistics so far.
+    #[must_use]
+    pub const fn runtime(&self) -> &RuntimeStats {
+        &self.runtime
+    }
+
+    /// Fraction of the ideal energy captured so far.
+    #[must_use]
+    pub fn ideal_fraction(&self) -> f64 {
+        if self.ideal_energy.value() <= 0.0 {
+            0.0
+        } else {
+            self.net_energy.value() / self.ideal_energy.value()
+        }
+    }
+}
+
+/// A step-wise driver running one reconfiguration scheme over one scenario.
+///
+/// The session borrows the scenario's cached [`ThermalTrace`] (solved once,
+/// shared with every other session over the same scenario), keeps the
+/// scheme's telemetry in a ring buffer bounded by
+/// [`Reconfigurer::lookback`], and honours the scheme's invocation period
+/// through a phase accumulator — a 4-second-period scheme really is invoked
+/// every fourth 1-second step.
+///
+/// # Examples
+///
+/// Streaming a run step by step:
+///
+/// ```
+/// use teg_reconfig::Inor;
+/// use teg_sim::{Scenario, SimSession};
+///
+/// # fn main() -> Result<(), teg_sim::SimError> {
+/// let scenario = Scenario::builder().module_count(10).duration_seconds(20).seed(1).build()?;
+/// let mut inor = Inor::default();
+/// let mut session = SimSession::new(&scenario, &mut inor)?;
+/// while let Some(record) = session.step()? {
+///     assert!(record.array_power().value() >= 0.0);
+/// }
+/// assert_eq!(session.summary().steps(), 20);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// Or through the iterator adapter:
+///
+/// ```
+/// use teg_reconfig::Dnor;
+/// use teg_sim::{Scenario, SimSession};
+///
+/// # fn main() -> Result<(), teg_sim::SimError> {
+/// let scenario = Scenario::builder().module_count(10).duration_seconds(15).seed(2).build()?;
+/// let mut dnor = Dnor::default();
+/// let session = SimSession::new(&scenario, &mut dnor)?;
+/// let records: Result<Vec<_>, _> = session.collect();
+/// assert_eq!(records?.len(), 15);
+/// # Ok(())
+/// # }
+/// ```
+pub struct SimSession<'s> {
+    scenario: &'s Scenario,
+    trace: Arc<ThermalTrace>,
+    scheme: &'s mut dyn Reconfigurer,
+    observers: Vec<&'s mut dyn StepObserver>,
+    buffer: TelemetryBuffer,
+    config: Configuration,
+    cursor: usize,
+    invocation_phase: f64,
+    runtime: RuntimeStats,
+    switch_count: usize,
+    gross_energy: Joules,
+    net_energy: Joules,
+    delivered_energy: Joules,
+    overhead_energy: Joules,
+    ideal_energy: Joules,
+    finished: bool,
+}
+
+impl<'s> SimSession<'s> {
+    /// Opens a session for one scheme over one scenario, resetting the
+    /// scheme and solving (or reusing) the scenario's thermal trace.
+    ///
+    /// Every session starts from the same square-grid wiring the baseline
+    /// uses, so differences between schemes come from their decisions, not
+    /// their start state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the thermal solve or the initial
+    /// configuration.
+    pub fn new(scenario: &'s Scenario, scheme: &'s mut dyn Reconfigurer) -> Result<Self, SimError> {
+        let trace = Arc::clone(scenario.thermal_trace_shared()?);
+        let module_count = scenario.module_count();
+        let initial_groups = (module_count as f64).sqrt().ceil().max(1.0) as usize;
+        let config = Configuration::uniform(module_count, initial_groups.min(module_count))?;
+        let buffer = TelemetryBuffer::new(module_count, scheme.lookback().max(1))?;
+        let step = scenario.step().value();
+        let period = scheme.period().value();
+        // A zero/negative/NaN period would turn the per-step invocation
+        // count infinite; the built-in schemes validate their periods, but
+        // `Reconfigurer` is a public trait.
+        if !(period > 0.0 && period.is_finite()) {
+            return Err(SimError::InvalidScenario {
+                reason: format!(
+                    "scheme {} has a non-positive or non-finite period ({period} s)",
+                    scheme.name()
+                ),
+            });
+        }
+        scheme.reset();
+        Ok(Self {
+            scenario,
+            trace,
+            scheme,
+            observers: Vec::new(),
+            buffer,
+            config,
+            cursor: 0,
+            // Phase accumulator priming: the first invocation lands on the
+            // first step even for periods longer than the step (the
+            // controller configures the array at t = 0, then every period).
+            invocation_phase: (1.0 - step / period).max(0.0),
+            runtime: RuntimeStats::new(),
+            switch_count: 0,
+            gross_energy: Joules::ZERO,
+            net_energy: Joules::ZERO,
+            delivered_energy: Joules::ZERO,
+            overhead_energy: Joules::ZERO,
+            ideal_energy: Joules::ZERO,
+            finished: false,
+        })
+    }
+
+    /// Attaches a streaming sink notified on every subsequent step.
+    pub fn attach(&mut self, observer: &'s mut dyn StepObserver) -> &mut Self {
+        self.observers.push(observer);
+        self
+    }
+
+    /// The scenario the session replays.
+    #[must_use]
+    pub fn scenario(&self) -> &'s Scenario {
+        self.scenario
+    }
+
+    /// Name of the scheme driving the session.
+    #[must_use]
+    pub fn scheme_name(&self) -> &'static str {
+        self.scheme.name()
+    }
+
+    /// Steps simulated so far.
+    #[must_use]
+    pub const fn position(&self) -> usize {
+        self.cursor
+    }
+
+    /// Steps remaining in the drive cycle.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.trace.len() - self.cursor
+    }
+
+    /// Advances the simulation by one drive-cycle second.
+    ///
+    /// Returns `Ok(None)` once the cycle is exhausted; the first such call
+    /// notifies every observer's [`StepObserver::on_finish`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the array solve or the scheme's
+    /// decision.
+    pub fn step(&mut self) -> Result<Option<StepRecord>, SimError> {
+        if self.cursor >= self.trace.len() {
+            if !self.finished {
+                self.finished = true;
+                let summary = self.summary();
+                for observer in &mut self.observers {
+                    observer.on_finish(&summary);
+                }
+            }
+            return Ok(None);
+        }
+        let index = self.cursor;
+        self.cursor += 1;
+
+        let scenario = self.scenario;
+        let array = scenario.array();
+        let step = scenario.step();
+        let row = self.trace.row(index);
+        let ambient = self.trace.ambient(index);
+
+        self.buffer.push_row(row)?;
+        // Scheme-independent per-row quantities come precomputed from the
+        // shared trace, so N lockstep sessions do not redo them N times.
+        let deltas = self.trace.deltas(index);
+        let ideal = self.trace.ideal(index);
+
+        // Invocation phase accumulator: schemes run every `period`, whether
+        // that is shorter or longer than the simulation step.  The epsilon
+        // absorbs float error from non-dyadic step/period ratios (e.g. a
+        // 3-second period accumulating thirds) so invocations never slip a
+        // step late.
+        self.invocation_phase += step.value() / self.scheme.period().value();
+        let invocations = (self.invocation_phase + 1e-9).floor() as usize;
+        self.invocation_phase -= invocations as f64;
+
+        let mut overhead_energy = Joules::ZERO;
+        let mut computation_total = Seconds::ZERO;
+        let mut switched_this_step = false;
+
+        for _ in 0..invocations {
+            let window = self.buffer.window(array, ambient)?;
+            let decision = self.scheme.decide(&window, &self.config)?;
+            self.runtime.record(decision.computation());
+            computation_total += decision.computation();
+            let applied = decision.applied();
+            let computation = decision.computation();
+            let next = decision.into_configuration();
+            if applied {
+                // Applying a configuration (even an unchanged one, as the
+                // fixed-period schemes do) interrupts harvesting for the
+                // reconfiguration dead time and costs actuation energy for
+                // every toggled switch.  The toggle diff and the MPP solve
+                // feed only the overhead model, so un-applied decisions
+                // (DNOR's skipped periods) pay for neither.
+                let toggles = self.config.switch_toggles_to(&next)?;
+                let current_power = array.mpp_power(&self.config, deltas)?;
+                let event = scenario
+                    .overhead()
+                    .event(current_power, computation, toggles);
+                overhead_energy += event.total_energy();
+                if toggles > 0 {
+                    switched_this_step = true;
+                    self.switch_count += 1;
+                    self.config = next;
+                }
+            }
+        }
+
+        let op = array.maximum_power_point(&self.config, deltas)?;
+        let array_power = op.power();
+        let gross = array_power * step;
+        let net = (gross - overhead_energy).max(Joules::ZERO);
+        let net_power = net.average_power(step);
+        let delivered_power = scenario.charger().output_power(op.voltage(), net_power);
+
+        self.gross_energy += gross;
+        self.net_energy += net;
+        self.delivered_energy += delivered_power * step;
+        self.overhead_energy += overhead_energy;
+        self.ideal_energy += ideal * step;
+
+        let record = StepRecord::new(
+            self.trace.time(index),
+            array_power,
+            net_power,
+            delivered_power,
+            ideal,
+            self.config.group_count(),
+            switched_this_step,
+            overhead_energy,
+            computation_total,
+        );
+        for observer in &mut self.observers {
+            observer.on_step(&record);
+            if switched_this_step {
+                observer.on_switch(&record);
+            }
+        }
+        Ok(Some(record))
+    }
+
+    /// The running totals at this point of the session.
+    #[must_use]
+    pub fn summary(&self) -> SessionSummary {
+        SessionSummary {
+            scheme: self.scheme.name().to_owned(),
+            steps: self.cursor,
+            step: self.scenario.step(),
+            gross_energy: self.gross_energy,
+            net_energy: self.net_energy,
+            delivered_energy: self.delivered_energy,
+            overhead_energy: self.overhead_energy,
+            ideal_energy: self.ideal_energy,
+            switch_count: self.switch_count,
+            runtime: self.runtime.clone(),
+        }
+    }
+
+    /// Drives the session to the end of the drive cycle, buffering every
+    /// record, and returns the full [`SimulationReport`].
+    ///
+    /// Only a fresh (never-stepped) session can be run: a report built from
+    /// a tail of the records but whole-session switch counts and runtimes
+    /// would be internally inconsistent.  Streaming callers that must not
+    /// buffer — or that already stepped manually — use [`SimSession::step`]
+    /// (or the [`Iterator`] adapter) plus [`SimSession::summary`] instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidScenario`] when the session has already
+    /// been stepped, and propagates the first [`SimError`] any step
+    /// produces.
+    pub fn run(mut self) -> Result<SimulationReport, SimError> {
+        if self.cursor != 0 {
+            return Err(SimError::InvalidScenario {
+                reason: format!(
+                    "SimSession::run needs a fresh session, but {} steps were already \
+                     consumed; keep stepping and read summary() instead",
+                    self.cursor
+                ),
+            });
+        }
+        let mut records = Vec::with_capacity(self.remaining());
+        while let Some(record) = self.step()? {
+            records.push(record);
+        }
+        Ok(SimulationReport::new(
+            self.scheme.name(),
+            records,
+            self.scenario.step(),
+            self.switch_count,
+            self.runtime.clone(),
+        ))
+    }
+}
+
+impl Iterator for SimSession<'_> {
+    type Item = Result<StepRecord, SimError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.step().transpose()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.remaining();
+        (remaining, Some(remaining))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teg_reconfig::{Dnor, Inor, InorConfig, StaticBaseline};
+
+    fn scenario(modules: usize, seconds: usize, seed: u64) -> Scenario {
+        Scenario::builder()
+            .module_count(modules)
+            .duration_seconds(seconds)
+            .seed(seed)
+            .build()
+            .expect("valid scenario")
+    }
+
+    #[test]
+    fn stepping_matches_the_cycle_length() {
+        let s = scenario(10, 25, 1);
+        let mut inor = Inor::default();
+        let mut session = SimSession::new(&s, &mut inor).unwrap();
+        assert_eq!(session.remaining(), 25);
+        assert_eq!(session.scheme_name(), "INOR");
+        let mut steps = 0;
+        while session.step().unwrap().is_some() {
+            steps += 1;
+        }
+        assert_eq!(steps, 25);
+        assert_eq!(session.position(), 25);
+        assert_eq!(session.remaining(), 0);
+        // Stepping past the end keeps returning None.
+        assert!(session.step().unwrap().is_none());
+    }
+
+    #[test]
+    fn summary_totals_match_the_report() {
+        let s = scenario(12, 30, 2);
+        let mut a = Dnor::default();
+        let mut session = SimSession::new(&s, &mut a).unwrap();
+        while session.step().unwrap().is_some() {}
+        let summary = session.summary();
+        drop(session);
+
+        let mut b = Dnor::default();
+        let report = SimSession::new(&s, &mut b).unwrap().run().unwrap();
+        assert_eq!(summary.scheme(), report.scheme());
+        assert_eq!(summary.steps(), report.records().len());
+        assert_eq!(summary.gross_energy(), report.gross_energy());
+        assert_eq!(summary.switch_count(), report.switch_count());
+        assert_eq!(summary.ideal_energy(), report.ideal_energy());
+        assert!(summary.ideal_fraction() > 0.0);
+        assert_eq!(summary.duration(), report.duration());
+        assert!(summary.delivered_energy().value() > 0.0);
+        assert!(summary.net_energy() <= summary.gross_energy());
+        assert!(summary.overhead_energy().value() >= 0.0);
+        assert!(summary.runtime().invocations() > 0);
+    }
+
+    #[test]
+    fn iterator_adapter_yields_every_record() {
+        let s = scenario(8, 12, 3);
+        let mut inor = Inor::default();
+        let session = SimSession::new(&s, &mut inor).unwrap();
+        assert_eq!(session.size_hint(), (12, Some(12)));
+        let records: Result<Vec<_>, _> = session.collect();
+        assert_eq!(records.unwrap().len(), 12);
+    }
+
+    #[test]
+    fn observers_see_steps_switches_and_finish() {
+        struct Spy {
+            steps: usize,
+            switches: usize,
+            finished: Option<SessionSummary>,
+        }
+        impl StepObserver for Spy {
+            fn on_step(&mut self, _record: &StepRecord) {
+                self.steps += 1;
+            }
+            fn on_switch(&mut self, record: &StepRecord) {
+                assert!(record.switched());
+                self.switches += 1;
+            }
+            fn on_finish(&mut self, summary: &SessionSummary) {
+                self.finished = Some(summary.clone());
+            }
+        }
+
+        let s = scenario(16, 20, 4);
+        let mut spy = Spy {
+            steps: 0,
+            switches: 0,
+            finished: None,
+        };
+        let mut inor = Inor::default();
+        let mut session = SimSession::new(&s, &mut inor).unwrap();
+        session.attach(&mut spy);
+        while session.step().unwrap().is_some() {}
+        let switch_count = session.summary().switch_count();
+        drop(session);
+        assert_eq!(spy.steps, 20);
+        assert_eq!(spy.switches, switch_count);
+        let finish = spy.finished.expect("on_finish fired");
+        assert_eq!(finish.steps(), 20);
+    }
+
+    #[test]
+    fn long_period_schemes_are_invoked_at_their_period() {
+        // A 4-second period over 1-second steps must be honoured: one
+        // invocation at t = 0 and one every 4 s after, not one per step
+        // (the `.max(1.0)` regression in the pre-session engine).
+        let s = scenario(10, 40, 5);
+        let config = InorConfig::new(*s.charger(), 0.9, Seconds::new(4.0)).unwrap();
+        let mut inor = Inor::new(config);
+        let mut session = SimSession::new(&s, &mut inor).unwrap();
+        while session.step().unwrap().is_some() {}
+        assert_eq!(session.summary().runtime().invocations(), 10);
+    }
+
+    #[test]
+    fn sub_second_periods_invoke_multiple_times_per_step() {
+        let s = scenario(10, 10, 6);
+        let mut inor = Inor::default(); // 0.5 s period
+        let mut session = SimSession::new(&s, &mut inor).unwrap();
+        while session.step().unwrap().is_some() {}
+        assert_eq!(session.summary().runtime().invocations(), 20);
+    }
+
+    #[test]
+    fn run_after_manual_stepping_is_rejected() {
+        let s = scenario(8, 10, 12);
+        let mut inor = Inor::default();
+        let mut session = SimSession::new(&s, &mut inor).unwrap();
+        session.step().unwrap();
+        match session.run() {
+            Err(SimError::InvalidScenario { reason }) => {
+                assert!(reason.contains("1 steps"), "{reason}");
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_period_schemes_are_rejected_instead_of_hanging() {
+        struct BrokenPeriod;
+        impl Reconfigurer for BrokenPeriod {
+            fn name(&self) -> &'static str {
+                "Broken"
+            }
+            fn period(&self) -> Seconds {
+                Seconds::ZERO
+            }
+            fn decide(
+                &mut self,
+                _window: &teg_reconfig::TelemetryWindow<'_>,
+                current: &Configuration,
+            ) -> Result<teg_reconfig::ReconfigDecision, teg_reconfig::ReconfigError> {
+                Ok(teg_reconfig::ReconfigDecision::new(
+                    current.clone(),
+                    Seconds::ZERO,
+                    false,
+                    false,
+                ))
+            }
+        }
+        let s = scenario(6, 10, 9);
+        let mut broken = BrokenPeriod;
+        let err = match SimSession::new(&s, &mut broken) {
+            Err(err) => err,
+            Ok(_) => panic!("zero-period scheme must be rejected"),
+        };
+        assert!(matches!(err, SimError::InvalidScenario { .. }));
+        assert!(err.to_string().contains("Broken"));
+    }
+
+    #[test]
+    fn telemetry_stays_bounded_by_the_scheme_lookback() {
+        let s = scenario(6, 50, 7);
+        let mut baseline = StaticBaseline::square_grid(6);
+        let mut session = SimSession::new(&s, &mut baseline).unwrap();
+        while session.step().unwrap().is_some() {}
+        // The baseline looks back one row, so the ring holds exactly one.
+        assert_eq!(session.buffer.len(), 1);
+        assert_eq!(session.buffer.capacity(), 1);
+
+        let mut dnor = Dnor::default();
+        let lookback = teg_reconfig::Reconfigurer::lookback(&dnor);
+        let mut session = SimSession::new(&s, &mut dnor).unwrap();
+        while session.step().unwrap().is_some() {}
+        assert_eq!(session.buffer.capacity(), lookback);
+        assert!(session.buffer.len() <= lookback);
+    }
+}

@@ -1,0 +1,248 @@
+//! The solved thermal history of a scenario, computed once and shared.
+//!
+//! Earlier revisions re-ran the ε-NTU radiator solve inside every
+//! [`SimulationEngine::run`], so comparing the paper's four schemes solved
+//! the identical thermal problem four times.  [`ThermalTrace`] hoists that
+//! work out of the simulation loop: it is computed lazily, cached on the
+//! [`Scenario`], and borrowed by every session and comparison that replays
+//! the same drive cycle.
+//!
+//! [`SimulationEngine::run`]: crate::SimulationEngine::run
+//! [`Scenario`]: crate::Scenario
+
+use teg_array::ideal_power;
+use teg_reconfig::TelemetryWindow;
+use teg_thermal::DriveCycle;
+use teg_units::{Celsius, Seconds, TemperatureDelta, Watts};
+
+use crate::error::SimError;
+use crate::scenario::Scenario;
+
+/// Per-module surface temperatures (and the ambient) for every sample of a
+/// scenario's drive cycle — the radiator model solved exactly once.
+///
+/// # Examples
+///
+/// ```
+/// use teg_sim::Scenario;
+///
+/// # fn main() -> Result<(), teg_sim::SimError> {
+/// let scenario = Scenario::builder().module_count(10).duration_seconds(30).seed(1).build()?;
+/// let trace = scenario.thermal_trace()?;
+/// assert_eq!(trace.len(), 30);
+/// // The entrance module is hotter than the exit module at every step.
+/// assert!(trace.row(0)[0] > trace.row(0)[9]);
+/// // The cache makes the second access free: still exactly 30 solves.
+/// let again = scenario.thermal_trace()?;
+/// assert_eq!(again.len(), 30);
+/// assert_eq!(scenario.thermal_solve_count(), 30);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalTrace {
+    times: Vec<Seconds>,
+    rows: Vec<Vec<f64>>,
+    ambients: Vec<Celsius>,
+    // Scheme-independent derived quantities, precomputed once so N lockstep
+    // sessions do not redo them N times per sample.
+    deltas: Vec<Vec<TemperatureDelta>>,
+    ideal: Vec<Watts>,
+    step: Seconds,
+}
+
+impl ThermalTrace {
+    /// Solves the radiator model for every sample of the scenario's drive
+    /// cycle.  Normally reached through [`Scenario::thermal_trace`], which
+    /// caches the result; each sample solved is counted against the
+    /// scenario's [`Scenario::thermal_solve_count`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError::Thermal`] from the radiator solve and
+    /// [`SimError::Array`] from the ideal-power bound.
+    pub fn solve(scenario: &Scenario) -> Result<Self, SimError> {
+        let cycle: &DriveCycle = scenario.drive_cycle();
+        let array = scenario.array();
+        let mut times = Vec::with_capacity(cycle.len());
+        let mut rows = Vec::with_capacity(cycle.len());
+        let mut ambients = Vec::with_capacity(cycle.len());
+        let mut deltas = Vec::with_capacity(cycle.len());
+        let mut ideal = Vec::with_capacity(cycle.len());
+        for sample in cycle.iter() {
+            let profile = scenario
+                .radiator()
+                .surface_profile(&sample.coolant(), &sample.ambient())?;
+            let temps: Vec<f64> = profile
+                .sample(scenario.placement())
+                .iter()
+                .map(|t| t.value())
+                .collect();
+            scenario.count_thermal_solve();
+            let ambient = sample.ambient().temperature();
+            let row_deltas = TelemetryWindow::deltas_from_row(&temps, ambient);
+            ideal.push(ideal_power(array.modules(), &row_deltas)?);
+            deltas.push(row_deltas);
+            times.push(sample.time());
+            rows.push(temps);
+            ambients.push(ambient);
+        }
+        Ok(Self {
+            times,
+            rows,
+            ambients,
+            deltas,
+            ideal,
+            step: scenario.step(),
+        })
+    }
+
+    /// Number of solved samples (one per drive-cycle second).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` for a trace over an empty drive cycle.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The sampling step the trace was solved at.
+    #[must_use]
+    pub const fn step(&self) -> Seconds {
+        self.step
+    }
+
+    /// Simulation time of the `index`-th sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    #[must_use]
+    pub fn time(&self, index: usize) -> Seconds {
+        self.times[index]
+    }
+
+    /// Per-module surface temperatures (°C) at the `index`-th sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    #[must_use]
+    pub fn row(&self, index: usize) -> &[f64] {
+        &self.rows[index]
+    }
+
+    /// Ambient (heatsink) temperature at the `index`-th sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    #[must_use]
+    pub fn ambient(&self, index: usize) -> Celsius {
+        self.ambients[index]
+    }
+
+    /// Per-module ΔT against the ambient (clamped at zero) at the `index`-th
+    /// sample — precomputed once and shared by every scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    #[must_use]
+    pub fn deltas(&self, index: usize) -> &[TemperatureDelta] {
+        &self.deltas[index]
+    }
+
+    /// The unconstrained upper bound `P_ideal` (sum of module MPPs) at the
+    /// `index`-th sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    #[must_use]
+    pub fn ideal(&self, index: usize) -> Watts {
+        self.ideal[index]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario(modules: usize, seconds: usize, seed: u64) -> Scenario {
+        Scenario::builder()
+            .module_count(modules)
+            .duration_seconds(seconds)
+            .seed(seed)
+            .build()
+            .expect("valid scenario")
+    }
+
+    #[test]
+    fn trace_covers_the_whole_cycle() {
+        let s = scenario(12, 40, 3);
+        let trace = s.thermal_trace().unwrap();
+        assert_eq!(trace.len(), 40);
+        assert!(!trace.is_empty());
+        assert_eq!(trace.step(), s.step());
+        assert_eq!(trace.row(0).len(), 12);
+        assert_eq!(trace.time(5), Seconds::new(5.0));
+        assert!(trace.ambient(0).value() > 0.0);
+    }
+
+    #[test]
+    fn cache_solves_each_sample_exactly_once() {
+        let s = scenario(8, 25, 9);
+        assert_eq!(s.thermal_solve_count(), 0);
+        let _ = s.thermal_trace().unwrap();
+        let _ = s.thermal_trace().unwrap();
+        let _ = s.thermal_trace().unwrap();
+        assert_eq!(s.thermal_solve_count(), 25);
+    }
+
+    #[test]
+    fn clones_share_an_already_solved_trace() {
+        let s = scenario(6, 15, 4);
+        let _ = s.thermal_trace().unwrap();
+        let cloned = s.clone();
+        let _ = cloned.thermal_trace().unwrap();
+        // The clone reuses the solved trace: no further solves counted.
+        assert_eq!(cloned.thermal_solve_count(), 15);
+    }
+
+    #[test]
+    fn clones_made_before_the_solve_also_share_it() {
+        // The cache cell sits behind an Arc, so even a clone taken while
+        // the trace is still unsolved shares the eventual solve.
+        let s = scenario(6, 15, 4);
+        let cloned = s.clone();
+        let _ = s.thermal_trace().unwrap();
+        let _ = cloned.thermal_trace().unwrap();
+        assert_eq!(s.thermal_solve_count(), 15);
+    }
+
+    #[test]
+    fn windowing_resolves_independently() {
+        let s = scenario(6, 50, 4);
+        let _ = s.thermal_trace().unwrap();
+        let w = s.window(10, 30).unwrap();
+        let trace = w.thermal_trace().unwrap();
+        assert_eq!(trace.len(), 20);
+        // The window re-solves its own (shorter) cycle; the counter is
+        // shared with the parent, so 50 + 20 solves are recorded in total.
+        assert_eq!(s.thermal_solve_count(), 70);
+    }
+
+    #[test]
+    fn temperatures_decay_along_the_radiator() {
+        let s = scenario(20, 10, 7);
+        let trace = s.thermal_trace().unwrap();
+        for i in 0..trace.len() {
+            let row = trace.row(i);
+            assert!(row[0] > row[19], "entrance hotter than exit at step {i}");
+        }
+    }
+}

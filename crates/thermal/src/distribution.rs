@@ -63,10 +63,14 @@ impl SurfaceProfile {
             || !decay_per_meter.is_finite()
             || !path_length.is_finite()
         {
-            return Err(ThermalError::NonFiniteInput { what: "surface profile" });
+            return Err(ThermalError::NonFiniteInput {
+                what: "surface profile",
+            });
         }
         if decay_per_meter < 0.0 {
-            return Err(ThermalError::NonFiniteInput { what: "decay constant" });
+            return Err(ThermalError::NonFiniteInput {
+                what: "decay constant",
+            });
         }
         if hot_inlet.value() <= cold_mean.value() {
             return Err(ThermalError::InvertedTemperatures {
@@ -79,7 +83,12 @@ impl SurfaceProfile {
                 reason: "flow path length must be positive".to_owned(),
             });
         }
-        Ok(Self { hot_inlet, cold_mean, decay_per_meter, path_length })
+        Ok(Self {
+            hot_inlet,
+            cold_mean,
+            decay_per_meter,
+            path_length,
+        })
     }
 
     /// Coolant inlet temperature `T_h,i`.
@@ -173,7 +182,13 @@ mod tests {
     use super::*;
 
     fn profile() -> SurfaceProfile {
-        SurfaceProfile::new(Celsius::new(95.0), Celsius::new(30.0), 0.4, Meters::new(3.2)).unwrap()
+        SurfaceProfile::new(
+            Celsius::new(95.0),
+            Celsius::new(30.0),
+            0.4,
+            Meters::new(3.2),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -191,7 +206,10 @@ mod tests {
             let frac = f64::from(i) / 32.0;
             let t = p.at_fraction(frac).unwrap().value();
             assert!(t < last, "profile must strictly decrease");
-            assert!(t > p.cold_mean().value(), "profile stays above the air mean");
+            assert!(
+                t > p.cold_mean().value(),
+                "profile stays above the air mean"
+            );
             last = t;
         }
     }
@@ -278,9 +296,13 @@ mod tests {
 
     #[test]
     fn zero_decay_gives_flat_profile() {
-        let p =
-            SurfaceProfile::new(Celsius::new(90.0), Celsius::new(30.0), 0.0, Meters::new(3.0))
-                .unwrap();
+        let p = SurfaceProfile::new(
+            Celsius::new(90.0),
+            Celsius::new(30.0),
+            0.0,
+            Meters::new(3.0),
+        )
+        .unwrap();
         let a = p.at_fraction(0.0).unwrap();
         let b = p.at_fraction(1.0).unwrap();
         assert!((a.value() - b.value()).abs() < 1e-12);

@@ -149,7 +149,10 @@ impl DriveCycle {
     /// Propagates [`ThermalError::InvalidDriveCycle`] from the builder (never
     /// expected for this preset).
     pub fn porter_ii_800s(seed: u64) -> Result<Self, ThermalError> {
-        DriveCycleBuilder::new().duration(Seconds::new(800.0)).seed(seed).build()
+        DriveCycleBuilder::new()
+            .duration(Seconds::new(800.0))
+            .seed(seed)
+            .build()
     }
 
     /// Number of 1 Hz samples.
@@ -192,7 +195,10 @@ impl DriveCycle {
     pub fn coolant_temperature_series(&self) -> TimeSeries {
         TimeSeries::from_values(
             self.step,
-            self.samples.iter().map(|s| s.coolant.inlet_temperature().value()).collect(),
+            self.samples
+                .iter()
+                .map(|s| s.coolant.inlet_temperature().value())
+                .collect(),
         )
     }
 
@@ -214,10 +220,16 @@ impl DriveCycle {
     pub fn window(&self, start: usize, end: usize) -> Result<Self, ThermalError> {
         if start >= end || end > self.samples.len() {
             return Err(ThermalError::InvalidDriveCycle {
-                reason: format!("invalid window {start}..{end} for {} samples", self.samples.len()),
+                reason: format!(
+                    "invalid window {start}..{end} for {} samples",
+                    self.samples.len()
+                ),
             });
         }
-        Ok(Self { samples: self.samples[start..end].to_vec(), step: self.step })
+        Ok(Self {
+            samples: self.samples[start..end].to_vec(),
+            step: self.step,
+        })
     }
 }
 
@@ -333,8 +345,7 @@ impl DriveCycleBuilder {
     /// than one step, the step is not positive, the noise parameters are
     /// negative, or the ambient is not colder than the thermostat setpoint.
     pub fn build(self) -> Result<DriveCycle, ThermalError> {
-        let invalid =
-            |reason: String| ThermalError::InvalidDriveCycle { reason };
+        let invalid = |reason: String| ThermalError::InvalidDriveCycle { reason };
         if self.step.value() <= 0.0 {
             return Err(invalid("step must be positive".to_owned()));
         }
@@ -381,10 +392,8 @@ impl DriveCycleBuilder {
             // with air flow; the thermostat throttles flow through the
             // radiator below the setpoint.
             let overcool = coolant_temp - self.ambient_temperature.value();
-            let thermostat_open = logistic(
-                coolant_temp - (self.thermostat_setpoint.value() - 6.0),
-                1.5,
-            );
+            let thermostat_open =
+                logistic(coolant_temp - (self.thermostat_setpoint.value() - 6.0), 1.5);
             let rejection = 620.0 * phase.air_flow() * thermostat_open * (overcool / 70.0).max(0.0);
 
             coolant_temp += dt * (engine_heat - rejection) / thermal_mass;
@@ -403,7 +412,10 @@ impl DriveCycleBuilder {
             });
         }
 
-        Ok(DriveCycle { samples, step: self.step })
+        Ok(DriveCycle {
+            samples,
+            step: self.step,
+        })
     }
 }
 
@@ -474,7 +486,10 @@ mod tests {
         assert!(!cycle.is_empty());
         let temps = cycle.coolant_temperature_series();
         assert!(temps.min().unwrap() > 55.0, "coolant should stay warm");
-        assert!(temps.max().unwrap() < 113.0, "coolant should never boil over");
+        assert!(
+            temps.max().unwrap() < 113.0,
+            "coolant should never boil over"
+        );
         let flows = cycle.coolant_flow_series();
         assert!(flows.min().unwrap() > 0.0);
         assert!(flows.max().unwrap() < 2.0);
@@ -497,7 +512,12 @@ mod tests {
         let temps = cycle.coolant_temperature_series();
         let values = temps.values();
         for pair in values.windows(2) {
-            assert!((pair[1] - pair[0]).abs() < 1.5, "jump {} -> {}", pair[0], pair[1]);
+            assert!(
+                (pair[1] - pair[0]).abs() < 1.5,
+                "jump {} -> {}",
+                pair[0],
+                pair[1]
+            );
         }
     }
 
@@ -508,7 +528,10 @@ mod tests {
         for s in cycle.iter() {
             seen.insert(format!("{:?}", s.phase()));
         }
-        assert!(seen.len() >= 3, "an 800 s drive should exercise several phases, saw {seen:?}");
+        assert!(
+            seen.len() >= 3,
+            "an 800 s drive should exercise several phases, saw {seen:?}"
+        );
     }
 
     #[test]
@@ -526,9 +549,18 @@ mod tests {
 
     #[test]
     fn builder_rejects_bad_parameters() {
-        assert!(DriveCycleBuilder::new().duration(Seconds::new(0.0)).build().is_err());
-        assert!(DriveCycleBuilder::new().step(Seconds::new(0.0)).build().is_err());
-        assert!(DriveCycleBuilder::new().temperature_noise(-1.0).build().is_err());
+        assert!(DriveCycleBuilder::new()
+            .duration(Seconds::new(0.0))
+            .build()
+            .is_err());
+        assert!(DriveCycleBuilder::new()
+            .step(Seconds::new(0.0))
+            .build()
+            .is_err());
+        assert!(DriveCycleBuilder::new()
+            .temperature_noise(-1.0)
+            .build()
+            .is_err());
         assert!(DriveCycleBuilder::new().flow_noise(-0.1).build().is_err());
         assert!(DriveCycleBuilder::new()
             .ambient_temperature(Celsius::new(99.0))
@@ -561,7 +593,10 @@ mod tests {
         let temps = cycle.coolant_temperature_series();
         let early = temps.values()[..60].iter().sum::<f64>() / 60.0;
         let late = temps.values()[540..].iter().sum::<f64>() / 60.0;
-        assert!(late > early + 10.0, "engine should warm up: early {early:.1}, late {late:.1}");
+        assert!(
+            late > early + 10.0,
+            "engine should warm up: early {early:.1}, late {late:.1}"
+        );
     }
 
     #[test]

@@ -59,13 +59,19 @@ impl fmt::Display for ThermalError {
             Self::NonPositiveFlowRate { kg_per_s } => {
                 write!(f, "mass flow rate must be positive, got {kg_per_s} kg/s")
             }
-            Self::InvertedTemperatures { coolant_c, ambient_c } => write!(
+            Self::InvertedTemperatures {
+                coolant_c,
+                ambient_c,
+            } => write!(
                 f,
                 "coolant inlet ({coolant_c} °C) must be hotter than ambient air ({ambient_c} °C)"
             ),
             Self::InvalidGeometry { reason } => write!(f, "invalid radiator geometry: {reason}"),
             Self::PositionOutOfRange { fraction } => {
-                write!(f, "position fraction {fraction} outside the radiator (expected 0..=1)")
+                write!(
+                    f,
+                    "position fraction {fraction} outside the radiator (expected 0..=1)"
+                )
             }
             Self::InvalidDriveCycle { reason } => write!(f, "invalid drive cycle: {reason}"),
             Self::NonFiniteInput { what } => write!(f, "non-finite value supplied for {what}"),
@@ -82,18 +88,45 @@ mod tests {
     #[test]
     fn display_messages_are_descriptive() {
         let cases: Vec<(ThermalError, &str)> = vec![
-            (ThermalError::NonPositiveFlowRate { kg_per_s: 0.0 }, "flow rate"),
             (
-                ThermalError::InvertedTemperatures { coolant_c: 20.0, ambient_c: 30.0 },
+                ThermalError::NonPositiveFlowRate { kg_per_s: 0.0 },
+                "flow rate",
+            ),
+            (
+                ThermalError::InvertedTemperatures {
+                    coolant_c: 20.0,
+                    ambient_c: 30.0,
+                },
                 "hotter than ambient",
             ),
-            (ThermalError::InvalidGeometry { reason: "zero tubes".into() }, "zero tubes"),
-            (ThermalError::PositionOutOfRange { fraction: 1.5 }, "outside the radiator"),
-            (ThermalError::InvalidDriveCycle { reason: "empty".into() }, "drive cycle"),
-            (ThermalError::NonFiniteInput { what: "coolant temperature" }, "non-finite"),
+            (
+                ThermalError::InvalidGeometry {
+                    reason: "zero tubes".into(),
+                },
+                "zero tubes",
+            ),
+            (
+                ThermalError::PositionOutOfRange { fraction: 1.5 },
+                "outside the radiator",
+            ),
+            (
+                ThermalError::InvalidDriveCycle {
+                    reason: "empty".into(),
+                },
+                "drive cycle",
+            ),
+            (
+                ThermalError::NonFiniteInput {
+                    what: "coolant temperature",
+                },
+                "non-finite",
+            ),
         ];
         for (err, needle) in cases {
-            assert!(err.to_string().contains(needle), "{err} should mention {needle}");
+            assert!(
+                err.to_string().contains(needle),
+                "{err} should mention {needle}"
+            );
         }
     }
 

@@ -37,13 +37,21 @@ impl CoolantProperties {
     /// vehicle coolant assumed by the paper's radiator model.
     #[must_use]
     pub fn ethylene_glycol_50() -> Self {
-        Self { cp_at_zero: 3300.0, cp_slope: 3.5, density: 1060.0 }
+        Self {
+            cp_at_zero: 3300.0,
+            cp_slope: 3.5,
+            density: 1060.0,
+        }
     }
 
     /// Properties of pure water, useful for sensitivity studies.
     #[must_use]
     pub fn water() -> Self {
-        Self { cp_at_zero: 4205.0, cp_slope: -0.3, density: 998.0 }
+        Self {
+            cp_at_zero: 4205.0,
+            cp_slope: -0.3,
+            density: 998.0,
+        }
     }
 
     /// Specific heat in J/(kg·K) at the given temperature.
@@ -87,7 +95,11 @@ impl AirProperties {
     /// Dry air at roughly sea-level pressure.
     #[must_use]
     pub fn standard() -> Self {
-        Self { cp_at_zero: 1005.5, cp_slope: 0.02, density: 1.184 }
+        Self {
+            cp_at_zero: 1005.5,
+            cp_slope: 0.02,
+            density: 1.184,
+        }
     }
 
     /// Specific heat in J/(kg·K) at the given temperature.
@@ -135,7 +147,10 @@ impl CoolantState {
     /// mass-flow rate in kg/s.
     #[must_use]
     pub const fn new(inlet_temperature: Celsius, mass_flow_kg_per_s: f64) -> Self {
-        Self { inlet_temperature, mass_flow_kg_per_s }
+        Self {
+            inlet_temperature,
+            mass_flow_kg_per_s,
+        }
     }
 
     /// Coolant temperature at the radiator entrance (`T_h,i` in Eq. 1).
@@ -159,10 +174,14 @@ impl CoolantState {
     /// or infinite.
     pub fn capacity_rate(&self, props: &CoolantProperties) -> Result<f64, ThermalError> {
         if !self.mass_flow_kg_per_s.is_finite() || !self.inlet_temperature.is_finite() {
-            return Err(ThermalError::NonFiniteInput { what: "coolant state" });
+            return Err(ThermalError::NonFiniteInput {
+                what: "coolant state",
+            });
         }
         if self.mass_flow_kg_per_s <= 0.0 {
-            return Err(ThermalError::NonPositiveFlowRate { kg_per_s: self.mass_flow_kg_per_s });
+            return Err(ThermalError::NonPositiveFlowRate {
+                kg_per_s: self.mass_flow_kg_per_s,
+            });
         }
         Ok(self.mass_flow_kg_per_s * props.specific_heat(self.inlet_temperature))
     }
@@ -191,7 +210,10 @@ impl AmbientState {
     /// air mass-flow rate in kg/s.
     #[must_use]
     pub const fn new(temperature: Celsius, mass_flow_kg_per_s: f64) -> Self {
-        Self { temperature, mass_flow_kg_per_s }
+        Self {
+            temperature,
+            mass_flow_kg_per_s,
+        }
     }
 
     /// Air inlet temperature, which the paper also uses as the heatsink
@@ -216,10 +238,14 @@ impl AmbientState {
     /// or infinite.
     pub fn capacity_rate(&self, props: &AirProperties) -> Result<f64, ThermalError> {
         if !self.mass_flow_kg_per_s.is_finite() || !self.temperature.is_finite() {
-            return Err(ThermalError::NonFiniteInput { what: "ambient state" });
+            return Err(ThermalError::NonFiniteInput {
+                what: "ambient state",
+            });
         }
         if self.mass_flow_kg_per_s <= 0.0 {
-            return Err(ThermalError::NonPositiveFlowRate { kg_per_s: self.mass_flow_kg_per_s });
+            return Err(ThermalError::NonPositiveFlowRate {
+                kg_per_s: self.mass_flow_kg_per_s,
+            });
         }
         Ok(self.mass_flow_kg_per_s * props.specific_heat(self.temperature))
     }
@@ -253,26 +279,35 @@ mod tests {
     #[test]
     fn coolant_capacity_rate_scales_with_flow() {
         let props = CoolantProperties::default();
-        let low = CoolantState::new(Celsius::new(90.0), 0.4).capacity_rate(&props).unwrap();
-        let high = CoolantState::new(Celsius::new(90.0), 0.8).capacity_rate(&props).unwrap();
+        let low = CoolantState::new(Celsius::new(90.0), 0.4)
+            .capacity_rate(&props)
+            .unwrap();
+        let high = CoolantState::new(Celsius::new(90.0), 0.8)
+            .capacity_rate(&props)
+            .unwrap();
         assert!((high / low - 2.0).abs() < 1e-12);
     }
 
     #[test]
     fn non_positive_flow_is_rejected() {
         let props = CoolantProperties::default();
-        let err = CoolantState::new(Celsius::new(90.0), 0.0).capacity_rate(&props).unwrap_err();
+        let err = CoolantState::new(Celsius::new(90.0), 0.0)
+            .capacity_rate(&props)
+            .unwrap_err();
         assert!(matches!(err, ThermalError::NonPositiveFlowRate { .. }));
         let air = AirProperties::default();
-        let err = AmbientState::new(Celsius::new(25.0), -1.0).capacity_rate(&air).unwrap_err();
+        let err = AmbientState::new(Celsius::new(25.0), -1.0)
+            .capacity_rate(&air)
+            .unwrap_err();
         assert!(matches!(err, ThermalError::NonPositiveFlowRate { .. }));
     }
 
     #[test]
     fn non_finite_inputs_are_rejected() {
         let props = CoolantProperties::default();
-        let err =
-            CoolantState::new(Celsius::new(f64::NAN), 0.5).capacity_rate(&props).unwrap_err();
+        let err = CoolantState::new(Celsius::new(f64::NAN), 0.5)
+            .capacity_rate(&props)
+            .unwrap_err();
         assert!(matches!(err, ThermalError::NonFiniteInput { .. }));
         let air = AirProperties::default();
         let err = AmbientState::new(Celsius::new(25.0), f64::INFINITY)
@@ -297,7 +332,10 @@ mod tests {
 
     #[test]
     fn default_constructors_match_named_presets() {
-        assert_eq!(CoolantProperties::default(), CoolantProperties::ethylene_glycol_50());
+        assert_eq!(
+            CoolantProperties::default(),
+            CoolantProperties::ethylene_glycol_50()
+        );
         assert_eq!(AirProperties::default(), AirProperties::standard());
     }
 }

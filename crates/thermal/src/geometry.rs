@@ -248,7 +248,9 @@ impl RadiatorGeometryBuilder {
     /// coefficient is non-positive, the fin efficiency lies outside `(0, 1]`,
     /// or any parameter is not finite.
     pub fn build(self) -> Result<RadiatorGeometry, ThermalError> {
-        let invalid = |reason: &str| ThermalError::InvalidGeometry { reason: reason.to_owned() };
+        let invalid = |reason: &str| ThermalError::InvalidGeometry {
+            reason: reason.to_owned(),
+        };
         let finite = [
             self.flow_path_length.value(),
             self.tube_width.value(),
@@ -258,7 +260,9 @@ impl RadiatorGeometryBuilder {
             self.fin_efficiency,
         ];
         if finite.iter().any(|v| !v.is_finite()) {
-            return Err(ThermalError::NonFiniteInput { what: "radiator geometry" });
+            return Err(ThermalError::NonFiniteInput {
+                what: "radiator geometry",
+            });
         }
         if self.flow_path_length.value() <= 0.0 {
             return Err(invalid("flow path length must be positive"));
@@ -330,28 +334,64 @@ mod tests {
         let k = base.overall_coefficient_per_length();
         let gain_tube = double_tube.overall_coefficient_per_length() / k;
         let gain_air = double_air.overall_coefficient_per_length() / k;
-        assert!(gain_air > gain_tube, "air gain {gain_air:.3} vs tube gain {gain_tube:.3}");
-        assert!(gain_air > 1.3, "air-side improvement should matter, got {gain_air:.3}");
+        assert!(
+            gain_air > gain_tube,
+            "air gain {gain_air:.3} vs tube gain {gain_tube:.3}"
+        );
+        assert!(
+            gain_air > 1.3,
+            "air-side improvement should matter, got {gain_air:.3}"
+        );
     }
 
     #[test]
     fn fin_efficiency_scales_air_side_area() {
-        let lossy = RadiatorGeometry::builder().fin_efficiency(0.4).build().unwrap();
-        let ideal = RadiatorGeometry::builder().fin_efficiency(1.0).build().unwrap();
+        let lossy = RadiatorGeometry::builder()
+            .fin_efficiency(0.4)
+            .build()
+            .unwrap();
+        let ideal = RadiatorGeometry::builder()
+            .fin_efficiency(1.0)
+            .build()
+            .unwrap();
         assert!(ideal.overall_coefficient_per_length() > lossy.overall_coefficient_per_length());
     }
 
     #[test]
     fn builder_rejects_bad_parameters() {
-        assert!(RadiatorGeometry::builder().flow_path_length(Meters::new(0.0)).build().is_err());
-        assert!(RadiatorGeometry::builder().tube_width(Meters::new(-0.1)).build().is_err());
-        assert!(RadiatorGeometry::builder().fin_area_per_length(-1.0).build().is_err());
-        assert!(RadiatorGeometry::builder().tube_side_coefficient(0.0).build().is_err());
-        assert!(RadiatorGeometry::builder().air_side_coefficient(-5.0).build().is_err());
-        assert!(RadiatorGeometry::builder().fin_efficiency(0.0).build().is_err());
-        assert!(RadiatorGeometry::builder().fin_efficiency(1.5).build().is_err());
+        assert!(RadiatorGeometry::builder()
+            .flow_path_length(Meters::new(0.0))
+            .build()
+            .is_err());
+        assert!(RadiatorGeometry::builder()
+            .tube_width(Meters::new(-0.1))
+            .build()
+            .is_err());
+        assert!(RadiatorGeometry::builder()
+            .fin_area_per_length(-1.0)
+            .build()
+            .is_err());
+        assert!(RadiatorGeometry::builder()
+            .tube_side_coefficient(0.0)
+            .build()
+            .is_err());
+        assert!(RadiatorGeometry::builder()
+            .air_side_coefficient(-5.0)
+            .build()
+            .is_err());
+        assert!(RadiatorGeometry::builder()
+            .fin_efficiency(0.0)
+            .build()
+            .is_err());
+        assert!(RadiatorGeometry::builder()
+            .fin_efficiency(1.5)
+            .build()
+            .is_err());
         assert!(matches!(
-            RadiatorGeometry::builder().fin_efficiency(f64::NAN).build().unwrap_err(),
+            RadiatorGeometry::builder()
+                .fin_efficiency(f64::NAN)
+                .build()
+                .unwrap_err(),
             ThermalError::NonFiniteInput { .. }
         ));
     }
@@ -359,7 +399,10 @@ mod tests {
     #[test]
     fn zero_fin_area_is_allowed() {
         // A bare-tube exchanger is valid, just poor.
-        let bare = RadiatorGeometry::builder().fin_area_per_length(0.0).build().unwrap();
+        let bare = RadiatorGeometry::builder()
+            .fin_area_per_length(0.0)
+            .build()
+            .unwrap();
         assert!(bare.overall_coefficient_per_length() > 0.0);
         assert!(
             bare.overall_coefficient_per_length()

@@ -152,7 +152,10 @@ mod tests {
                 let c_r = f64::from(j) * 0.1;
                 let cf = effectiveness(ExchangerArrangement::CounterFlow, ntu, c_r);
                 let pf = effectiveness(ExchangerArrangement::ParallelFlow, ntu, c_r);
-                assert!(cf + 1e-12 >= pf, "counterflow should dominate (ntu={ntu}, cr={c_r})");
+                assert!(
+                    cf + 1e-12 >= pf,
+                    "counterflow should dominate (ntu={ntu}, cr={c_r})"
+                );
             }
         }
     }
@@ -166,7 +169,10 @@ mod tests {
             let xf = effectiveness(ExchangerArrangement::CrossFlowBothUnmixed, ntu, c_r);
             let pf = effectiveness(ExchangerArrangement::ParallelFlow, ntu, c_r);
             assert!(xf <= cf + 1e-9, "crossflow above counterflow at ntu={ntu}");
-            assert!(xf + 1e-2 >= pf, "crossflow far below parallel flow at ntu={ntu}");
+            assert!(
+                xf + 1e-2 >= pf,
+                "crossflow far below parallel flow at ntu={ntu}"
+            );
         }
     }
 

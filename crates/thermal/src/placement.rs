@@ -58,8 +58,7 @@ impl SShapedPlacement {
     pub fn positions(&self, path_length: Meters) -> impl Iterator<Item = Meters> + '_ {
         let n = self.module_count as f64;
         let length = path_length.value();
-        (0..self.module_count)
-            .map(move |i| Meters::new((i as f64 + 0.5) / n * length))
+        (0..self.module_count).map(move |i| Meters::new((i as f64 + 0.5) / n * length))
     }
 
     /// Centre position of a single module.

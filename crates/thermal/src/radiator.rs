@@ -260,8 +260,8 @@ mod tests {
     fn energy_balance_is_consistent() {
         let op = radiator().operating_point(&hot(), &cool_air()).unwrap();
         // q = C_h (T_h,i − T_h,o) = C_c (T_c,o − T_c,i)
-        let q_hot = op.coolant_capacity_rate()
-            * (op.coolant_inlet().value() - op.coolant_outlet().value());
+        let q_hot =
+            op.coolant_capacity_rate() * (op.coolant_inlet().value() - op.coolant_outlet().value());
         let q_cold = op.air_capacity_rate() * (op.air_outlet().value() - op.air_inlet().value());
         assert!((q_hot - op.heat_duty_watts()).abs() < 1e-6);
         assert!((q_cold - op.heat_duty_watts()).abs() < 1e-6);
@@ -280,10 +280,12 @@ mod tests {
     #[test]
     fn more_airflow_rejects_more_heat() {
         let r = radiator();
-        let q_low =
-            r.operating_point(&hot(), &AmbientState::new(Celsius::new(25.0), 0.6)).unwrap();
-        let q_high =
-            r.operating_point(&hot(), &AmbientState::new(Celsius::new(25.0), 2.0)).unwrap();
+        let q_low = r
+            .operating_point(&hot(), &AmbientState::new(Celsius::new(25.0), 0.6))
+            .unwrap();
+        let q_high = r
+            .operating_point(&hot(), &AmbientState::new(Celsius::new(25.0), 2.0))
+            .unwrap();
         assert!(q_high.heat_duty_watts() > q_low.heat_duty_watts());
     }
 
@@ -317,7 +319,9 @@ mod tests {
         let op = r.operating_point(&hot(), &cool_air()).unwrap();
         let entrance = profile.at_distance(Meters::ZERO).unwrap();
         assert!((entrance.value() - 95.0).abs() < 1e-9);
-        let exit = profile.at_distance(r.geometry().flow_path_length()).unwrap();
+        let exit = profile
+            .at_distance(r.geometry().flow_path_length())
+            .unwrap();
         assert!(exit < entrance);
         assert!(exit > op.mean_air_temperature());
     }
@@ -331,8 +335,14 @@ mod tests {
         let r = radiator();
         let profile = r.surface_profile(&hot(), &cool_air()).unwrap();
         let op = r.operating_point(&hot(), &cool_air()).unwrap();
-        let exit = profile.at_distance(r.geometry().flow_path_length()).unwrap();
-        assert!(exit < op.coolant_outlet(), "exit {exit} vs outlet {}", op.coolant_outlet());
+        let exit = profile
+            .at_distance(r.geometry().flow_path_length())
+            .unwrap();
+        assert!(
+            exit < op.coolant_outlet(),
+            "exit {exit} vs outlet {}",
+            op.coolant_outlet()
+        );
         assert!(exit > op.mean_air_temperature());
         // And the profile must show a material gradient for a 100-module
         // array to be worth reconfiguring: at least 10 K end to end.

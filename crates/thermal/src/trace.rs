@@ -74,7 +74,10 @@ impl TimeSeries {
     #[must_use]
     pub fn new(step: Seconds) -> Self {
         assert!(step.value() > 0.0, "sampling step must be positive");
-        Self { step, values: Vec::new() }
+        Self {
+            step,
+            values: Vec::new(),
+        }
     }
 
     /// Creates a series from existing samples.

@@ -311,8 +311,14 @@ mod tests {
 
     #[test]
     fn delta_clamps_negative_values() {
-        assert_eq!(TemperatureDelta::new(-5.0).clamp_non_negative().kelvin(), 0.0);
-        assert_eq!(TemperatureDelta::new(5.0).clamp_non_negative().kelvin(), 5.0);
+        assert_eq!(
+            TemperatureDelta::new(-5.0).clamp_non_negative().kelvin(),
+            0.0
+        );
+        assert_eq!(
+            TemperatureDelta::new(5.0).clamp_non_negative().kelvin(),
+            5.0
+        );
     }
 
     #[test]
@@ -335,7 +341,10 @@ mod tests {
     #[test]
     fn celsius_clamp_and_extremes() {
         let t = Celsius::new(120.0);
-        assert_eq!(t.clamp(Celsius::new(0.0), Celsius::new(100.0)).value(), 100.0);
+        assert_eq!(
+            t.clamp(Celsius::new(0.0), Celsius::new(100.0)).value(),
+            100.0
+        );
         assert_eq!(Celsius::new(40.0).max(Celsius::new(60.0)).value(), 60.0);
         assert_eq!(Celsius::new(40.0).min(Celsius::new(60.0)).value(), 40.0);
     }

@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Box::new(SupportVectorRegression::new(5, 42)?),
     ];
 
-    println!("{:<6} {:>18} {:>18}", "method", "1-s MAPE (%)", "2-s MAPE (%)");
+    println!(
+        "{:<6} {:>18} {:>18}",
+        "method", "1-s MAPE (%)", "2-s MAPE (%)"
+    );
     for predictor in &mut predictors {
         predictor.fit(&values[..split])?;
         for horizon in [1usize, 2] {

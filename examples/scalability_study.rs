@@ -13,7 +13,10 @@ use teg_harvest::units::Celsius;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let module = TegModule::from_datasheet(&TegDatasheet::tgm_199_1_4_0_8());
-    println!("{:>8} {:>14} {:>14} {:>10}", "modules", "INOR (ms)", "EHTR (ms)", "ratio");
+    println!(
+        "{:>8} {:>14} {:>14} {:>10}",
+        "modules", "INOR (ms)", "EHTR (ms)", "ratio"
+    );
 
     for &n in &[25usize, 50, 100, 200, 400] {
         let array = TegArray::uniform(module.clone(), n);
@@ -35,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         let inor_ms = time_of(&mut Inor::default())?;
         let ehtr_ms = time_of(&mut Ehtr::default())?;
-        println!("{n:>8} {inor_ms:>14.4} {ehtr_ms:>14.4} {:>10.1}", ehtr_ms / inor_ms);
+        println!(
+            "{n:>8} {inor_ms:>14.4} {ehtr_ms:>14.4} {:>10.1}",
+            ehtr_ms / inor_ms
+        );
     }
     println!("\nThe ratio grows with N: INOR stays linear while EHTR's DP blows up.");
     Ok(())

@@ -39,7 +39,10 @@ fn table1_ordering_holds_on_a_short_drive() {
 
     // The two instantaneous schemes deliver nearly identical energy.
     let ratio = inor.net_energy().value() / ehtr.net_energy().value();
-    assert!((0.97..=1.03).contains(&ratio), "INOR/EHTR energy ratio {ratio}");
+    assert!(
+        (0.97..=1.03).contains(&ratio),
+        "INOR/EHTR energy ratio {ratio}"
+    );
 
     // And the baseline never switches (it starts from its own wiring).
     assert_eq!(baseline.switch_count(), 0);

@@ -44,7 +44,10 @@ fn engine_charges_overhead_only_when_something_happens() {
     let report = engine.run(&mut Inor::default()).unwrap();
     // INOR evaluates twice per second, so every step carries at least the
     // evaluation-only overhead.
-    assert!(report.records().iter().all(|r| r.overhead_energy().value() > 0.0));
+    assert!(report
+        .records()
+        .iter()
+        .all(|r| r.overhead_energy().value() > 0.0));
     // Steps that switched cost more than steps that only evaluated.
     let switched: Vec<f64> = report
         .records()
@@ -74,14 +77,7 @@ fn inflated_overhead_makes_dnor_refuse_to_switch() {
         Seconds::new(0.006),
         Joules::new(1.0e6),
     );
-    let config = DnorConfig::new(
-        InorConfig::default(),
-        2,
-        5,
-        huge,
-        Seconds::new(1.0),
-    )
-    .unwrap();
+    let config = DnorConfig::new(InorConfig::default(), 2, 5, huge, Seconds::new(1.0)).unwrap();
     let scenario = Scenario::builder()
         .module_count(20)
         .duration_seconds(40)
@@ -90,7 +86,11 @@ fn inflated_overhead_makes_dnor_refuse_to_switch() {
         .unwrap();
     let engine = SimulationEngine::new(scenario);
     let report = engine.run(&mut Dnor::new(config)).unwrap();
-    assert_eq!(report.switch_count(), 0, "an infinite switch cost must freeze DNOR");
+    assert_eq!(
+        report.switch_count(),
+        0,
+        "an infinite switch cost must freeze DNOR"
+    );
 
     // With the normal overhead model it does reconfigure at least once.
     let report = engine.run(&mut Dnor::default()).unwrap();
@@ -99,12 +99,8 @@ fn inflated_overhead_makes_dnor_refuse_to_switch() {
 
 #[test]
 fn zero_overhead_collapses_dnor_towards_inor_behaviour() {
-    let zero = SwitchingOverheadModel::new(
-        Seconds::ZERO,
-        Seconds::ZERO,
-        Seconds::ZERO,
-        Joules::ZERO,
-    );
+    let zero =
+        SwitchingOverheadModel::new(Seconds::ZERO, Seconds::ZERO, Seconds::ZERO, Joules::ZERO);
     let scenario = Scenario::builder()
         .module_count(20)
         .duration_seconds(40)

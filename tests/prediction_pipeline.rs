@@ -26,9 +26,21 @@ fn all_predictors_track_the_coolant_temperature_well() {
     let values = series.values();
     let split = 500;
 
-    let mlr = one_step_mape(&mut MultipleLinearRegression::new(5).unwrap(), values, split);
-    let bpnn = one_step_mape(&mut BackPropagationNetwork::new(5, 8, 11).unwrap(), values, split);
-    let svr = one_step_mape(&mut SupportVectorRegression::new(5, 11).unwrap(), values, split);
+    let mlr = one_step_mape(
+        &mut MultipleLinearRegression::new(5).unwrap(),
+        values,
+        split,
+    );
+    let bpnn = one_step_mape(
+        &mut BackPropagationNetwork::new(5, 8, 11).unwrap(),
+        values,
+        split,
+    );
+    let svr = one_step_mape(
+        &mut SupportVectorRegression::new(5, 11).unwrap(),
+        values,
+        split,
+    );
 
     // The paper's Fig. 5 shows sub-percent errors; the synthetic cycle is
     // noisier per-sample but all three methods must stay below 2 %.
@@ -38,8 +50,14 @@ fn all_predictors_track_the_coolant_temperature_well() {
 
     // And MLR is the best (or tied within rounding), matching the paper's
     // choice of predictor for DNOR.
-    assert!(mlr <= bpnn + 0.05, "MLR ({mlr}) should not lose clearly to BPNN ({bpnn})");
-    assert!(mlr <= svr + 0.05, "MLR ({mlr}) should not lose clearly to SVR ({svr})");
+    assert!(
+        mlr <= bpnn + 0.05,
+        "MLR ({mlr}) should not lose clearly to BPNN ({bpnn})"
+    );
+    assert!(
+        mlr <= svr + 0.05,
+        "MLR ({mlr}) should not lose clearly to SVR ({svr})"
+    );
 }
 
 #[test]
@@ -57,7 +75,11 @@ fn per_module_temperatures_are_equally_predictable() {
         let temps = profile.sample(&placement);
         module3.push(temps[3].value());
     }
-    let err = one_step_mape(&mut MultipleLinearRegression::new(5).unwrap(), &module3, 500);
+    let err = one_step_mape(
+        &mut MultipleLinearRegression::new(5).unwrap(),
+        &module3,
+        500,
+    );
     assert!(err < 1.0, "per-module MLR MAPE {err}%");
 }
 

@@ -7,7 +7,10 @@ use teg_harvest::reconfig::Inor;
 use teg_harvest::units::TemperatureDelta;
 
 fn array(n: usize) -> TegArray {
-    TegArray::uniform(TegModule::from_datasheet(&TegDatasheet::tgm_199_1_4_0_8()), n)
+    TegArray::uniform(
+        TegModule::from_datasheet(&TegDatasheet::tgm_199_1_4_0_8()),
+        n,
+    )
 }
 
 fn exponential_profile(n: usize, hot: f64, decay: f64) -> Vec<TemperatureDelta> {
@@ -51,7 +54,10 @@ fn inor_advantage_grows_with_the_gradient_steepness() {
         );
         last_gain = gain;
     }
-    assert!(last_gain > 1.02, "steep gradients should show a clear INOR advantage, got {last_gain:.4}");
+    assert!(
+        last_gain > 1.02,
+        "steep gradients should show a clear INOR advantage, got {last_gain:.4}"
+    );
 }
 
 #[test]
@@ -75,7 +81,9 @@ fn flat_profiles_make_every_scheme_equivalent() {
     let a = array(n);
     let deltas = vec![TemperatureDelta::new(55.0); n];
     let (_, inor_power) = Inor::default().optimise(&a, &deltas).unwrap();
-    let grid_power = a.mpp_power(&Configuration::uniform(n, 10).unwrap(), &deltas).unwrap();
+    let grid_power = a
+        .mpp_power(&Configuration::uniform(n, 10).unwrap(), &deltas)
+        .unwrap();
     let ideal = ideal_power(a.modules(), &deltas).unwrap();
     assert!((inor_power.value() - ideal.value()).abs() < 1e-6);
     assert!((grid_power.value() - ideal.value()).abs() < 1e-6);

@@ -1,0 +1,165 @@
+//! Integration tests of the streaming session API: lockstep comparison
+//! equivalence with sequential engine runs, the shared-thermal-trace solve
+//! count, and the long-period invocation regression.
+
+use teg_harvest::reconfig::{Dnor, Ehtr, Inor, InorConfig, Reconfigurer, StaticBaseline};
+use teg_harvest::sim::{Comparison, Scenario, SimSession, SimulationEngine};
+use teg_harvest::units::Seconds;
+
+fn scenario(modules: usize, seconds: usize, seed: u64) -> Scenario {
+    Scenario::builder()
+        .module_count(modules)
+        .duration_seconds(seconds)
+        .seed(seed)
+        .build()
+        .expect("valid scenario")
+}
+
+#[test]
+fn comparison_matches_four_sequential_engine_runs() {
+    let modules = 24;
+    let s = scenario(modules, 50, 11);
+
+    let lockstep = Comparison::new(&s)
+        .scheme(Dnor::default())
+        .scheme(Inor::default())
+        .scheme(Ehtr::default())
+        .scheme(StaticBaseline::square_grid(modules))
+        .run()
+        .expect("comparison");
+
+    let engine = SimulationEngine::new(s.clone());
+    let sequential = [
+        engine.run(&mut Dnor::default()).expect("DNOR"),
+        engine.run(&mut Inor::default()).expect("INOR"),
+        engine.run(&mut Ehtr::default()).expect("EHTR"),
+        engine
+            .run(&mut StaticBaseline::square_grid(modules))
+            .expect("baseline"),
+    ];
+
+    for report in &sequential {
+        let lock = lockstep
+            .report(report.scheme())
+            .expect("scheme ran in lockstep");
+        // The physics and the decisions are deterministic, so everything
+        // derived from them is identical between the lockstep comparison and
+        // a classic sequential run.
+        assert_eq!(lock.records().len(), report.records().len());
+        assert_eq!(
+            lock.switch_count(),
+            report.switch_count(),
+            "{}",
+            report.scheme()
+        );
+        assert_eq!(
+            lock.gross_energy(),
+            report.gross_energy(),
+            "{}",
+            report.scheme()
+        );
+        assert_eq!(
+            lock.ideal_energy(),
+            report.ideal_energy(),
+            "{}",
+            report.scheme()
+        );
+        assert_eq!(
+            lock.power_trace(),
+            report.power_trace(),
+            "{}",
+            report.scheme()
+        );
+        assert_eq!(
+            lock.switch_times(),
+            report.switch_times(),
+            "{}",
+            report.scheme()
+        );
+        // Net energy differs only by the wall-clock computation time folded
+        // into the overhead model (timing jitter), never by physics.
+        let diff = (lock.net_energy().value() - report.net_energy().value()).abs();
+        assert!(
+            diff < 1.0,
+            "{}: net energy differs by {diff} J",
+            report.scheme()
+        );
+    }
+}
+
+#[test]
+fn comparison_solves_the_thermal_model_once_per_sample() {
+    let s = scenario(16, 40, 7);
+    assert_eq!(s.thermal_solve_count(), 0);
+    let report = Comparison::paper_schemes(&s).run().expect("comparison");
+    assert_eq!(report.reports().len(), 4);
+    // Four schemes over a 40-sample cycle: exactly 40 radiator solves, not
+    // 160 — the acceptance criterion of the streaming redesign.
+    assert_eq!(s.thermal_solve_count(), 40);
+    // Sequential engine runs over the same scenario reuse the cached trace.
+    let engine = SimulationEngine::new(s.clone());
+    engine.run(&mut Inor::default()).expect("INOR");
+    assert_eq!(s.thermal_solve_count(), 40);
+}
+
+#[test]
+fn long_period_schemes_are_invoked_at_their_period() {
+    // Regression test for the pre-session engine, which clamped
+    // `invocations_per_step` to at least one per step and therefore invoked
+    // a 4-second-period scheme four times too often.
+    let s = scenario(10, 40, 5);
+    let config = InorConfig::new(*s.charger(), 0.9, Seconds::new(4.0)).expect("config");
+    let report = SimulationEngine::new(s)
+        .run(&mut Inor::new(config))
+        .expect("run");
+    // One invocation at t = 0 plus one every 4 s: 10 over 40 seconds.
+    assert_eq!(report.runtime().invocations(), 10);
+    // The sub-second default period still invokes twice per second.
+    let s = scenario(10, 40, 5);
+    let report = SimulationEngine::new(s)
+        .run(&mut Inor::default())
+        .expect("run");
+    assert_eq!(report.runtime().invocations(), 80);
+}
+
+#[test]
+fn session_streaming_matches_engine_report() {
+    let s = scenario(18, 35, 13);
+    let mut streamed = Vec::new();
+    let mut dnor = Dnor::default();
+    let mut session = SimSession::new(&s, &mut dnor).expect("session");
+    while let Some(record) = session.step().expect("step") {
+        streamed.push(record);
+    }
+    let summary = session.summary();
+    drop(session);
+
+    let report = SimulationEngine::new(s)
+        .run(&mut Dnor::default())
+        .expect("run");
+    assert_eq!(streamed.len(), report.records().len());
+    assert_eq!(summary.switch_count(), report.switch_count());
+    assert_eq!(summary.gross_energy(), report.gross_energy());
+    for (streamed, reported) in streamed.iter().zip(report.records()) {
+        assert_eq!(streamed.time(), reported.time());
+        assert_eq!(streamed.array_power(), reported.array_power());
+        assert_eq!(streamed.group_count(), reported.group_count());
+        assert_eq!(streamed.switched(), reported.switched());
+    }
+}
+
+#[test]
+fn bounded_telemetry_does_not_change_scheme_quality() {
+    // The windowed history must preserve the paper's qualitative ordering:
+    // DNOR still beats the baseline and still switches rarely.
+    let s = scenario(30, 60, 21);
+    let report = Comparison::paper_schemes(&s).run().expect("comparison");
+    let dnor = report.report("DNOR").expect("ran");
+    let inor = report.report("INOR").expect("ran");
+    let baseline = report.report("Baseline").expect("ran");
+    assert!(dnor.net_energy().value() > baseline.net_energy().value());
+    assert!(dnor.overhead_energy().value() < 0.25 * inor.overhead_energy().value());
+    assert!(dnor.net_energy().value() >= 0.98 * inor.net_energy().value());
+    // And the DNOR lookback really is bounded.
+    assert!(Reconfigurer::lookback(&Dnor::default()) < 60);
+}
