@@ -1,0 +1,50 @@
+//! Sweep throughput versus worker count: the same scenario grid executed by
+//! the work-stealing [`SweepRunner`] with 1, 2, 4 and 8 workers.
+//!
+//! The grid's thermal traces are solved during the first (warm-up)
+//! execution, so the timed region measures pure simulation throughput — the
+//! quantity that should scale with cores.  On a multi-core host the
+//! per-sweep wall clock must drop as workers are added; the shim prints
+//! mean/min per-iteration times for the record.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use teg_sim::{RuntimePolicy, ScenarioGrid, SchemeLineup, SweepRunner};
+use teg_units::Seconds;
+
+fn bench_sweep_workers(c: &mut Criterion) {
+    let grid = ScenarioGrid::builder()
+        .module_counts([20, 40])
+        .seeds([1, 2, 3, 4])
+        .duration_seconds(60)
+        .lineups([SchemeLineup::paper()])
+        .build()
+        .expect("valid grid");
+    // Solve every sample's thermal trace up front so each timed sweep does
+    // identical work regardless of worker count.
+    SweepRunner::new()
+        .workers(1)
+        .run(&grid)
+        .expect("warm-up sweep");
+
+    let mut group = c.benchmark_group("sweep/workers");
+    group.sample_size(10);
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    for &workers in &[1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new(format!("cells{}", grid.len()), workers),
+            &workers,
+            |b, &workers| {
+                let runner = SweepRunner::new()
+                    .workers(workers)
+                    .runtime_policy(RuntimePolicy::Fixed(Seconds::new(0.001)));
+                b.iter(|| black_box(runner.run(&grid)).expect("sweep"))
+            },
+        );
+    }
+    group.finish();
+    println!("host parallelism: {cores} threads");
+}
+
+criterion_group!(benches, bench_sweep_workers);
+criterion_main!(benches);

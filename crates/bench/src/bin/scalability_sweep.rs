@@ -1,41 +1,41 @@
-//! Scalability sweep — single-decision runtime of INOR, EHTR and DNOR as the
-//! array grows, backing the paper's claim that the linear-time algorithm is
-//! the one that survives on industrial-scale systems.
+//! Scalability sweep — per-scheme decision runtime as the array grows,
+//! measured end-to-end by the parallel scenario-sweep subsystem rather than
+//! a hand-rolled timing loop.
+//!
+//! One [`ScenarioGrid`] per array size spans three drive seeds for
+//! stability; the [`SweepRunner`] executes the cells with a *single* worker
+//! — the schemes time their own decisions with the wall clock, and
+//! concurrent cells would contend for cache and turbo headroom, inflating
+//! exactly the numbers this binary publishes — and its
+//! [`SweepReport`](teg_sim::SweepReport)
+//! summaries provide the mean per-invocation runtime of each scheme.  The
+//! output backs the paper's claim that the linear-time algorithm is the one
+//! that survives on industrial-scale systems: EHTR's dynamic program blows
+//! up with N while INOR stays linear.
 
-use std::time::Instant;
+use teg_sim::{ScenarioGrid, SchemeLineup, SimError, SweepRunner};
 
-use teg_array::Configuration;
-use teg_bench::{exponential_temperatures, paper_array};
-use teg_reconfig::{Dnor, Ehtr, Inor, ReconfigInputs, Reconfigurer};
-use teg_units::Celsius;
-
-fn time_decisions(scheme: &mut dyn Reconfigurer, n: usize, reps: usize) -> f64 {
-    let array = paper_array(n);
-    let history: Vec<Vec<f64>> = (0..10)
-        .map(|_| exponential_temperatures(n, 70.0, 1.5, 25.0))
-        .collect();
-    let inputs = ReconfigInputs::new(&array, &history, Celsius::new(25.0)).expect("inputs");
-    let current = Configuration::uniform(n, (n as f64).sqrt().ceil() as usize).expect("config");
-    scheme.reset();
-    // Warm-up decision outside the timed region.
-    scheme.decide(&inputs, &current).expect("decision");
-    let start = Instant::now();
-    for _ in 0..reps {
-        scheme.reset();
-        scheme.decide(&inputs, &current).expect("decision");
-    }
-    start.elapsed().as_secs_f64() * 1e3 / reps as f64
-}
-
-fn main() {
-    println!("# Scalability: average single-decision runtime (ms)");
+fn main() -> Result<(), SimError> {
+    println!("# Scalability: mean per-invocation runtime (ms), 60 s drive x 3 seeds");
     println!("modules,inor_ms,dnor_ms,ehtr_ms,ehtr_over_inor");
-    for &n in &[25usize, 50, 100, 200, 400, 800] {
-        let reps = if n >= 400 { 3 } else { 10 };
-        let inor = time_decisions(&mut Inor::default(), n, reps);
-        let dnor = time_decisions(&mut Dnor::default(), n, reps);
-        let ehtr = time_decisions(&mut Ehtr::default(), n, reps);
+    for &n in &[25usize, 50, 100, 200, 400] {
+        let grid = ScenarioGrid::builder()
+            .module_counts([n])
+            .seeds([1, 2, 3])
+            .duration_seconds(60)
+            .lineups([SchemeLineup::paper()])
+            .build()?;
+        // One worker: this grid exists to *time* decisions, and parallel
+        // cells would contend for the cores being measured.
+        let report = SweepRunner::new().workers(1).run(&grid)?;
+        let runtime_ms = |scheme: &str| {
+            report
+                .summary(scheme)
+                .map_or(f64::NAN, |s| s.mean_runtime().value())
+        };
+        let (inor, dnor, ehtr) = (runtime_ms("INOR"), runtime_ms("DNOR"), runtime_ms("EHTR"));
         println!("{n},{inor:.4},{dnor:.4},{ehtr:.4},{:.1}", ehtr / inor);
     }
     println!("# INOR grows linearly with N; EHTR's dynamic program grows polynomially.");
+    Ok(())
 }

@@ -1,0 +1,177 @@
+//! Scheme factories: cloneable, thread-safe recipes for building fresh
+//! [`Reconfigurer`] instances.
+//!
+//! A running scheme is stateful (DNOR keeps fitted predictors and an
+//! evaluation phase), so one *instance* cannot be shared between concurrent
+//! sessions.  A [`SchemeSpec`] captures how to build the scheme instead: it
+//! is `Clone + Send + Sync`, carries the scheme's display name, and
+//! [`SchemeSpec::build`] mints an independent instance on demand — one per
+//! worker thread, one per grid cell, however many a parallel scenario sweep
+//! needs.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::baseline::StaticBaseline;
+use crate::dnor::{Dnor, DnorConfig};
+use crate::ehtr::Ehtr;
+use crate::inor::{Inor, InorConfig};
+use crate::traits::Reconfigurer;
+
+/// A factory for one reconfiguration scheme: a name plus a `build()` that
+/// returns a fresh, independent [`Reconfigurer`] instance.
+///
+/// The name is probed from a prototype instance at construction, so it
+/// always matches what the built scheme will report (and what simulation
+/// reports will be keyed by).
+///
+/// # Examples
+///
+/// ```
+/// use teg_reconfig::{Reconfigurer, SchemeSpec};
+///
+/// let spec = SchemeSpec::inor();
+/// assert_eq!(spec.name(), "INOR");
+/// let a = spec.build();
+/// let b = spec.build(); // an independent instance, fresh state
+/// assert_eq!(a.name(), b.name());
+/// ```
+#[derive(Clone)]
+pub struct SchemeSpec {
+    name: String,
+    build: Arc<dyn Fn() -> Box<dyn Reconfigurer> + Send + Sync>,
+}
+
+impl SchemeSpec {
+    /// Wraps a constructor closure as a spec, probing one prototype instance
+    /// for the scheme name.
+    pub fn new<R, F>(build: F) -> Self
+    where
+        R: Reconfigurer + 'static,
+        F: Fn() -> R + Send + Sync + 'static,
+    {
+        let name = build().name().to_owned();
+        Self {
+            name,
+            build: Arc::new(move || Box::new(build())),
+        }
+    }
+
+    /// The scheme's display name, as the built instances will report it.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Builds a fresh instance with pristine state.
+    #[must_use]
+    pub fn build(&self) -> Box<dyn Reconfigurer> {
+        (self.build)()
+    }
+
+    /// INOR with its default tuning.
+    #[must_use]
+    pub fn inor() -> Self {
+        Self::new(Inor::default)
+    }
+
+    /// INOR with explicit tuning parameters.
+    #[must_use]
+    pub fn inor_with(config: InorConfig) -> Self {
+        Self::new(move || Inor::new(config.clone()))
+    }
+
+    /// DNOR with its default tuning.
+    #[must_use]
+    pub fn dnor() -> Self {
+        Self::new(Dnor::default)
+    }
+
+    /// DNOR with explicit tuning parameters.
+    #[must_use]
+    pub fn dnor_with(config: DnorConfig) -> Self {
+        Self::new(move || Dnor::new(config.clone()))
+    }
+
+    /// The prior-work EHTR re-implementation with its default tuning.
+    #[must_use]
+    pub fn ehtr() -> Self {
+        Self::new(Ehtr::default)
+    }
+
+    /// The static square-grid baseline for an array of `module_count`
+    /// modules.
+    #[must_use]
+    pub fn baseline_square_grid(module_count: usize) -> Self {
+        Self::new(move || StaticBaseline::square_grid(module_count))
+    }
+
+    /// The paper's Table I field for an array of `module_count` modules:
+    /// DNOR, INOR, EHTR and the square-grid baseline, in that order.
+    #[must_use]
+    pub fn paper_field(module_count: usize) -> Vec<Self> {
+        vec![
+            Self::dnor(),
+            Self::inor(),
+            Self::ehtr(),
+            Self::baseline_square_grid(module_count),
+        ]
+    }
+}
+
+impl fmt::Debug for SchemeSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SchemeSpec")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_are_send_sync_and_cloneable() {
+        fn assert_send_sync<T: Send + Sync + Clone>() {}
+        assert_send_sync::<SchemeSpec>();
+    }
+
+    #[test]
+    fn names_match_the_built_scheme() {
+        for (spec, expected) in [
+            (SchemeSpec::inor(), "INOR"),
+            (SchemeSpec::dnor(), "DNOR"),
+            (SchemeSpec::ehtr(), "EHTR"),
+            (SchemeSpec::baseline_square_grid(16), "Baseline"),
+        ] {
+            assert_eq!(spec.name(), expected);
+            assert_eq!(spec.build().name(), expected);
+        }
+    }
+
+    #[test]
+    fn built_instances_are_independent() {
+        let spec = SchemeSpec::dnor();
+        let mut a = spec.build();
+        let b = spec.build();
+        // Resetting one instance does not disturb the other (they would
+        // alias if `build` handed out shared state).
+        a.reset();
+        assert_eq!(a.name(), b.name());
+        assert_eq!(a.period(), b.period());
+    }
+
+    #[test]
+    fn paper_field_covers_the_four_schemes() {
+        let field = SchemeSpec::paper_field(100);
+        let names: Vec<&str> = field.iter().map(SchemeSpec::name).collect();
+        assert_eq!(names, ["DNOR", "INOR", "EHTR", "Baseline"]);
+    }
+
+    #[test]
+    fn debug_shows_the_name_only() {
+        let text = format!("{:?}", SchemeSpec::ehtr());
+        assert!(text.contains("EHTR"), "{text}");
+    }
+}

@@ -55,6 +55,7 @@ mod baseline;
 mod dnor;
 mod ehtr;
 mod error;
+mod factory;
 mod inor;
 mod runtime;
 mod telemetry;
@@ -64,6 +65,7 @@ pub use baseline::StaticBaseline;
 pub use dnor::{Dnor, DnorConfig};
 pub use ehtr::Ehtr;
 pub use error::ReconfigError;
+pub use factory::SchemeSpec;
 pub use inor::{Inor, InorConfig};
 pub use runtime::RuntimeStats;
 pub use telemetry::{TelemetryBuffer, TelemetryWindow};

@@ -9,6 +9,12 @@ use teg_units::{Milliseconds, Seconds};
 /// Accumulates per-invocation computation times and reports summary
 /// statistics.
 ///
+/// All accumulation and the primary accessors ([`RuntimeStats::record`],
+/// [`RuntimeStats::total`], [`RuntimeStats::mean`], [`RuntimeStats::max`])
+/// work in [`Seconds`]; [`RuntimeStats::mean_ms`] / [`RuntimeStats::max_ms`]
+/// convert for display (Table I's "Average Runtime" column is printed in
+/// milliseconds).
+///
 /// # Examples
 ///
 /// ```
@@ -19,7 +25,10 @@ use teg_units::{Milliseconds, Seconds};
 /// stats.record(Seconds::new(0.004));
 /// stats.record(Seconds::new(0.002));
 /// assert_eq!(stats.invocations(), 2);
-/// assert!((stats.mean().value() - 3.0).abs() < 1e-9);
+/// // `mean()` is in seconds, like `record()` and `total()` …
+/// assert!((stats.mean().value() - 0.003).abs() < 1e-12);
+/// // … and `mean_ms()` converts for display.
+/// assert!((stats.mean_ms().value() - 3.0).abs() < 1e-9);
 /// ```
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct RuntimeStats {
@@ -56,21 +65,35 @@ impl RuntimeStats {
         Seconds::new(self.total_seconds)
     }
 
-    /// Mean computation time per invocation (zero if nothing was recorded) —
-    /// the "Average Runtime" column of Table I.
+    /// Mean computation time per invocation (zero if nothing was recorded),
+    /// in the same unit [`RuntimeStats::record`] and [`RuntimeStats::total`]
+    /// use.
     #[must_use]
-    pub fn mean(&self) -> Milliseconds {
+    pub fn mean(&self) -> Seconds {
         if self.invocations == 0 {
-            Milliseconds::ZERO
+            Seconds::ZERO
         } else {
-            Seconds::new(self.total_seconds / self.invocations as f64).to_milliseconds()
+            Seconds::new(self.total_seconds / self.invocations as f64)
         }
+    }
+
+    /// [`RuntimeStats::mean`] converted to milliseconds — the unit of the
+    /// "Average Runtime" column of Table I.
+    #[must_use]
+    pub fn mean_ms(&self) -> Milliseconds {
+        self.mean().to_milliseconds()
     }
 
     /// The slowest single invocation observed.
     #[must_use]
-    pub fn max(&self) -> Milliseconds {
-        Seconds::new(self.max_seconds).to_milliseconds()
+    pub fn max(&self) -> Seconds {
+        Seconds::new(self.max_seconds)
+    }
+
+    /// [`RuntimeStats::max`] converted to milliseconds for display.
+    #[must_use]
+    pub fn max_ms(&self) -> Milliseconds {
+        self.max().to_milliseconds()
     }
 
     /// Merges another accumulator into this one.
@@ -89,21 +112,27 @@ mod tests {
     fn empty_stats_report_zero() {
         let stats = RuntimeStats::new();
         assert_eq!(stats.invocations(), 0);
-        assert_eq!(stats.mean(), Milliseconds::ZERO);
+        assert_eq!(stats.mean(), Seconds::ZERO);
+        assert_eq!(stats.mean_ms(), Milliseconds::ZERO);
         assert_eq!(stats.total(), Seconds::ZERO);
-        assert_eq!(stats.max(), Milliseconds::ZERO);
+        assert_eq!(stats.max(), Seconds::ZERO);
+        assert_eq!(stats.max_ms(), Milliseconds::ZERO);
     }
 
     #[test]
-    fn mean_total_and_max() {
+    fn mean_total_and_max_share_one_unit() {
         let mut stats = RuntimeStats::new();
         stats.record(Seconds::new(0.010));
         stats.record(Seconds::new(0.020));
         stats.record(Seconds::new(0.030));
         assert_eq!(stats.invocations(), 3);
         assert!((stats.total().value() - 0.06).abs() < 1e-12);
-        assert!((stats.mean().value() - 20.0).abs() < 1e-9);
-        assert!((stats.max().value() - 30.0).abs() < 1e-9);
+        // mean() and max() are seconds, consistent with record()/total().
+        assert!((stats.mean().value() - 0.020).abs() < 1e-12);
+        assert!((stats.max().value() - 0.030).abs() < 1e-12);
+        // The *_ms variants convert for display.
+        assert!((stats.mean_ms().value() - 20.0).abs() < 1e-9);
+        assert!((stats.max_ms().value() - 30.0).abs() < 1e-9);
     }
 
     #[test]
@@ -124,6 +153,7 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.invocations(), 3);
         assert!((a.total().value() - 0.06).abs() < 1e-12);
-        assert!((a.max().value() - 30.0).abs() < 1e-9);
+        assert!((a.max().value() - 0.030).abs() < 1e-12);
+        assert!((a.max_ms().value() - 30.0).abs() < 1e-9);
     }
 }

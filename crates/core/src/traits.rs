@@ -83,7 +83,12 @@ impl ReconfigDecision {
 /// [`Reconfigurer::decide`] once per reconfiguration period and applies the
 /// returned configuration, charging switching overhead whenever it differs
 /// from the current one.
-pub trait Reconfigurer {
+///
+/// The trait requires [`Send`] so sessions (and the boxed schemes a
+/// [`SchemeSpec`](crate::SchemeSpec) builds) can be moved to the worker
+/// threads of a parallel scenario sweep.  Every scheme is plain data, so
+/// this costs implementors nothing.
+pub trait Reconfigurer: Send {
     /// Human-readable scheme name as used in the paper's tables and figures.
     fn name(&self) -> &'static str;
 

@@ -1,0 +1,95 @@
+//! Property tests for the bounded telemetry ring buffer: the ring must
+//! behave exactly like a naive "keep the last `capacity` rows" `Vec` model
+//! for arbitrary push sequences, and the window handed to schemes must never
+//! exceed the declared lookback bound.
+
+use proptest::prelude::*;
+use teg_array::TegArray;
+use teg_device::{TegDatasheet, TegModule};
+use teg_reconfig::{TelemetryBuffer, TelemetryWindow};
+use teg_units::Celsius;
+
+fn array(n: usize) -> TegArray {
+    TegArray::uniform(
+        TegModule::from_datasheet(&TegDatasheet::tgm_199_1_4_0_8()),
+        n,
+    )
+}
+
+/// Chunks a flat temperature stream into rows of `modules` entries,
+/// discarding the ragged tail — an arbitrary-length push sequence.
+fn rows_from(temps: &[f64], modules: usize) -> Vec<Vec<f64>> {
+    temps.chunks_exact(modules).map(<[f64]>::to_vec).collect()
+}
+
+proptest! {
+    #[test]
+    fn ring_matches_the_naive_vec_model(
+        modules in 1usize..6,
+        capacity in 1usize..10,
+        temps in collection::vec(-20.0_f64..120.0, 0..180),
+    ) {
+        let rows = rows_from(&temps, modules);
+        let mut ring = TelemetryBuffer::new(modules, capacity).expect("valid buffer");
+        let mut model: Vec<Vec<f64>> = Vec::new();
+
+        for row in &rows {
+            ring.push_row(row).expect("row length matches");
+            model.push(row.clone());
+            if model.len() > capacity {
+                model.remove(0);
+            }
+            // After every push: same length, same rows, same order.
+            prop_assert_eq!(ring.len(), model.len());
+            prop_assert!(ring.len() <= ring.capacity());
+            for (i, expected) in model.iter().enumerate() {
+                prop_assert_eq!(ring.row(i), expected.as_slice());
+            }
+        }
+        prop_assert_eq!(ring.is_empty(), model.is_empty());
+    }
+
+    #[test]
+    fn window_lookback_never_exceeds_the_declared_bound(
+        modules in 1usize..5,
+        capacity in 1usize..8,
+        temps in collection::vec(0.0_f64..110.0, 1..150),
+    ) {
+        let rows = rows_from(&temps, modules);
+        prop_assume!(!rows.is_empty());
+        let a = array(modules);
+        let mut ring = TelemetryBuffer::new(modules, capacity).expect("valid buffer");
+
+        for (pushed, row) in rows.iter().enumerate() {
+            ring.push_row(row).expect("row length matches");
+            let window = ring.window(&a, Celsius::new(25.0)).expect("non-empty");
+            // The bound a scheme declares via `lookback()` is the ring
+            // capacity the session allocates; the window must honour it for
+            // any push count, including across the ring's wrap-around.
+            prop_assert!(window.history_len() <= capacity);
+            prop_assert_eq!(window.history_len(), (pushed + 1).min(capacity));
+            // The newest row is always the one just pushed.
+            prop_assert_eq!(window.current_temperatures(), row.as_slice());
+            // And the window's rows are exactly the ring's rows, in order.
+            for (i, seen) in window.rows().enumerate() {
+                prop_assert_eq!(seen, ring.row(i));
+            }
+        }
+    }
+
+    #[test]
+    fn deltas_clamp_below_ambient_for_any_row(
+        modules in 1usize..6,
+        temps in collection::vec(-40.0_f64..140.0, 1..40),
+        ambient in -10.0_f64..40.0,
+    ) {
+        prop_assume!(temps.len() >= modules);
+        let row = &temps[..modules];
+        let deltas = TelemetryWindow::deltas_from_row(row, Celsius::new(ambient));
+        prop_assert_eq!(deltas.len(), modules);
+        for (t, delta) in row.iter().zip(&deltas) {
+            prop_assert!(delta.kelvin() >= 0.0);
+            prop_assert!((delta.kelvin() - (t - ambient).max(0.0)).abs() < 1e-12);
+        }
+    }
+}

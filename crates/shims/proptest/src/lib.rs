@@ -97,8 +97,8 @@ pub mod collection {
         max_len: usize,
     }
 
-    /// Anything usable as the length argument of [`vec`]: a fixed length or
-    /// a half-open range of lengths.
+    /// Anything usable as the length argument of [`vec()`]: a fixed length
+    /// or a half-open range of lengths.
     pub trait IntoLenRange {
         /// Returns the inclusive minimum and exclusive maximum length.
         fn bounds(self) -> (usize, usize);

@@ -9,15 +9,16 @@
 //!
 //! [`ThermalTrace`]: crate::ThermalTrace
 
+use std::collections::HashSet;
 use std::fmt;
 
-use teg_reconfig::{Dnor, Ehtr, Inor, Reconfigurer, StaticBaseline};
+use teg_reconfig::{Dnor, Ehtr, Inor, Reconfigurer, SchemeSpec, StaticBaseline};
 
 use crate::error::SimError;
 use crate::record::StepRecord;
 use crate::report::SimulationReport;
 use crate::scenario::Scenario;
-use crate::session::SimSession;
+use crate::session::{RuntimePolicy, SimSession};
 
 /// A builder driving N schemes in lockstep over one scenario.
 ///
@@ -44,6 +45,7 @@ use crate::session::SimSession;
 pub struct Comparison<'s> {
     scenario: &'s Scenario,
     schemes: Vec<Box<dyn Reconfigurer + 's>>,
+    runtime_policy: RuntimePolicy,
 }
 
 impl<'s> Comparison<'s> {
@@ -53,6 +55,7 @@ impl<'s> Comparison<'s> {
         Self {
             scenario,
             schemes: Vec::new(),
+            runtime_policy: RuntimePolicy::Measured,
         }
     }
 
@@ -67,6 +70,29 @@ impl<'s> Comparison<'s> {
     #[must_use]
     pub fn boxed_scheme(mut self, scheme: Box<dyn Reconfigurer + 's>) -> Self {
         self.schemes.push(scheme);
+        self
+    }
+
+    /// Adds a fresh instance built from a [`SchemeSpec`] factory.
+    #[must_use]
+    pub fn spec(self, spec: &SchemeSpec) -> Self {
+        self.boxed_scheme(spec.build())
+    }
+
+    /// Starts a comparison with one fresh instance per spec, in order — how
+    /// a sweep worker assembles its per-cell field.
+    #[must_use]
+    pub fn from_specs(scenario: &'s Scenario, specs: &[SchemeSpec]) -> Self {
+        specs.iter().fold(Self::new(scenario), |comparison, spec| {
+            comparison.spec(spec)
+        })
+    }
+
+    /// Replaces the runtime-accounting policy every session will run under
+    /// (defaults to [`RuntimePolicy::Measured`]).
+    #[must_use]
+    pub fn runtime_policy(mut self, policy: RuntimePolicy) -> Self {
+        self.runtime_policy = policy;
         self
     }
 
@@ -99,19 +125,37 @@ impl<'s> Comparison<'s> {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::InvalidScenario`] when no scheme was added, and
-    /// propagates the first error any session produces.
+    /// Returns [`SimError::InvalidScenario`] when no scheme was added or two
+    /// schemes share a name (which would make
+    /// [`ComparisonReport::report`] ambiguous), and propagates the first
+    /// error any session produces.
     pub fn run(mut self) -> Result<ComparisonReport, SimError> {
         if self.schemes.is_empty() {
             return Err(SimError::InvalidScenario {
                 reason: "comparison needs at least one scheme".into(),
             });
         }
+        let mut names = HashSet::new();
+        for scheme in &self.schemes {
+            if !names.insert(scheme.name()) {
+                return Err(SimError::InvalidScenario {
+                    reason: format!(
+                        "comparison field contains scheme {:?} twice; per-name report \
+                         lookup would be ambiguous",
+                        scheme.name()
+                    ),
+                });
+            }
+        }
+        let policy = self.runtime_policy;
         let steps = self.scenario.thermal_trace()?.len();
         let mut sessions = self
             .schemes
             .iter_mut()
-            .map(|scheme| SimSession::new(self.scenario, scheme.as_mut()))
+            .map(|scheme| {
+                SimSession::new(self.scenario, scheme.as_mut())
+                    .map(|session| session.with_runtime_policy(policy))
+            })
             .collect::<Result<Vec<_>, _>>()?;
         let mut records: Vec<Vec<StepRecord>> =
             sessions.iter().map(|_| Vec::with_capacity(steps)).collect();
@@ -272,5 +316,67 @@ mod tests {
             .run()
             .unwrap();
         assert_eq!(report.reports().len(), 1);
+    }
+
+    #[test]
+    fn duplicate_scheme_names_are_rejected() {
+        let s = scenario(8, 10, 6);
+        let err = Comparison::new(&s)
+            .scheme(Inor::default())
+            .scheme(Inor::default())
+            .run()
+            .unwrap_err();
+        match err {
+            SimError::InvalidScenario { reason } => {
+                assert!(reason.contains("INOR"), "{reason}");
+                assert!(reason.contains("twice"), "{reason}");
+            }
+            other => panic!("expected InvalidScenario, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spec_built_fields_match_directly_assembled_ones() {
+        use crate::session::RuntimePolicy;
+        use teg_reconfig::SchemeSpec;
+        use teg_units::Seconds;
+
+        let s = scenario(10, 20, 7);
+        let policy = RuntimePolicy::Fixed(Seconds::new(0.002));
+        let specs = [SchemeSpec::inor(), SchemeSpec::baseline_square_grid(10)];
+        let from_specs = Comparison::from_specs(&s, &specs)
+            .runtime_policy(policy)
+            .run()
+            .unwrap();
+        let by_hand = Comparison::new(&s)
+            .scheme(Inor::default())
+            .scheme(teg_reconfig::StaticBaseline::square_grid(10))
+            .runtime_policy(policy)
+            .run()
+            .unwrap();
+        // Under a fixed runtime policy the whole run is deterministic, so
+        // the two assemblies agree exactly.
+        assert_eq!(from_specs, by_hand);
+    }
+
+    #[test]
+    fn fixed_runtime_policy_makes_reruns_identical() {
+        use crate::session::RuntimePolicy;
+        use teg_units::Seconds;
+
+        let s = scenario(12, 25, 8);
+        // INOR, EHTR and the baseline decide purely from telemetry; with a
+        // fixed runtime charge the entire report is reproducible.  (DNOR is
+        // excluded: its switch economics consult its own measured runtime.)
+        let run = || {
+            Comparison::new(&s)
+                .scheme(Inor::default())
+                .scheme(Ehtr::default())
+                .scheme(StaticBaseline::square_grid(12))
+                .runtime_policy(RuntimePolicy::Fixed(Seconds::new(0.001)))
+                .run()
+                .unwrap()
+        };
+        assert_eq!(run(), run());
     }
 }

@@ -71,6 +71,7 @@ mod record;
 mod report;
 mod scenario;
 mod session;
+mod sweep;
 mod thermal_trace;
 
 pub use comparison::{Comparison, ComparisonReport};
@@ -80,5 +81,9 @@ pub use error::SimError;
 pub use record::StepRecord;
 pub use report::SimulationReport;
 pub use scenario::{Scenario, ScenarioBuilder};
-pub use session::{SessionSummary, SimSession, StepFn, StepObserver};
+pub use session::{RuntimePolicy, SessionSummary, SimSession, StepFn, StepObserver};
+pub use sweep::{
+    CellKey, DriveProfile, ScenarioGrid, ScenarioGridBuilder, SchemeLineup, SchemeSummary,
+    SweepCell, SweepCellReport, SweepReport, SweepRunner,
+};
 pub use thermal_trace::ThermalTrace;

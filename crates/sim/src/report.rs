@@ -142,7 +142,7 @@ impl SimulationReport {
     /// column of Table I.
     #[must_use]
     pub fn average_runtime(&self) -> Milliseconds {
-        self.runtime.mean()
+        self.runtime.mean_ms()
     }
 
     /// Average net output power over the run.

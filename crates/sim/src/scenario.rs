@@ -19,6 +19,13 @@ use crate::thermal_trace::ThermalTrace;
 /// All four reconfiguration schemes are run against the *same* scenario so
 /// that Table I and Figs. 6–7 compare algorithms rather than workloads.
 ///
+/// `Scenario` is `Send + Sync`: the sweep workers of
+/// [`SweepRunner`](crate::SweepRunner) share one scenario sample by
+/// reference across threads.  The lazily solved trace cache stays safe
+/// because the first solve is serialised behind a mutex and published
+/// through a `OnceLock` — concurrent first readers race only for who runs
+/// the solve, never on the result.
+///
 /// # Examples
 ///
 /// ```
@@ -380,6 +387,35 @@ mod tests {
             .build()
             .unwrap();
         assert_ne!(plain.array().modules(), varied.array().modules());
+    }
+
+    #[test]
+    fn scenarios_and_traces_are_send_and_sync() {
+        // The sweep shares scenarios (and their cached traces) across
+        // worker threads by reference; this is the compile-time audit.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Scenario>();
+        assert_send_sync::<crate::ThermalTrace>();
+    }
+
+    #[test]
+    fn concurrent_first_access_solves_the_trace_once() {
+        let s = Scenario::builder()
+            .module_count(6)
+            .duration_seconds(20)
+            .seed(11)
+            .build()
+            .unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let trace = s.thermal_trace().unwrap();
+                    assert_eq!(trace.len(), 20);
+                });
+            }
+        });
+        // Eight concurrent first readers, one solve: 20 samples, not 160.
+        assert_eq!(s.thermal_solve_count(), 20);
     }
 
     #[test]

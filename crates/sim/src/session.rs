@@ -24,6 +24,36 @@ use crate::report::SimulationReport;
 use crate::scenario::Scenario;
 use crate::thermal_trace::ThermalTrace;
 
+/// How a session accounts the computation time of each scheme decision.
+///
+/// The schemes measure their own wall-clock runtime, and that measurement
+/// feeds the switching-overhead model (computation extends the dead time) as
+/// well as the report's runtime statistics — which makes two otherwise
+/// identical runs differ by timing jitter.  A parallel scenario sweep that
+/// must produce byte-identical results for any worker count replaces the
+/// measurement with a fixed per-decision charge.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum RuntimePolicy {
+    /// Charge the wall-clock time each decision actually took (the default,
+    /// matching the paper's measured "Average Runtime" column).
+    #[default]
+    Measured,
+    /// Charge every decision the same fixed computation time, making the
+    /// whole simulation deterministic.
+    Fixed(Seconds),
+}
+
+impl RuntimePolicy {
+    /// Resolves the computation time to charge for one decision.
+    #[must_use]
+    pub fn charge(self, measured: Seconds) -> Seconds {
+        match self {
+            Self::Measured => measured,
+            Self::Fixed(fixed) => fixed,
+        }
+    }
+}
+
 /// A streaming sink notified as a session advances.
 ///
 /// All methods have empty defaults, so a sink implements only what it needs
@@ -235,6 +265,7 @@ pub struct SimSession<'s> {
     observers: Vec<&'s mut dyn StepObserver>,
     buffer: TelemetryBuffer,
     config: Configuration,
+    runtime_policy: RuntimePolicy,
     cursor: usize,
     invocation_phase: f64,
     runtime: RuntimeStats,
@@ -286,6 +317,7 @@ impl<'s> SimSession<'s> {
             observers: Vec::new(),
             buffer,
             config,
+            runtime_policy: RuntimePolicy::Measured,
             cursor: 0,
             // Phase accumulator priming: the first invocation lands on the
             // first step even for periods longer than the step (the
@@ -306,6 +338,22 @@ impl<'s> SimSession<'s> {
     pub fn attach(&mut self, observer: &'s mut dyn StepObserver) -> &mut Self {
         self.observers.push(observer);
         self
+    }
+
+    /// Replaces the runtime-accounting policy (defaults to
+    /// [`RuntimePolicy::Measured`]).  With [`RuntimePolicy::Fixed`] every
+    /// decision is charged the same computation time, which makes the whole
+    /// run — overhead energy, runtime statistics, records — deterministic.
+    #[must_use]
+    pub fn with_runtime_policy(mut self, policy: RuntimePolicy) -> Self {
+        self.runtime_policy = policy;
+        self
+    }
+
+    /// The runtime-accounting policy in force.
+    #[must_use]
+    pub const fn runtime_policy(&self) -> RuntimePolicy {
+        self.runtime_policy
     }
 
     /// The scenario the session replays.
@@ -383,10 +431,12 @@ impl<'s> SimSession<'s> {
         for _ in 0..invocations {
             let window = self.buffer.window(array, ambient)?;
             let decision = self.scheme.decide(&window, &self.config)?;
-            self.runtime.record(decision.computation());
-            computation_total += decision.computation();
+            // The policy decides whether the measured wall clock or a fixed
+            // deterministic charge flows into stats and overhead accounting.
+            let computation = self.runtime_policy.charge(decision.computation());
+            self.runtime.record(computation);
+            computation_total += computation;
             let applied = decision.applied();
-            let computation = decision.computation();
             let next = decision.into_configuration();
             if applied {
                 // Applying a configuration (even an unchanged one, as the

@@ -1,0 +1,583 @@
+//! The scenario grid: the cross-product of sweep axes, resolved into
+//! concrete scenarios and cells.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::Arc;
+
+use teg_device::VariationModel;
+use teg_reconfig::SchemeSpec;
+
+use crate::error::SimError;
+use crate::scenario::Scenario;
+
+/// One drive-cycle variant of the sweep: a label plus the parameters fed to
+/// the scenario builder.
+///
+/// The synthetic drive generator is parameterised by duration and seed; the
+/// seed is a separate grid axis, so a profile is the duration with a
+/// human-readable label that ends up in every [`CellKey`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DriveProfile {
+    label: String,
+    duration_seconds: usize,
+}
+
+impl DriveProfile {
+    /// A profile of the given duration, labelled `"{duration}s"`.
+    #[must_use]
+    pub fn seconds(duration_seconds: usize) -> Self {
+        Self {
+            label: format!("{duration_seconds}s"),
+            duration_seconds,
+        }
+    }
+
+    /// A profile with an explicit label (e.g. `"city"`, `"highway"`).
+    #[must_use]
+    pub fn named(label: impl Into<String>, duration_seconds: usize) -> Self {
+        Self {
+            label: label.into(),
+            duration_seconds,
+        }
+    }
+
+    /// The paper's 800-second evaluation drive.
+    #[must_use]
+    pub fn paper_800s() -> Self {
+        Self::named("porter-ii-800s", 800)
+    }
+
+    /// The label recorded in every cell key using this profile.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Drive duration in seconds (1 Hz sampling).
+    #[must_use]
+    pub const fn duration_seconds(&self) -> usize {
+        self.duration_seconds
+    }
+}
+
+/// A named field of schemes competing in one cell, parameterised by the
+/// cell's module count (the static baseline's wiring depends on it).
+///
+/// Lineups hold [`SchemeSpec`] factories rather than scheme instances, so a
+/// sweep can mint fresh, independent instances for every cell on whatever
+/// worker thread picks it up.
+#[derive(Clone)]
+pub struct SchemeLineup {
+    name: String,
+    factory: Arc<dyn Fn(usize) -> Vec<SchemeSpec> + Send + Sync>,
+}
+
+impl SchemeLineup {
+    /// The paper's Table I field: DNOR, INOR, EHTR and the square-grid
+    /// baseline sized for each cell's module count.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self::parameterised("paper", SchemeSpec::paper_field)
+    }
+
+    /// A lineup with a fixed set of specs, identical for every module count.
+    #[must_use]
+    pub fn fixed(name: impl Into<String>, specs: Vec<SchemeSpec>) -> Self {
+        Self {
+            name: name.into(),
+            factory: Arc::new(move |_| specs.clone()),
+        }
+    }
+
+    /// A lineup whose specs are derived from the cell's module count.
+    pub fn parameterised<F>(name: impl Into<String>, factory: F) -> Self
+    where
+        F: Fn(usize) -> Vec<SchemeSpec> + Send + Sync + 'static,
+    {
+        Self {
+            name: name.into(),
+            factory: Arc::new(factory),
+        }
+    }
+
+    /// The lineup's name, recorded in every cell key using it.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The specs this lineup fields for an array of `module_count` modules.
+    #[must_use]
+    pub fn specs(&self, module_count: usize) -> Vec<SchemeSpec> {
+        (self.factory)(module_count)
+    }
+}
+
+impl fmt::Debug for SchemeLineup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SchemeLineup")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The coordinates of one sweep cell — everything needed to tell results
+/// apart in a [`SweepReport`](crate::SweepReport).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellKey {
+    index: usize,
+    module_count: usize,
+    seed: u64,
+    drive: String,
+    variation: usize,
+    lineup: String,
+}
+
+impl CellKey {
+    /// Position of the cell in grid order (the order reports are listed in).
+    #[must_use]
+    pub const fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Number of modules in the cell's array.
+    #[must_use]
+    pub const fn module_count(&self) -> usize {
+        self.module_count
+    }
+
+    /// The drive-cycle RNG seed.
+    #[must_use]
+    pub const fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Label of the cell's [`DriveProfile`].
+    #[must_use]
+    pub fn drive(&self) -> &str {
+        &self.drive
+    }
+
+    /// Index of the cell's variation model within the grid's variation axis.
+    #[must_use]
+    pub const fn variation(&self) -> usize {
+        self.variation
+    }
+
+    /// Name of the cell's [`SchemeLineup`].
+    #[must_use]
+    pub fn lineup(&self) -> &str {
+        &self.lineup
+    }
+}
+
+impl fmt::Display for CellKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "#{} {}mod seed{} {} {}",
+            self.index, self.module_count, self.seed, self.drive, self.lineup
+        )
+    }
+}
+
+/// One unit of sweep work: a scenario sample paired with a scheme lineup.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    key: CellKey,
+    sample_index: usize,
+    lineup_index: usize,
+}
+
+impl SweepCell {
+    /// The cell's coordinates.
+    #[must_use]
+    pub const fn key(&self) -> &CellKey {
+        &self.key
+    }
+
+    /// Index of the cell's scenario sample within
+    /// [`ScenarioGrid::samples`].
+    #[must_use]
+    pub const fn sample_index(&self) -> usize {
+        self.sample_index
+    }
+
+    /// Index of the cell's lineup within [`ScenarioGrid::lineups`].
+    #[must_use]
+    pub const fn lineup_index(&self) -> usize {
+        self.lineup_index
+    }
+}
+
+/// The resolved cross-product of sweep axes: one [`Scenario`] per distinct
+/// parameter sample, and one [`SweepCell`] per sample × lineup.
+///
+/// Cells that differ only in their lineup reference the *same* scenario
+/// sample, so its thermal trace is solved once however many lineups (and
+/// workers) replay it.  The grid is `Sync`: workers share it by reference.
+#[derive(Debug)]
+pub struct ScenarioGrid {
+    samples: Vec<Scenario>,
+    lineups: Vec<SchemeLineup>,
+    cells: Vec<SweepCell>,
+}
+
+impl ScenarioGrid {
+    /// Starts a builder with the paper's defaults on every axis (100
+    /// modules, seed 0, the 800-second drive, no variation, the Table I
+    /// lineup).
+    #[must_use]
+    pub fn builder() -> ScenarioGridBuilder {
+        ScenarioGridBuilder::new()
+    }
+
+    /// Number of cells (scenario samples × lineups).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` when the grid has no cells (never produced by the builder,
+    /// which rejects empty axes).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The cells in grid order.
+    #[must_use]
+    pub fn cells(&self) -> &[SweepCell] {
+        &self.cells
+    }
+
+    /// The distinct scenario samples, in axis order.
+    #[must_use]
+    pub fn samples(&self) -> &[Scenario] {
+        &self.samples
+    }
+
+    /// The scheme lineups, in insertion order.
+    #[must_use]
+    pub fn lineups(&self) -> &[SchemeLineup] {
+        &self.lineups
+    }
+
+    /// The scenario a cell replays.
+    #[must_use]
+    pub fn scenario(&self, cell: &SweepCell) -> &Scenario {
+        &self.samples[cell.sample_index]
+    }
+
+    /// The lineup a cell fields.
+    #[must_use]
+    pub fn lineup(&self, cell: &SweepCell) -> &SchemeLineup {
+        &self.lineups[cell.lineup_index]
+    }
+
+    /// Radiator solves performed through this grid's scenarios so far —
+    /// after a sweep, exactly [`ScenarioGrid::expected_thermal_solves`] when
+    /// the per-sample trace cache held (however many cells and workers
+    /// shared each sample).
+    #[must_use]
+    pub fn thermal_solve_count(&self) -> usize {
+        self.samples.iter().map(Scenario::thermal_solve_count).sum()
+    }
+
+    /// The solve count a sweep should cost: one radiator solve per
+    /// drive-cycle second of each distinct scenario sample.
+    #[must_use]
+    pub fn expected_thermal_solves(&self) -> usize {
+        self.samples.iter().map(|s| s.drive_cycle().len()).sum()
+    }
+}
+
+/// Builder for [`ScenarioGrid`] values; every axis defaults to the paper's
+/// single value.
+#[derive(Debug, Clone)]
+pub struct ScenarioGridBuilder {
+    module_counts: Vec<usize>,
+    seeds: Vec<u64>,
+    drives: Vec<DriveProfile>,
+    variations: Vec<VariationModel>,
+    lineups: Vec<SchemeLineup>,
+}
+
+impl ScenarioGridBuilder {
+    /// Creates a builder with the paper's defaults on every axis.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            module_counts: vec![100],
+            seeds: vec![0],
+            drives: vec![DriveProfile::paper_800s()],
+            variations: vec![VariationModel::none()],
+            lineups: vec![SchemeLineup::paper()],
+        }
+    }
+
+    /// Replaces the module-count axis.
+    #[must_use]
+    pub fn module_counts(mut self, counts: impl IntoIterator<Item = usize>) -> Self {
+        self.module_counts = counts.into_iter().collect();
+        self
+    }
+
+    /// Replaces the drive-cycle seed axis.
+    #[must_use]
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Replaces the drive-profile axis.
+    #[must_use]
+    pub fn drives(mut self, drives: impl IntoIterator<Item = DriveProfile>) -> Self {
+        self.drives = drives.into_iter().collect();
+        self
+    }
+
+    /// Shorthand for a single unnamed drive profile of the given duration.
+    #[must_use]
+    pub fn duration_seconds(self, duration_seconds: usize) -> Self {
+        self.drives([DriveProfile::seconds(duration_seconds)])
+    }
+
+    /// Replaces the module-variation axis.
+    #[must_use]
+    pub fn variations(mut self, variations: impl IntoIterator<Item = VariationModel>) -> Self {
+        self.variations = variations.into_iter().collect();
+        self
+    }
+
+    /// Replaces the scheme-lineup axis.
+    #[must_use]
+    pub fn lineups(mut self, lineups: impl IntoIterator<Item = SchemeLineup>) -> Self {
+        self.lineups = lineups.into_iter().collect();
+        self
+    }
+
+    /// Resolves the cross-product: builds one scenario per distinct
+    /// (module count, seed, drive, variation) sample and one cell per
+    /// sample × lineup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidScenario`] when any axis is empty, when a
+    /// lineup fields no scheme or two schemes with the same name for some
+    /// module count, and propagates scenario-construction errors.
+    pub fn build(self) -> Result<ScenarioGrid, SimError> {
+        for (axis, len) in [
+            ("module_counts", self.module_counts.len()),
+            ("seeds", self.seeds.len()),
+            ("drives", self.drives.len()),
+            ("variations", self.variations.len()),
+            ("lineups", self.lineups.len()),
+        ] {
+            if len == 0 {
+                return Err(SimError::InvalidScenario {
+                    reason: format!("scenario grid axis {axis:?} is empty"),
+                });
+            }
+        }
+        // Lineup validation up front: failing at build time beats failing
+        // halfway through a long parallel run.
+        for lineup in &self.lineups {
+            for &module_count in &self.module_counts {
+                let specs = lineup.specs(module_count);
+                if specs.is_empty() {
+                    return Err(SimError::InvalidScenario {
+                        reason: format!(
+                            "lineup {:?} fields no scheme for {module_count} modules",
+                            lineup.name()
+                        ),
+                    });
+                }
+                let mut names = HashSet::new();
+                for spec in &specs {
+                    if !names.insert(spec.name().to_owned()) {
+                        return Err(SimError::InvalidScenario {
+                            reason: format!(
+                                "lineup {:?} fields scheme {:?} twice for {module_count} \
+                                 modules; per-name report lookup would be ambiguous",
+                                lineup.name(),
+                                spec.name()
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+
+        let mut samples = Vec::new();
+        let mut sample_coords = Vec::new();
+        for &module_count in &self.module_counts {
+            for &seed in &self.seeds {
+                for drive in &self.drives {
+                    for (variation_index, &variation) in self.variations.iter().enumerate() {
+                        let scenario = Scenario::builder()
+                            .module_count(module_count)
+                            .duration_seconds(drive.duration_seconds())
+                            .seed(seed)
+                            .module_variation(variation)
+                            .build()?;
+                        samples.push(scenario);
+                        sample_coords.push((
+                            module_count,
+                            seed,
+                            drive.label().to_owned(),
+                            variation_index,
+                        ));
+                    }
+                }
+            }
+        }
+
+        let mut cells = Vec::with_capacity(samples.len() * self.lineups.len());
+        for (sample_index, (module_count, seed, drive, variation)) in
+            sample_coords.into_iter().enumerate()
+        {
+            for (lineup_index, lineup) in self.lineups.iter().enumerate() {
+                cells.push(SweepCell {
+                    key: CellKey {
+                        index: cells.len(),
+                        module_count,
+                        seed,
+                        drive: drive.clone(),
+                        variation,
+                        lineup: lineup.name().to_owned(),
+                    },
+                    sample_index,
+                    lineup_index,
+                });
+            }
+        }
+
+        Ok(ScenarioGrid {
+            samples,
+            lineups: self.lineups,
+            cells,
+        })
+    }
+}
+
+impl Default for ScenarioGridBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_the_cross_product_of_its_axes() {
+        let grid = ScenarioGrid::builder()
+            .module_counts([6, 9, 12])
+            .seeds([1, 2])
+            .duration_seconds(10)
+            .lineups([
+                SchemeLineup::paper(),
+                SchemeLineup::fixed("solo", vec![SchemeSpec::inor()]),
+            ])
+            .build()
+            .unwrap();
+        assert_eq!(grid.samples().len(), 6); // 3 × 2 × 1 drive × 1 variation
+        assert_eq!(grid.len(), 12); // × 2 lineups
+        assert!(!grid.is_empty());
+        assert_eq!(grid.expected_thermal_solves(), 6 * 10);
+        assert_eq!(grid.thermal_solve_count(), 0); // nothing ran yet
+
+        // Cell indices are dense and in grid order; lineups alternate
+        // fastest.
+        for (i, cell) in grid.cells().iter().enumerate() {
+            assert_eq!(cell.key().index(), i);
+        }
+        assert_eq!(grid.cells()[0].key().lineup(), "paper");
+        assert_eq!(grid.cells()[1].key().lineup(), "solo");
+        assert_eq!(
+            grid.cells()[0].sample_index(),
+            grid.cells()[1].sample_index()
+        );
+        assert_eq!(grid.cells()[0].key().module_count(), 6);
+        assert_eq!(grid.cells()[11].key().module_count(), 12);
+    }
+
+    #[test]
+    fn empty_axes_are_rejected() {
+        for builder in [
+            ScenarioGrid::builder().module_counts([]),
+            ScenarioGrid::builder().seeds([]),
+            ScenarioGrid::builder().drives([]),
+            ScenarioGrid::builder().variations([]),
+            ScenarioGrid::builder().lineups([]),
+        ] {
+            assert!(matches!(
+                builder.build(),
+                Err(SimError::InvalidScenario { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn duplicate_lineup_schemes_are_rejected_at_build_time() {
+        let err = ScenarioGrid::builder()
+            .module_counts([8])
+            .duration_seconds(5)
+            .lineups([SchemeLineup::fixed(
+                "twice",
+                vec![SchemeSpec::inor(), SchemeSpec::inor()],
+            )])
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("INOR"), "{err}");
+    }
+
+    #[test]
+    fn empty_lineups_are_rejected_at_build_time() {
+        let err = ScenarioGrid::builder()
+            .lineups([SchemeLineup::fixed("none", vec![])])
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("no scheme"), "{err}");
+    }
+
+    #[test]
+    fn invalid_scenario_parameters_propagate() {
+        assert!(ScenarioGrid::builder().module_counts([0]).build().is_err());
+        assert!(ScenarioGrid::builder().duration_seconds(0).build().is_err());
+    }
+
+    #[test]
+    fn drive_profiles_carry_labels() {
+        assert_eq!(DriveProfile::seconds(120).label(), "120s");
+        assert_eq!(DriveProfile::paper_800s().duration_seconds(), 800);
+        let named = DriveProfile::named("city", 300);
+        assert_eq!(named.label(), "city");
+        assert_eq!(named.duration_seconds(), 300);
+    }
+
+    #[test]
+    fn cell_keys_render_their_coordinates() {
+        let grid = ScenarioGrid::builder()
+            .module_counts([4])
+            .seeds([9])
+            .duration_seconds(5)
+            .build()
+            .unwrap();
+        let text = grid.cells()[0].key().to_string();
+        assert!(text.contains("4mod"), "{text}");
+        assert!(text.contains("seed9"), "{text}");
+        assert!(text.contains("paper"), "{text}");
+    }
+
+    #[test]
+    fn grid_is_shareable_across_threads() {
+        fn assert_sync<T: Send + Sync>() {}
+        assert_sync::<ScenarioGrid>();
+        assert_sync::<SchemeLineup>();
+        assert_sync::<Scenario>();
+    }
+}

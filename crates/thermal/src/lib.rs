@@ -69,3 +69,27 @@ pub use ntu::{effectiveness, ExchangerArrangement};
 pub use placement::SShapedPlacement;
 pub use radiator::{Radiator, RadiatorOperatingPoint};
 pub use trace::{TimeSeries, TracePoint};
+
+#[cfg(test)]
+mod thread_safety {
+    use super::*;
+
+    /// The parallel scenario sweep in `teg-sim` shares drive cycles,
+    /// radiators and placements across worker threads by reference; every
+    /// thermal type must therefore be `Send + Sync`.  This is a
+    /// compile-time audit: it fails to build if a future change introduces
+    /// interior mutability that is not thread-safe.
+    #[test]
+    fn thermal_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DriveCycle>();
+        assert_send_sync::<DriveSample>();
+        assert_send_sync::<Radiator>();
+        assert_send_sync::<RadiatorGeometry>();
+        assert_send_sync::<SShapedPlacement>();
+        assert_send_sync::<SurfaceProfile>();
+        assert_send_sync::<TimeSeries>();
+        assert_send_sync::<CoolantState>();
+        assert_send_sync::<AmbientState>();
+    }
+}

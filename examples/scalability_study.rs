@@ -2,42 +2,37 @@
 //! as the array grows — the motivation for the paper's claim that the
 //! approach pays off most on industrial boilers and heat exchangers.
 //!
+//! Rebuilt on the scenario-sweep subsystem: each array size is one
+//! [`ScenarioGrid`] executed by the work-stealing [`SweepRunner`], and the
+//! per-scheme mean runtimes come from the sweep's summaries instead of a
+//! hand-rolled timing loop.
+//!
 //! Run with `cargo run --release --example scalability_study`.
 
-use std::time::Instant;
-
-use teg_harvest::array::{Configuration, TegArray};
-use teg_harvest::device::{TegDatasheet, TegModule};
-use teg_harvest::reconfig::{Ehtr, Inor, ReconfigInputs, Reconfigurer};
-use teg_harvest::units::Celsius;
+use teg_harvest::reconfig::SchemeSpec;
+use teg_harvest::sim::{ScenarioGrid, SchemeLineup, SweepRunner};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let module = TegModule::from_datasheet(&TegDatasheet::tgm_199_1_4_0_8());
     println!(
         "{:>8} {:>14} {:>14} {:>10}",
         "modules", "INOR (ms)", "EHTR (ms)", "ratio"
     );
 
     for &n in &[25usize, 50, 100, 200, 400] {
-        let array = TegArray::uniform(module.clone(), n);
-        let temps: Vec<f64> = (0..n).map(|i| 96.0 - 40.0 * i as f64 / n as f64).collect();
-        let history = vec![temps];
-        let inputs = ReconfigInputs::new(&array, &history, Celsius::new(25.0))?;
-        let current = Configuration::uniform(n, (n as f64).sqrt() as usize)?;
-
-        let time_of = |scheme: &mut dyn Reconfigurer| -> Result<f64, Box<dyn std::error::Error>> {
-            // Warm up once, then time a few repetitions.
-            scheme.decide(&inputs, &current)?;
-            let reps = 5;
-            let start = Instant::now();
-            for _ in 0..reps {
-                scheme.decide(&inputs, &current)?;
-            }
-            Ok(start.elapsed().as_secs_f64() * 1e3 / reps as f64)
-        };
-
-        let inor_ms = time_of(&mut Inor::default())?;
-        let ehtr_ms = time_of(&mut Ehtr::default())?;
+        let grid = ScenarioGrid::builder()
+            .module_counts([n])
+            .seeds([7, 8])
+            .duration_seconds(30)
+            .lineups([SchemeLineup::fixed(
+                "heuristics",
+                vec![SchemeSpec::inor(), SchemeSpec::ehtr()],
+            )])
+            .build()?;
+        // One worker: the study times decisions, so concurrent cells must
+        // not contend for the cores being measured.
+        let report = SweepRunner::new().workers(1).run(&grid)?;
+        let inor_ms = report.summary("INOR").expect("ran").mean_runtime().value();
+        let ehtr_ms = report.summary("EHTR").expect("ran").mean_runtime().value();
         println!(
             "{n:>8} {inor_ms:>14.4} {ehtr_ms:>14.4} {:>10.1}",
             ehtr_ms / inor_ms

@@ -1,0 +1,125 @@
+//! Integration tests of the parallel scenario-sweep subsystem: the
+//! serial/parallel equivalence guarantee, the one-solve-per-sample cache
+//! invariant for any worker count, and the deterministic grid ordering.
+
+use teg_harvest::reconfig::SchemeSpec;
+use teg_harvest::sim::{DriveProfile, RuntimePolicy, ScenarioGrid, SchemeLineup, SweepRunner};
+use teg_harvest::units::Seconds;
+
+/// A 12-cell grid: 2 module counts × 3 seeds × 1 drive, each sample replayed
+/// by two lineups (so 6 distinct scenario samples feed 12 cells).
+///
+/// The lineups use only schemes whose decisions are pure functions of the
+/// telemetry (INOR, EHTR, the baseline), so with a fixed runtime charge the
+/// whole sweep is bit-reproducible.
+fn grid() -> ScenarioGrid {
+    ScenarioGrid::builder()
+        .module_counts([6, 9])
+        .seeds([1, 2, 3])
+        .drives([DriveProfile::named("short", 20)])
+        .lineups([
+            SchemeLineup::parameterised("inor-vs-baseline", |n| {
+                vec![SchemeSpec::inor(), SchemeSpec::baseline_square_grid(n)]
+            }),
+            SchemeLineup::fixed("heuristics", vec![SchemeSpec::inor(), SchemeSpec::ehtr()]),
+        ])
+        .build()
+        .expect("valid grid")
+}
+
+const POLICY: RuntimePolicy = RuntimePolicy::Fixed(Seconds::new(0.002));
+
+#[test]
+fn one_worker_and_four_workers_produce_identical_reports() {
+    // Two *fresh* grids so each run pays (and proves) its own solves.
+    let serial_grid = grid();
+    let parallel_grid = grid();
+    assert_eq!(serial_grid.len(), 12);
+
+    let serial = SweepRunner::new()
+        .workers(1)
+        .runtime_policy(POLICY)
+        .run(&serial_grid)
+        .expect("serial sweep");
+    let parallel = SweepRunner::new()
+        .workers(4)
+        .runtime_policy(POLICY)
+        .run(&parallel_grid)
+        .expect("parallel sweep");
+
+    // The headline guarantee: identical reports — per-cell records,
+    // energies, runtime statistics, summaries, solve counts — regardless of
+    // how the pool interleaved the cells.
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn thermal_solves_are_one_per_sample_regardless_of_worker_count() {
+    for workers in [1, 4] {
+        let g = grid();
+        // 6 distinct samples × 20 drive seconds; the 12 cells (two lineups
+        // per sample, possibly on different workers) share the solves.
+        let report = SweepRunner::new()
+            .workers(workers)
+            .runtime_policy(POLICY)
+            .run(&g)
+            .expect("sweep");
+        assert_eq!(g.expected_thermal_solves(), 6 * 20);
+        assert_eq!(
+            report.thermal_solves(),
+            g.expected_thermal_solves(),
+            "trace cache failed with {workers} workers"
+        );
+        assert_eq!(g.thermal_solve_count(), g.expected_thermal_solves());
+    }
+}
+
+#[test]
+fn cells_are_reported_in_grid_order_with_full_coordinates() {
+    let g = grid();
+    let report = SweepRunner::new()
+        .workers(4)
+        .runtime_policy(POLICY)
+        .run(&g)
+        .expect("sweep");
+
+    assert_eq!(report.cells().len(), 12);
+    for (i, cell) in report.cells().iter().enumerate() {
+        assert_eq!(cell.key().index(), i);
+        assert_eq!(cell.key().drive(), "short");
+        // Every cell carries its lineup's full field.
+        assert_eq!(cell.report().reports().len(), 2);
+    }
+    // Lineups alternate fastest; module counts slowest.
+    assert_eq!(report.cells()[0].key().lineup(), "inor-vs-baseline");
+    assert_eq!(report.cells()[1].key().lineup(), "heuristics");
+    assert_eq!(report.cells()[0].key().module_count(), 6);
+    assert_eq!(report.cells()[11].key().module_count(), 9);
+
+    // INOR ran in all 12 cells, the baseline and EHTR in 6 each.
+    assert_eq!(report.summary("INOR").expect("ran").cells(), 12);
+    assert_eq!(report.summary("Baseline").expect("ran").cells(), 6);
+    assert_eq!(report.summary("EHTR").expect("ran").cells(), 6);
+}
+
+#[test]
+fn paper_lineup_sweeps_run_all_four_schemes() {
+    // DNOR's switch economics consult its own measured runtime, so the
+    // paper lineup is exercised for structure rather than bit-equality.
+    let g = ScenarioGrid::builder()
+        .module_counts([10])
+        .seeds([5, 6])
+        .duration_seconds(15)
+        .lineups([SchemeLineup::paper()])
+        .build()
+        .expect("valid grid");
+    let report = SweepRunner::new().workers(2).run(&g).expect("sweep");
+    assert_eq!(report.cells().len(), 2);
+    assert_eq!(report.thermal_solves(), 2 * 15);
+    for scheme in ["DNOR", "INOR", "EHTR", "Baseline"] {
+        let summary = report.summary(scheme).expect("scheme ran");
+        assert_eq!(summary.cells(), 2);
+        assert!(summary.mean_net_energy().value() > 0.0);
+        assert!(summary.mean_power_ratio() > 0.0);
+    }
+}
