@@ -23,6 +23,17 @@ use teg_units::{Amps, TemperatureDelta, Volts, Watts};
 
 use crate::configuration::Configuration;
 use crate::error::ArrayError;
+use crate::fault::{FaultState, ModuleFault};
+
+/// The aggregate Norton sums of one parallel group under an optional fault
+/// state: `Σ G_m·E_m` and `Σ G_m` over the group's *connected* modules, plus
+/// whether a short-circuit fault pins the group to zero volts.
+#[derive(Debug, Clone, Copy)]
+struct GroupSums {
+    s_g: f64,
+    g_g: f64,
+    shorted: bool,
+}
 
 /// The solved state of one parallel group at a given string current.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -185,21 +196,38 @@ impl TegArray {
     ) -> Result<ArrayOperatingPoint, ArrayError> {
         self.check_config(config)?;
         self.check_deltas(deltas)?;
-        let mut groups = Vec::with_capacity(config.group_count());
-        let mut total_voltage = Volts::ZERO;
-        for group in config.groups() {
-            let (s_g, g_g) = self.group_sums(group.start(), group.end(), deltas);
-            let voltage = Volts::new((s_g - current.value()) / g_g);
-            let power = voltage * current;
-            total_voltage += voltage;
-            groups.push(GroupOperatingPoint { voltage, power });
-        }
-        Ok(ArrayOperatingPoint {
-            current,
-            voltage: total_voltage,
-            power: total_voltage * current,
-            groups,
-        })
+        Ok(self.operate_at_with(config, deltas, current, None))
+    }
+
+    /// Solves the array at an imposed string current with the given
+    /// electrical faults active.
+    ///
+    /// Open-circuit modules drop out of their group's Norton sums; a group
+    /// whose every module is open breaks the series string and the whole
+    /// array collapses to the zero operating point.  A short-circuited
+    /// module pins its group to zero volts (the group still passes the
+    /// string current).  Derated modules contribute a scaled EMF.
+    ///
+    /// Note that `config` is the configuration *realised by the fabric* —
+    /// callers with stuck switch faults resolve the commanded configuration
+    /// through [`FaultState::effective_configuration`] first.
+    ///
+    /// # Errors
+    ///
+    /// The failure modes of [`TegArray::operate_at`], plus
+    /// [`ArrayError::InvalidConfiguration`] when the fault state covers a
+    /// different module count.
+    pub fn operate_at_faulted(
+        &self,
+        config: &Configuration,
+        deltas: &[TemperatureDelta],
+        current: Amps,
+        faults: &FaultState,
+    ) -> Result<ArrayOperatingPoint, ArrayError> {
+        self.check_config(config)?;
+        self.check_deltas(deltas)?;
+        self.check_faults(faults)?;
+        Ok(self.operate_at_with(config, deltas, current, Some(faults)))
     }
 
     /// Analytic maximum power point of the array under a configuration.
@@ -217,15 +245,25 @@ impl TegArray {
     ) -> Result<ArrayOperatingPoint, ArrayError> {
         self.check_config(config)?;
         self.check_deltas(deltas)?;
-        let mut sum_voc = 0.0; // Σ_g S_g / G_g  (total open-circuit voltage)
-        let mut sum_res = 0.0; // Σ_g 1 / G_g    (total series resistance)
-        for group in config.groups() {
-            let (s_g, g_g) = self.group_sums(group.start(), group.end(), deltas);
-            sum_voc += s_g / g_g;
-            sum_res += 1.0 / g_g;
-        }
-        let optimum = (sum_voc / (2.0 * sum_res)).max(0.0);
-        self.operate_at(config, deltas, Amps::new(optimum))
+        Ok(self.maximum_power_point_with(config, deltas, None))
+    }
+
+    /// Analytic maximum power point with the given electrical faults active
+    /// (same fault semantics as [`TegArray::operate_at_faulted`]).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`TegArray::operate_at_faulted`].
+    pub fn maximum_power_point_faulted(
+        &self,
+        config: &Configuration,
+        deltas: &[TemperatureDelta],
+        faults: &FaultState,
+    ) -> Result<ArrayOperatingPoint, ArrayError> {
+        self.check_config(config)?;
+        self.check_deltas(deltas)?;
+        self.check_faults(faults)?;
+        Ok(self.maximum_power_point_with(config, deltas, Some(faults)))
     }
 
     /// Total array power at the analytic MPP — shorthand used by the
@@ -242,18 +280,147 @@ impl TegArray {
         Ok(self.maximum_power_point(config, deltas)?.power())
     }
 
+    /// Total array MPP power with the given electrical faults active.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`TegArray::operate_at_faulted`].
+    pub fn mpp_power_faulted(
+        &self,
+        config: &Configuration,
+        deltas: &[TemperatureDelta],
+        faults: &FaultState,
+    ) -> Result<Watts, ArrayError> {
+        Ok(self
+            .maximum_power_point_faulted(config, deltas, faults)?
+            .power())
+    }
+
+    fn maximum_power_point_with(
+        &self,
+        config: &Configuration,
+        deltas: &[TemperatureDelta],
+        faults: Option<&FaultState>,
+    ) -> ArrayOperatingPoint {
+        let mut sum_voc = 0.0; // Σ_g S_g / G_g  (total open-circuit voltage)
+        let mut sum_res = 0.0; // Σ_g 1 / G_g    (total series resistance)
+        for group in config.groups() {
+            let sums = self.group_sums(group.start(), group.end(), deltas, faults);
+            if sums.shorted {
+                continue; // zero volts, zero resistance — drops out of the MPP sums
+            }
+            if sums.g_g <= 0.0 {
+                // A fully open (and unshorted) group breaks the string: no
+                // current, no power.
+                return Self::zero_point(config.group_count());
+            }
+            sum_voc += sums.s_g / sums.g_g;
+            sum_res += 1.0 / sums.g_g;
+        }
+        // `sum_res == 0` means every group is shorted: the array is a dead
+        // short and delivers no power at any current.
+        let optimum = if sum_res > 0.0 {
+            (sum_voc / (2.0 * sum_res)).max(0.0)
+        } else {
+            0.0
+        };
+        self.operate_at_with(config, deltas, Amps::new(optimum), faults)
+    }
+
+    fn operate_at_with(
+        &self,
+        config: &Configuration,
+        deltas: &[TemperatureDelta],
+        current: Amps,
+        faults: Option<&FaultState>,
+    ) -> ArrayOperatingPoint {
+        let mut groups = Vec::with_capacity(config.group_count());
+        let mut total_voltage = Volts::ZERO;
+        for group in config.groups() {
+            let sums = self.group_sums(group.start(), group.end(), deltas, faults);
+            if sums.g_g <= 0.0 && !sums.shorted {
+                return Self::zero_point(config.group_count());
+            }
+            let voltage = if sums.shorted {
+                Volts::ZERO
+            } else {
+                Volts::new((sums.s_g - current.value()) / sums.g_g)
+            };
+            let power = voltage * current;
+            total_voltage += voltage;
+            groups.push(GroupOperatingPoint { voltage, power });
+        }
+        ArrayOperatingPoint {
+            current,
+            voltage: total_voltage,
+            power: total_voltage * current,
+            groups,
+        }
+    }
+
+    /// The dead operating point of a string broken by an all-open group.
+    fn zero_point(group_count: usize) -> ArrayOperatingPoint {
+        ArrayOperatingPoint {
+            current: Amps::ZERO,
+            voltage: Volts::ZERO,
+            power: Watts::ZERO,
+            groups: vec![
+                GroupOperatingPoint {
+                    voltage: Volts::ZERO,
+                    power: Watts::ZERO,
+                };
+                group_count
+            ],
+        }
+    }
+
+    /// The effective Thévenin source of one module under an optional fault
+    /// state: `None` for an open-circuited module, otherwise its conductance
+    /// and (possibly derated) EMF.  Short circuits are a *group*-level
+    /// condition and are handled by the caller.
+    pub(crate) fn module_source(
+        &self,
+        index: usize,
+        delta: TemperatureDelta,
+        faults: Option<&FaultState>,
+    ) -> Option<(f64, f64)> {
+        let fault = faults.and_then(|f| f.module_fault(index));
+        if matches!(fault, Some(ModuleFault::OpenCircuit)) {
+            return None;
+        }
+        let g = self.modules[index].internal_conductance(delta);
+        let mut e = self.modules[index].open_circuit_voltage(delta).value();
+        if let Some(ModuleFault::Derated(factor)) = fault {
+            e *= factor;
+        }
+        Some((g, e))
+    }
+
     // Parallel indexing of modules and deltas over a sub-range.
     #[allow(clippy::needless_range_loop)]
-    fn group_sums(&self, start: usize, end: usize, deltas: &[TemperatureDelta]) -> (f64, f64) {
+    fn group_sums(
+        &self,
+        start: usize,
+        end: usize,
+        deltas: &[TemperatureDelta],
+        faults: Option<&FaultState>,
+    ) -> GroupSums {
         let mut s_g = 0.0;
         let mut g_g = 0.0;
+        let mut shorted = false;
         for i in start..end {
-            let g = self.modules[i].internal_conductance(deltas[i]);
-            let e = self.modules[i].open_circuit_voltage(deltas[i]).value();
+            if let Some(f) = faults {
+                if f.module_fault(i) == Some(ModuleFault::ShortCircuit) {
+                    shorted = true;
+                }
+            }
+            let Some((g, e)) = self.module_source(i, deltas[i], faults) else {
+                continue;
+            };
             s_g += g * e;
             g_g += g;
         }
-        (s_g, g_g)
+        GroupSums { s_g, g_g, shorted }
     }
 
     fn check_deltas(&self, deltas: &[TemperatureDelta]) -> Result<(), ArrayError> {
@@ -261,6 +428,19 @@ impl TegArray {
             return Err(ArrayError::DimensionMismatch {
                 modules: self.modules.len(),
                 temperatures: deltas.len(),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_faults(&self, faults: &FaultState) -> Result<(), ArrayError> {
+        if faults.module_count() != self.modules.len() {
+            return Err(ArrayError::InvalidConfiguration {
+                reason: format!(
+                    "fault state covers {} modules but the array has {}",
+                    faults.module_count(),
+                    self.modules.len()
+                ),
             });
         }
         Ok(())
@@ -437,6 +617,269 @@ mod tests {
             .mpp_power(&Configuration::uniform(4, 2).unwrap(), &deltas)
             .unwrap();
         assert!(p.value() > 0.0);
+    }
+
+    #[test]
+    fn open_circuit_module_drops_out_of_its_group() {
+        let array = TegArray::uniform(module(), 6);
+        let deltas = vec![TemperatureDelta::new(60.0); 6];
+        let config = Configuration::uniform(6, 2).unwrap();
+        let mut faults = crate::FaultState::healthy(6);
+        faults
+            .set_module_fault(1, crate::ModuleFault::OpenCircuit)
+            .unwrap();
+        let healthy = array.mpp_power(&config, &deltas).unwrap();
+        let degraded = array.mpp_power_faulted(&config, &deltas, &faults).unwrap();
+        assert!(degraded.value() > 0.0);
+        assert!(degraded < healthy);
+    }
+
+    #[test]
+    fn fully_open_group_breaks_the_string() {
+        let array = TegArray::uniform(module(), 4);
+        let deltas = vec![TemperatureDelta::new(60.0); 4];
+        let config = Configuration::uniform(4, 2).unwrap();
+        let mut faults = crate::FaultState::healthy(4);
+        faults
+            .set_module_fault(0, crate::ModuleFault::OpenCircuit)
+            .unwrap();
+        faults
+            .set_module_fault(1, crate::ModuleFault::OpenCircuit)
+            .unwrap();
+        let op = array
+            .maximum_power_point_faulted(&config, &deltas, &faults)
+            .unwrap();
+        assert_eq!(op.power(), Watts::ZERO);
+        assert_eq!(op.current(), Amps::ZERO);
+        assert_eq!(op.voltage(), Volts::ZERO);
+        // The imposed-current solve collapses the same way.
+        let forced = array
+            .operate_at_faulted(&config, &deltas, Amps::new(0.5), &faults)
+            .unwrap();
+        assert_eq!(forced.power(), Watts::ZERO);
+    }
+
+    #[test]
+    fn shorted_group_is_pinned_to_zero_volts_but_passes_current() {
+        let array = TegArray::uniform(module(), 6);
+        let deltas = vec![TemperatureDelta::new(60.0); 6];
+        let config = Configuration::uniform(6, 3).unwrap();
+        let mut faults = crate::FaultState::healthy(6);
+        faults
+            .set_module_fault(2, crate::ModuleFault::ShortCircuit)
+            .unwrap();
+        let op = array
+            .maximum_power_point_faulted(&config, &deltas, &faults)
+            .unwrap();
+        // Group 1 (modules 2..4) is shorted: zero volts, zero power.
+        assert_eq!(op.groups()[1].voltage(), Volts::ZERO);
+        assert_eq!(op.groups()[1].power(), Watts::ZERO);
+        // The other two groups still deliver through the short.
+        assert!(op.power().value() > 0.0);
+        assert!(op.current().value() > 0.0);
+        let healthy = array.mpp_power(&config, &deltas).unwrap();
+        assert!(op.power() < healthy);
+    }
+
+    #[test]
+    fn every_group_shorted_means_a_dead_array() {
+        let array = TegArray::uniform(module(), 4);
+        let deltas = vec![TemperatureDelta::new(60.0); 4];
+        let config = Configuration::uniform(4, 2).unwrap();
+        let mut faults = crate::FaultState::healthy(4);
+        faults
+            .set_module_fault(0, crate::ModuleFault::ShortCircuit)
+            .unwrap();
+        faults
+            .set_module_fault(2, crate::ModuleFault::ShortCircuit)
+            .unwrap();
+        let op = array
+            .maximum_power_point_faulted(&config, &deltas, &faults)
+            .unwrap();
+        assert_eq!(op.power(), Watts::ZERO);
+        assert!(op.power().value().is_finite());
+    }
+
+    #[test]
+    fn derated_module_scales_power_down_continuously() {
+        let array = TegArray::uniform(module(), 5);
+        let deltas = gradient_deltas(5);
+        let config = Configuration::uniform(5, 5).unwrap();
+        let healthy = array.mpp_power(&config, &deltas).unwrap();
+        let mut previous = healthy.value();
+        for factor in [0.8, 0.5, 0.2] {
+            let mut faults = crate::FaultState::healthy(5);
+            faults
+                .set_module_fault(0, crate::ModuleFault::Derated(factor))
+                .unwrap();
+            let degraded = array
+                .mpp_power_faulted(&config, &deltas, &faults)
+                .unwrap()
+                .value();
+            assert!(degraded < previous, "factor {factor} must lose more power");
+            assert!(degraded > 0.0);
+            previous = degraded;
+        }
+    }
+
+    #[test]
+    fn healthy_fault_state_matches_the_plain_solver_bitwise() {
+        let array = TegArray::uniform(module(), 9);
+        let deltas = gradient_deltas(9);
+        let config = Configuration::uniform(9, 3).unwrap();
+        let faults = crate::FaultState::healthy(9);
+        let plain = array.maximum_power_point(&config, &deltas).unwrap();
+        let faulted = array
+            .maximum_power_point_faulted(&config, &deltas, &faults)
+            .unwrap();
+        assert_eq!(plain, faulted);
+    }
+
+    #[test]
+    fn mismatched_fault_state_is_rejected() {
+        let array = TegArray::uniform(module(), 6);
+        let deltas = vec![TemperatureDelta::new(50.0); 6];
+        let config = Configuration::uniform(6, 2).unwrap();
+        let faults = crate::FaultState::healthy(5);
+        assert!(array
+            .maximum_power_point_faulted(&config, &deltas, &faults)
+            .is_err());
+        assert!(array
+            .operate_at_faulted(&config, &deltas, Amps::new(0.1), &faults)
+            .is_err());
+    }
+
+    /// Deterministically derives a fault pattern from a bit mask: two bits
+    /// per module select healthy / open / short / derated.
+    fn fault_pattern(n: usize, mask: u64) -> crate::FaultState {
+        let mut faults = crate::FaultState::healthy(n);
+        for i in 0..n {
+            match (mask >> ((2 * i) % 64)) & 0b11 {
+                1 => faults
+                    .set_module_fault(i, crate::ModuleFault::OpenCircuit)
+                    .unwrap(),
+                2 => faults
+                    .set_module_fault(i, crate::ModuleFault::ShortCircuit)
+                    .unwrap(),
+                3 => faults
+                    .set_module_fault(i, crate::ModuleFault::Derated(0.6))
+                    .unwrap(),
+                _ => {}
+            }
+        }
+        faults
+    }
+
+    proptest! {
+        /// For any configuration and any fault set, the faulted array never
+        /// delivers more than the healthy ideal power (sum of module MPPs).
+        #[test]
+        fn prop_faulted_power_is_bounded_by_the_healthy_ideal(
+            n in 2usize..24,
+            groups in 1usize..8,
+            base in 10.0_f64..80.0,
+            span in 0.0_f64..50.0,
+            mask in 0u64..u64::MAX,
+        ) {
+            prop_assume!(groups <= n);
+            let array = TegArray::uniform(module(), n);
+            let deltas: Vec<_> = (0..n)
+                .map(|i| TemperatureDelta::new(base + span * i as f64 / n as f64))
+                .collect();
+            let config = Configuration::uniform(n, groups).unwrap();
+            let faults = fault_pattern(n, mask);
+            let p = array.mpp_power_faulted(&config, &deltas, &faults).unwrap();
+            let ideal = ideal_power(array.modules(), &deltas).unwrap();
+            prop_assert!(p.value().is_finite());
+            prop_assert!(p.value() >= 0.0);
+            prop_assert!(p.value() <= ideal.value() + 1e-6);
+        }
+
+        /// Kirchhoff consistency of the solved faulted state: every series
+        /// group carries the same string current (the connected modules of a
+        /// non-shorted group source exactly the string current between them),
+        /// group voltages sum to the terminal voltage, and P = V·I at both
+        /// group and array level.
+        #[test]
+        fn prop_faulted_solve_is_kirchhoff_consistent(
+            n in 2usize..24,
+            groups in 1usize..8,
+            base in 10.0_f64..80.0,
+            span in 0.0_f64..50.0,
+            frac in 0.1_f64..1.5,
+            mask in 0u64..u64::MAX,
+        ) {
+            prop_assume!(groups <= n);
+            let array = TegArray::uniform(module(), n);
+            let deltas: Vec<_> = (0..n)
+                .map(|i| TemperatureDelta::new(base + span * i as f64 / n as f64))
+                .collect();
+            let config = Configuration::uniform(n, groups).unwrap();
+            let faults = fault_pattern(n, mask);
+            let mpp = array
+                .maximum_power_point_faulted(&config, &deltas, &faults)
+                .unwrap();
+            let op = array
+                .operate_at_faulted(&config, &deltas, mpp.current() * frac, &faults)
+                .unwrap();
+            let current = op.current().value();
+
+            // A group that is fully open (and not shorted) breaks the series
+            // string: the solver reports the dead operating point, which is
+            // trivially consistent but carries no branch currents to check.
+            let string_broken = config.groups().any(|group| {
+                let shorted = group
+                    .indices()
+                    .any(|i| faults.module_fault(i) == Some(crate::ModuleFault::ShortCircuit));
+                !shorted
+                    && group
+                        .indices()
+                        .all(|i| faults.module_fault(i) == Some(crate::ModuleFault::OpenCircuit))
+            });
+            if string_broken {
+                prop_assert_eq!(op.power().value(), 0.0);
+                prop_assert_eq!(op.current().value(), 0.0);
+            } else {
+                // Terminal voltage is the series sum of group voltages.
+                let group_voltage: f64 = op.groups().iter().map(|g| g.voltage().value()).sum();
+                prop_assert!((group_voltage - op.voltage().value()).abs() < 1e-9);
+                // P = V·I at the array level and summed over the groups.
+                prop_assert!(
+                    ((op.voltage() * op.current()).value() - op.power().value()).abs() < 1e-9
+                );
+                let group_power: f64 = op.groups().iter().map(|g| g.power().value()).sum();
+                prop_assert!((group_power - op.power().value()).abs() < 1e-9);
+
+                // Within each non-shorted group the parallel modules share
+                // the group voltage and their branch currents
+                // i_m = G_m·(E_m − V_g) sum to the string current (KCL at
+                // the group's output node).
+                for (j, group) in config.groups().enumerate() {
+                    let shorted = group
+                        .indices()
+                        .any(|i| faults.module_fault(i) == Some(crate::ModuleFault::ShortCircuit));
+                    if shorted {
+                        prop_assert_eq!(op.groups()[j].voltage().value(), 0.0);
+                        continue;
+                    }
+                    let v_g = op.groups()[j].voltage().value();
+                    let mut branch_sum = 0.0;
+                    for i in group.indices() {
+                        let Some((g, e)) = array.module_source(i, deltas[i], Some(&faults)) else {
+                            continue; // open module: zero branch current
+                        };
+                        branch_sum += g * (e - v_g);
+                    }
+                    prop_assert!(
+                        (branch_sum - current).abs() < 1e-9,
+                        "group {} branch currents {} != string current {}",
+                        j,
+                        branch_sum,
+                        current
+                    );
+                }
+            }
+        }
     }
 
     proptest! {

@@ -46,6 +46,7 @@
 mod configuration;
 mod electrical;
 mod error;
+mod fault;
 mod ideal;
 mod overhead;
 mod switches;
@@ -53,6 +54,7 @@ mod switches;
 pub use configuration::{Configuration, Group};
 pub use electrical::{ArrayOperatingPoint, GroupOperatingPoint, TegArray};
 pub use error::ArrayError;
+pub use fault::{FaultState, ModuleFault, SwitchStuck};
 pub use ideal::ideal_power;
 pub use overhead::{OverheadBreakdown, SwitchingOverheadModel};
 pub use switches::{PairLink, SwitchBank};

@@ -19,6 +19,7 @@ pub struct DnorConfig {
     prediction_window: usize,
     overhead: SwitchingOverheadModel,
     period: Seconds,
+    assumed_computation: Option<Seconds>,
 }
 
 impl DnorConfig {
@@ -69,7 +70,43 @@ impl DnorConfig {
             prediction_window,
             overhead,
             period,
+            assumed_computation: None,
         })
+    }
+
+    /// Replaces the measured wall clock with a fixed assumed computation
+    /// time per decision.
+    ///
+    /// DNOR's switch economics compare the predicted energy gain of a new
+    /// configuration against the overhead of switching to it, and that
+    /// overhead includes the algorithm's *own* computation time — measured
+    /// with `Instant::now()` by default, which makes two otherwise identical
+    /// runs differ by timing jitter.  With an assumed computation time the
+    /// gate (and the decision's reported computation) becomes a pure
+    /// function of the telemetry, so a DNOR run is bit-reproducible — the
+    /// property the golden-trace regression harness and the parallel sweep's
+    /// serial-equivalence guarantee need.  Pair it with the simulation
+    /// session's `RuntimePolicy::Fixed` charging the same value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReconfigError::InvalidParameter`] when the duration is
+    /// negative or non-finite.
+    pub fn with_assumed_computation(mut self, computation: Seconds) -> Result<Self, ReconfigError> {
+        if !(computation.value() >= 0.0 && computation.value().is_finite()) {
+            return Err(ReconfigError::InvalidParameter {
+                name: "assumed computation",
+                value: computation.value(),
+            });
+        }
+        self.assumed_computation = Some(computation);
+        Ok(self)
+    }
+
+    /// The fixed per-decision computation time in force, if any.
+    #[must_use]
+    pub const fn assumed_computation(&self) -> Option<Seconds> {
+        self.assumed_computation
     }
 
     /// The inner INOR tuning.
@@ -126,6 +163,7 @@ impl Default for DnorConfig {
             prediction_window: 5,
             overhead: SwitchingOverheadModel::default(),
             period: Seconds::new(1.0),
+            assumed_computation: None,
         }
     }
 }
@@ -291,10 +329,17 @@ impl Reconfigurer for Dnor {
         current: &Configuration,
     ) -> Result<ReconfigDecision, ReconfigError> {
         let started = Instant::now();
+        // With an assumed computation time the overhead gate and the
+        // reported timing are pure functions of the telemetry: the wall
+        // clock is never consulted and the decision is bit-reproducible.
+        let assumed = self.config.assumed_computation;
+        let elapsed_or_assumed = |started: &Instant| {
+            assumed.unwrap_or_else(|| Seconds::new(started.elapsed().as_secs_f64()))
+        };
 
         if self.periods_until_evaluation > 0 {
             self.periods_until_evaluation -= 1;
-            let elapsed = Seconds::new(started.elapsed().as_secs_f64());
+            let elapsed = elapsed_or_assumed(&started);
             return Ok(ReconfigDecision::new(
                 current.clone(),
                 elapsed,
@@ -315,7 +360,7 @@ impl Reconfigurer for Dnor {
 
         let toggles = current.switch_toggles_to(&candidate)?;
         let current_power: Watts = window.array().mpp_power(current, &current_deltas)?;
-        let computation_so_far = Seconds::new(started.elapsed().as_secs_f64());
+        let computation_so_far = elapsed_or_assumed(&started);
         let overhead = self
             .config
             .overhead
@@ -331,7 +376,7 @@ impl Reconfigurer for Dnor {
         };
 
         self.periods_until_evaluation = self.config.prediction_horizon;
-        let elapsed = Seconds::new(started.elapsed().as_secs_f64());
+        let elapsed = elapsed_or_assumed(&started);
         // DNOR evaluates in the background while the array keeps harvesting;
         // only an actual switch interrupts the output.
         Ok(ReconfigDecision::new(chosen, elapsed, true, switch))
@@ -479,5 +524,45 @@ mod tests {
         let dnor = Dnor::default();
         assert_eq!(dnor.name(), "DNOR");
         assert_eq!(dnor.period(), Seconds::new(1.0));
+    }
+
+    #[test]
+    fn assumed_computation_validation() {
+        assert!(DnorConfig::default()
+            .with_assumed_computation(Seconds::new(-0.001))
+            .is_err());
+        assert!(DnorConfig::default()
+            .with_assumed_computation(Seconds::new(f64::NAN))
+            .is_err());
+        let cfg = DnorConfig::default()
+            .with_assumed_computation(Seconds::new(0.002))
+            .unwrap();
+        assert_eq!(cfg.assumed_computation(), Some(Seconds::new(0.002)));
+        assert_eq!(DnorConfig::default().assumed_computation(), None);
+    }
+
+    #[test]
+    fn assumed_computation_makes_decisions_bit_reproducible() {
+        let a = array(24);
+        let history = gradient_history(24, 12, 95.0);
+        let inputs = TelemetryWindow::new(&a, &history, Celsius::new(25.0)).unwrap();
+        let run = || {
+            let config = DnorConfig::default()
+                .with_assumed_computation(Seconds::new(0.002))
+                .unwrap();
+            let mut dnor = Dnor::new(config);
+            let mut current = Configuration::uniform(24, 4).unwrap();
+            let mut trail = Vec::new();
+            for _ in 0..9 {
+                let decision = dnor.decide(&inputs, &current).unwrap();
+                trail.push(decision.clone());
+                current = decision.into_configuration();
+            }
+            trail
+        };
+        // Every decision — configuration, computation, flags — is identical
+        // across reruns: no wall-clock jitter leaks into the gate.
+        assert_eq!(run(), run());
+        assert!(run().iter().all(|d| d.computation() == Seconds::new(0.002)));
     }
 }

@@ -12,6 +12,8 @@
 use std::fmt;
 use std::sync::Arc;
 
+use teg_units::Seconds;
+
 use crate::baseline::StaticBaseline;
 use crate::dnor::{Dnor, DnorConfig};
 use crate::ehtr::Ehtr;
@@ -93,6 +95,21 @@ impl SchemeSpec {
         Self::new(move || Dnor::new(config.clone()))
     }
 
+    /// DNOR with default tuning but a fixed assumed computation time, so its
+    /// switch economics (and hence the whole run) are bit-reproducible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `computation` is negative or non-finite (the deterministic
+    /// field presets pass literal non-negative values).
+    #[must_use]
+    pub fn dnor_deterministic(computation: Seconds) -> Self {
+        let config = DnorConfig::default()
+            .with_assumed_computation(computation)
+            .expect("assumed computation must be non-negative and finite");
+        Self::dnor_with(config)
+    }
+
     /// The prior-work EHTR re-implementation with its default tuning.
     #[must_use]
     pub fn ehtr() -> Self {
@@ -112,6 +129,27 @@ impl SchemeSpec {
     pub fn paper_field(module_count: usize) -> Vec<Self> {
         vec![
             Self::dnor(),
+            Self::inor(),
+            Self::ehtr(),
+            Self::baseline_square_grid(module_count),
+        ]
+    }
+
+    /// The paper's Table I field in its bit-reproducible form: identical to
+    /// [`SchemeSpec::paper_field`] except that DNOR charges the fixed
+    /// `computation` time instead of measuring its own wall clock.  Combined
+    /// with a simulation `RuntimePolicy::Fixed` of the same value, every
+    /// scheme in the field is a pure function of the telemetry — the lineup
+    /// golden-trace snapshots and serial/parallel sweep equivalence are
+    /// asserted against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `computation` is negative or non-finite.
+    #[must_use]
+    pub fn paper_field_fixed(module_count: usize, computation: Seconds) -> Vec<Self> {
+        vec![
+            Self::dnor_deterministic(computation),
             Self::inor(),
             Self::ehtr(),
             Self::baseline_square_grid(module_count),
@@ -167,6 +205,17 @@ mod tests {
         let field = SchemeSpec::paper_field(100);
         let names: Vec<&str> = field.iter().map(SchemeSpec::name).collect();
         assert_eq!(names, ["DNOR", "INOR", "EHTR", "Baseline"]);
+    }
+
+    #[test]
+    fn fixed_paper_field_matches_the_measured_one_by_name() {
+        let field = SchemeSpec::paper_field_fixed(100, Seconds::new(0.002));
+        let names: Vec<&str> = field.iter().map(SchemeSpec::name).collect();
+        assert_eq!(names, ["DNOR", "INOR", "EHTR", "Baseline"]);
+        assert_eq!(
+            SchemeSpec::dnor_deterministic(Seconds::new(0.002)).name(),
+            "DNOR"
+        );
     }
 
     #[test]

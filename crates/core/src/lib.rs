@@ -58,6 +58,7 @@ mod error;
 mod factory;
 mod inor;
 mod runtime;
+mod sensor;
 mod telemetry;
 mod traits;
 
@@ -68,6 +69,7 @@ pub use error::ReconfigError;
 pub use factory::SchemeSpec;
 pub use inor::{Inor, InorConfig};
 pub use runtime::RuntimeStats;
+pub use sensor::{SensorFault, SensorFaultInjector};
 pub use telemetry::{TelemetryBuffer, TelemetryWindow};
 pub use traits::{ReconfigDecision, Reconfigurer};
 

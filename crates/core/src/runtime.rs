@@ -35,6 +35,7 @@ pub struct RuntimeStats {
     total_seconds: f64,
     max_seconds: f64,
     invocations: usize,
+    faulted_invocations: usize,
 }
 
 impl RuntimeStats {
@@ -53,10 +54,38 @@ impl RuntimeStats {
         self.invocations += 1;
     }
 
+    /// Records one invocation made while the plant was degraded — any
+    /// module, switch or sensor fault active.  The timing flows into the
+    /// same totals as [`RuntimeStats::record`]; the invocation is
+    /// additionally counted towards [`RuntimeStats::faulted_invocations`],
+    /// which is how reports break a scheme's work into healthy and
+    /// fault-exposed decisions.
+    pub fn record_faulted(&mut self, duration: Seconds) {
+        self.record(duration);
+        self.faulted_invocations += 1;
+    }
+
     /// Number of recorded invocations.
     #[must_use]
     pub const fn invocations(&self) -> usize {
         self.invocations
+    }
+
+    /// Number of invocations recorded while faults were active.
+    #[must_use]
+    pub const fn faulted_invocations(&self) -> usize {
+        self.faulted_invocations
+    }
+
+    /// Fraction of invocations made under active faults (zero when nothing
+    /// was recorded).
+    #[must_use]
+    pub fn fault_share(&self) -> f64 {
+        if self.invocations == 0 {
+            0.0
+        } else {
+            self.faulted_invocations as f64 / self.invocations as f64
+        }
     }
 
     /// Total computation time across all invocations.
@@ -101,6 +130,7 @@ impl RuntimeStats {
         self.total_seconds += other.total_seconds;
         self.max_seconds = self.max_seconds.max(other.max_seconds);
         self.invocations += other.invocations;
+        self.faulted_invocations += other.faulted_invocations;
     }
 }
 
@@ -149,11 +179,25 @@ mod tests {
         a.record(Seconds::new(0.01));
         let mut b = RuntimeStats::new();
         b.record(Seconds::new(0.03));
-        b.record(Seconds::new(0.02));
+        b.record_faulted(Seconds::new(0.02));
         a.merge(&b);
         assert_eq!(a.invocations(), 3);
+        assert_eq!(a.faulted_invocations(), 1);
         assert!((a.total().value() - 0.06).abs() < 1e-12);
         assert!((a.max().value() - 0.030).abs() < 1e-12);
         assert!((a.max_ms().value() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faulted_invocations_feed_the_shared_totals() {
+        let mut stats = RuntimeStats::new();
+        stats.record(Seconds::new(0.010));
+        stats.record_faulted(Seconds::new(0.030));
+        assert_eq!(stats.invocations(), 2);
+        assert_eq!(stats.faulted_invocations(), 1);
+        assert!((stats.total().value() - 0.040).abs() < 1e-12);
+        assert!((stats.max().value() - 0.030).abs() < 1e-12);
+        assert!((stats.fault_share() - 0.5).abs() < 1e-12);
+        assert_eq!(RuntimeStats::new().fault_share(), 0.0);
     }
 }

@@ -84,6 +84,15 @@ impl Strategy for Range<f64> {
     }
 }
 
+impl Strategy for Range<u64> {
+    type Value = u64;
+    fn sample(&self, rng: &mut TestRng) -> u64 {
+        assert!(self.start < self.end, "empty u64 strategy range");
+        let span = self.end - self.start;
+        self.start + ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64
+    }
+}
+
 /// Collection strategies (`proptest::collection`).
 pub mod collection {
     use super::{Strategy, TestRng};

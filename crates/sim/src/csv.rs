@@ -8,13 +8,16 @@ use std::io;
 use crate::record::StepRecord;
 use crate::session::StepObserver;
 
-/// The CSV header row shared by [`records_to_csv`] and [`CsvSink`].
+/// The CSV header row shared by [`records_to_csv`] and [`CsvSink`].  The
+/// trailing fault columns record how many faults were active during the step
+/// and how many fault-plan events fired at its start (both zero for healthy
+/// runs).
 pub const CSV_HEADER: &str =
-    "time_s,array_power_w,net_power_w,delivered_power_w,ideal_power_w,ideal_ratio,groups,switched,overhead_j,computation_ms";
+    "time_s,array_power_w,net_power_w,delivered_power_w,ideal_power_w,ideal_ratio,groups,switched,overhead_j,computation_ms,faults_active,fault_events";
 
 fn record_to_row(r: &StepRecord) -> String {
     format!(
-        "{:.1},{:.4},{:.4},{:.4},{:.4},{:.5},{},{},{:.5},{:.5}",
+        "{:.1},{:.4},{:.4},{:.4},{:.4},{:.5},{},{},{:.5},{:.5},{},{}",
         r.time().value(),
         r.array_power().value(),
         r.net_power().value(),
@@ -25,6 +28,8 @@ fn record_to_row(r: &StepRecord) -> String {
         u8::from(r.switched()),
         r.overhead_energy().value(),
         r.computation().to_milliseconds().value(),
+        r.faults_active(),
+        r.fault_events(),
     )
 }
 
@@ -186,6 +191,20 @@ mod tests {
     fn empty_input_yields_header_only() {
         let csv = records_to_csv(&[]);
         assert_eq!(csv.lines().count(), 1);
+    }
+
+    #[test]
+    fn fault_columns_render_the_annotations() {
+        let degraded = record(2.0, false).with_faults(4, 2);
+        let csv = records_to_csv(&[record(1.0, false), degraded]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(
+            lines[0].ends_with("faults_active,fault_events"),
+            "{}",
+            lines[0]
+        );
+        assert!(lines[1].ends_with(",0,0"), "{}", lines[1]);
+        assert!(lines[2].ends_with(",4,2"), "{}", lines[2]);
     }
 
     #[test]

@@ -1,0 +1,671 @@
+//! Timed fault plans: deterministic schedules of degradation events a
+//! scenario replays alongside its drive cycle.
+//!
+//! A [`FaultPlan`] is a sorted list of [`FaultEvent`]s — "at drive second
+//! 120, module 7 open-circuits; at 300, the sensor of module 3 goes noisy;
+//! at 450, link 12's switches weld shut" — plus the seed of the sensor-noise
+//! stream.  The plan lives on the [`Scenario`](crate::Scenario), so every
+//! scheme compared over that scenario faces exactly the same degradation at
+//! exactly the same instants, and the whole run stays bit-reproducible for
+//! any sweep worker count.
+//!
+//! Plans are built explicitly ([`FaultPlan::new`]) or generated from a
+//! seeded [`FaultSeverity`] recipe ([`FaultPlan::random`]), and serialise to
+//! a compact one-line spec ([`FaultPlan::spec`]) suitable for session
+//! records, CSV headers and report captions.
+
+use std::fmt;
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use teg_array::{FaultState, ModuleFault, SwitchStuck};
+use teg_reconfig::{SensorFault, SensorFaultInjector};
+
+use crate::error::SimError;
+
+/// What a single fault event does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultAction {
+    /// The module's electrical fault becomes the given one.
+    Module {
+        /// Index of the affected module.
+        module: usize,
+        /// The fault to activate.
+        fault: ModuleFault,
+    },
+    /// The module's electrical fault is cleared.
+    ModuleRepair {
+        /// Index of the repaired module.
+        module: usize,
+    },
+    /// The parallel switch pair of a link sticks.
+    Switch {
+        /// Index of the affected link (between modules `link` and `link+1`).
+        link: usize,
+        /// How the switches stick.
+        stuck: SwitchStuck,
+    },
+    /// The link's switches are freed.
+    SwitchRepair {
+        /// Index of the repaired link.
+        link: usize,
+    },
+    /// The module's temperature sensor fails the given way.
+    Sensor {
+        /// Index of the affected sensor.
+        module: usize,
+        /// The sensor failure mode.
+        fault: SensorFault,
+    },
+    /// The module's temperature sensor is restored.
+    SensorRepair {
+        /// Index of the repaired sensor.
+        module: usize,
+    },
+}
+
+impl FaultAction {
+    /// Applies the action to the electrical fault state and the sensor
+    /// injector of a running session.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] when the target index is out of range —
+    /// unreachable for plans validated against the scenario's module count.
+    pub(crate) fn apply(
+        &self,
+        electrical: &mut FaultState,
+        sensors: &mut SensorFaultInjector,
+    ) -> Result<(), SimError> {
+        match *self {
+            Self::Module { module, fault } => electrical.set_module_fault(module, fault)?,
+            Self::ModuleRepair { module } => electrical.clear_module_fault(module)?,
+            Self::Switch { link, stuck } => electrical.set_switch_fault(link, stuck)?,
+            Self::SwitchRepair { link } => electrical.clear_switch_fault(link)?,
+            Self::Sensor { module, fault } => sensors.set_fault(module, fault)?,
+            Self::SensorRepair { module } => sensors.clear_fault(module)?,
+        }
+        Ok(())
+    }
+
+    /// Checks the action's target indices against an array size.
+    fn validate(&self, module_count: usize) -> Result<(), SimError> {
+        let (kind, index, limit) = match *self {
+            Self::Module { module, fault } => {
+                if let ModuleFault::Derated(factor) = fault {
+                    if !(factor > 0.0 && factor < 1.0) {
+                        return Err(SimError::InvalidScenario {
+                            reason: format!(
+                                "fault plan derates module {module} by {factor}, outside (0, 1)"
+                            ),
+                        });
+                    }
+                }
+                ("module", module, module_count)
+            }
+            Self::ModuleRepair { module } => ("module", module, module_count),
+            Self::Switch { link, .. } | Self::SwitchRepair { link } => {
+                ("link", link, module_count.saturating_sub(1))
+            }
+            Self::Sensor { module, fault } => {
+                if let SensorFault::Noisy { sigma } = fault {
+                    if !(sigma.is_finite() && sigma >= 0.0) {
+                        return Err(SimError::InvalidScenario {
+                            reason: format!(
+                                "fault plan sets sensor {module} noise sigma to {sigma}"
+                            ),
+                        });
+                    }
+                }
+                ("sensor", module, module_count)
+            }
+            Self::SensorRepair { module } => ("sensor", module, module_count),
+        };
+        if index >= limit {
+            return Err(SimError::InvalidScenario {
+                reason: format!(
+                    "fault plan targets {kind} {index} but a {module_count}-module array has \
+                     only {limit} of them"
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for FaultAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Self::Module { module, fault } => match fault {
+                ModuleFault::Derated(factor) => write!(f, "m{module}.derate{factor:.2}"),
+                other => write!(f, "m{module}.{}", other.tag()),
+            },
+            Self::ModuleRepair { module } => write!(f, "m{module}.repair"),
+            Self::Switch { link, stuck } => match stuck {
+                SwitchStuck::Open => write!(f, "s{link}.stuck_open"),
+                SwitchStuck::Closed => write!(f, "s{link}.stuck_closed"),
+            },
+            Self::SwitchRepair { link } => write!(f, "s{link}.repair"),
+            Self::Sensor { module, fault } => match fault {
+                SensorFault::Noisy { sigma } => write!(f, "n{module}.noise{sigma:.2}"),
+                other => write!(f, "n{module}.{}", other.tag()),
+            },
+            Self::SensorRepair { module } => write!(f, "n{module}.repair"),
+        }
+    }
+}
+
+/// One timed entry of a [`FaultPlan`]: fire `action` at the start of drive
+/// step `step`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    step: usize,
+    action: FaultAction,
+}
+
+impl FaultEvent {
+    /// Creates an event firing at the start of the given drive step
+    /// (0-based, one step per drive-cycle second).
+    #[must_use]
+    pub const fn new(step: usize, action: FaultAction) -> Self {
+        Self { step, action }
+    }
+
+    /// The drive step the event fires at.
+    #[must_use]
+    pub const fn step(&self) -> usize {
+        self.step
+    }
+
+    /// What the event does.
+    #[must_use]
+    pub const fn action(&self) -> &FaultAction {
+        &self.action
+    }
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.step, self.action)
+    }
+}
+
+/// A deterministic schedule of fault events plus the sensor-noise seed.
+///
+/// # Examples
+///
+/// ```
+/// use teg_array::ModuleFault;
+/// use teg_sim::{FaultAction, FaultEvent, FaultPlan};
+///
+/// let plan = FaultPlan::new(vec![
+///     FaultEvent::new(30, FaultAction::Module { module: 2, fault: ModuleFault::OpenCircuit }),
+///     FaultEvent::new(10, FaultAction::ModuleRepair { module: 2 }),
+/// ]);
+/// // Events are kept sorted by firing step.
+/// assert_eq!(plan.events()[0].step(), 10);
+/// assert_eq!(plan.spec(), "10:m2.repair;30:m2.open");
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+    sensor_seed: u64,
+}
+
+impl FaultPlan {
+    /// A plan with no events: the scenario stays healthy.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Creates a plan from explicit events (stably sorted by firing step, so
+    /// same-step events keep their relative order).
+    #[must_use]
+    pub fn new(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(FaultEvent::step);
+        Self {
+            events,
+            sensor_seed: 0,
+        }
+    }
+
+    /// Replaces the seed of the sensor-noise stream.
+    #[must_use]
+    pub fn with_sensor_seed(mut self, seed: u64) -> Self {
+        self.sensor_seed = seed;
+        self
+    }
+
+    /// The seed the session's sensor-noise stream starts from.
+    #[must_use]
+    pub const fn sensor_seed(&self) -> u64 {
+        self.sensor_seed
+    }
+
+    /// The events in firing order.
+    #[must_use]
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when the plan schedules nothing (a healthy run).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Checks every event's target against an array size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidScenario`] naming the offending event.
+    pub fn validate(&self, module_count: usize) -> Result<(), SimError> {
+        for event in &self.events {
+            event.action.validate(module_count)?;
+        }
+        Ok(())
+    }
+
+    /// The compact one-line serialisation recorded in session artefacts:
+    /// `;`-separated `step:action` entries (empty string for a healthy
+    /// plan).
+    #[must_use]
+    pub fn spec(&self) -> String {
+        self.events
+            .iter()
+            .map(FaultEvent::to_string)
+            .collect::<Vec<_>>()
+            .join(";")
+    }
+
+    /// Generates a seeded random plan for an array of `module_count` modules
+    /// over a drive of `duration_steps` steps.
+    ///
+    /// Each module, link and sensor independently fails with its
+    /// [`FaultSeverity`] rate; failures strike uniformly inside the middle
+    /// of the drive (steps `[duration/8, 3·duration/4)`, clamped inside the
+    /// drive) and 40 % of them are repaired later, so schemes face both
+    /// transient and permanent degradation.  Every generated event fires
+    /// strictly before `duration_steps`; drives shorter than 2 steps have
+    /// no room for a mid-drive fault and yield an empty plan.  The same
+    /// `(module_count, duration_steps, severity, seed)` always yields the
+    /// same plan.
+    #[must_use]
+    pub fn random(
+        module_count: usize,
+        duration_steps: usize,
+        severity: FaultSeverity,
+        seed: u64,
+    ) -> Self {
+        if duration_steps < 2 {
+            return Self::none().with_sensor_seed(seed ^ 0x5EED_FA17_5EED_FA17);
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut events = Vec::new();
+        let onset_from = (duration_steps / 8).max(1);
+        let onset_to = (duration_steps * 3 / 4).clamp(onset_from + 1, duration_steps);
+        let onset = |rng: &mut ChaCha8Rng| rng.gen_range(onset_from..onset_to);
+        let maybe_repair =
+            |rng: &mut ChaCha8Rng, events: &mut Vec<FaultEvent>, at: usize, action: FaultAction| {
+                // A repair needs at least one later step inside the drive.
+                if at + 1 < duration_steps && rng.gen_bool(0.4) {
+                    let repair_at = rng.gen_range(at + 1..duration_steps);
+                    events.push(FaultEvent::new(repair_at, action));
+                }
+            };
+
+        for module in 0..module_count {
+            if rng.gen_bool(severity.module_rate()) {
+                let fault = match rng.gen_range(0usize..3) {
+                    0 => ModuleFault::OpenCircuit,
+                    1 => ModuleFault::ShortCircuit,
+                    _ => ModuleFault::Derated(rng.gen_range(0.3_f64..0.9)),
+                };
+                let at = onset(&mut rng);
+                events.push(FaultEvent::new(at, FaultAction::Module { module, fault }));
+                maybe_repair(
+                    &mut rng,
+                    &mut events,
+                    at,
+                    FaultAction::ModuleRepair { module },
+                );
+            }
+        }
+        for link in 0..module_count.saturating_sub(1) {
+            if rng.gen_bool(severity.switch_rate()) {
+                let stuck = if rng.gen_bool(0.5) {
+                    SwitchStuck::Open
+                } else {
+                    SwitchStuck::Closed
+                };
+                let at = onset(&mut rng);
+                events.push(FaultEvent::new(at, FaultAction::Switch { link, stuck }));
+                maybe_repair(
+                    &mut rng,
+                    &mut events,
+                    at,
+                    FaultAction::SwitchRepair { link },
+                );
+            }
+        }
+        for module in 0..module_count {
+            if rng.gen_bool(severity.sensor_rate()) {
+                let fault = match rng.gen_range(0usize..3) {
+                    0 => SensorFault::Dropout,
+                    1 => SensorFault::Stuck,
+                    _ => SensorFault::Noisy {
+                        sigma: rng.gen_range(0.5_f64..3.0),
+                    },
+                };
+                let at = onset(&mut rng);
+                events.push(FaultEvent::new(at, FaultAction::Sensor { module, fault }));
+                maybe_repair(
+                    &mut rng,
+                    &mut events,
+                    at,
+                    FaultAction::SensorRepair { module },
+                );
+            }
+        }
+
+        Self::new(events).with_sensor_seed(seed ^ 0x5EED_FA17_5EED_FA17)
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.events.is_empty() {
+            write!(f, "healthy")
+        } else {
+            f.write_str(&self.spec())
+        }
+    }
+}
+
+/// Per-component fault rates of a randomly generated plan: the probability
+/// that each module / switch link / sensor suffers one fault over the drive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSeverity {
+    module_rate: f64,
+    switch_rate: f64,
+    sensor_rate: f64,
+}
+
+impl FaultSeverity {
+    /// Creates a severity with explicit per-component rates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidScenario`] when any rate lies outside
+    /// `[0, 1]` or is non-finite.
+    pub fn new(module_rate: f64, switch_rate: f64, sensor_rate: f64) -> Result<Self, SimError> {
+        for (name, rate) in [
+            ("module", module_rate),
+            ("switch", switch_rate),
+            ("sensor", sensor_rate),
+        ] {
+            if !(rate.is_finite() && (0.0..=1.0).contains(&rate)) {
+                return Err(SimError::InvalidScenario {
+                    reason: format!("{name} fault rate {rate} must lie in [0, 1]"),
+                });
+            }
+        }
+        Ok(Self {
+            module_rate,
+            switch_rate,
+            sensor_rate,
+        })
+    }
+
+    /// No faults at all (the healthy reference).
+    #[must_use]
+    pub const fn none() -> Self {
+        Self {
+            module_rate: 0.0,
+            switch_rate: 0.0,
+            sensor_rate: 0.0,
+        }
+    }
+
+    /// A lightly degraded array: a few percent of components fault.
+    #[must_use]
+    pub const fn light() -> Self {
+        Self {
+            module_rate: 0.05,
+            switch_rate: 0.02,
+            sensor_rate: 0.05,
+        }
+    }
+
+    /// A moderately degraded array.
+    #[must_use]
+    pub const fn moderate() -> Self {
+        Self {
+            module_rate: 0.15,
+            switch_rate: 0.08,
+            sensor_rate: 0.15,
+        }
+    }
+
+    /// A severely degraded array: roughly a third of the plant faults.
+    #[must_use]
+    pub const fn severe() -> Self {
+        Self {
+            module_rate: 0.30,
+            switch_rate: 0.15,
+            sensor_rate: 0.30,
+        }
+    }
+
+    /// Probability that one module suffers an electrical fault.
+    #[must_use]
+    pub const fn module_rate(&self) -> f64 {
+        self.module_rate
+    }
+
+    /// Probability that one link's switches stick.
+    #[must_use]
+    pub const fn switch_rate(&self) -> f64 {
+        self.switch_rate
+    }
+
+    /// Probability that one sensor fails.
+    #[must_use]
+    pub const fn sensor_rate(&self) -> f64 {
+        self.sensor_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_sorted_stably_by_step() {
+        let plan = FaultPlan::new(vec![
+            FaultEvent::new(
+                50,
+                FaultAction::Module {
+                    module: 1,
+                    fault: ModuleFault::OpenCircuit,
+                },
+            ),
+            FaultEvent::new(10, FaultAction::ModuleRepair { module: 0 }),
+            FaultEvent::new(
+                10,
+                FaultAction::Switch {
+                    link: 0,
+                    stuck: SwitchStuck::Open,
+                },
+            ),
+        ]);
+        assert_eq!(plan.len(), 3);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.events()[0].step(), 10);
+        assert_eq!(plan.events()[1].step(), 10);
+        // Stable sort: the repair listed first stays first within step 10.
+        assert!(matches!(
+            plan.events()[0].action(),
+            FaultAction::ModuleRepair { module: 0 }
+        ));
+        assert_eq!(plan.events()[2].step(), 50);
+    }
+
+    #[test]
+    fn spec_round_trips_event_kinds() {
+        let plan = FaultPlan::new(vec![
+            FaultEvent::new(
+                5,
+                FaultAction::Module {
+                    module: 3,
+                    fault: ModuleFault::Derated(0.5),
+                },
+            ),
+            FaultEvent::new(
+                7,
+                FaultAction::Sensor {
+                    module: 2,
+                    fault: SensorFault::Noisy { sigma: 1.25 },
+                },
+            ),
+            FaultEvent::new(
+                9,
+                FaultAction::Switch {
+                    link: 4,
+                    stuck: SwitchStuck::Closed,
+                },
+            ),
+            FaultEvent::new(11, FaultAction::SensorRepair { module: 2 }),
+            FaultEvent::new(12, FaultAction::SwitchRepair { link: 4 }),
+        ]);
+        assert_eq!(
+            plan.spec(),
+            "5:m3.derate0.50;7:n2.noise1.25;9:s4.stuck_closed;11:n2.repair;12:s4.repair"
+        );
+        assert_eq!(plan.to_string(), plan.spec());
+        assert_eq!(FaultPlan::none().to_string(), "healthy");
+        assert_eq!(FaultPlan::none().spec(), "");
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range_targets() {
+        let module_oob = FaultPlan::new(vec![FaultEvent::new(
+            0,
+            FaultAction::Module {
+                module: 10,
+                fault: ModuleFault::OpenCircuit,
+            },
+        )]);
+        assert!(module_oob.validate(10).is_err());
+        assert!(module_oob.validate(11).is_ok());
+
+        let link_oob = FaultPlan::new(vec![FaultEvent::new(
+            0,
+            FaultAction::Switch {
+                link: 9,
+                stuck: SwitchStuck::Open,
+            },
+        )]);
+        assert!(link_oob.validate(10).is_err()); // 10 modules → 9 links max index 8
+        assert!(link_oob.validate(11).is_ok());
+
+        let bad_derate = FaultPlan::new(vec![FaultEvent::new(
+            0,
+            FaultAction::Module {
+                module: 0,
+                fault: ModuleFault::Derated(1.5),
+            },
+        )]);
+        assert!(bad_derate.validate(4).is_err());
+
+        let bad_sigma = FaultPlan::new(vec![FaultEvent::new(
+            0,
+            FaultAction::Sensor {
+                module: 0,
+                fault: SensorFault::Noisy { sigma: -2.0 },
+            },
+        )]);
+        assert!(bad_sigma.validate(4).is_err());
+    }
+
+    #[test]
+    fn random_plans_are_deterministic_per_seed() {
+        let severity = FaultSeverity::severe();
+        let a = FaultPlan::random(40, 200, severity, 9);
+        let b = FaultPlan::random(40, 200, severity, 9);
+        assert_eq!(a, b);
+        let c = FaultPlan::random(40, 200, severity, 10);
+        assert_ne!(a, c);
+        // A severe 40-module plan is essentially never empty.
+        assert!(!a.is_empty());
+        a.validate(40).expect("generated plans are always valid");
+        // Every onset lands inside the drive.
+        assert!(a.events().iter().all(|e| e.step() < 200));
+    }
+
+    #[test]
+    fn zero_severity_generates_an_empty_plan() {
+        let plan = FaultPlan::random(50, 100, FaultSeverity::none(), 3);
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn severity_validation_and_presets() {
+        assert!(FaultSeverity::new(-0.1, 0.0, 0.0).is_err());
+        assert!(FaultSeverity::new(0.0, 1.1, 0.0).is_err());
+        assert!(FaultSeverity::new(0.0, 0.0, f64::NAN).is_err());
+        let custom = FaultSeverity::new(0.5, 0.25, 1.0).unwrap();
+        assert_eq!(custom.module_rate(), 0.5);
+        assert_eq!(custom.switch_rate(), 0.25);
+        assert_eq!(custom.sensor_rate(), 1.0);
+        assert!(FaultSeverity::light().module_rate() < FaultSeverity::moderate().module_rate());
+        assert!(FaultSeverity::moderate().sensor_rate() < FaultSeverity::severe().sensor_rate());
+    }
+
+    #[test]
+    fn tiny_drives_still_generate_valid_plans() {
+        // duration 2: the onset range collapses to [1, 2) and no repair fits,
+        // so every event fires at step 1 — strictly inside the drive.
+        let plan = FaultPlan::random(6, 2, FaultSeverity::severe(), 4);
+        plan.validate(6).unwrap();
+        for event in plan.events() {
+            assert_eq!(event.step(), 1);
+        }
+        // Drives with no mid-drive step to fault stay healthy rather than
+        // scheduling events that could never fire.
+        assert!(FaultPlan::random(6, 1, FaultSeverity::severe(), 4).is_empty());
+        assert!(FaultPlan::random(6, 0, FaultSeverity::severe(), 4).is_empty());
+    }
+
+    #[test]
+    fn every_generated_event_fires_inside_the_drive() {
+        for duration in [2usize, 3, 5, 8, 20, 100] {
+            for seed in 0..8 {
+                let plan = FaultPlan::random(15, duration, FaultSeverity::severe(), seed);
+                for event in plan.events() {
+                    assert!(
+                        event.step() < duration,
+                        "event {event} of a {duration}-step plan could never fire"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sensor_seed_travels_with_the_plan() {
+        let plan = FaultPlan::none().with_sensor_seed(77);
+        assert_eq!(plan.sensor_seed(), 77);
+        let random = FaultPlan::random(10, 50, FaultSeverity::light(), 77);
+        assert_ne!(random.sensor_seed(), 77); // mixed, not raw
+    }
+}

@@ -67,6 +67,7 @@ mod comparison;
 mod csv;
 mod engine;
 mod error;
+mod fault;
 mod record;
 mod report;
 mod scenario;
@@ -78,12 +79,13 @@ pub use comparison::{Comparison, ComparisonReport};
 pub use csv::{records_to_csv, CsvSink, CSV_HEADER};
 pub use engine::SimulationEngine;
 pub use error::SimError;
+pub use fault::{FaultAction, FaultEvent, FaultPlan, FaultSeverity};
 pub use record::StepRecord;
 pub use report::SimulationReport;
 pub use scenario::{Scenario, ScenarioBuilder};
 pub use session::{RuntimePolicy, SessionSummary, SimSession, StepFn, StepObserver};
 pub use sweep::{
-    CellKey, DriveProfile, ScenarioGrid, ScenarioGridBuilder, SchemeLineup, SchemeSummary,
-    SweepCell, SweepCellReport, SweepReport, SweepRunner,
+    CellKey, DriveProfile, FaultProfile, ScenarioGrid, ScenarioGridBuilder, SchemeLineup,
+    SchemeSummary, SweepCell, SweepCellReport, SweepReport, SweepRunner,
 };
 pub use thermal_trace::ThermalTrace;

@@ -34,10 +34,14 @@ pub struct StepRecord {
     switched: bool,
     overhead_energy: Joules,
     computation: Seconds,
+    faults_active: usize,
+    fault_events: usize,
 }
 
 impl StepRecord {
-    /// Creates a record; normally only the engine does this.
+    /// Creates a record for a healthy step; normally only the engine does
+    /// this.  Steps taken under degradation chain
+    /// [`StepRecord::with_faults`].
     #[allow(clippy::too_many_arguments)]
     #[must_use]
     pub fn new(
@@ -61,7 +65,19 @@ impl StepRecord {
             switched,
             overhead_energy,
             computation,
+            faults_active: 0,
+            fault_events: 0,
         }
+    }
+
+    /// Annotates the record with this step's fault situation: how many
+    /// module/switch/sensor faults were active during the step and how many
+    /// fault-plan events fired at its start.
+    #[must_use]
+    pub fn with_faults(mut self, faults_active: usize, fault_events: usize) -> Self {
+        self.faults_active = faults_active;
+        self.fault_events = fault_events;
+        self
     }
 
     /// Simulation time at the start of the step.
@@ -120,6 +136,18 @@ impl StepRecord {
         self.computation
     }
 
+    /// Number of module, switch and sensor faults active during this step.
+    #[must_use]
+    pub const fn faults_active(&self) -> usize {
+        self.faults_active
+    }
+
+    /// Number of fault-plan events that fired at the start of this step.
+    #[must_use]
+    pub const fn fault_events(&self) -> usize {
+        self.fault_events
+    }
+
     /// Ratio of the array power to the ideal power (the y-axis of Fig. 7),
     /// clamped to zero when no ideal power is available.
     #[must_use]
@@ -168,5 +196,18 @@ mod tests {
     fn ideal_ratio_handles_zero_ideal_power() {
         assert_eq!(record(10.0, 0.0, false).ideal_ratio(), 0.0);
         assert!((record(45.0, 60.0, false).ideal_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_annotations_default_to_zero_and_chain() {
+        let healthy = record(50.0, 60.0, false);
+        assert_eq!(healthy.faults_active(), 0);
+        assert_eq!(healthy.fault_events(), 0);
+        let degraded = healthy.with_faults(3, 1);
+        assert_eq!(degraded.faults_active(), 3);
+        assert_eq!(degraded.fault_events(), 1);
+        assert_ne!(healthy, degraded);
+        // The physical quantities are untouched by the annotation.
+        assert_eq!(healthy.array_power(), degraded.array_power());
     }
 }

@@ -11,6 +11,7 @@ use teg_thermal::{DriveCycle, DriveCycleBuilder, Radiator, RadiatorGeometry, SSh
 use teg_units::Seconds;
 
 use crate::error::SimError;
+use crate::fault::FaultPlan;
 use crate::thermal_trace::ThermalTrace;
 
 /// A fully specified experiment: drive cycle, radiator, module placement,
@@ -46,6 +47,7 @@ pub struct Scenario {
     array: TegArray,
     charger: Charger,
     overhead: SwitchingOverheadModel,
+    fault_plan: FaultPlan,
     step: Seconds,
     // Lazily solved thermal history.  The cache cell itself sits behind an
     // Arc so every clone — made before *or* after the first solve — shares
@@ -115,6 +117,13 @@ impl Scenario {
     #[must_use]
     pub const fn overhead(&self) -> &SwitchingOverheadModel {
         &self.overhead
+    }
+
+    /// The timed fault plan every session over this scenario replays
+    /// (empty — [`FaultPlan::none`] — for a healthy run).
+    #[must_use]
+    pub const fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
     }
 
     /// The simulation step (1 s for the presets).
@@ -207,6 +216,7 @@ pub struct ScenarioBuilder {
     overhead: SwitchingOverheadModel,
     module_variation: VariationModel,
     datasheet: TegDatasheet,
+    fault_plan: FaultPlan,
 }
 
 impl ScenarioBuilder {
@@ -223,6 +233,7 @@ impl ScenarioBuilder {
             overhead: SwitchingOverheadModel::default(),
             module_variation: VariationModel::none(),
             datasheet: TegDatasheet::tgm_199_1_4_0_8(),
+            fault_plan: FaultPlan::none(),
         }
     }
 
@@ -283,6 +294,14 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Installs a timed fault plan: module/switch/sensor fault events fired
+    /// at fixed drive steps by every session over the built scenario.
+    #[must_use]
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
     /// Validates the parameters and assembles the scenario.
     ///
     /// # Errors
@@ -315,6 +334,7 @@ impl ScenarioBuilder {
                 reason: format!("module variation: {e}"),
             })?;
         let array = TegArray::new(modules)?;
+        self.fault_plan.validate(self.module_count)?;
         Ok(Scenario {
             drive_cycle,
             radiator,
@@ -322,6 +342,7 @@ impl ScenarioBuilder {
             array,
             charger: self.charger,
             overhead: self.overhead,
+            fault_plan: self.fault_plan,
             step: Seconds::new(1.0),
             trace: Arc::new(OnceLock::new()),
             solve_lock: Arc::new(Mutex::new(())),
@@ -416,6 +437,42 @@ mod tests {
         });
         // Eight concurrent first readers, one solve: 20 samples, not 160.
         assert_eq!(s.thermal_solve_count(), 20);
+    }
+
+    #[test]
+    fn fault_plans_are_validated_at_build_time() {
+        use crate::fault::{FaultAction, FaultEvent, FaultPlan};
+        use teg_array::ModuleFault;
+
+        let oob = FaultPlan::new(vec![FaultEvent::new(
+            3,
+            FaultAction::Module {
+                module: 10,
+                fault: ModuleFault::OpenCircuit,
+            },
+        )]);
+        let err = Scenario::builder()
+            .module_count(10)
+            .duration_seconds(5)
+            .fault_plan(oob.clone())
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("module 10"), "{err}");
+
+        let ok = Scenario::builder()
+            .module_count(11)
+            .duration_seconds(5)
+            .fault_plan(oob.clone())
+            .build()
+            .unwrap();
+        assert_eq!(ok.fault_plan(), &oob);
+        // The default scenario carries an empty plan.
+        let healthy = Scenario::builder()
+            .module_count(4)
+            .duration_seconds(5)
+            .build()
+            .unwrap();
+        assert!(healthy.fault_plan().is_empty());
     }
 
     #[test]

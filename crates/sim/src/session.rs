@@ -14,11 +14,12 @@
 
 use std::sync::Arc;
 
-use teg_array::Configuration;
-use teg_reconfig::{Reconfigurer, RuntimeStats, TelemetryBuffer};
+use teg_array::{Configuration, FaultState};
+use teg_reconfig::{Reconfigurer, RuntimeStats, SensorFaultInjector, TelemetryBuffer};
 use teg_units::{Joules, Seconds};
 
 use crate::error::SimError;
+use crate::fault::FaultEvent;
 use crate::record::StepRecord;
 use crate::report::SimulationReport;
 use crate::scenario::Scenario;
@@ -140,6 +141,8 @@ pub struct SessionSummary {
     ideal_energy: Joules,
     switch_count: usize,
     runtime: RuntimeStats,
+    fault_events: usize,
+    faulted_steps: usize,
 }
 
 impl SessionSummary {
@@ -201,6 +204,19 @@ impl SessionSummary {
     #[must_use]
     pub const fn runtime(&self) -> &RuntimeStats {
         &self.runtime
+    }
+
+    /// Fault-plan events fired so far.
+    #[must_use]
+    pub const fn fault_events(&self) -> usize {
+        self.fault_events
+    }
+
+    /// Steps simulated while at least one module, switch or sensor fault
+    /// was active.
+    #[must_use]
+    pub const fn faulted_steps(&self) -> usize {
+        self.faulted_steps
     }
 
     /// Fraction of the ideal energy captured so far.
@@ -275,6 +291,19 @@ pub struct SimSession<'s> {
     delivered_energy: Joules,
     overhead_energy: Joules,
     ideal_energy: Joules,
+    // Degradation machinery: the scenario's fault plan replayed against the
+    // electrical fault state and the sensor injector as the cursor advances.
+    fault_events: &'s [FaultEvent],
+    next_fault_event: usize,
+    electrical_faults: FaultState,
+    // The configuration the stuck switch fabric actually realises for the
+    // commanded `config`, cached between steps and invalidated whenever a
+    // fault event fires or the commanded configuration changes.
+    realised_config: Option<Configuration>,
+    sensors: SensorFaultInjector,
+    corrupted_row: Vec<f64>,
+    fault_events_fired: usize,
+    faulted_steps: usize,
     finished: bool,
 }
 
@@ -310,6 +339,8 @@ impl<'s> SimSession<'s> {
             });
         }
         scheme.reset();
+        let plan = scenario.fault_plan();
+        let sensors = SensorFaultInjector::new(module_count, plan.sensor_seed())?;
         Ok(Self {
             scenario,
             trace,
@@ -330,6 +361,14 @@ impl<'s> SimSession<'s> {
             delivered_energy: Joules::ZERO,
             overhead_energy: Joules::ZERO,
             ideal_energy: Joules::ZERO,
+            fault_events: plan.events(),
+            next_fault_event: 0,
+            electrical_faults: FaultState::healthy(module_count),
+            realised_config: None,
+            sensors,
+            corrupted_row: Vec::new(),
+            fault_events_fired: 0,
+            faulted_steps: 0,
             finished: false,
         })
     }
@@ -403,13 +442,45 @@ impl<'s> SimSession<'s> {
         let index = self.cursor;
         self.cursor += 1;
 
+        // Fire every fault-plan event due at (or before) this step, evolving
+        // the electrical fault state and the sensor injector in plan order.
+        let mut fault_events_this_step = 0;
+        while self.next_fault_event < self.fault_events.len()
+            && self.fault_events[self.next_fault_event].step() <= index
+        {
+            self.fault_events[self.next_fault_event]
+                .action()
+                .apply(&mut self.electrical_faults, &mut self.sensors)?;
+            self.next_fault_event += 1;
+            fault_events_this_step += 1;
+        }
+        self.fault_events_fired += fault_events_this_step;
+        if fault_events_this_step > 0 {
+            self.realised_config = None;
+        }
+        let electrical_active = !self.electrical_faults.is_healthy();
+        let any_fault_active = electrical_active || !self.sensors.is_healthy();
+        if any_fault_active {
+            self.faulted_steps += 1;
+        }
+
         let scenario = self.scenario;
         let array = scenario.array();
         let step = scenario.step();
         let row = self.trace.row(index);
         let ambient = self.trace.ambient(index);
 
-        self.buffer.push_row(row)?;
+        // The scheme observes the telemetry *through* the sensors: faulted
+        // sensors corrupt a scratch copy of the true row before it enters
+        // the buffer.  Physics below always uses the true thermal state.
+        if self.sensors.is_healthy() {
+            self.buffer.push_row(row)?;
+        } else {
+            self.corrupted_row.clear();
+            self.corrupted_row.extend_from_slice(row);
+            self.sensors.corrupt(&mut self.corrupted_row, ambient)?;
+            self.buffer.push_row(&self.corrupted_row)?;
+        }
         // Scheme-independent per-row quantities come precomputed from the
         // shared trace, so N lockstep sessions do not redo them N times.
         let deltas = self.trace.deltas(index);
@@ -434,7 +505,11 @@ impl<'s> SimSession<'s> {
             // The policy decides whether the measured wall clock or a fixed
             // deterministic charge flows into stats and overhead accounting.
             let computation = self.runtime_policy.charge(decision.computation());
-            self.runtime.record(computation);
+            if any_fault_active {
+                self.runtime.record_faulted(computation);
+            } else {
+                self.runtime.record(computation);
+            }
             computation_total += computation;
             let applied = decision.applied();
             let next = decision.into_configuration();
@@ -444,9 +519,23 @@ impl<'s> SimSession<'s> {
                 // reconfiguration dead time and costs actuation energy for
                 // every toggled switch.  The toggle diff and the MPP solve
                 // feed only the overhead model, so un-applied decisions
-                // (DNOR's skipped periods) pay for neither.
+                // (DNOR's skipped periods) pay for neither.  Toggles are
+                // counted against the *commanded* wiring — the controller
+                // actuates what it believes — while the interrupted power is
+                // what the degraded plant actually delivered.
                 let toggles = self.config.switch_toggles_to(&next)?;
-                let current_power = array.mpp_power(&self.config, deltas)?;
+                let current_power = if electrical_active {
+                    if self.realised_config.is_none() {
+                        self.realised_config = Some(
+                            self.electrical_faults
+                                .effective_configuration(&self.config)?,
+                        );
+                    }
+                    let realised = self.realised_config.as_ref().expect("filled above");
+                    array.mpp_power_faulted(realised, deltas, &self.electrical_faults)?
+                } else {
+                    array.mpp_power(&self.config, deltas)?
+                };
                 let event = scenario
                     .overhead()
                     .event(current_power, computation, toggles);
@@ -455,11 +544,26 @@ impl<'s> SimSession<'s> {
                     switched_this_step = true;
                     self.switch_count += 1;
                     self.config = next;
+                    self.realised_config = None;
                 }
             }
         }
 
-        let op = array.maximum_power_point(&self.config, deltas)?;
+        // The plant realises the commanded configuration through its (possibly
+        // stuck) switch fabric and delivers power with its (possibly open,
+        // shorted or derated) modules.
+        let op = if electrical_active {
+            if self.realised_config.is_none() {
+                self.realised_config = Some(
+                    self.electrical_faults
+                        .effective_configuration(&self.config)?,
+                );
+            }
+            let realised = self.realised_config.as_ref().expect("filled above");
+            array.maximum_power_point_faulted(realised, deltas, &self.electrical_faults)?
+        } else {
+            array.maximum_power_point(&self.config, deltas)?
+        };
         let array_power = op.power();
         let gross = array_power * step;
         let net = (gross - overhead_energy).max(Joules::ZERO);
@@ -482,6 +586,10 @@ impl<'s> SimSession<'s> {
             switched_this_step,
             overhead_energy,
             computation_total,
+        )
+        .with_faults(
+            self.electrical_faults.active_fault_count() + self.sensors.active_fault_count(),
+            fault_events_this_step,
         );
         for observer in &mut self.observers {
             observer.on_step(&record);
@@ -506,6 +614,8 @@ impl<'s> SimSession<'s> {
             ideal_energy: self.ideal_energy,
             switch_count: self.switch_count,
             runtime: self.runtime.clone(),
+            fault_events: self.fault_events_fired,
+            faulted_steps: self.faulted_steps,
         }
     }
 
@@ -731,6 +841,146 @@ mod tests {
         };
         assert!(matches!(err, SimError::InvalidScenario { .. }));
         assert!(err.to_string().contains("Broken"));
+    }
+
+    #[test]
+    fn fault_plan_events_fire_at_their_steps_and_degrade_output() {
+        use crate::fault::{FaultAction, FaultEvent, FaultPlan};
+        use teg_array::ModuleFault;
+
+        let healthy = scenario(10, 30, 8);
+        let faulted = Scenario::builder()
+            .module_count(10)
+            .duration_seconds(30)
+            .seed(8)
+            .fault_plan(FaultPlan::new(vec![
+                FaultEvent::new(
+                    10,
+                    FaultAction::Module {
+                        module: 2,
+                        fault: ModuleFault::OpenCircuit,
+                    },
+                ),
+                FaultEvent::new(
+                    10,
+                    FaultAction::Module {
+                        module: 5,
+                        fault: ModuleFault::Derated(0.5),
+                    },
+                ),
+                FaultEvent::new(20, FaultAction::ModuleRepair { module: 2 }),
+            ]))
+            .build()
+            .unwrap();
+
+        let run = |s: &Scenario| {
+            let mut baseline = StaticBaseline::square_grid(10);
+            let mut session = SimSession::new(s, &mut baseline).unwrap();
+            let mut records = Vec::new();
+            while let Some(record) = session.step().unwrap() {
+                records.push(record);
+            }
+            (records, session.summary())
+        };
+        let (healthy_records, healthy_summary) = run(&healthy);
+        let (faulted_records, faulted_summary) = run(&faulted);
+
+        // Before the first event the two runs are identical; afterwards the
+        // degraded plant delivers strictly less.
+        for t in 0..10 {
+            assert_eq!(healthy_records[t], faulted_records[t], "step {t}");
+        }
+        for t in 10..20 {
+            assert!(
+                faulted_records[t].array_power() < healthy_records[t].array_power(),
+                "step {t} must be degraded"
+            );
+            assert!(faulted_records[t].faults_active() >= 1);
+        }
+        // After the repair only the derated module remains.
+        assert_eq!(faulted_records[25].faults_active(), 1);
+        assert_eq!(faulted_records[10].fault_events(), 2);
+        assert_eq!(faulted_records[20].fault_events(), 1);
+        assert!(faulted_summary.net_energy() < healthy_summary.net_energy());
+
+        // Summary accounting: 20 faulted steps (10..30), 3 events, and the
+        // scheme's invocations during them counted as fault-exposed.
+        assert_eq!(faulted_summary.fault_events(), 3);
+        assert_eq!(faulted_summary.faulted_steps(), 20);
+        assert_eq!(faulted_summary.runtime().faulted_invocations(), 20);
+        assert_eq!(healthy_summary.fault_events(), 0);
+        assert_eq!(healthy_summary.faulted_steps(), 0);
+        assert_eq!(healthy_summary.runtime().faulted_invocations(), 0);
+    }
+
+    #[test]
+    fn sensor_faults_blind_the_scheme_without_touching_the_physics() {
+        use crate::fault::{FaultAction, FaultEvent, FaultPlan};
+        use teg_reconfig::SensorFault;
+
+        // Every sensor drops out: the scheme sees ΔT = 0 everywhere, but the
+        // static baseline never rewires, so the physical output is untouched
+        // while the fault accounting records the blindness.
+        let plan = FaultPlan::new(
+            (0..6)
+                .map(|m| {
+                    FaultEvent::new(
+                        0,
+                        FaultAction::Sensor {
+                            module: m,
+                            fault: SensorFault::Dropout,
+                        },
+                    )
+                })
+                .collect(),
+        );
+        let healthy = scenario(6, 15, 3);
+        let blinded = Scenario::builder()
+            .module_count(6)
+            .duration_seconds(15)
+            .seed(3)
+            .fault_plan(plan)
+            .build()
+            .unwrap();
+        let run = |s: &Scenario| {
+            let mut baseline = StaticBaseline::square_grid(6);
+            let mut session = SimSession::new(s, &mut baseline).unwrap();
+            while session.step().unwrap().is_some() {}
+            session.summary()
+        };
+        let healthy_summary = run(&healthy);
+        let blinded_summary = run(&blinded);
+        assert_eq!(healthy_summary.net_energy(), blinded_summary.net_energy());
+        assert_eq!(blinded_summary.faulted_steps(), 15);
+        assert_eq!(blinded_summary.fault_events(), 6);
+        assert_eq!(healthy_summary.faulted_steps(), 0);
+    }
+
+    #[test]
+    fn faulted_sessions_replay_bit_identically() {
+        use crate::fault::{FaultPlan, FaultSeverity};
+        use teg_reconfig::Inor;
+
+        let plan = FaultPlan::random(12, 40, FaultSeverity::severe(), 21);
+        assert!(!plan.is_empty());
+        let s = Scenario::builder()
+            .module_count(12)
+            .duration_seconds(40)
+            .seed(4)
+            .fault_plan(plan)
+            .build()
+            .unwrap();
+        let run = || {
+            let mut inor = Inor::default();
+            let session = SimSession::new(&s, &mut inor)
+                .unwrap()
+                .with_runtime_policy(RuntimePolicy::Fixed(Seconds::new(0.002)));
+            let records: Result<Vec<_>, _> = session.collect();
+            records.unwrap()
+        };
+        // Seeded sensor noise + fixed runtime charge: two replays agree on
+        // every record bit.
+        assert_eq!(run(), run());
     }
 
     #[test]

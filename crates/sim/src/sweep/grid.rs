@@ -9,6 +9,7 @@ use teg_device::VariationModel;
 use teg_reconfig::SchemeSpec;
 
 use crate::error::SimError;
+use crate::fault::{FaultPlan, FaultSeverity};
 use crate::scenario::Scenario;
 
 /// One drive-cycle variant of the sweep: a label plus the parameters fed to
@@ -81,6 +82,18 @@ impl SchemeLineup {
         Self::parameterised("paper", SchemeSpec::paper_field)
     }
 
+    /// The paper's Table I field in its bit-reproducible form: DNOR charges
+    /// the fixed `computation` time instead of its own wall clock, so a
+    /// sweep under `RuntimePolicy::Fixed(computation)` reproduces
+    /// bit-identically for any worker count — the lineup the golden-trace
+    /// snapshots pin down.
+    #[must_use]
+    pub fn paper_fixed(computation: teg_units::Seconds) -> Self {
+        Self::parameterised("paper-fixed", move |n| {
+            SchemeSpec::paper_field_fixed(n, computation)
+        })
+    }
+
     /// A lineup with a fixed set of specs, identical for every module count.
     #[must_use]
     pub fn fixed(name: impl Into<String>, specs: Vec<SchemeSpec>) -> Self {
@@ -122,6 +135,79 @@ impl fmt::Debug for SchemeLineup {
     }
 }
 
+/// One degradation variant of the sweep: a label plus the recipe producing a
+/// [`FaultPlan`] for each cell's array size, drive length and seed.
+///
+/// Like [`SchemeLineup`], profiles hold a factory rather than a plan, so one
+/// profile spans cells of different module counts — a "severe" profile
+/// faults ~30 % of the plant whether the cell has 10 modules or 1000.
+#[derive(Clone)]
+pub struct FaultProfile {
+    label: String,
+    recipe: Arc<dyn Fn(usize, usize, u64) -> FaultPlan + Send + Sync>,
+}
+
+impl FaultProfile {
+    /// The healthy profile: every cell runs without faults (the default
+    /// fault axis).
+    #[must_use]
+    pub fn none() -> Self {
+        Self::parameterised("healthy", |_, _, _| FaultPlan::none())
+    }
+
+    /// A profile replaying one fixed plan in every cell (the plan must be
+    /// valid for every module count on the grid's axis).
+    #[must_use]
+    pub fn fixed(label: impl Into<String>, plan: FaultPlan) -> Self {
+        Self {
+            label: label.into(),
+            recipe: Arc::new(move |_, _, _| plan.clone()),
+        }
+    }
+
+    /// A profile generating a seeded [`FaultPlan::random`] of the given
+    /// severity per cell, deterministic in the cell's (module count,
+    /// duration, seed) coordinates.
+    #[must_use]
+    pub fn random(label: impl Into<String>, severity: FaultSeverity) -> Self {
+        Self::parameterised(label, move |modules, duration, seed| {
+            FaultPlan::random(modules, duration, severity, seed)
+        })
+    }
+
+    /// A profile with an arbitrary `(module_count, duration_steps, seed) →
+    /// FaultPlan` recipe.
+    pub fn parameterised<F>(label: impl Into<String>, recipe: F) -> Self
+    where
+        F: Fn(usize, usize, u64) -> FaultPlan + Send + Sync + 'static,
+    {
+        Self {
+            label: label.into(),
+            recipe: Arc::new(recipe),
+        }
+    }
+
+    /// The label recorded in every cell key using this profile.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The plan this profile produces for one cell's coordinates.
+    #[must_use]
+    pub fn plan(&self, module_count: usize, duration_steps: usize, seed: u64) -> FaultPlan {
+        (self.recipe)(module_count, duration_steps, seed)
+    }
+}
+
+impl fmt::Debug for FaultProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultProfile")
+            .field("label", &self.label)
+            .finish_non_exhaustive()
+    }
+}
+
 /// The coordinates of one sweep cell — everything needed to tell results
 /// apart in a [`SweepReport`](crate::SweepReport).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -131,6 +217,7 @@ pub struct CellKey {
     seed: u64,
     drive: String,
     variation: usize,
+    fault: String,
     lineup: String,
 }
 
@@ -165,6 +252,12 @@ impl CellKey {
         self.variation
     }
 
+    /// Label of the cell's [`FaultProfile`].
+    #[must_use]
+    pub fn fault(&self) -> &str {
+        &self.fault
+    }
+
     /// Name of the cell's [`SchemeLineup`].
     #[must_use]
     pub fn lineup(&self) -> &str {
@@ -176,8 +269,8 @@ impl fmt::Display for CellKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "#{} {}mod seed{} {} {}",
-            self.index, self.module_count, self.seed, self.drive, self.lineup
+            "#{} {}mod seed{} {} {} {}",
+            self.index, self.module_count, self.seed, self.drive, self.fault, self.lineup
         )
     }
 }
@@ -301,6 +394,7 @@ pub struct ScenarioGridBuilder {
     seeds: Vec<u64>,
     drives: Vec<DriveProfile>,
     variations: Vec<VariationModel>,
+    faults: Vec<FaultProfile>,
     lineups: Vec<SchemeLineup>,
 }
 
@@ -313,6 +407,7 @@ impl ScenarioGridBuilder {
             seeds: vec![0],
             drives: vec![DriveProfile::paper_800s()],
             variations: vec![VariationModel::none()],
+            faults: vec![FaultProfile::none()],
             lineups: vec![SchemeLineup::paper()],
         }
     }
@@ -351,6 +446,15 @@ impl ScenarioGridBuilder {
         self
     }
 
+    /// Replaces the fault axis: each profile produces one degradation
+    /// variant of every scenario sample (the default axis is the single
+    /// healthy profile).
+    #[must_use]
+    pub fn faults(mut self, faults: impl IntoIterator<Item = FaultProfile>) -> Self {
+        self.faults = faults.into_iter().collect();
+        self
+    }
+
     /// Replaces the scheme-lineup axis.
     #[must_use]
     pub fn lineups(mut self, lineups: impl IntoIterator<Item = SchemeLineup>) -> Self {
@@ -373,6 +477,7 @@ impl ScenarioGridBuilder {
             ("seeds", self.seeds.len()),
             ("drives", self.drives.len()),
             ("variations", self.variations.len()),
+            ("faults", self.faults.len()),
             ("lineups", self.lineups.len()),
         ] {
             if len == 0 {
@@ -416,26 +521,34 @@ impl ScenarioGridBuilder {
             for &seed in &self.seeds {
                 for drive in &self.drives {
                     for (variation_index, &variation) in self.variations.iter().enumerate() {
-                        let scenario = Scenario::builder()
-                            .module_count(module_count)
-                            .duration_seconds(drive.duration_seconds())
-                            .seed(seed)
-                            .module_variation(variation)
-                            .build()?;
-                        samples.push(scenario);
-                        sample_coords.push((
-                            module_count,
-                            seed,
-                            drive.label().to_owned(),
-                            variation_index,
-                        ));
+                        for fault in &self.faults {
+                            let scenario = Scenario::builder()
+                                .module_count(module_count)
+                                .duration_seconds(drive.duration_seconds())
+                                .seed(seed)
+                                .module_variation(variation)
+                                .fault_plan(fault.plan(
+                                    module_count,
+                                    drive.duration_seconds(),
+                                    seed,
+                                ))
+                                .build()?;
+                            samples.push(scenario);
+                            sample_coords.push((
+                                module_count,
+                                seed,
+                                drive.label().to_owned(),
+                                variation_index,
+                                fault.label().to_owned(),
+                            ));
+                        }
                     }
                 }
             }
         }
 
         let mut cells = Vec::with_capacity(samples.len() * self.lineups.len());
-        for (sample_index, (module_count, seed, drive, variation)) in
+        for (sample_index, (module_count, seed, drive, variation, fault)) in
             sample_coords.into_iter().enumerate()
         {
             for (lineup_index, lineup) in self.lineups.iter().enumerate() {
@@ -446,6 +559,7 @@ impl ScenarioGridBuilder {
                         seed,
                         drive: drive.clone(),
                         variation,
+                        fault: fault.clone(),
                         lineup: lineup.name().to_owned(),
                     },
                     sample_index,
@@ -512,6 +626,7 @@ mod tests {
             ScenarioGrid::builder().seeds([]),
             ScenarioGrid::builder().drives([]),
             ScenarioGrid::builder().variations([]),
+            ScenarioGrid::builder().faults([]),
             ScenarioGrid::builder().lineups([]),
         ] {
             assert!(matches!(
@@ -519,6 +634,69 @@ mod tests {
                 Err(SimError::InvalidScenario { .. })
             ));
         }
+    }
+
+    #[test]
+    fn fault_axis_multiplies_samples_and_labels_cells() {
+        use crate::fault::FaultSeverity;
+
+        let grid = ScenarioGrid::builder()
+            .module_counts([8])
+            .seeds([1, 2])
+            .duration_seconds(12)
+            .faults([
+                FaultProfile::none(),
+                FaultProfile::random("severe", FaultSeverity::severe()),
+            ])
+            .lineups([SchemeLineup::fixed("solo", vec![SchemeSpec::inor()])])
+            .build()
+            .unwrap();
+        // 1 module count × 2 seeds × 1 drive × 1 variation × 2 faults.
+        assert_eq!(grid.samples().len(), 4);
+        assert_eq!(grid.len(), 4);
+        assert_eq!(grid.cells()[0].key().fault(), "healthy");
+        assert_eq!(grid.cells()[1].key().fault(), "severe");
+        // The healthy sample carries no plan; the severe one does.
+        assert!(grid.scenario(&grid.cells()[0]).fault_plan().is_empty());
+        assert!(!grid.scenario(&grid.cells()[1]).fault_plan().is_empty());
+        // Same severity, different seeds → different plans.
+        assert_ne!(
+            grid.scenario(&grid.cells()[1]).fault_plan(),
+            grid.scenario(&grid.cells()[3]).fault_plan()
+        );
+        let shown = grid.cells()[1].key().to_string();
+        assert!(shown.contains("severe"), "{shown}");
+    }
+
+    #[test]
+    fn fixed_fault_profiles_replay_one_plan_everywhere() {
+        use crate::fault::{FaultAction, FaultEvent, FaultPlan};
+        use teg_array::ModuleFault;
+
+        let plan = FaultPlan::new(vec![FaultEvent::new(
+            2,
+            FaultAction::Module {
+                module: 0,
+                fault: ModuleFault::OpenCircuit,
+            },
+        )]);
+        let profile = FaultProfile::fixed("m0-open", plan.clone());
+        assert_eq!(profile.label(), "m0-open");
+        assert_eq!(profile.plan(8, 10, 1), plan);
+        assert_eq!(profile.plan(100, 800, 9), plan);
+        let grid = ScenarioGrid::builder()
+            .module_counts([4, 6])
+            .duration_seconds(8)
+            .faults([profile])
+            .lineups([SchemeLineup::fixed("solo", vec![SchemeSpec::inor()])])
+            .build()
+            .unwrap();
+        for cell in grid.cells() {
+            assert_eq!(grid.scenario(cell).fault_plan(), &plan);
+        }
+        // Debug shows the label only.
+        let text = format!("{:?}", FaultProfile::none());
+        assert!(text.contains("healthy"), "{text}");
     }
 
     #[test]

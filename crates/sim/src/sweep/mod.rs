@@ -20,13 +20,20 @@
 //! * **Serial-equivalence.**  Under [`RuntimePolicy::Fixed`] the physics is
 //!   bit-reproducible for schemes that decide purely from telemetry (INOR,
 //!   EHTR, the static baseline): one worker and N workers produce identical
-//!   [`SweepReport`]s.  DNOR is the exception — its switch economics
-//!   consult its own *measured* runtime by design, so lineups containing
-//!   it (including the default paper lineup) reproduce only up to
-//!   wall-clock timing jitter, exactly as two serial reruns do.  The same
-//!   caveat applies to everything under the default
-//!   [`RuntimePolicy::Measured`], where overhead accounting itself is
-//!   measured.
+//!   [`SweepReport`]s.  DNOR measures its own runtime by design, so the
+//!   default [`SchemeLineup::paper`] lineup reproduces only up to
+//!   wall-clock timing jitter — use [`SchemeLineup::paper_fixed`], which
+//!   gives DNOR a fixed assumed computation time, when bit-equality
+//!   matters (the golden-trace regression harness does).  The same caveat
+//!   applies to everything under the default [`RuntimePolicy::Measured`],
+//!   where overhead accounting itself is measured.
+//!
+//! The grid also carries a **fault axis** ([`FaultProfile`]): each profile
+//! produces one degraded variant of every scenario sample (seeded
+//! [`FaultPlan`](crate::FaultPlan)s of module/switch/sensor faults), which
+//! is how "Table I under degradation" reports sweep fault severity against
+//! scheme choice.  Fault replay is deterministic, so every guarantee above
+//! holds on grids containing faulted cells.
 //!
 //! [`RuntimePolicy::Fixed`]: crate::RuntimePolicy::Fixed
 //! [`RuntimePolicy::Measured`]: crate::RuntimePolicy::Measured
@@ -57,6 +64,8 @@ mod grid;
 mod report;
 mod runner;
 
-pub use grid::{CellKey, DriveProfile, ScenarioGrid, ScenarioGridBuilder, SchemeLineup, SweepCell};
+pub use grid::{
+    CellKey, DriveProfile, FaultProfile, ScenarioGrid, ScenarioGridBuilder, SchemeLineup, SweepCell,
+};
 pub use report::{SchemeSummary, SweepCellReport, SweepReport};
 pub use runner::SweepRunner;

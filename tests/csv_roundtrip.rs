@@ -1,0 +1,117 @@
+//! CSV round-trip: the rows a streaming [`CsvSink`] emits re-parse into the
+//! header, row count and values of the session that produced them —
+//! including the fault-event columns introduced with the fault-injection
+//! subsystem.
+
+use teg_harvest::array::ModuleFault;
+use teg_harvest::reconfig::{Inor, SensorFault};
+use teg_harvest::sim::{
+    CsvSink, FaultAction, FaultEvent, FaultPlan, RuntimePolicy, Scenario, SimSession, StepRecord,
+    CSV_HEADER,
+};
+use teg_harvest::units::Seconds;
+
+/// A short degraded session recorded twice: once through the streaming CSV
+/// sink, once as the in-memory records.
+fn run_session() -> (Vec<StepRecord>, String) {
+    let plan = FaultPlan::new(vec![
+        FaultEvent::new(
+            4,
+            FaultAction::Module {
+                module: 1,
+                fault: ModuleFault::Derated(0.6),
+            },
+        ),
+        FaultEvent::new(
+            7,
+            FaultAction::Sensor {
+                module: 3,
+                fault: SensorFault::Stuck,
+            },
+        ),
+        FaultEvent::new(10, FaultAction::ModuleRepair { module: 1 }),
+    ]);
+    let scenario = Scenario::builder()
+        .module_count(6)
+        .duration_seconds(14)
+        .seed(9)
+        .fault_plan(plan)
+        .build()
+        .expect("scenario");
+    let mut sink = CsvSink::new(Vec::new());
+    let mut inor = Inor::default();
+    let mut session = SimSession::new(&scenario, &mut inor)
+        .expect("session")
+        .with_runtime_policy(RuntimePolicy::Fixed(Seconds::new(0.003)));
+    session.attach(&mut sink);
+    let mut records = Vec::new();
+    while let Some(record) = session.step().expect("step") {
+        records.push(record);
+    }
+    drop(session);
+    assert_eq!(sink.rows(), records.len());
+    let bytes = sink.finish().expect("no I/O errors on a Vec sink");
+    (records, String::from_utf8(bytes).expect("utf-8 CSV"))
+}
+
+#[test]
+fn emitted_csv_reparses_with_matching_header_rows_and_values() {
+    let (records, csv) = run_session();
+    let mut lines = csv.lines();
+
+    // Header: exactly the shared constant, fault columns included.
+    let header = lines.next().expect("header row");
+    assert_eq!(header, CSV_HEADER);
+    let columns: Vec<&str> = header.split(',').collect();
+    assert_eq!(columns.last(), Some(&"fault_events"));
+    assert_eq!(columns[columns.len() - 2], "faults_active");
+
+    // Row count: one data row per simulated step.
+    let rows: Vec<&str> = lines.collect();
+    assert_eq!(rows.len(), records.len());
+    assert_eq!(rows.len(), 14);
+
+    // Values: every field re-parses and matches the record it came from, to
+    // the precision the format prints.
+    for (row, record) in rows.iter().zip(&records) {
+        let fields: Vec<&str> = row.split(',').collect();
+        assert_eq!(fields.len(), columns.len(), "ragged row: {row}");
+        let number = |i: usize| -> f64 {
+            fields[i]
+                .parse()
+                .unwrap_or_else(|_| panic!("field {i} of {row}"))
+        };
+        assert!((number(0) - record.time().value()).abs() < 0.05);
+        assert!((number(1) - record.array_power().value()).abs() < 1e-4);
+        assert!((number(2) - record.net_power().value()).abs() < 1e-4);
+        assert!((number(3) - record.delivered_power().value()).abs() < 1e-4);
+        assert!((number(4) - record.ideal_power().value()).abs() < 1e-4);
+        assert!((number(5) - record.ideal_ratio()).abs() < 1e-5);
+        assert_eq!(fields[6].parse::<usize>().unwrap(), record.group_count());
+        assert_eq!(
+            fields[7].parse::<u8>().unwrap(),
+            u8::from(record.switched())
+        );
+        assert!((number(8) - record.overhead_energy().value()).abs() < 1e-5);
+        assert!((number(9) - record.computation().to_milliseconds().value()).abs() < 1e-5);
+        assert_eq!(fields[10].parse::<usize>().unwrap(), record.faults_active());
+        assert_eq!(fields[11].parse::<usize>().unwrap(), record.fault_events());
+    }
+
+    // The fault columns carry the plan's story: healthy prefix, the derate
+    // at step 4, the stuck sensor joining at 7, the repair at 10.
+    let fault_counts: Vec<usize> = records.iter().map(StepRecord::faults_active).collect();
+    assert_eq!(fault_counts[..4], [0, 0, 0, 0]);
+    assert_eq!(fault_counts[4], 1);
+    assert_eq!(fault_counts[7], 2);
+    assert_eq!(fault_counts[10], 1);
+    let event_total: usize = records.iter().map(StepRecord::fault_events).sum();
+    assert_eq!(event_total, 3);
+}
+
+#[test]
+fn csv_matches_the_batch_renderer() {
+    use teg_harvest::sim::records_to_csv;
+    let (records, csv) = run_session();
+    assert_eq!(csv, records_to_csv(&records));
+}

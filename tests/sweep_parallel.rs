@@ -2,8 +2,17 @@
 //! serial/parallel equivalence guarantee, the one-solve-per-sample cache
 //! invariant for any worker count, and the deterministic grid ordering.
 
-use teg_harvest::reconfig::SchemeSpec;
-use teg_harvest::sim::{DriveProfile, RuntimePolicy, ScenarioGrid, SchemeLineup, SweepRunner};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use teg_harvest::array::Configuration;
+use teg_harvest::reconfig::{
+    ReconfigDecision, ReconfigError, Reconfigurer, SchemeSpec, TelemetryWindow,
+};
+use teg_harvest::sim::{
+    DriveProfile, FaultProfile, FaultSeverity, RuntimePolicy, ScenarioGrid, SchemeLineup,
+    SweepRunner,
+};
 use teg_harvest::units::Seconds;
 
 /// A 12-cell grid: 2 module counts × 3 seeds × 1 drive, each sample replayed
@@ -27,7 +36,8 @@ fn grid() -> ScenarioGrid {
         .expect("valid grid")
 }
 
-const POLICY: RuntimePolicy = RuntimePolicy::Fixed(Seconds::new(0.002));
+const POLICY_CHARGE: Seconds = Seconds::new(0.002);
+const POLICY: RuntimePolicy = RuntimePolicy::Fixed(POLICY_CHARGE);
 
 #[test]
 fn one_worker_and_four_workers_produce_identical_reports() {
@@ -100,6 +110,156 @@ fn cells_are_reported_in_grid_order_with_full_coordinates() {
     assert_eq!(report.summary("INOR").expect("ran").cells(), 12);
     assert_eq!(report.summary("Baseline").expect("ran").cells(), 6);
     assert_eq!(report.summary("EHTR").expect("ran").cells(), 6);
+}
+
+#[test]
+fn faulted_grids_keep_the_serial_parallel_equivalence() {
+    // The acceptance grid: a fault axis (healthy + two degraded profiles)
+    // crossed with the bit-reproducible paper lineup.  Module, switch and
+    // sensor faults all fire mid-drive, and one worker must still equal
+    // four workers bit-for-bit.
+    let grid = || {
+        ScenarioGrid::builder()
+            .module_counts([8, 12])
+            .seeds([3, 4])
+            .drives([DriveProfile::named("degraded-short", 25)])
+            .faults([
+                FaultProfile::none(),
+                FaultProfile::random("light", FaultSeverity::light()),
+                FaultProfile::random("severe", FaultSeverity::severe()),
+            ])
+            .lineups([SchemeLineup::paper_fixed(POLICY_CHARGE)])
+            .build()
+            .expect("valid faulted grid")
+    };
+    let run = |workers: usize| {
+        SweepRunner::new()
+            .workers(workers)
+            .runtime_policy(POLICY)
+            .run(&grid())
+            .expect("faulted sweep")
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(serial, parallel);
+
+    // The grid really contains degraded cells, and they really degrade:
+    // every severe cell harvests less than its healthy sibling.
+    assert_eq!(parallel.cells().len(), 12);
+    let g = grid();
+    assert!(g
+        .cells()
+        .iter()
+        .any(|c| !g.scenario(c).fault_plan().is_empty()));
+    for chunk in parallel.cells().chunks(3) {
+        let (healthy, severe) = (&chunk[0], &chunk[2]);
+        assert_eq!(healthy.key().fault(), "healthy");
+        assert_eq!(severe.key().fault(), "severe");
+        for scheme in ["DNOR", "INOR", "EHTR", "Baseline"] {
+            let h = healthy.report().report(scheme).expect("ran");
+            let s = severe.report().report(scheme).expect("ran");
+            assert!(
+                s.net_energy() < h.net_energy(),
+                "{scheme} in {} must lose energy to severe faults",
+                severe.key()
+            );
+            assert_eq!(h.runtime().faulted_invocations(), 0);
+            assert!(s.runtime().faulted_invocations() > 0);
+        }
+    }
+}
+
+/// A trivial scheme that counts its decisions through a shared counter —
+/// the completion probe for the panic-confinement test.
+struct Counting(Arc<AtomicUsize>);
+
+impl Reconfigurer for Counting {
+    fn name(&self) -> &'static str {
+        "Counting"
+    }
+    fn period(&self) -> Seconds {
+        Seconds::new(1.0)
+    }
+    fn decide(
+        &mut self,
+        _window: &TelemetryWindow<'_>,
+        current: &Configuration,
+    ) -> Result<ReconfigDecision, ReconfigError> {
+        self.0.fetch_add(1, Ordering::Relaxed);
+        Ok(ReconfigDecision::new(
+            current.clone(),
+            Seconds::ZERO,
+            false,
+            false,
+        ))
+    }
+}
+
+/// Panics for 7-module arrays, behaves like a no-op everywhere else.
+struct PanicsOnSeven;
+
+impl Reconfigurer for PanicsOnSeven {
+    fn name(&self) -> &'static str {
+        "PanicsOnSeven"
+    }
+    fn period(&self) -> Seconds {
+        Seconds::new(1.0)
+    }
+    fn decide(
+        &mut self,
+        window: &TelemetryWindow<'_>,
+        current: &Configuration,
+    ) -> Result<ReconfigDecision, ReconfigError> {
+        assert_ne!(window.array().len(), 7, "scheme bug on 7-module arrays");
+        Ok(ReconfigDecision::new(
+            current.clone(),
+            Seconds::ZERO,
+            false,
+            false,
+        ))
+    }
+}
+
+#[test]
+fn a_panicking_cell_is_confined_while_every_other_cell_completes() {
+    const STEPS: usize = 6;
+    let counter = Arc::new(AtomicUsize::new(0));
+    let probe = Arc::clone(&counter);
+    let grid = ScenarioGrid::builder()
+        .module_counts([6, 7])
+        .seeds([1, 2])
+        .duration_seconds(STEPS)
+        .lineups([
+            SchemeLineup::fixed(
+                "counting",
+                vec![SchemeSpec::new(move || Counting(Arc::clone(&probe)))],
+            ),
+            SchemeLineup::fixed("panicky", vec![SchemeSpec::new(|| PanicsOnSeven)]),
+        ])
+        .build()
+        .expect("valid grid");
+    assert_eq!(grid.len(), 8); // 4 samples × 2 lineups; 2 cells will panic
+
+    let err = SweepRunner::new()
+        .workers(3)
+        .run(&grid)
+        .expect_err("the 7-module panicky cells must fail the sweep");
+    // The panic surfaces as the (lowest-indexed) failing cell's error…
+    let message = err.to_string();
+    assert!(message.contains("panicked"), "{message}");
+    assert!(message.contains("7mod"), "{message}");
+    assert!(message.contains("panicky"), "{message}");
+
+    // …while every other cell ran to completion: the counting lineup saw
+    // all four samples through every step.
+    assert_eq!(
+        counter.load(Ordering::Relaxed),
+        4 * STEPS,
+        "counting cells must complete despite the sibling panic"
+    );
+    // And every sample's thermal trace was solved in full — including the
+    // 7-module samples whose panicky sibling died after the solve.
+    assert_eq!(grid.thermal_solve_count(), 4 * STEPS);
 }
 
 #[test]
