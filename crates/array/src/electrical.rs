@@ -24,16 +24,7 @@ use teg_units::{Amps, TemperatureDelta, Volts, Watts};
 use crate::configuration::Configuration;
 use crate::error::ArrayError;
 use crate::fault::{FaultState, ModuleFault};
-
-/// The aggregate Norton sums of one parallel group under an optional fault
-/// state: `Σ G_m·E_m` and `Σ G_m` over the group's *connected* modules, plus
-/// whether a short-circuit fault pins the group to zero volts.
-#[derive(Debug, Clone, Copy)]
-struct GroupSums {
-    s_g: f64,
-    g_g: f64,
-    shorted: bool,
-}
+use crate::solver::{ArraySolver, SolvedPoint};
 
 /// The solved state of one parallel group at a given string current.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -43,6 +34,11 @@ pub struct GroupOperatingPoint {
 }
 
 impl GroupOperatingPoint {
+    /// Builds a group point — the solve kernel is the only producer.
+    pub(crate) const fn new(voltage: Volts, power: Watts) -> Self {
+        Self { voltage, power }
+    }
+
     /// Terminal voltage of the group.
     #[must_use]
     pub const fn voltage(&self) -> Volts {
@@ -86,6 +82,16 @@ pub struct ArrayOperatingPoint {
 }
 
 impl ArrayOperatingPoint {
+    /// Assembles the legacy owned operating point from a kernel solve.
+    pub(crate) fn from_solver(point: SolvedPoint, groups: &[GroupOperatingPoint]) -> Self {
+        Self {
+            current: point.current(),
+            voltage: point.voltage(),
+            power: point.power(),
+            groups: groups.to_vec(),
+        }
+    }
+
     /// String current flowing through every group.
     #[must_use]
     pub const fn current(&self) -> Amps {
@@ -296,35 +302,26 @@ impl TegArray {
             .power())
     }
 
+    // The `_with` methods are thin wrappers over the shared solve kernel
+    // (`crate::solver`), so the healthy and degraded paths — and the
+    // batched candidate scans the schemes run — are one implementation.
+    // Hot-path callers hold an `ArraySolver`/`ArrayPlan` themselves and
+    // skip the per-call scratch these compatibility entry points pay for.
+
     fn maximum_power_point_with(
         &self,
         config: &Configuration,
         deltas: &[TemperatureDelta],
         faults: Option<&FaultState>,
     ) -> ArrayOperatingPoint {
-        let mut sum_voc = 0.0; // Σ_g S_g / G_g  (total open-circuit voltage)
-        let mut sum_res = 0.0; // Σ_g 1 / G_g    (total series resistance)
-        for group in config.groups() {
-            let sums = self.group_sums(group.start(), group.end(), deltas, faults);
-            if sums.shorted {
-                continue; // zero volts, zero resistance — drops out of the MPP sums
-            }
-            if sums.g_g <= 0.0 {
-                // A fully open (and unshorted) group breaks the string: no
-                // current, no power.
-                return Self::zero_point(config.group_count());
-            }
-            sum_voc += sums.s_g / sums.g_g;
-            sum_res += 1.0 / sums.g_g;
-        }
-        // `sum_res == 0` means every group is shorted: the array is a dead
-        // short and delivers no power at any current.
-        let optimum = if sum_res > 0.0 {
-            (sum_voc / (2.0 * sum_res)).max(0.0)
-        } else {
-            0.0
-        };
-        self.operate_at_with(config, deltas, Amps::new(optimum), faults)
+        let mut solver = ArraySolver::new();
+        solver
+            .load(self, deltas, faults)
+            .expect("dimensions validated by the caller");
+        let point = solver
+            .mpp(config)
+            .expect("configuration validated by the caller");
+        ArrayOperatingPoint::from_solver(point, solver.group_points())
     }
 
     fn operate_at_with(
@@ -334,44 +331,14 @@ impl TegArray {
         current: Amps,
         faults: Option<&FaultState>,
     ) -> ArrayOperatingPoint {
-        let mut groups = Vec::with_capacity(config.group_count());
-        let mut total_voltage = Volts::ZERO;
-        for group in config.groups() {
-            let sums = self.group_sums(group.start(), group.end(), deltas, faults);
-            if sums.g_g <= 0.0 && !sums.shorted {
-                return Self::zero_point(config.group_count());
-            }
-            let voltage = if sums.shorted {
-                Volts::ZERO
-            } else {
-                Volts::new((sums.s_g - current.value()) / sums.g_g)
-            };
-            let power = voltage * current;
-            total_voltage += voltage;
-            groups.push(GroupOperatingPoint { voltage, power });
-        }
-        ArrayOperatingPoint {
-            current,
-            voltage: total_voltage,
-            power: total_voltage * current,
-            groups,
-        }
-    }
-
-    /// The dead operating point of a string broken by an all-open group.
-    fn zero_point(group_count: usize) -> ArrayOperatingPoint {
-        ArrayOperatingPoint {
-            current: Amps::ZERO,
-            voltage: Volts::ZERO,
-            power: Watts::ZERO,
-            groups: vec![
-                GroupOperatingPoint {
-                    voltage: Volts::ZERO,
-                    power: Watts::ZERO,
-                };
-                group_count
-            ],
-        }
+        let mut solver = ArraySolver::new();
+        solver
+            .load(self, deltas, faults)
+            .expect("dimensions validated by the caller");
+        let point = solver
+            .operate_at(config, current)
+            .expect("configuration validated by the caller");
+        ArrayOperatingPoint::from_solver(point, solver.group_points())
     }
 
     /// The effective Thévenin source of one module under an optional fault
@@ -394,33 +361,6 @@ impl TegArray {
             e *= factor;
         }
         Some((g, e))
-    }
-
-    // Parallel indexing of modules and deltas over a sub-range.
-    #[allow(clippy::needless_range_loop)]
-    fn group_sums(
-        &self,
-        start: usize,
-        end: usize,
-        deltas: &[TemperatureDelta],
-        faults: Option<&FaultState>,
-    ) -> GroupSums {
-        let mut s_g = 0.0;
-        let mut g_g = 0.0;
-        let mut shorted = false;
-        for i in start..end {
-            if let Some(f) = faults {
-                if f.module_fault(i) == Some(ModuleFault::ShortCircuit) {
-                    shorted = true;
-                }
-            }
-            let Some((g, e)) = self.module_source(i, deltas[i], faults) else {
-                continue;
-            };
-            s_g += g * e;
-            g_g += g;
-        }
-        GroupSums { s_g, g_g, shorted }
     }
 
     fn check_deltas(&self, deltas: &[TemperatureDelta]) -> Result<(), ArrayError> {

@@ -22,6 +22,14 @@
 //! reconfiguration + MPPT settling) during which output power is lost, plus a
 //! per-toggle switch actuation energy.
 //!
+//! Hot loops — the reconfiguration algorithms' candidate scans, the
+//! simulation session's per-step physics, MPPT perturbation — go through
+//! the compiled-plan layer instead of the convenience methods:
+//! [`ArrayPlan`] compiles a configuration (+ faults) once, and
+//! [`ArraySolver`] evaluates it (or whole batches of candidates) with
+//! reusable scratch and zero per-call allocation, bit-identically to the
+//! [`TegArray`] methods (see the [`solver`-module docs](ArraySolver)).
+//!
 //! # Examples
 //!
 //! ```
@@ -49,6 +57,7 @@ mod error;
 mod fault;
 mod ideal;
 mod overhead;
+mod solver;
 mod switches;
 
 pub use configuration::{Configuration, Group};
@@ -57,4 +66,5 @@ pub use error::ArrayError;
 pub use fault::{FaultState, ModuleFault, SwitchStuck};
 pub use ideal::ideal_power;
 pub use overhead::{OverheadBreakdown, SwitchingOverheadModel};
+pub use solver::{ArrayPlan, ArraySolver, SolvedPoint};
 pub use switches::{PairLink, SwitchBank};

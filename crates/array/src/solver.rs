@@ -1,0 +1,823 @@
+//! Compiled solve plans and the reusable, batched electrical solver.
+//!
+//! The reconfiguration algorithms are candidate scans: INOR/EHTR evaluate
+//! every feasible group count and DNOR additionally integrates predicted
+//! power over a forecast horizon.  Routing each candidate through
+//! [`TegArray::mpp_power`] re-validates the configuration, re-walks the
+//! module list and re-derives every module's Seebeck EMF and internal
+//! conductance from scratch — twice (once for the optimum current, once for
+//! the operating point).  This module splits that work by how often it
+//! changes:
+//!
+//! * [`ArrayPlan`] — a [`Configuration`] (+ optional [`FaultState`])
+//!   **compiled once** into flat structure-of-arrays form: group offsets
+//!   plus per-module fault constants (connected flag, EMF derating factor,
+//!   short flag).  Validation happens at compile time, never per solve.
+//! * [`ArraySolver`] — caller-owned scratch buffers plus the one solve
+//!   kernel.  After the buffers warm up, every solve is allocation-free.
+//!   [`ArraySolver::load`] derives the per-module EMF/conductance terms for
+//!   one ΔT vector **once**, and [`ArraySolver::evaluate_candidates`]
+//!   amortises them across any number of candidate configurations.
+//!
+//! The kernel performs the same IEEE-754 operations in the same order as
+//! the original per-call path, so results are **bit-identical** — the
+//! golden traces and the property suite below pin this down.
+//!
+//! # When to use which API
+//!
+//! * Scanning many candidate partitions at one ΔT vector (a reconfiguration
+//!   inner loop): [`ArraySolver::load`] + [`ArraySolver::evaluate_candidates`]
+//!   (or per-candidate [`ArraySolver::mpp_power`]).
+//! * Re-solving one fixed wiring as temperatures evolve (a simulation
+//!   session, an MPPT loop): compile an [`ArrayPlan`] once, call
+//!   [`ArraySolver::solve_mpp`] / [`ArraySolver::solve_at`] per step.
+//! * One-off solves where convenience beats throughput: the original
+//!   [`TegArray`] methods, which are now thin wrappers over this kernel.
+//!
+//! # Examples
+//!
+//! ```
+//! use teg_array::{ArrayPlan, ArraySolver, Configuration, TegArray};
+//! use teg_device::{TegDatasheet, TegModule};
+//! use teg_units::TemperatureDelta;
+//!
+//! # fn main() -> Result<(), teg_array::ArrayError> {
+//! let module = TegModule::from_datasheet(&TegDatasheet::tgm_199_1_4_0_8());
+//! let array = TegArray::uniform(module, 12);
+//! let deltas: Vec<_> = (0..12).map(|i| TemperatureDelta::new(70.0 - 2.0 * i as f64)).collect();
+//!
+//! // Batched candidate scan: module terms derived once, shared by all.
+//! let candidates: Vec<_> = (1..=6)
+//!     .map(|n| Configuration::uniform(12, n).expect("valid"))
+//!     .collect();
+//! let mut solver = ArraySolver::new();
+//! let mut powers = Vec::new();
+//! solver.load(&array, &deltas, None)?;
+//! solver.evaluate_candidates(&candidates, &mut powers)?;
+//! assert_eq!(powers.len(), 6);
+//!
+//! // Compiled plan: validate once, re-solve as temperatures change.
+//! let plan = ArrayPlan::compile(&array, &candidates[3], None)?;
+//! let point = solver.solve_mpp(&array, &plan, &deltas)?;
+//! assert_eq!(point.power(), powers[3]);
+//! # Ok(())
+//! # }
+//! ```
+
+use teg_units::{Amps, TemperatureDelta, Volts, Watts};
+
+use crate::configuration::Configuration;
+use crate::electrical::{GroupOperatingPoint, TegArray};
+use crate::error::ArrayError;
+use crate::fault::{FaultState, ModuleFault};
+
+/// A [`Configuration`] (+ optional [`FaultState`]) compiled into the flat
+/// form the solve kernel consumes: group offsets plus per-module fault
+/// constants, validated once at compile time.
+///
+/// Plans are plain data (`Clone + PartialEq`, no borrows), so a simulation
+/// session can cache one per wiring and re-solve it against every new ΔT
+/// row without re-validating anything.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayPlan {
+    module_count: usize,
+    /// Group boundaries as `group_count + 1` offsets: group `j` covers
+    /// modules `offsets[j]..offsets[j + 1]`.
+    offsets: Vec<usize>,
+    /// Per module: `false` when an open-circuit fault removes the module
+    /// from its group's Norton sums.
+    connected: Vec<bool>,
+    /// Per module: the EMF derating factor (1.0 when healthy).
+    emf_factor: Vec<f64>,
+    /// Per module: `true` when a short-circuit fault pins the enclosing
+    /// group to zero volts.
+    short: Vec<bool>,
+}
+
+impl ArrayPlan {
+    /// Compiles a configuration (and optional fault state) for an array.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrayError::InvalidConfiguration`] when the configuration
+    /// or the fault state covers a different module count than the array.
+    pub fn compile(
+        array: &TegArray,
+        config: &Configuration,
+        faults: Option<&FaultState>,
+    ) -> Result<Self, ArrayError> {
+        let module_count = array.len();
+        if config.module_count() != module_count {
+            return Err(ArrayError::InvalidConfiguration {
+                reason: format!(
+                    "configuration covers {} modules but the array has {module_count}",
+                    config.module_count()
+                ),
+            });
+        }
+        if let Some(faults) = faults {
+            if faults.module_count() != module_count {
+                return Err(ArrayError::InvalidConfiguration {
+                    reason: format!(
+                        "fault state covers {} modules but the array has {module_count}",
+                        faults.module_count()
+                    ),
+                });
+            }
+        }
+        let mut offsets = Vec::with_capacity(config.group_count() + 1);
+        offsets.extend_from_slice(config.group_starts());
+        offsets.push(module_count);
+        let mut connected = vec![true; module_count];
+        let mut emf_factor = vec![1.0; module_count];
+        let mut short = vec![false; module_count];
+        if let Some(faults) = faults {
+            for i in 0..module_count {
+                match faults.module_fault(i) {
+                    Some(ModuleFault::OpenCircuit) => connected[i] = false,
+                    Some(ModuleFault::ShortCircuit) => short[i] = true,
+                    Some(ModuleFault::Derated(factor)) => emf_factor[i] = factor,
+                    None => {}
+                }
+            }
+        }
+        Ok(Self {
+            module_count,
+            offsets,
+            connected,
+            emf_factor,
+            short,
+        })
+    }
+
+    /// Number of modules the plan covers.
+    #[must_use]
+    pub const fn module_count(&self) -> usize {
+        self.module_count
+    }
+
+    /// Number of series groups.
+    #[must_use]
+    pub fn group_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+}
+
+/// The solved array state one kernel invocation produces: string current,
+/// terminal voltage and delivered power.  Per-group detail stays in the
+/// solver's scratch ([`ArraySolver::group_points`]) so the summary is
+/// `Copy` and allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolvedPoint {
+    current: Amps,
+    voltage: Volts,
+    power: Watts,
+}
+
+impl SolvedPoint {
+    /// String current flowing through every group.
+    #[must_use]
+    pub const fn current(&self) -> Amps {
+        self.current
+    }
+
+    /// Total array terminal voltage.
+    #[must_use]
+    pub const fn voltage(&self) -> Volts {
+        self.voltage
+    }
+
+    /// Total delivered power.
+    #[must_use]
+    pub const fn power(&self) -> Watts {
+        self.power
+    }
+}
+
+/// The reusable electrical solve kernel with caller-owned scratch.
+///
+/// All buffers grow to the largest array solved and are then recycled:
+/// after warm-up no method allocates.  A solver is cheap to create and
+/// carries no observable state — only scratch — so cloning or defaulting
+/// one anywhere is always correct.
+#[derive(Debug, Clone, Default)]
+pub struct ArraySolver {
+    // Per-module terms of the loaded ΔT vector (zero while nothing loaded).
+    loaded_modules: usize,
+    g: Vec<f64>,
+    ge: Vec<f64>,
+    connected: Vec<bool>,
+    short: Vec<bool>,
+    // Per-group Norton sums of the most recent evaluation.
+    group_s: Vec<f64>,
+    group_g: Vec<f64>,
+    group_shorted: Vec<bool>,
+    // Per-group operating points of the most recent full solve.
+    groups: Vec<GroupOperatingPoint>,
+}
+
+impl ArraySolver {
+    /// Creates an empty solver; buffers are sized lazily on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Derives the per-module EMF/conductance terms for one ΔT vector and
+    /// optional fault state, to be shared by every subsequent candidate
+    /// evaluation ([`ArraySolver::mpp`], [`ArraySolver::mpp_power`],
+    /// [`ArraySolver::operate_at`], [`ArraySolver::evaluate_candidates`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrayError::DimensionMismatch`] when the ΔT vector length
+    /// does not match the array, or [`ArrayError::InvalidConfiguration`]
+    /// when the fault state covers a different module count.
+    pub fn load(
+        &mut self,
+        array: &TegArray,
+        deltas: &[TemperatureDelta],
+        faults: Option<&FaultState>,
+    ) -> Result<(), ArrayError> {
+        let n = array.len();
+        if deltas.len() != n {
+            return Err(ArrayError::DimensionMismatch {
+                modules: n,
+                temperatures: deltas.len(),
+            });
+        }
+        if let Some(faults) = faults {
+            if faults.module_count() != n {
+                return Err(ArrayError::InvalidConfiguration {
+                    reason: format!(
+                        "fault state covers {} modules but the array has {n}",
+                        faults.module_count()
+                    ),
+                });
+            }
+        }
+        self.reset_terms(n);
+        // Parallel indexing of the scratch arrays and the ΔT vector.
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..n {
+            self.short[i] =
+                faults.is_some_and(|f| f.module_fault(i) == Some(ModuleFault::ShortCircuit));
+            match array.module_source(i, deltas[i], faults) {
+                Some((g, e)) => {
+                    self.g[i] = g;
+                    self.ge[i] = g * e;
+                    self.connected[i] = true;
+                }
+                None => self.connected[i] = false,
+            }
+        }
+        Ok(())
+    }
+
+    /// Loads per-module terms through a compiled plan's fault constants.
+    fn load_plan(&mut self, array: &TegArray, plan: &ArrayPlan, deltas: &[TemperatureDelta]) {
+        let n = plan.module_count;
+        self.reset_terms(n);
+        let modules = array.modules();
+        for i in 0..n {
+            self.short[i] = plan.short[i];
+            if !plan.connected[i] {
+                self.connected[i] = false;
+                continue;
+            }
+            let g = modules[i].internal_conductance(deltas[i]);
+            // Multiplying a healthy module's EMF by 1.0 is exact, so the
+            // branch-free form matches the fault-aware path bit for bit.
+            let e = modules[i].open_circuit_voltage(deltas[i]).value() * plan.emf_factor[i];
+            self.g[i] = g;
+            self.ge[i] = g * e;
+            self.connected[i] = true;
+        }
+        self.loaded_modules = n;
+    }
+
+    fn reset_terms(&mut self, n: usize) {
+        self.loaded_modules = n;
+        self.g.clear();
+        self.g.resize(n, 0.0);
+        self.ge.clear();
+        self.ge.resize(n, 0.0);
+        self.connected.clear();
+        self.connected.resize(n, true);
+        self.short.clear();
+        self.short.resize(n, false);
+    }
+
+    /// Analytic maximum power point of one candidate against the loaded
+    /// terms (see [`TegArray::maximum_power_point`] for the electrical
+    /// semantics; results are bit-identical).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrayError::InvalidConfiguration`] when no terms are
+    /// loaded or the candidate covers a different module count.
+    pub fn mpp(&mut self, candidate: &Configuration) -> Result<SolvedPoint, ArrayError> {
+        self.check_candidate(candidate)?;
+        let n = candidate.group_count();
+        if !self.accumulate_groups(candidate.group_starts(), self.loaded_modules) {
+            return Ok(self.zero_point(n));
+        }
+        Ok(self.mpp_from_groups(n))
+    }
+
+    /// Total MPP power of one candidate against the loaded terms.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ArraySolver::mpp`].
+    pub fn mpp_power(&mut self, candidate: &Configuration) -> Result<Watts, ArrayError> {
+        Ok(self.mpp(candidate)?.power())
+    }
+
+    /// Solves one candidate at an imposed string current against the loaded
+    /// terms (see [`TegArray::operate_at`]; results are bit-identical).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ArraySolver::mpp`].
+    pub fn operate_at(
+        &mut self,
+        candidate: &Configuration,
+        current: Amps,
+    ) -> Result<SolvedPoint, ArrayError> {
+        self.check_candidate(candidate)?;
+        let n = candidate.group_count();
+        if !self.accumulate_groups(candidate.group_starts(), self.loaded_modules) {
+            return Ok(self.zero_point(n));
+        }
+        Ok(self.operate_from_groups(n, current))
+    }
+
+    /// Evaluates the MPP power of every candidate against the loaded terms,
+    /// pushing one result per candidate into `out` (cleared first).  The
+    /// per-module terms are computed once by [`ArraySolver::load`] and
+    /// shared — the amortisation the reconfiguration scans rely on.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ArraySolver::mpp`]; on error `out` holds the
+    /// results produced so far.
+    pub fn evaluate_candidates(
+        &mut self,
+        candidates: &[Configuration],
+        out: &mut Vec<Watts>,
+    ) -> Result<(), ArrayError> {
+        out.clear();
+        out.reserve(candidates.len());
+        for candidate in candidates {
+            out.push(self.mpp_power(candidate)?);
+        }
+        Ok(())
+    }
+
+    /// Analytic maximum power point of a compiled plan at one ΔT vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrayError::InvalidConfiguration`] when the plan was
+    /// compiled for a different array size, or
+    /// [`ArrayError::DimensionMismatch`] when the ΔT vector disagrees.
+    pub fn solve_mpp(
+        &mut self,
+        array: &TegArray,
+        plan: &ArrayPlan,
+        deltas: &[TemperatureDelta],
+    ) -> Result<SolvedPoint, ArrayError> {
+        self.check_plan(array, plan, deltas)?;
+        self.load_plan(array, plan, deltas);
+        let n = plan.group_count();
+        if !self.accumulate_plan_groups(plan) {
+            return Ok(self.zero_point(n));
+        }
+        Ok(self.mpp_from_groups(n))
+    }
+
+    /// Solves a compiled plan at an imposed string current.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ArraySolver::solve_mpp`].
+    pub fn solve_at(
+        &mut self,
+        array: &TegArray,
+        plan: &ArrayPlan,
+        deltas: &[TemperatureDelta],
+        current: Amps,
+    ) -> Result<SolvedPoint, ArrayError> {
+        self.check_plan(array, plan, deltas)?;
+        self.load_plan(array, plan, deltas);
+        let n = plan.group_count();
+        if !self.accumulate_plan_groups(plan) {
+            return Ok(self.zero_point(n));
+        }
+        Ok(self.operate_from_groups(n, current))
+    }
+
+    /// Per-group operating points of the most recent full solve, in series
+    /// order (valid until the next solver call).
+    #[must_use]
+    pub fn group_points(&self) -> &[GroupOperatingPoint] {
+        &self.groups
+    }
+
+    fn check_candidate(&self, candidate: &Configuration) -> Result<(), ArrayError> {
+        if self.loaded_modules == 0 {
+            return Err(ArrayError::InvalidConfiguration {
+                reason: "solver has no ΔT terms loaded; call ArraySolver::load first".to_owned(),
+            });
+        }
+        if candidate.module_count() != self.loaded_modules {
+            return Err(ArrayError::InvalidConfiguration {
+                reason: format!(
+                    "configuration covers {} modules but the array has {}",
+                    candidate.module_count(),
+                    self.loaded_modules
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_plan(
+        &self,
+        array: &TegArray,
+        plan: &ArrayPlan,
+        deltas: &[TemperatureDelta],
+    ) -> Result<(), ArrayError> {
+        if plan.module_count != array.len() {
+            return Err(ArrayError::InvalidConfiguration {
+                reason: format!(
+                    "plan covers {} modules but the array has {}",
+                    plan.module_count,
+                    array.len()
+                ),
+            });
+        }
+        if deltas.len() != plan.module_count {
+            return Err(ArrayError::DimensionMismatch {
+                modules: plan.module_count,
+                temperatures: deltas.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Accumulates the per-group Norton sums `S_g = Σ G·E`, `G_g = Σ G` and
+    /// short flags for the partition described by `starts`.  Returns
+    /// `false` when a fully open, non-shorted group breaks the string (the
+    /// caller reports the dead operating point).
+    fn accumulate_groups(&mut self, starts: &[usize], module_count: usize) -> bool {
+        let n = starts.len();
+        self.group_s.clear();
+        self.group_g.clear();
+        self.group_shorted.clear();
+        let mut broken = false;
+        for j in 0..n {
+            let start = starts[j];
+            let end = starts.get(j + 1).copied().unwrap_or(module_count);
+            let (s_g, g_g, shorted) = self.sum_range(start, end);
+            broken |= g_g <= 0.0 && !shorted;
+            self.group_s.push(s_g);
+            self.group_g.push(g_g);
+            self.group_shorted.push(shorted);
+        }
+        !broken
+    }
+
+    /// [`ArraySolver::accumulate_groups`] over a plan's precompiled offsets
+    /// (the offsets minus their trailing sentinel are exactly the group
+    /// starts).
+    fn accumulate_plan_groups(&mut self, plan: &ArrayPlan) -> bool {
+        self.accumulate_groups(&plan.offsets[..plan.group_count()], plan.module_count)
+    }
+
+    /// Sums the loaded terms over `start..end` in module order — the same
+    /// order (and therefore the same rounding) as the legacy per-call path.
+    fn sum_range(&self, start: usize, end: usize) -> (f64, f64, bool) {
+        let mut s_g = 0.0;
+        let mut g_g = 0.0;
+        let mut shorted = false;
+        for i in start..end {
+            shorted |= self.short[i];
+            if !self.connected[i] {
+                continue;
+            }
+            s_g += self.ge[i];
+            g_g += self.g[i];
+        }
+        (s_g, g_g, shorted)
+    }
+
+    /// Derives the optimum string current from the accumulated group sums
+    /// and solves the operating point there.
+    fn mpp_from_groups(&mut self, n: usize) -> SolvedPoint {
+        let mut sum_voc = 0.0; // Σ_g S_g / G_g  (total open-circuit voltage)
+        let mut sum_res = 0.0; // Σ_g 1 / G_g    (total series resistance)
+        for j in 0..n {
+            if self.group_shorted[j] {
+                continue; // zero volts, zero resistance — drops out of the MPP sums
+            }
+            sum_voc += self.group_s[j] / self.group_g[j];
+            sum_res += 1.0 / self.group_g[j];
+        }
+        // `sum_res == 0` means every group is shorted: the array is a dead
+        // short and delivers no power at any current.
+        let optimum = if sum_res > 0.0 {
+            (sum_voc / (2.0 * sum_res)).max(0.0)
+        } else {
+            0.0
+        };
+        self.operate_from_groups(n, Amps::new(optimum))
+    }
+
+    /// Solves the operating point at an imposed current from the
+    /// accumulated group sums.
+    fn operate_from_groups(&mut self, n: usize, current: Amps) -> SolvedPoint {
+        self.groups.clear();
+        let mut total_voltage = Volts::ZERO;
+        for j in 0..n {
+            let voltage = if self.group_shorted[j] {
+                Volts::ZERO
+            } else {
+                Volts::new((self.group_s[j] - current.value()) / self.group_g[j])
+            };
+            let power = voltage * current;
+            total_voltage += voltage;
+            self.groups.push(GroupOperatingPoint::new(voltage, power));
+        }
+        SolvedPoint {
+            current,
+            voltage: total_voltage,
+            power: total_voltage * current,
+        }
+    }
+
+    /// The dead operating point of a string broken by an all-open group.
+    fn zero_point(&mut self, n: usize) -> SolvedPoint {
+        self.groups.clear();
+        self.groups
+            .resize(n, GroupOperatingPoint::new(Volts::ZERO, Watts::ZERO));
+        SolvedPoint {
+            current: Amps::ZERO,
+            voltage: Volts::ZERO,
+            power: Watts::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use teg_device::{TegDatasheet, TegModule};
+
+    fn module() -> TegModule {
+        TegModule::from_datasheet(&TegDatasheet::tgm_199_1_4_0_8())
+    }
+
+    fn gradient_deltas(n: usize, base: f64, span: f64) -> Vec<TemperatureDelta> {
+        (0..n)
+            .map(|i| TemperatureDelta::new(base + span * i as f64 / n as f64))
+            .collect()
+    }
+
+    /// Deterministically derives a fault pattern from a bit mask: two bits
+    /// per module select healthy / open / short / derated (the same scheme
+    /// the electrical proptests use).
+    fn fault_pattern(n: usize, mask: u64) -> FaultState {
+        let mut faults = FaultState::healthy(n);
+        for i in 0..n {
+            match (mask >> ((2 * i) % 64)) & 0b11 {
+                1 => faults
+                    .set_module_fault(i, ModuleFault::OpenCircuit)
+                    .unwrap(),
+                2 => faults
+                    .set_module_fault(i, ModuleFault::ShortCircuit)
+                    .unwrap(),
+                3 => faults
+                    .set_module_fault(i, ModuleFault::Derated(0.6))
+                    .unwrap(),
+                _ => {}
+            }
+        }
+        faults
+    }
+
+    /// Derives an arbitrary (but always valid) partition from a bit mask:
+    /// bit `i − 1` set ⇒ a group boundary before module `i`.
+    fn partition_from_mask(n: usize, mask: u64) -> Configuration {
+        let mut starts = vec![0usize];
+        for i in 1..n {
+            if (mask >> ((i - 1) % 64)) & 1 == 1 {
+                starts.push(i);
+            }
+        }
+        Configuration::new(starts, n).expect("mask-derived starts are strictly increasing")
+    }
+
+    #[test]
+    fn plan_compile_validates_module_counts() {
+        let array = TegArray::uniform(module(), 6);
+        let config = Configuration::uniform(8, 2).unwrap();
+        assert!(ArrayPlan::compile(&array, &config, None).is_err());
+        let config = Configuration::uniform(6, 2).unwrap();
+        let faults = FaultState::healthy(5);
+        assert!(ArrayPlan::compile(&array, &config, Some(&faults)).is_err());
+        let plan = ArrayPlan::compile(&array, &config, None).unwrap();
+        assert_eq!(plan.module_count(), 6);
+        assert_eq!(plan.group_count(), 2);
+    }
+
+    #[test]
+    fn solver_rejects_unloaded_and_mismatched_candidates() {
+        let array = TegArray::uniform(module(), 6);
+        let deltas = gradient_deltas(6, 40.0, 20.0);
+        let config = Configuration::uniform(6, 2).unwrap();
+        let mut solver = ArraySolver::new();
+        assert!(solver.mpp(&config).is_err());
+        solver.load(&array, &deltas, None).unwrap();
+        let wrong = Configuration::uniform(8, 2).unwrap();
+        assert!(solver.mpp(&wrong).is_err());
+        assert!(solver.operate_at(&wrong, Amps::new(0.1)).is_err());
+        let short = gradient_deltas(5, 40.0, 20.0);
+        assert!(solver.load(&array, &short, None).is_err());
+        let faults = FaultState::healthy(5);
+        assert!(solver.load(&array, &deltas, Some(&faults)).is_err());
+    }
+
+    #[test]
+    fn plan_solves_match_the_legacy_methods_bitwise() {
+        let array = TegArray::uniform(module(), 9);
+        let deltas = gradient_deltas(9, 35.0, 30.0);
+        let config = Configuration::new(vec![0, 2, 5], 9).unwrap();
+        let plan = ArrayPlan::compile(&array, &config, None).unwrap();
+        let mut solver = ArraySolver::new();
+
+        let legacy = array.maximum_power_point(&config, &deltas).unwrap();
+        let point = solver.solve_mpp(&array, &plan, &deltas).unwrap();
+        assert_eq!(point.current(), legacy.current());
+        assert_eq!(point.voltage(), legacy.voltage());
+        assert_eq!(point.power(), legacy.power());
+        assert_eq!(solver.group_points(), legacy.groups());
+
+        let legacy = array.operate_at(&config, &deltas, Amps::new(0.42)).unwrap();
+        let point = solver
+            .solve_at(&array, &plan, &deltas, Amps::new(0.42))
+            .unwrap();
+        assert_eq!(point.voltage(), legacy.voltage());
+        assert_eq!(point.power(), legacy.power());
+        assert_eq!(solver.group_points(), legacy.groups());
+    }
+
+    #[test]
+    fn plan_solves_validate_dimensions() {
+        let array = TegArray::uniform(module(), 6);
+        let other = TegArray::uniform(module(), 8);
+        let config = Configuration::uniform(6, 3).unwrap();
+        let plan = ArrayPlan::compile(&array, &config, None).unwrap();
+        let mut solver = ArraySolver::new();
+        let deltas = gradient_deltas(6, 40.0, 10.0);
+        assert!(solver.solve_mpp(&other, &plan, &deltas).is_err());
+        let short = gradient_deltas(5, 40.0, 10.0);
+        assert!(solver.solve_mpp(&array, &plan, &short).is_err());
+        assert!(solver
+            .solve_at(&array, &plan, &short, Amps::new(0.1))
+            .is_err());
+    }
+
+    #[test]
+    fn batch_results_arrive_in_candidate_order() {
+        let array = TegArray::uniform(module(), 12);
+        let deltas = gradient_deltas(12, 30.0, 35.0);
+        let candidates: Vec<_> = (1..=12)
+            .map(|n| Configuration::uniform(12, n).unwrap())
+            .collect();
+        let mut solver = ArraySolver::new();
+        solver.load(&array, &deltas, None).unwrap();
+        let mut powers = Vec::new();
+        solver
+            .evaluate_candidates(&candidates, &mut powers)
+            .unwrap();
+        assert_eq!(powers.len(), candidates.len());
+        for (candidate, power) in candidates.iter().zip(&powers) {
+            assert_eq!(*power, array.mpp_power(candidate, &deltas).unwrap());
+        }
+        // The output buffer is cleared on reuse, not appended to.
+        solver
+            .evaluate_candidates(&candidates[..3], &mut powers)
+            .unwrap();
+        assert_eq!(powers.len(), 3);
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_array_sizes() {
+        let mut solver = ArraySolver::new();
+        for n in [4usize, 16, 7] {
+            let array = TegArray::uniform(module(), n);
+            let deltas = gradient_deltas(n, 45.0, 15.0);
+            let config = Configuration::uniform(n, (n / 2).max(1)).unwrap();
+            solver.load(&array, &deltas, None).unwrap();
+            let power = solver.mpp_power(&config).unwrap();
+            assert_eq!(power, array.mpp_power(&config, &deltas).unwrap());
+            assert_eq!(solver.group_points().len(), config.group_count());
+        }
+    }
+
+    proptest! {
+        /// The batched candidate API is exactly — bit for bit — the legacy
+        /// per-candidate `mpp_power` / `mpp_power_faulted`, for arbitrary
+        /// partitions, ΔT vectors and fault masks.  This is the contract
+        /// that lets the schemes and the session switch to the kernel
+        /// without re-blessing any golden trace.
+        #[test]
+        fn prop_batch_equals_legacy_per_candidate(
+            n in 2usize..24,
+            base in 0.0_f64..80.0,
+            span in -30.0_f64..50.0,
+            partition_seed in 0u64..u64::MAX,
+            fault_mask in 0u64..u64::MAX,
+        ) {
+            let array = TegArray::uniform(module(), n);
+            let deltas = gradient_deltas(n, base, span);
+            let faults = fault_pattern(n, fault_mask);
+            // A spread of candidates: every uniform split plus three
+            // mask-derived arbitrary partitions.
+            let mut candidates: Vec<_> = (1..=n)
+                .map(|groups| Configuration::uniform(n, groups).unwrap())
+                .collect();
+            for rotate in [0, 13, 37] {
+                candidates.push(partition_from_mask(n, partition_seed.rotate_left(rotate)));
+            }
+
+            let mut solver = ArraySolver::new();
+            let mut powers = Vec::new();
+
+            // Healthy: batch ≡ per-candidate mpp_power.
+            solver.load(&array, &deltas, None).unwrap();
+            solver.evaluate_candidates(&candidates, &mut powers).unwrap();
+            for (candidate, power) in candidates.iter().zip(&powers) {
+                let legacy = array.mpp_power(candidate, &deltas).unwrap();
+                prop_assert_eq!(power.value().to_bits(), legacy.value().to_bits());
+            }
+
+            // Faulted: batch ≡ per-candidate mpp_power_faulted.
+            solver.load(&array, &deltas, Some(&faults)).unwrap();
+            solver.evaluate_candidates(&candidates, &mut powers).unwrap();
+            for (candidate, power) in candidates.iter().zip(&powers) {
+                let legacy = array.mpp_power_faulted(candidate, &deltas, &faults).unwrap();
+                prop_assert_eq!(power.value().to_bits(), legacy.value().to_bits());
+            }
+        }
+
+        /// A compiled plan solved per ΔT vector matches the legacy
+        /// whole-operating-point methods bitwise, healthy and faulted, at
+        /// the MPP and at arbitrary imposed currents.
+        #[test]
+        fn prop_plan_solver_matches_legacy_operating_points(
+            n in 2usize..20,
+            base in 0.0_f64..80.0,
+            span in -30.0_f64..50.0,
+            partition_seed in 0u64..u64::MAX,
+            fault_mask in 0u64..u64::MAX,
+            frac in 0.0_f64..2.0,
+        ) {
+            let array = TegArray::uniform(module(), n);
+            let deltas = gradient_deltas(n, base, span);
+            let config = partition_from_mask(n, partition_seed);
+            let faults = fault_pattern(n, fault_mask);
+            let mut solver = ArraySolver::new();
+
+            for active in [None, Some(&faults)] {
+                let plan = ArrayPlan::compile(&array, &config, active).unwrap();
+                let legacy_mpp = match active {
+                    None => array.maximum_power_point(&config, &deltas).unwrap(),
+                    Some(f) => array
+                        .maximum_power_point_faulted(&config, &deltas, f)
+                        .unwrap(),
+                };
+                let point = solver.solve_mpp(&array, &plan, &deltas).unwrap();
+                prop_assert_eq!(point.current(), legacy_mpp.current());
+                prop_assert_eq!(point.voltage(), legacy_mpp.voltage());
+                prop_assert_eq!(point.power().value().to_bits(), legacy_mpp.power().value().to_bits());
+                prop_assert_eq!(solver.group_points(), legacy_mpp.groups());
+
+                let probe = legacy_mpp.current() * frac;
+                let legacy_at = match active {
+                    None => array.operate_at(&config, &deltas, probe).unwrap(),
+                    Some(f) => array
+                        .operate_at_faulted(&config, &deltas, probe, f)
+                        .unwrap(),
+                };
+                let at = solver.solve_at(&array, &plan, &deltas, probe).unwrap();
+                prop_assert_eq!(at.current(), legacy_at.current());
+                prop_assert_eq!(at.voltage(), legacy_at.voltage());
+                prop_assert_eq!(at.power().value().to_bits(), legacy_at.power().value().to_bits());
+            }
+        }
+    }
+}

@@ -107,7 +107,10 @@ fn legacy_run(scenario: &Scenario, scheme: &mut dyn Reconfigurer) {
             let applied = decision.applied();
             let computation = decision.computation();
             let next = decision.into_configuration();
-            let toggles = config.switch_toggles_to(&next).expect("toggles");
+            let toggles = match &next {
+                Some(next) => config.switch_toggles_to(next).expect("toggles"),
+                None => 0,
+            };
             let current_power = array.mpp_power(&config, &deltas).expect("power");
             if applied {
                 let event = scenario
@@ -115,7 +118,7 @@ fn legacy_run(scenario: &Scenario, scheme: &mut dyn Reconfigurer) {
                     .event(current_power, computation, toggles);
                 overhead_energy += event.total_energy();
                 if toggles > 0 {
-                    config = next;
+                    config = next.expect("a rewiring decision carries its configuration");
                 }
             }
         }

@@ -1,0 +1,104 @@
+//! Compiled-plan solver vs the legacy per-call electrical path.
+//!
+//! Two shapes of the hot loop are measured:
+//!
+//! * the **candidate scan** (INOR's inner loop): one ΔT vector, many
+//!   configurations — batch kernel vs one `mpp_power` call per candidate;
+//! * the **fixed-wiring re-solve** (a session's physics step): one
+//!   configuration, fresh ΔT every call — compiled `ArrayPlan` vs
+//!   `maximum_power_point`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use teg_array::{ArrayPlan, ArraySolver, Configuration};
+use teg_bench::{exponential_deltas, paper_array};
+use teg_reconfig::Inor;
+
+fn bench_candidate_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver/candidate_scan");
+    group.sample_size(20);
+    for modules in [50usize, 100, 200] {
+        let array = paper_array(modules);
+        let deltas = exponential_deltas(modules, 70.0, 0.8);
+        let currents = array.mpp_currents(&deltas).expect("deltas match");
+        let (n_min, n_max) = Inor::default().group_bounds(&array, &deltas);
+        let candidates: Vec<Configuration> = (n_min..=n_max)
+            .map(|n| Inor::balanced_partition(&currents, n))
+            .collect();
+
+        group.bench_with_input(
+            BenchmarkId::new("legacy_per_call", modules),
+            &modules,
+            |b, _| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for candidate in &candidates {
+                        acc += array
+                            .mpp_power(black_box(candidate), &deltas)
+                            .expect("solve")
+                            .value();
+                    }
+                    acc
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("compiled_batch", modules),
+            &modules,
+            |b, _| {
+                let mut solver = ArraySolver::new();
+                let mut powers = Vec::new();
+                b.iter(|| {
+                    solver.load(&array, &deltas, None).expect("load");
+                    solver
+                        .evaluate_candidates(black_box(&candidates), &mut powers)
+                        .expect("batch");
+                    powers.last().copied()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fixed_wiring_resolve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver/fixed_wiring_resolve");
+    group.sample_size(20);
+    for modules in [50usize, 200] {
+        let array = paper_array(modules);
+        let deltas = exponential_deltas(modules, 70.0, 0.8);
+        let config = Configuration::uniform(modules, 10).expect("valid");
+
+        group.bench_with_input(
+            BenchmarkId::new("legacy_full_point", modules),
+            &modules,
+            |b, _| {
+                b.iter(|| {
+                    array
+                        .maximum_power_point(black_box(&config), &deltas)
+                        .expect("solve")
+                        .power()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("compiled_plan", modules),
+            &modules,
+            |b, _| {
+                let plan = ArrayPlan::compile(&array, &config, None).expect("compile");
+                let mut solver = ArraySolver::new();
+                b.iter(|| {
+                    solver
+                        .solve_mpp(&array, black_box(&plan), &deltas)
+                        .expect("solve")
+                        .power()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_candidate_scan, bench_fixed_wiring_resolve);
+criterion_main!(benches);

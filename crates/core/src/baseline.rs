@@ -24,9 +24,12 @@ use crate::traits::{ReconfigDecision, Reconfigurer};
 /// let history = vec![vec![90.0; 100]];
 /// let inputs = TelemetryWindow::new(&array, &history, Celsius::new(25.0))?;
 /// let mut baseline = StaticBaseline::grid_10x10();
-/// let current = Configuration::uniform(100, 10).expect("valid");
+/// let current = Configuration::uniform(100, 4).expect("valid");
 /// let decision = baseline.decide(&inputs, &current)?;
-/// assert_eq!(decision.configuration().group_count(), 10);
+/// assert_eq!(decision.configuration().expect("rewires once").group_count(), 10);
+/// // Once the grid is wired, later decisions keep it without cloning.
+/// let grid = Configuration::uniform(100, 10).expect("valid");
+/// assert!(baseline.decide(&inputs, &grid)?.keeps_current());
 /// # Ok(())
 /// # }
 /// ```
@@ -93,14 +96,12 @@ impl Reconfigurer for StaticBaseline {
         let groups = self.groups.min(modules);
         let target = Configuration::uniform(modules, groups)?;
         // No computation worth metering: the wiring is fixed and is only
-        // applied once, when the array is first connected.
-        let changed = current != &target;
-        Ok(ReconfigDecision::new(
-            target,
-            Seconds::ZERO,
-            changed,
-            changed,
-        ))
+        // applied once, when the array is first connected.  Every later
+        // invocation keeps the current wiring without cloning it.
+        if current == &target {
+            return Ok(ReconfigDecision::keep(Seconds::ZERO, false, false));
+        }
+        Ok(ReconfigDecision::new(target, Seconds::ZERO, true, true))
     }
 }
 
@@ -138,11 +139,11 @@ mod tests {
         let first = baseline
             .decide(&inputs, &Configuration::uniform(100, 4).unwrap())
             .unwrap();
-        assert_eq!(first.configuration(), &grid);
+        assert_eq!(first.configuration(), Some(&grid));
         assert!(first.evaluated());
-        // Once wired, subsequent decisions change nothing.
+        // Once wired, subsequent decisions keep the grid without cloning.
         let second = baseline.decide(&inputs, &grid).unwrap();
-        assert_eq!(second.configuration(), &grid);
+        assert!(second.keeps_current());
         assert!(!second.evaluated());
         assert_eq!(second.computation(), Seconds::ZERO);
         assert_eq!(baseline.name(), "Baseline");
@@ -158,6 +159,7 @@ mod tests {
         let decision = baseline
             .decide(&inputs, &Configuration::uniform(4, 1).unwrap())
             .unwrap();
-        assert_eq!(decision.configuration().group_count(), 4);
+        let adopted = decision.configuration().expect("rewires to the grid");
+        assert_eq!(adopted.group_count(), 4);
     }
 }

@@ -2,7 +2,7 @@
 
 use std::time::Instant;
 
-use teg_array::{Configuration, SwitchingOverheadModel};
+use teg_array::{ArraySolver, Configuration, SwitchingOverheadModel};
 use teg_predict::{MultipleLinearRegression, Predictor};
 use teg_units::{Joules, Seconds, TemperatureDelta, Watts};
 
@@ -285,22 +285,42 @@ impl Dnor {
         rows
     }
 
-    /// Integrates the predicted array MPP energy of a configuration over the
-    /// current second plus the `t_p` predicted seconds.
-    fn predicted_energy(
+    /// Integrates the predicted array MPP energy of the incumbent and the
+    /// candidate configuration over the current second plus the `t_p`
+    /// predicted seconds, sharing one batch solve per ΔT row.
+    ///
+    /// Also returns the incumbent's instantaneous MPP power (the first term
+    /// of its energy integral), which the switching-overhead gate needs —
+    /// the kernel is deterministic, so reusing the solve is exact.
+    fn predicted_energies(
         &self,
+        solver: &mut ArraySolver,
         window: &TelemetryWindow<'_>,
-        configuration: &Configuration,
+        incumbent: &Configuration,
+        candidate: &Configuration,
         current_deltas: &[TemperatureDelta],
         predicted_rows: &[Vec<f64>],
-    ) -> Result<Joules, ReconfigError> {
+    ) -> Result<(Joules, Joules, Watts), ReconfigError> {
         let step = self.config.period;
-        let mut energy = window.array().mpp_power(configuration, current_deltas)? * step;
+        let array = window.array();
+        // The per-module EMF/conductance terms are derived once per ΔT row
+        // and amortised over both configurations; each configuration's
+        // energy still accumulates in row order, so the sums are
+        // bit-identical to integrating the two configurations separately.
+        // The first load repeats what `optimise_with` left in the solver at
+        // the call site — kept so this function never depends on what a
+        // caller loaded before it.
+        solver.load(array, current_deltas, None)?;
+        let current_power = solver.mpp_power(incumbent)?;
+        let mut energy_old = current_power * step;
+        let mut energy_new = solver.mpp_power(candidate)? * step;
         for row in predicted_rows {
             let deltas = TelemetryWindow::deltas_from_row(row, window.ambient());
-            energy += window.array().mpp_power(configuration, &deltas)? * step;
+            solver.load(array, &deltas, None)?;
+            energy_old += solver.mpp_power(incumbent)? * step;
+            energy_new += solver.mpp_power(candidate)? * step;
         }
-        Ok(energy)
+        Ok((energy_old, energy_new, current_power))
     }
 }
 
@@ -340,26 +360,27 @@ impl Reconfigurer for Dnor {
         if self.periods_until_evaluation > 0 {
             self.periods_until_evaluation -= 1;
             let elapsed = elapsed_or_assumed(&started);
-            return Ok(ReconfigDecision::new(
-                current.clone(),
-                elapsed,
-                false,
-                false,
-            ));
+            return Ok(ReconfigDecision::keep(elapsed, false, false));
         }
 
         self.evaluations += 1;
+        let mut solver = ArraySolver::new();
         let current_deltas = window.current_deltas();
-        let (candidate, _) = self.inner.optimise(window.array(), &current_deltas)?;
+        let (candidate, _) =
+            self.inner
+                .optimise_with(&mut solver, window.array(), &current_deltas)?;
         let predicted_rows = self.predict_rows(window);
 
-        let energy_old =
-            self.predicted_energy(window, current, &current_deltas, &predicted_rows)?;
-        let energy_new =
-            self.predicted_energy(window, &candidate, &current_deltas, &predicted_rows)?;
+        let (energy_old, energy_new, current_power) = self.predicted_energies(
+            &mut solver,
+            window,
+            current,
+            &candidate,
+            &current_deltas,
+            &predicted_rows,
+        )?;
 
         let toggles = current.switch_toggles_to(&candidate)?;
-        let current_power: Watts = window.array().mpp_power(current, &current_deltas)?;
         let computation_so_far = elapsed_or_assumed(&started);
         let overhead = self
             .config
@@ -368,18 +389,16 @@ impl Reconfigurer for Dnor {
             .total_energy();
 
         let switch = energy_old <= energy_new - overhead && &candidate != current;
-        let chosen = if switch {
-            self.switches += 1;
-            candidate
-        } else {
-            current.clone()
-        };
-
         self.periods_until_evaluation = self.config.prediction_horizon;
         let elapsed = elapsed_or_assumed(&started);
         // DNOR evaluates in the background while the array keeps harvesting;
         // only an actual switch interrupts the output.
-        Ok(ReconfigDecision::new(chosen, elapsed, true, switch))
+        if switch {
+            self.switches += 1;
+            Ok(ReconfigDecision::new(candidate, elapsed, true, true))
+        } else {
+            Ok(ReconfigDecision::keep(elapsed, true, false))
+        }
     }
 
     fn reset(&mut self) {
@@ -436,7 +455,9 @@ mod tests {
         for _ in 0..9 {
             let decision = dnor.decide(&inputs, &config).unwrap();
             evaluated_pattern.push(decision.evaluated());
-            config = decision.into_configuration();
+            if let Some(next) = decision.into_configuration() {
+                config = next;
+            }
         }
         // Horizon 2 → evaluate on one period, skip the next two, repeat.
         assert_eq!(
@@ -459,11 +480,11 @@ mod tests {
         let mut switch_events = 0;
         for _ in 0..30 {
             let decision = dnor.decide(&inputs, &config).unwrap();
-            let config_changed = decision.configuration() != &config;
-            if config_changed {
+            if let Some(next) = decision.into_configuration() {
+                assert_ne!(next, config, "a switch decision must change the wiring");
                 switch_events += 1;
+                config = next;
             }
-            config = decision.into_configuration();
         }
         assert!(
             switch_events <= 1,
@@ -481,7 +502,8 @@ mod tests {
         let mut dnor = Dnor::default();
         let decision = dnor.decide(&inputs, &start).unwrap();
         let deltas = inputs.current_deltas();
-        let adopted_power = a.mpp_power(decision.configuration(), &deltas).unwrap();
+        let adopted = decision.configuration().unwrap_or(&start);
+        let adopted_power = a.mpp_power(adopted, &deltas).unwrap();
         let (_, inor_power) = Inor::default().optimise(&a, &deltas).unwrap();
         // DNOR either adopted INOR's configuration or found the old one good
         // enough; in the latter case the start configuration was already
@@ -498,7 +520,9 @@ mod tests {
         let mut dnor = Dnor::default();
         let decision = dnor.decide(&inputs, &current).unwrap();
         assert!(decision.evaluated());
-        assert_eq!(decision.configuration().module_count(), 10);
+        assert!(decision
+            .configuration()
+            .is_none_or(|c| c.module_count() == 10));
     }
 
     #[test]
@@ -556,7 +580,9 @@ mod tests {
             for _ in 0..9 {
                 let decision = dnor.decide(&inputs, &current).unwrap();
                 trail.push(decision.clone());
-                current = decision.into_configuration();
+                if let Some(next) = decision.into_configuration() {
+                    current = next;
+                }
             }
             trail
         };

@@ -14,11 +14,11 @@
 
 use std::time::Instant;
 
-use teg_array::{Configuration, TegArray};
+use teg_array::{ArraySolver, Configuration, TegArray};
 use teg_units::{Amps, Seconds, TemperatureDelta, Watts};
 
 use crate::error::ReconfigError;
-use crate::inor::{Inor, InorConfig};
+use crate::inor::{pick_best_candidate, Inor, InorConfig};
 use crate::telemetry::TelemetryWindow;
 use crate::traits::{ReconfigDecision, Reconfigurer};
 
@@ -133,22 +133,30 @@ impl Ehtr {
         array: &TegArray,
         deltas: &[TemperatureDelta],
     ) -> Result<(Configuration, Watts), ReconfigError> {
+        self.optimise_with(&mut ArraySolver::new(), array, deltas)
+    }
+
+    /// [`Ehtr::optimise`] evaluating its candidates through a caller-owned
+    /// solver, so a looping controller reuses the scratch buffers across
+    /// invocations instead of reallocating them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ReconfigError::Array`] if the ΔT vector does not match
+    /// the array.
+    pub fn optimise_with(
+        &self,
+        solver: &mut ArraySolver,
+        array: &TegArray,
+        deltas: &[TemperatureDelta],
+    ) -> Result<(Configuration, Watts), ReconfigError> {
         let mpp_currents = array.mpp_currents(deltas)?;
         let inor_view = Inor::new(self.config.clone());
         let (n_min, n_max) = inor_view.group_bounds(array, deltas);
-        let mut best: Option<(Configuration, Watts)> = None;
-        for n in n_min..=n_max {
-            let candidate = Self::optimal_partition(&mpp_currents, n);
-            let power = array.mpp_power(&candidate, deltas)?;
-            let better = match &best {
-                None => true,
-                Some((_, best_power)) => power > *best_power,
-            };
-            if better {
-                best = Some((candidate, power));
-            }
-        }
-        Ok(best.expect("window always contains at least one group count"))
+        let candidates: Vec<Configuration> = (n_min..=n_max)
+            .map(|n| Self::optimal_partition(&mpp_currents, n))
+            .collect();
+        pick_best_candidate(solver, array, deltas, candidates)
     }
 }
 

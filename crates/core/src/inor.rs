@@ -2,7 +2,7 @@
 
 use std::time::Instant;
 
-use teg_array::{Configuration, TegArray};
+use teg_array::{ArraySolver, Configuration, TegArray};
 use teg_power::Charger;
 use teg_units::{Amps, Seconds, TemperatureDelta, Watts};
 
@@ -218,22 +218,57 @@ impl Inor {
         array: &TegArray,
         deltas: &[TemperatureDelta],
     ) -> Result<(Configuration, Watts), ReconfigError> {
+        self.optimise_with(&mut ArraySolver::new(), array, deltas)
+    }
+
+    /// [`Inor::optimise`] evaluating its candidates through a caller-owned
+    /// solver, so a looping controller reuses the scratch buffers across
+    /// invocations instead of reallocating them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ReconfigError::Array`] if the ΔT vector does not match
+    /// the array.
+    pub fn optimise_with(
+        &self,
+        solver: &mut ArraySolver,
+        array: &TegArray,
+        deltas: &[TemperatureDelta],
+    ) -> Result<(Configuration, Watts), ReconfigError> {
         let mpp_currents = array.mpp_currents(deltas)?;
         let (n_min, n_max) = self.group_bounds(array, deltas);
-        let mut best: Option<(Configuration, Watts)> = None;
-        for n in n_min..=n_max {
-            let candidate = Self::balanced_partition(&mpp_currents, n);
-            let power = array.mpp_power(&candidate, deltas)?;
-            let better = match &best {
-                None => true,
-                Some((_, best_power)) => power > *best_power,
-            };
-            if better {
-                best = Some((candidate, power));
-            }
-        }
-        Ok(best.expect("window always contains at least one group count"))
+        let candidates: Vec<Configuration> = (n_min..=n_max)
+            .map(|n| Self::balanced_partition(&mpp_currents, n))
+            .collect();
+        pick_best_candidate(solver, array, deltas, candidates)
     }
+}
+
+/// The shared candidate scan of INOR and EHTR: load the per-module EMF and
+/// conductance terms once, evaluate every candidate through the batch
+/// kernel, and keep the earliest maximum (the same tie-break the original
+/// per-candidate loop used).
+pub(crate) fn pick_best_candidate(
+    solver: &mut ArraySolver,
+    array: &TegArray,
+    deltas: &[TemperatureDelta],
+    candidates: Vec<Configuration>,
+) -> Result<(Configuration, Watts), ReconfigError> {
+    solver.load(array, deltas, None)?;
+    let mut powers = Vec::with_capacity(candidates.len());
+    solver.evaluate_candidates(&candidates, &mut powers)?;
+    let mut best = 0;
+    for (i, power) in powers.iter().enumerate() {
+        if *power > powers[best] {
+            best = i;
+        }
+    }
+    let power = powers[best];
+    let configuration = candidates
+        .into_iter()
+        .nth(best)
+        .expect("window always contains at least one group count");
+    Ok((configuration, power))
 }
 
 impl Reconfigurer for Inor {
@@ -391,7 +426,10 @@ mod tests {
         let decision = inor.decide(&inputs, &current).unwrap();
         assert!(decision.evaluated());
         assert!(decision.computation().value() >= 0.0);
-        assert_eq!(decision.configuration().module_count(), 40);
+        let adopted = decision
+            .configuration()
+            .expect("INOR always proposes a configuration");
+        assert_eq!(adopted.module_count(), 40);
     }
 
     #[test]

@@ -40,7 +40,7 @@
 //! let mut inor = Inor::default();
 //! let current = Configuration::uniform(20, 4).expect("valid");
 //! let decision = inor.decide(&inputs, &current)?;
-//! assert!(decision.configuration().group_count() >= 1);
+//! assert!(decision.configuration().expect("INOR proposes").group_count() >= 1);
 //! # Ok(())
 //! # }
 //! ```

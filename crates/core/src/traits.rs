@@ -9,24 +9,26 @@ use crate::telemetry::TelemetryWindow;
 /// The outcome of one reconfiguration decision.
 ///
 /// The decision carries the configuration the controller should use from now
-/// on (possibly the unchanged current one), how long the algorithm took to
-/// compute it, whether the algorithm actually evaluated a fresh candidate on
-/// this invocation (DNOR skips evaluation between its prediction periods),
-/// and whether the controller must *apply* the configuration — i.e. actuate
-/// the switch matrix and restart MPPT, which is what costs dead time.
+/// on — `Some(new)` to adopt a replacement, `None` to keep the current
+/// wiring without cloning it — how long the algorithm took to compute it,
+/// whether the algorithm actually evaluated a fresh candidate on this
+/// invocation (DNOR skips evaluation between its prediction periods), and
+/// whether the controller must *apply* the configuration — i.e. actuate the
+/// switch matrix and restart MPPT, which is what costs dead time.
 /// Fixed-period schemes (INOR, EHTR) re-apply on every period, which is why
 /// they accumulate the large switching overhead of Table I; DNOR applies only
-/// when it decides to switch.
+/// when it decides to switch and returns [`ReconfigDecision::keep`]
+/// otherwise.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ReconfigDecision {
-    configuration: Configuration,
+    configuration: Option<Configuration>,
     computation: Seconds,
     evaluated: bool,
     applied: bool,
 }
 
 impl ReconfigDecision {
-    /// Creates a decision record.
+    /// Creates a decision carrying a (possibly unchanged) configuration.
     #[must_use]
     pub fn new(
         configuration: Configuration,
@@ -35,23 +37,45 @@ impl ReconfigDecision {
         applied: bool,
     ) -> Self {
         Self {
-            configuration,
+            configuration: Some(configuration),
             computation,
             evaluated,
             applied,
         }
     }
 
-    /// The configuration the array should use after this decision.
+    /// Creates a decision that keeps the current wiring as-is, without
+    /// cloning it into the record — the cheap path for schemes that decided
+    /// not to change anything (DNOR's skipped periods and rejected
+    /// switches, the settled static baseline).
     #[must_use]
-    pub const fn configuration(&self) -> &Configuration {
-        &self.configuration
+    pub const fn keep(computation: Seconds, evaluated: bool, applied: bool) -> Self {
+        Self {
+            configuration: None,
+            computation,
+            evaluated,
+            applied,
+        }
     }
 
-    /// Consumes the decision and returns the configuration.
+    /// The configuration the array should use after this decision, or
+    /// `None` when the decision keeps the current wiring.
     #[must_use]
-    pub fn into_configuration(self) -> Configuration {
+    pub const fn configuration(&self) -> Option<&Configuration> {
+        self.configuration.as_ref()
+    }
+
+    /// Consumes the decision and returns the configuration, or `None` when
+    /// the decision keeps the current wiring.
+    #[must_use]
+    pub fn into_configuration(self) -> Option<Configuration> {
         self.configuration
+    }
+
+    /// `true` when the decision keeps the current wiring unchanged.
+    #[must_use]
+    pub const fn keeps_current(&self) -> bool {
+        self.configuration.is_none()
     }
 
     /// Wall-clock time the algorithm spent computing this decision.
@@ -111,7 +135,7 @@ pub trait Reconfigurer: Send {
     ///
     /// `window` carries the bounded recent telemetry; `current` is the
     /// configuration presently wired, and schemes that decide not to change
-    /// anything simply return it.
+    /// anything return [`ReconfigDecision::keep`] instead of cloning it.
     ///
     /// # Errors
     ///
@@ -136,10 +160,22 @@ mod tests {
     fn decision_accessors() {
         let config = Configuration::uniform(10, 2).unwrap();
         let d = ReconfigDecision::new(config.clone(), Seconds::new(0.004), true, false);
-        assert_eq!(d.configuration(), &config);
+        assert_eq!(d.configuration(), Some(&config));
         assert_eq!(d.computation(), Seconds::new(0.004));
         assert!(d.evaluated());
         assert!(!d.applied());
-        assert_eq!(d.into_configuration(), config);
+        assert!(!d.keeps_current());
+        assert_eq!(d.into_configuration(), Some(config));
+    }
+
+    #[test]
+    fn keep_decisions_carry_no_configuration() {
+        let d = ReconfigDecision::keep(Seconds::new(0.002), true, false);
+        assert!(d.keeps_current());
+        assert_eq!(d.configuration(), None);
+        assert_eq!(d.computation(), Seconds::new(0.002));
+        assert!(d.evaluated());
+        assert!(!d.applied());
+        assert_eq!(d.into_configuration(), None);
     }
 }

@@ -5,7 +5,7 @@
 //! Femia et al.: perturb the operating current by a small step, keep going in
 //! the same direction while the measured power increases, reverse otherwise.
 
-use teg_array::{ArrayOperatingPoint, Configuration, TegArray};
+use teg_array::{ArrayOperatingPoint, ArrayPlan, ArraySolver, Configuration, TegArray};
 use teg_units::{Amps, TemperatureDelta};
 
 use crate::error::PowerError;
@@ -140,20 +140,27 @@ impl PerturbObserve {
         group_sum_mean /= config.group_count() as f64;
         let mut current = Amps::new((group_sum_mean * 0.5).max(1e-3));
 
+        // The wiring is fixed for the whole loop: compile it once and let
+        // the solver's scratch absorb the hundreds of perturbation solves
+        // without a single per-iteration allocation.
+        let plan = ArrayPlan::compile(array, config, None)?;
+        let mut solver = ArraySolver::new();
+
         let mut step = self.initial_step;
         let mut direction = 1.0_f64;
-        let mut last_power = array.operate_at(config, deltas, current)?.power();
-        let mut best = array.operate_at(config, deltas, current)?;
+        let first = solver.solve_at(array, &plan, deltas, current)?;
+        let mut last_power = first.power();
+        let mut best = first;
         let mut iterations = 0;
         let mut converged = false;
 
         for _ in 0..max_iterations {
             iterations += 1;
             let candidate = Amps::new((current.value() + direction * step.value()).max(0.0));
-            let op = array.operate_at(config, deltas, candidate)?;
+            let op = solver.solve_at(array, &plan, deltas, candidate)?;
             let power = op.power();
             if power > best.power() {
-                best = op.clone();
+                best = op;
             }
             if power > last_power {
                 current = candidate;
@@ -171,8 +178,12 @@ impl PerturbObserve {
         }
         let _ = last_power;
 
+        // Materialise the winning point (with its per-group detail) through
+        // the legacy entry point; the kernel is deterministic, so solving
+        // the same current again reproduces `best` exactly.
+        let operating_point = array.operate_at(config, deltas, best.current())?;
         Ok(MpptOutcome {
-            operating_point: best,
+            operating_point,
             iterations,
             converged,
         })

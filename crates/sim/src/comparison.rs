@@ -18,7 +18,7 @@ use crate::error::SimError;
 use crate::record::StepRecord;
 use crate::report::SimulationReport;
 use crate::scenario::Scenario;
-use crate::session::{RuntimePolicy, SimSession};
+use crate::session::{RuntimePolicy, SimSession, SolverPool};
 
 /// A builder driving N schemes in lockstep over one scenario.
 ///
@@ -46,6 +46,7 @@ pub struct Comparison<'s> {
     scenario: &'s Scenario,
     schemes: Vec<Box<dyn Reconfigurer + 's>>,
     runtime_policy: RuntimePolicy,
+    solver_pool: Option<&'s mut SolverPool>,
 }
 
 impl<'s> Comparison<'s> {
@@ -56,6 +57,7 @@ impl<'s> Comparison<'s> {
             scenario,
             schemes: Vec::new(),
             runtime_policy: RuntimePolicy::Measured,
+            solver_pool: None,
         }
     }
 
@@ -93,6 +95,17 @@ impl<'s> Comparison<'s> {
     #[must_use]
     pub fn runtime_policy(mut self, policy: RuntimePolicy) -> Self {
         self.runtime_policy = policy;
+        self
+    }
+
+    /// Recycles electrical-solver scratch through the given pool: every
+    /// session draws a warm solver before the run and returns it after, so
+    /// a caller running many comparisons (a sweep worker) reuses the same
+    /// allocations throughout.  Results are unchanged — solvers carry
+    /// scratch, not state.
+    #[must_use]
+    pub fn solver_pool(mut self, pool: &'s mut SolverPool) -> Self {
+        self.solver_pool = Some(pool);
         self
     }
 
@@ -148,6 +161,7 @@ impl<'s> Comparison<'s> {
             }
         }
         let policy = self.runtime_policy;
+        let mut pool = self.solver_pool.take();
         let steps = self.scenario.thermal_trace()?.len();
         let mut sessions = self
             .schemes
@@ -157,17 +171,36 @@ impl<'s> Comparison<'s> {
                     .map(|session| session.with_runtime_policy(policy))
             })
             .collect::<Result<Vec<_>, _>>()?;
+        // Solvers are drawn only once every session exists, and returned
+        // even when a step errors below, so a failing cell never drains its
+        // worker's pool.
+        if let Some(pool) = pool.as_deref_mut() {
+            sessions = sessions
+                .into_iter()
+                .map(|session| session.with_solver(pool.acquire()))
+                .collect();
+        }
         let mut records: Vec<Vec<StepRecord>> =
             sessions.iter().map(|_| Vec::with_capacity(steps)).collect();
 
         // Lockstep: advance every scheme through the same drive second
         // before moving to the next, as the paper's shared testbed does.
-        for _ in 0..steps {
-            for (session, sink) in sessions.iter_mut().zip(records.iter_mut()) {
-                let record = session.step()?.expect("trace length bounds the loop");
-                sink.push(record);
+        let outcome: Result<(), SimError> = (|| {
+            for _ in 0..steps {
+                for (session, sink) in sessions.iter_mut().zip(records.iter_mut()) {
+                    let record = session.step()?.expect("trace length bounds the loop");
+                    sink.push(record);
+                }
+            }
+            Ok(())
+        })();
+
+        if let Some(pool) = pool {
+            for session in &mut sessions {
+                pool.release(session.take_solver());
             }
         }
+        outcome?;
 
         let reports = sessions
             .iter_mut()

@@ -83,7 +83,7 @@ pub use fault::{FaultAction, FaultEvent, FaultPlan, FaultSeverity};
 pub use record::StepRecord;
 pub use report::SimulationReport;
 pub use scenario::{Scenario, ScenarioBuilder};
-pub use session::{RuntimePolicy, SessionSummary, SimSession, StepFn, StepObserver};
+pub use session::{RuntimePolicy, SessionSummary, SimSession, SolverPool, StepFn, StepObserver};
 pub use sweep::{
     CellKey, DriveProfile, FaultProfile, ScenarioGrid, ScenarioGridBuilder, SchemeLineup,
     SchemeSummary, SweepCell, SweepCellReport, SweepReport, SweepRunner,

@@ -14,9 +14,9 @@
 
 use std::sync::Arc;
 
-use teg_array::{Configuration, FaultState};
+use teg_array::{ArrayPlan, ArraySolver, Configuration, FaultState, SolvedPoint, TegArray};
 use teg_reconfig::{Reconfigurer, RuntimeStats, SensorFaultInjector, TelemetryBuffer};
-use teg_units::{Joules, Seconds};
+use teg_units::{Joules, Seconds, TemperatureDelta};
 
 use crate::error::SimError;
 use crate::fault::FaultEvent;
@@ -52,6 +52,48 @@ impl RuntimePolicy {
             Self::Measured => measured,
             Self::Fixed(fixed) => fixed,
         }
+    }
+}
+
+/// A recycling pool of [`ArraySolver`] scratch.
+///
+/// Sessions draw a warm solver on creation ([`SimSession::with_solver`])
+/// and hand it back when done ([`SimSession::take_solver`]), so a caller
+/// that runs many sessions — a sweep worker executing cell after cell —
+/// reuses the same scratch allocations throughout.  Solvers carry no
+/// observable state, so pooling never changes results.
+#[derive(Debug, Default)]
+pub struct SolverPool {
+    solvers: Vec<ArraySolver>,
+}
+
+impl SolverPool {
+    /// Creates an empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of idle solvers currently in the pool.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.solvers.len()
+    }
+
+    /// Returns `true` while the pool holds no idle solver.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.solvers.is_empty()
+    }
+
+    /// Draws a solver from the pool, creating a fresh one when empty.
+    pub fn acquire(&mut self) -> ArraySolver {
+        self.solvers.pop().unwrap_or_default()
+    }
+
+    /// Returns a solver to the pool for reuse.
+    pub fn release(&mut self, solver: ArraySolver) {
+        self.solvers.push(solver);
     }
 }
 
@@ -300,6 +342,10 @@ pub struct SimSession<'s> {
     // commanded `config`, cached between steps and invalidated whenever a
     // fault event fires or the commanded configuration changes.
     realised_config: Option<Configuration>,
+    // The compiled solve plan for the realised wiring (same cache lifetime
+    // as `realised_config`) and the solver scratch every step reuses.
+    plan: Option<ArrayPlan>,
+    solver: ArraySolver,
     sensors: SensorFaultInjector,
     corrupted_row: Vec<f64>,
     fault_events_fired: usize,
@@ -365,6 +411,8 @@ impl<'s> SimSession<'s> {
             next_fault_event: 0,
             electrical_faults: FaultState::healthy(module_count),
             realised_config: None,
+            plan: None,
+            solver: ArraySolver::new(),
             sensors,
             corrupted_row: Vec::new(),
             fault_events_fired: 0,
@@ -393,6 +441,22 @@ impl<'s> SimSession<'s> {
     #[must_use]
     pub const fn runtime_policy(&self) -> RuntimePolicy {
         self.runtime_policy
+    }
+
+    /// Seeds the session with a pre-warmed solver so its scratch buffers are
+    /// reused instead of reallocated — sweep workers recycle solvers across
+    /// the cells they execute.  Solvers carry no observable state, so
+    /// seeding never changes results.
+    #[must_use]
+    pub fn with_solver(mut self, solver: ArraySolver) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Takes the (now warm) solver back out of the session, leaving a fresh
+    /// one behind — the other half of the recycling handshake.
+    pub fn take_solver(&mut self) -> ArraySolver {
+        std::mem::take(&mut self.solver)
     }
 
     /// The scenario the session replays.
@@ -457,6 +521,7 @@ impl<'s> SimSession<'s> {
         self.fault_events_fired += fault_events_this_step;
         if fault_events_this_step > 0 {
             self.realised_config = None;
+            self.plan = None;
         }
         let electrical_active = !self.electrical_faults.is_healthy();
         let any_fault_active = electrical_active || !self.sensors.is_healthy();
@@ -467,8 +532,12 @@ impl<'s> SimSession<'s> {
         let scenario = self.scenario;
         let array = scenario.array();
         let step = scenario.step();
-        let row = self.trace.row(index);
-        let ambient = self.trace.ambient(index);
+        // A clone of the shared trace handle keeps the borrowed rows
+        // independent of `self`, so the solver helper below can take
+        // `&mut self` while they are alive.
+        let trace = Arc::clone(&self.trace);
+        let row = trace.row(index);
+        let ambient = trace.ambient(index);
 
         // The scheme observes the telemetry *through* the sensors: faulted
         // sensors corrupt a scratch copy of the true row before it enters
@@ -483,8 +552,8 @@ impl<'s> SimSession<'s> {
         }
         // Scheme-independent per-row quantities come precomputed from the
         // shared trace, so N lockstep sessions do not redo them N times.
-        let deltas = self.trace.deltas(index);
-        let ideal = self.trace.ideal(index);
+        let deltas = trace.deltas(index);
+        let ideal = trace.ideal(index);
 
         // Invocation phase accumulator: schemes run every `period`, whether
         // that is shorter or longer than the simulation step.  The epsilon
@@ -498,6 +567,11 @@ impl<'s> SimSession<'s> {
         let mut overhead_energy = Joules::ZERO;
         let mut computation_total = Seconds::ZERO;
         let mut switched_this_step = false;
+        // The solved MPP of the active wiring at this step's ΔT row, shared
+        // between the overhead gate and the plant output and invalidated
+        // when a switch changes the wiring.  The kernel is deterministic,
+        // so the reuse is exact — it just halves the per-step solves.
+        let mut solved: Option<SolvedPoint> = None;
 
         for _ in 0..invocations {
             let window = self.buffer.window(array, ambient)?;
@@ -523,28 +597,27 @@ impl<'s> SimSession<'s> {
                 // counted against the *commanded* wiring — the controller
                 // actuates what it believes — while the interrupted power is
                 // what the degraded plant actually delivered.
-                let toggles = self.config.switch_toggles_to(&next)?;
-                let current_power = if electrical_active {
-                    if self.realised_config.is_none() {
-                        self.realised_config = Some(
-                            self.electrical_faults
-                                .effective_configuration(&self.config)?,
-                        );
-                    }
-                    let realised = self.realised_config.as_ref().expect("filled above");
-                    array.mpp_power_faulted(realised, deltas, &self.electrical_faults)?
-                } else {
-                    array.mpp_power(&self.config, deltas)?
+                let toggles = match &next {
+                    Some(next) => self.config.switch_toggles_to(next)?,
+                    None => 0,
                 };
-                let event = scenario
-                    .overhead()
-                    .event(current_power, computation, toggles);
+                let op = match solved {
+                    Some(op) => op,
+                    None => {
+                        let op = self.active_mpp(array, deltas, electrical_active)?;
+                        solved = Some(op);
+                        op
+                    }
+                };
+                let event = scenario.overhead().event(op.power(), computation, toggles);
                 overhead_energy += event.total_energy();
                 if toggles > 0 {
                     switched_this_step = true;
                     self.switch_count += 1;
-                    self.config = next;
+                    self.config = next.expect("a rewiring decision carries its configuration");
                     self.realised_config = None;
+                    self.plan = None;
+                    solved = None;
                 }
             }
         }
@@ -552,17 +625,9 @@ impl<'s> SimSession<'s> {
         // The plant realises the commanded configuration through its (possibly
         // stuck) switch fabric and delivers power with its (possibly open,
         // shorted or derated) modules.
-        let op = if electrical_active {
-            if self.realised_config.is_none() {
-                self.realised_config = Some(
-                    self.electrical_faults
-                        .effective_configuration(&self.config)?,
-                );
-            }
-            let realised = self.realised_config.as_ref().expect("filled above");
-            array.maximum_power_point_faulted(realised, deltas, &self.electrical_faults)?
-        } else {
-            array.maximum_power_point(&self.config, deltas)?
+        let op = match solved {
+            Some(op) => op,
+            None => self.active_mpp(array, deltas, electrical_active)?,
         };
         let array_power = op.power();
         let gross = array_power * step;
@@ -577,7 +642,7 @@ impl<'s> SimSession<'s> {
         self.ideal_energy += ideal * step;
 
         let record = StepRecord::new(
-            self.trace.time(index),
+            trace.time(index),
             array_power,
             net_power,
             delivered_power,
@@ -598,6 +663,35 @@ impl<'s> SimSession<'s> {
             }
         }
         Ok(Some(record))
+    }
+
+    /// Solves the MPP of the wiring the plant currently realises, through
+    /// the compiled-plan cache: the plan is compiled at most once per
+    /// (configuration, fault state) change and the session's solver scratch
+    /// is reused on every step, so the steady-state solve allocates nothing.
+    fn active_mpp(
+        &mut self,
+        array: &TegArray,
+        deltas: &[TemperatureDelta],
+        electrical_active: bool,
+    ) -> Result<SolvedPoint, SimError> {
+        if self.plan.is_none() {
+            let target = if electrical_active {
+                if self.realised_config.is_none() {
+                    self.realised_config = Some(
+                        self.electrical_faults
+                            .effective_configuration(&self.config)?,
+                    );
+                }
+                self.realised_config.as_ref().expect("filled above")
+            } else {
+                &self.config
+            };
+            let faults = electrical_active.then_some(&self.electrical_faults);
+            self.plan = Some(ArrayPlan::compile(array, target, faults)?);
+        }
+        let plan = self.plan.as_ref().expect("filled above");
+        Ok(self.solver.solve_mpp(array, plan, deltas)?)
     }
 
     /// The running totals at this point of the session.

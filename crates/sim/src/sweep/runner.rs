@@ -6,7 +6,7 @@ use std::thread;
 
 use crate::comparison::{Comparison, ComparisonReport};
 use crate::error::SimError;
-use crate::session::RuntimePolicy;
+use crate::session::{RuntimePolicy, SolverPool};
 use crate::sweep::grid::{ScenarioGrid, SweepCell};
 use crate::sweep::report::{SweepCellReport, SweepReport};
 
@@ -116,16 +116,21 @@ impl SweepRunner {
                 let queues = &queues;
                 let results = &results;
                 scope.spawn(move || {
+                    // One solver pool per worker: the electrical-solver
+                    // scratch warms up on the first cell and is reused by
+                    // every later cell this worker executes.
+                    let mut pool = SolverPool::new();
                     while let Some(index) = next_job(queues, own) {
                         // A panicking scheme must not take down the scope
                         // (thread::scope re-raises worker panics on join):
                         // confine it to its cell and report it as that
                         // cell's error.  The state it can poison — its own
-                        // fresh scheme instances and this result slot — is
-                        // cell-local, hence the AssertUnwindSafe.
+                        // fresh scheme instances, this result slot and the
+                        // worker-local solver scratch — is local, hence the
+                        // AssertUnwindSafe.
                         let outcome =
                             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                run_cell(grid, &cells[index], policy)
+                                run_cell(grid, &cells[index], policy, &mut pool)
                             }))
                             .unwrap_or_else(|_| {
                                 Err(SimError::InvalidScenario {
@@ -197,11 +202,13 @@ fn run_cell(
     grid: &ScenarioGrid,
     cell: &SweepCell,
     policy: RuntimePolicy,
+    pool: &mut SolverPool,
 ) -> Result<ComparisonReport, SimError> {
     let scenario = grid.scenario(cell);
     let specs = grid.lineup(cell).specs(cell.key().module_count());
     Comparison::from_specs(scenario, &specs)
         .runtime_policy(policy)
+        .solver_pool(pool)
         .run()
 }
 

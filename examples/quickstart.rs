@@ -27,7 +27,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // One INOR decision.
     let mut inor = Inor::default();
     let decision = inor.decide(&inputs, &grid)?;
-    let chosen = decision.configuration();
+    let chosen = decision
+        .configuration()
+        .expect("INOR always proposes a configuration");
     let inor_power = array.mpp_power(chosen, &deltas)?;
     let ideal = ideal_power(array.modules(), &deltas)?;
 
