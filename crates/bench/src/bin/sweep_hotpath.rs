@@ -1,0 +1,288 @@
+//! Sweep hot-path benchmark — end-to-end cells/second of a scenario sweep
+//! with the cross-cell thermal trace cache on and off.
+//!
+//! PR 4's `solver_hotpath` snapshot covers the electrical candidate scan;
+//! this binary extends the perf trajectory to the full sweep pipeline, where
+//! the radiator solve is the dominant shared cost.  Before any timing it
+//! asserts the correctness contract of the cache: the cached and uncached
+//! (isolated-trace) sweeps must produce identical cells and summaries, and
+//! one worker must equal four workers, bit for bit.  It then times both
+//! configurations end to end, prints a table, writes `BENCH_sweep.json`
+//! and **exits non-zero** if the headline grid's cached-vs-uncached speedup
+//! drops below the committed floor — so CI catches a regressing cache.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use teg_sim::{
+    FaultProfile, FaultSeverity, RuntimePolicy, ScenarioGrid, SchemeLineup, SweepRunner,
+};
+use teg_units::Seconds;
+
+/// Fixed per-decision charge: keeps every run bit-reproducible so the
+/// equivalence gates below are exact.
+const CHARGE: Seconds = Seconds::new(0.002);
+/// Worker count used for the timed runs (fixed for comparable snapshots).
+const WORKERS: usize = 4;
+/// The committed floor for the headline (gating) grid's speedup.  The
+/// snapshot in `BENCH_sweep.json` shows the measured value; the floor is
+/// deliberately conservative so CI noise cannot flake the gate.
+const SPEEDUP_FLOOR: f64 = 1.5;
+
+struct GridSpec {
+    name: &'static str,
+    /// Whether this case enforces `SPEEDUP_FLOOR`.
+    gating: bool,
+    build: fn(bool) -> ScenarioGrid,
+}
+
+/// The headline grid: a seed × fault-severity matrix over the paper's
+/// 100-module array, replayed by the static field lineup (the monitoring
+/// workload whose per-step cost is dominated by the thermal solve).  Thirty-three
+/// of its 36 samples differ only by fault profile, so the cache
+/// collapses 36 trace solves to 3.
+fn monitoring_grid(shared: bool) -> ScenarioGrid {
+    let builder = ScenarioGrid::builder()
+        .module_counts([100])
+        .seeds([1, 2, 3])
+        .duration_seconds(160)
+        .faults([FaultProfile::none()].into_iter().chain((0..11).map(|i| {
+            // Electrical-degradation variants (aging derates and one
+            // open circuit), deterministic in the cell coordinates.
+            // All eleven replay the same radiator inputs as the healthy
+            // profile, so they share its thermal key.
+            FaultProfile::parameterised(format!("degraded-{i}"), move |modules, duration, seed| {
+                let at = |k: usize| (k * duration / 4).min(duration - 1);
+                let module = |k: usize| (seed as usize + i as usize * 3 + k * 7) % modules;
+                teg_sim::FaultPlan::new(vec![
+                    teg_sim::FaultEvent::new(
+                        at(1),
+                        teg_sim::FaultAction::Module {
+                            module: module(0),
+                            fault: teg_array::ModuleFault::Derated(0.5 + 0.04 * i as f64),
+                        },
+                    ),
+                    teg_sim::FaultEvent::new(
+                        at(2),
+                        teg_sim::FaultAction::Module {
+                            module: module(1),
+                            fault: teg_array::ModuleFault::OpenCircuit,
+                        },
+                    ),
+                    teg_sim::FaultEvent::new(
+                        at(3),
+                        teg_sim::FaultAction::ModuleRepair { module: module(1) },
+                    ),
+                ])
+            })
+        })))
+        .lineups([SchemeLineup::parameterised("static-field", |n| {
+            vec![teg_reconfig::SchemeSpec::baseline_square_grid(n)]
+        })]);
+    let builder = if shared {
+        builder
+    } else {
+        builder.isolated_traces()
+    };
+    builder.build().expect("monitoring grid")
+}
+
+/// A full paper-lineup grid for context: all four schemes per cell, where
+/// the electrical candidate scan (already covered by `BENCH_solver.json`)
+/// dilutes the thermal share of the end-to-end cost.
+fn paper_grid(shared: bool) -> ScenarioGrid {
+    let builder = ScenarioGrid::builder()
+        .module_counts([40])
+        .seeds([1, 2])
+        .duration_seconds(120)
+        .faults([
+            FaultProfile::none(),
+            FaultProfile::random("moderate", FaultSeverity::moderate()),
+            FaultProfile::random("severe", FaultSeverity::severe()),
+        ])
+        .lineups([SchemeLineup::paper_fixed(CHARGE)]);
+    let builder = if shared {
+        builder
+    } else {
+        builder.isolated_traces()
+    };
+    builder.build().expect("paper grid")
+}
+
+struct Case {
+    name: &'static str,
+    gating: bool,
+    cells: usize,
+    samples: usize,
+    unique_solves: usize,
+    isolated_solves: usize,
+    uncached_cps: f64,
+    cached_cps: f64,
+}
+
+impl Case {
+    fn speedup(&self) -> f64 {
+        self.cached_cps / self.uncached_cps
+    }
+}
+
+fn runner(workers: usize) -> SweepRunner {
+    SweepRunner::new()
+        .workers(workers)
+        .runtime_policy(RuntimePolicy::Fixed(CHARGE))
+}
+
+/// Best-of-N end-to-end run time, rebuilding a cold grid outside the timed
+/// region each iteration so every run pays its own thermal solves.
+fn time_run_secs(build: fn(bool) -> ScenarioGrid, shared: bool) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let grid = build(shared);
+        let start = Instant::now();
+        let report = runner(WORKERS).run(&grid).expect("sweep");
+        let elapsed = start.elapsed().as_secs_f64();
+        assert!(!report.cells().is_empty());
+        best = best.min(elapsed);
+    }
+    best
+}
+
+fn measure(spec: &GridSpec) -> Case {
+    // Correctness gates first: sharing must be observationally invisible
+    // (identical cells and summaries cached vs isolated; the solve *count*
+    // legitimately differs) and worker-count independent.
+    let cached_serial = runner(1).run(&(spec.build)(true)).expect("serial");
+    let cached_parallel = runner(WORKERS).run(&(spec.build)(true)).expect("parallel");
+    let isolated = runner(WORKERS).run(&(spec.build)(false)).expect("isolated");
+    assert_eq!(
+        cached_serial, cached_parallel,
+        "{}: cached sweep must be worker-count independent",
+        spec.name
+    );
+    assert_eq!(
+        cached_parallel.cells(),
+        isolated.cells(),
+        "{}: trace sharing changed a cell report",
+        spec.name
+    );
+    assert_eq!(
+        cached_parallel.summaries(),
+        isolated.summaries(),
+        "{}: trace sharing changed a summary",
+        spec.name
+    );
+
+    let shared_grid = (spec.build)(true);
+    let isolated_grid = (spec.build)(false);
+    let uncached_secs = time_run_secs(spec.build, false);
+    let cached_secs = time_run_secs(spec.build, true);
+    let cells = shared_grid.len();
+    Case {
+        name: spec.name,
+        gating: spec.gating,
+        cells,
+        samples: shared_grid.samples().len(),
+        unique_solves: shared_grid.expected_thermal_solves(),
+        isolated_solves: isolated_grid.expected_thermal_solves(),
+        uncached_cps: cells as f64 / uncached_secs,
+        cached_cps: cells as f64 / cached_secs,
+    }
+}
+
+fn render_json(cases: &[Case]) -> String {
+    let gating_speedup = cases
+        .iter()
+        .filter(|c| c.gating)
+        .map(Case::speedup)
+        .fold(f64::INFINITY, f64::min);
+    let mut out = String::from("{\n  \"bench\": \"sweep_hotpath\",\n");
+    out.push_str("  \"unit\": \"cells_per_second\",\n");
+    let _ = writeln!(out, "  \"workers\": {WORKERS},\n  \"cases\": [");
+    for (i, case) in cases.iter().enumerate() {
+        let comma = if i + 1 < cases.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"grid\": \"{}\", \"cells\": {}, \"samples\": {}, \
+             \"unique_thermal_solves\": {}, \"isolated_thermal_solves\": {}, \
+             \"uncached_cells_per_s\": {:.1}, \"cached_cells_per_s\": {:.1}, \
+             \"speedup\": {:.2}, \"gating\": {}}}{comma}",
+            case.name,
+            case.cells,
+            case.samples,
+            case.unique_solves,
+            case.isolated_solves,
+            case.uncached_cps,
+            case.cached_cps,
+            case.speedup(),
+            case.gating,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  ],\n  \"gating_speedup\": {gating_speedup:.2},\n  \
+         \"speedup_floor\": {SPEEDUP_FLOOR}\n}}"
+    );
+    out
+}
+
+fn main() -> ExitCode {
+    let specs = [
+        GridSpec {
+            name: "monitoring-100mod",
+            gating: true,
+            build: monitoring_grid,
+        },
+        GridSpec {
+            name: "paper-field-40mod",
+            gating: false,
+            build: paper_grid,
+        },
+    ];
+    let cases: Vec<Case> = specs.iter().map(measure).collect();
+
+    println!("# Sweep hot path: shared trace cache vs per-sample solves (end to end)");
+    println!("grid,cells,samples,unique_solves,isolated_solves,uncached_cps,cached_cps,speedup");
+    for case in &cases {
+        println!(
+            "{},{},{},{},{},{:.1},{:.1},{:.2}",
+            case.name,
+            case.cells,
+            case.samples,
+            case.unique_solves,
+            case.isolated_solves,
+            case.uncached_cps,
+            case.cached_cps,
+            case.speedup()
+        );
+    }
+
+    let json = render_json(&cases);
+    if let Err(e) = std::fs::write("BENCH_sweep.json", &json) {
+        eprintln!("failed to write BENCH_sweep.json: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("# wrote BENCH_sweep.json");
+
+    let mut ok = true;
+    for case in cases.iter().filter(|c| c.gating) {
+        let speedup = case.speedup();
+        println!(
+            "# {} speedup {speedup:.2}x (committed floor: {SPEEDUP_FLOOR}x)",
+            case.name
+        );
+        if speedup < SPEEDUP_FLOOR {
+            eprintln!(
+                "FAIL: {} cached-vs-uncached speedup {speedup:.2}x fell below the \
+                 committed floor {SPEEDUP_FLOOR}x",
+                case.name
+            );
+            ok = false;
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -315,9 +315,21 @@ impl<'a> TelemetryWindow<'a> {
     /// same ambient, clamped at zero.
     #[must_use]
     pub fn deltas_from_row(row: &[f64], ambient: Celsius) -> Vec<TemperatureDelta> {
-        row.iter()
-            .map(|&t| (Celsius::new(t) - ambient).clamp_non_negative())
-            .collect()
+        let mut out = Vec::with_capacity(row.len());
+        Self::deltas_from_row_into(row, ambient, &mut out);
+        out
+    }
+
+    /// Appends the ΔT values of a temperature row to an existing buffer —
+    /// the allocation-free sibling of [`TelemetryWindow::deltas_from_row`],
+    /// performing the identical per-module operation so the two agree bit
+    /// for bit.  The strided thermal-trace solve streams every sample's
+    /// deltas through this single definition.
+    pub fn deltas_from_row_into(row: &[f64], ambient: Celsius, out: &mut Vec<TemperatureDelta>) {
+        out.extend(
+            row.iter()
+                .map(|&t| (Celsius::new(t) - ambient).clamp_non_negative()),
+        );
     }
 
     /// The windowed history of a single module as a scalar series (°C),

@@ -74,6 +74,7 @@ mod scenario;
 mod session;
 mod sweep;
 mod thermal_trace;
+mod trace_cache;
 
 pub use comparison::{Comparison, ComparisonReport};
 pub use csv::{records_to_csv, CsvSink, CSV_HEADER};
@@ -89,3 +90,4 @@ pub use sweep::{
     SchemeSummary, SweepCell, SweepCellReport, SweepReport, SweepRunner,
 };
 pub use thermal_trace::ThermalTrace;
+pub use trace_cache::TraceCache;

@@ -13,6 +13,7 @@ use teg_units::Seconds;
 use crate::error::SimError;
 use crate::fault::FaultPlan;
 use crate::thermal_trace::ThermalTrace;
+use crate::trace_cache::TraceCache;
 
 /// A fully specified experiment: drive cycle, radiator, module placement,
 /// TEG array, charger and overhead model.
@@ -58,8 +59,13 @@ pub struct Scenario {
     solve_lock: Arc<Mutex<()>>,
     // Total radiator solves performed through this scenario (shared across
     // clones) — the hook the comparison tests use to prove the trace is
-    // solved exactly once.
+    // solved exactly once.  With a `trace_cache` attached, a scenario whose
+    // key was already solved elsewhere counts zero, so summing the counters
+    // of a scenario family yields the number of *unique* solves.
     thermal_solves: Arc<AtomicUsize>,
+    // Optional cross-scenario cache: scenarios attached to the same cache
+    // with equal thermal inputs share one solved trace.
+    trace_cache: Option<TraceCache>,
 }
 
 impl Scenario {
@@ -185,10 +191,22 @@ impl Scenario {
         if let Some(trace) = self.trace.get() {
             return Ok(trace);
         }
-        let solved = Arc::new(ThermalTrace::solve(self)?);
+        // With a cache attached, an equal-keyed scenario's trace is shared
+        // instead of re-solved (and this scenario then counts no solves).
+        let solved = match &self.trace_cache {
+            Some(cache) => cache.trace_for(self)?,
+            None => Arc::new(ThermalTrace::solve(self)?),
+        };
         let stored = self.trace.get_or_init(|| solved);
         drop(guard);
         Ok(stored)
+    }
+
+    /// The cross-scenario trace cache this scenario resolves its thermal
+    /// trace through, if one was attached.
+    #[must_use]
+    pub const fn trace_cache(&self) -> Option<&TraceCache> {
+        self.trace_cache.as_ref()
     }
 
     /// Total number of radiator solves performed through this scenario (and
@@ -217,6 +235,7 @@ pub struct ScenarioBuilder {
     module_variation: VariationModel,
     datasheet: TegDatasheet,
     fault_plan: FaultPlan,
+    trace_cache: Option<TraceCache>,
 }
 
 impl ScenarioBuilder {
@@ -234,6 +253,7 @@ impl ScenarioBuilder {
             module_variation: VariationModel::none(),
             datasheet: TegDatasheet::tgm_199_1_4_0_8(),
             fault_plan: FaultPlan::none(),
+            trace_cache: None,
         }
     }
 
@@ -302,6 +322,18 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Attaches a cross-scenario [`TraceCache`]: every scenario built
+    /// against the same cache with equal thermal inputs (drive cycle,
+    /// radiator, placement, step, module parameters) shares one solved
+    /// [`ThermalTrace`] instead of re-running the radiator model.  Fault
+    /// plans and scheme choices never enter the key, so degraded variants of
+    /// one physical setup share its trace.
+    #[must_use]
+    pub fn trace_cache(mut self, cache: TraceCache) -> Self {
+        self.trace_cache = Some(cache);
+        self
+    }
+
     /// Validates the parameters and assembles the scenario.
     ///
     /// # Errors
@@ -347,6 +379,7 @@ impl ScenarioBuilder {
             trace: Arc::new(OnceLock::new()),
             solve_lock: Arc::new(Mutex::new(())),
             thermal_solves: Arc::new(AtomicUsize::new(0)),
+            trace_cache: self.trace_cache,
         })
     }
 }

@@ -496,9 +496,13 @@ impl<'s> SimSession<'s> {
         if self.cursor >= self.trace.len() {
             if !self.finished {
                 self.finished = true;
-                let summary = self.summary();
-                for observer in &mut self.observers {
-                    observer.on_finish(&summary);
+                // The summary owns its scheme name and runtime statistics,
+                // so it is only materialised when someone is listening.
+                if !self.observers.is_empty() {
+                    let summary = self.summary();
+                    for observer in &mut self.observers {
+                        observer.on_finish(&summary);
+                    }
                 }
             }
             return Ok(None);
@@ -741,12 +745,14 @@ impl<'s> SimSession<'s> {
         while let Some(record) = self.step()? {
             records.push(record);
         }
+        // The session is consumed, so the accumulated statistics move into
+        // the report instead of being cloned.
         Ok(SimulationReport::new(
             self.scheme.name(),
             records,
             self.scenario.step(),
             self.switch_count,
-            self.runtime.clone(),
+            std::mem::take(&mut self.runtime),
         ))
     }
 }

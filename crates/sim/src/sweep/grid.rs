@@ -11,6 +11,7 @@ use teg_reconfig::SchemeSpec;
 use crate::error::SimError;
 use crate::fault::{FaultPlan, FaultSeverity};
 use crate::scenario::Scenario;
+use crate::trace_cache::{ThermalKey, TraceCache};
 
 /// One drive-cycle variant of the sweep: a label plus the parameters fed to
 /// the scenario builder.
@@ -309,12 +310,19 @@ impl SweepCell {
 ///
 /// Cells that differ only in their lineup reference the *same* scenario
 /// sample, so its thermal trace is solved once however many lineups (and
-/// workers) replay it.  The grid is `Sync`: workers share it by reference.
+/// workers) replay it.  On top of that, the grid attaches one shared
+/// [`TraceCache`] to every sample (unless built with
+/// [`ScenarioGridBuilder::isolated_traces`]), so *samples* whose thermal
+/// inputs are bit-identical — typically the fault-profile variants of one
+/// (module count, seed, drive) coordinate — also share a single radiator
+/// solve.  The grid is `Sync`: workers share it by reference.
 #[derive(Debug)]
 pub struct ScenarioGrid {
     samples: Vec<Scenario>,
     lineups: Vec<SchemeLineup>,
     cells: Vec<SweepCell>,
+    trace_cache: Option<TraceCache>,
+    expected_thermal_solves: usize,
 }
 
 impl ScenarioGrid {
@@ -371,18 +379,35 @@ impl ScenarioGrid {
 
     /// Radiator solves performed through this grid's scenarios so far —
     /// after a sweep, exactly [`ScenarioGrid::expected_thermal_solves`] when
-    /// the per-sample trace cache held (however many cells and workers
-    /// shared each sample).
+    /// the trace caches held: one solve per drive-cycle second of each
+    /// *unique thermal key*, however many samples, cells and workers shared
+    /// it.  With an externally pre-warmed cache
+    /// ([`ScenarioGridBuilder::trace_cache`]) the count can be lower still:
+    /// keys already solved by an earlier grid cost this grid nothing.
     #[must_use]
     pub fn thermal_solve_count(&self) -> usize {
         self.samples.iter().map(Scenario::thermal_solve_count).sum()
     }
 
-    /// The solve count a sweep should cost: one radiator solve per
-    /// drive-cycle second of each distinct scenario sample.
+    /// The solve budget a sweep costs *from a cold cache*: one radiator
+    /// solve per drive-cycle second of each *unique thermal key* on the
+    /// grid (samples that differ only by fault profile — or any other axis
+    /// that never reaches the radiator — share a key).  With
+    /// [`ScenarioGridBuilder::isolated_traces`] every sample is its own
+    /// key, restoring the historical one-solve-per-sample count.  A grid
+    /// sharing an external, already-warm cache performs *at most* this many
+    /// solves — [`ScenarioGrid::thermal_solve_count`] then reports only the
+    /// keys this grid solved first.
     #[must_use]
-    pub fn expected_thermal_solves(&self) -> usize {
-        self.samples.iter().map(|s| s.drive_cycle().len()).sum()
+    pub const fn expected_thermal_solves(&self) -> usize {
+        self.expected_thermal_solves
+    }
+
+    /// The cross-sample trace cache attached to this grid's scenarios, if
+    /// sharing is enabled (the default).
+    #[must_use]
+    pub const fn trace_cache(&self) -> Option<&TraceCache> {
+        self.trace_cache.as_ref()
     }
 }
 
@@ -396,6 +421,8 @@ pub struct ScenarioGridBuilder {
     variations: Vec<VariationModel>,
     faults: Vec<FaultProfile>,
     lineups: Vec<SchemeLineup>,
+    trace_cache: Option<TraceCache>,
+    share_traces: bool,
 }
 
 impl ScenarioGridBuilder {
@@ -409,6 +436,8 @@ impl ScenarioGridBuilder {
             variations: vec![VariationModel::none()],
             faults: vec![FaultProfile::none()],
             lineups: vec![SchemeLineup::paper()],
+            trace_cache: None,
+            share_traces: true,
         }
     }
 
@@ -459,6 +488,28 @@ impl ScenarioGridBuilder {
     #[must_use]
     pub fn lineups(mut self, lineups: impl IntoIterator<Item = SchemeLineup>) -> Self {
         self.lineups = lineups.into_iter().collect();
+        self
+    }
+
+    /// Shares thermal traces through an *external* [`TraceCache`] instead
+    /// of the fresh per-grid cache the builder creates by default — the hook
+    /// for threading one cache through many grids (repeated sweeps over
+    /// overlapping parameter spaces pay each unique radiator solve once,
+    /// ever).
+    #[must_use]
+    pub fn trace_cache(mut self, cache: TraceCache) -> Self {
+        self.trace_cache = Some(cache);
+        self.share_traces = true;
+        self
+    }
+
+    /// Disables cross-sample trace sharing: every sample solves its own
+    /// thermal trace, as earlier revisions did.  Useful for benchmarking the
+    /// cache itself; the per-sample (cells × lineups) sharing is unaffected.
+    #[must_use]
+    pub fn isolated_traces(mut self) -> Self {
+        self.trace_cache = None;
+        self.share_traces = false;
         self
     }
 
@@ -515,6 +566,9 @@ impl ScenarioGridBuilder {
             }
         }
 
+        let trace_cache = self
+            .share_traces
+            .then(|| self.trace_cache.unwrap_or_default());
         let mut samples = Vec::new();
         let mut sample_coords = Vec::new();
         for &module_count in &self.module_counts {
@@ -522,7 +576,7 @@ impl ScenarioGridBuilder {
                 for drive in &self.drives {
                     for (variation_index, &variation) in self.variations.iter().enumerate() {
                         for fault in &self.faults {
-                            let scenario = Scenario::builder()
+                            let mut builder = Scenario::builder()
                                 .module_count(module_count)
                                 .duration_seconds(drive.duration_seconds())
                                 .seed(seed)
@@ -531,9 +585,11 @@ impl ScenarioGridBuilder {
                                     module_count,
                                     drive.duration_seconds(),
                                     seed,
-                                ))
-                                .build()?;
-                            samples.push(scenario);
+                                ));
+                            if let Some(cache) = &trace_cache {
+                                builder = builder.trace_cache(cache.clone());
+                            }
+                            samples.push(builder.build()?);
                             sample_coords.push((
                                 module_count,
                                 seed,
@@ -546,6 +602,25 @@ impl ScenarioGridBuilder {
                 }
             }
         }
+
+        // The solve budget a sweep should cost: with sharing on, one solve
+        // per drive-cycle second of each *unique thermal key*; isolated,
+        // one per sample.  Computed here so tests and benches can assert the
+        // reduction without re-deriving the keys.
+        let expected_thermal_solves = if trace_cache.is_some() {
+            let mut unique: Vec<ThermalKey> = Vec::new();
+            let mut expected = 0;
+            for sample in &samples {
+                let key = ThermalKey::of(sample);
+                if !unique.contains(&key) {
+                    expected += sample.drive_cycle().len();
+                    unique.push(key);
+                }
+            }
+            expected
+        } else {
+            samples.iter().map(|s| s.drive_cycle().len()).sum()
+        };
 
         let mut cells = Vec::with_capacity(samples.len() * self.lineups.len());
         for (sample_index, (module_count, seed, drive, variation, fault)) in
@@ -572,6 +647,8 @@ impl ScenarioGridBuilder {
             samples,
             lineups: self.lineups,
             cells,
+            trace_cache,
+            expected_thermal_solves,
         })
     }
 }
@@ -749,6 +826,72 @@ mod tests {
         assert!(text.contains("4mod"), "{text}");
         assert!(text.contains("seed9"), "{text}");
         assert!(text.contains("paper"), "{text}");
+    }
+
+    #[test]
+    fn fault_variants_share_a_thermal_key_in_the_expected_solves() {
+        use crate::fault::FaultSeverity;
+
+        let shared = ScenarioGrid::builder()
+            .module_counts([6])
+            .seeds([1, 2])
+            .duration_seconds(10)
+            .faults([
+                FaultProfile::none(),
+                FaultProfile::random("light", FaultSeverity::light()),
+                FaultProfile::random("severe", FaultSeverity::severe()),
+            ])
+            .lineups([SchemeLineup::fixed("solo", vec![SchemeSpec::inor()])])
+            .build()
+            .unwrap();
+        // 6 samples (2 seeds × 3 fault profiles) but only 2 unique thermal
+        // keys: the fault axis never reaches the radiator.
+        assert_eq!(shared.samples().len(), 6);
+        assert_eq!(shared.expected_thermal_solves(), 2 * 10);
+        assert!(shared.trace_cache().is_some());
+
+        let isolated = ScenarioGrid::builder()
+            .module_counts([6])
+            .seeds([1, 2])
+            .duration_seconds(10)
+            .faults([
+                FaultProfile::none(),
+                FaultProfile::random("light", FaultSeverity::light()),
+                FaultProfile::random("severe", FaultSeverity::severe()),
+            ])
+            .lineups([SchemeLineup::fixed("solo", vec![SchemeSpec::inor()])])
+            .isolated_traces()
+            .build()
+            .unwrap();
+        assert_eq!(isolated.expected_thermal_solves(), 6 * 10);
+        assert!(isolated.trace_cache().is_none());
+    }
+
+    #[test]
+    fn an_external_cache_spans_grids() {
+        use crate::trace_cache::TraceCache;
+
+        let cache = TraceCache::new();
+        let build = || {
+            ScenarioGrid::builder()
+                .module_counts([5])
+                .seeds([1])
+                .duration_seconds(8)
+                .lineups([SchemeLineup::fixed("solo", vec![SchemeSpec::inor()])])
+                .trace_cache(cache.clone())
+                .build()
+                .unwrap()
+        };
+        let first = build();
+        let second = build();
+        first.samples()[0].thermal_trace().unwrap();
+        second.samples()[0].thermal_trace().unwrap();
+        // The second grid's identical sample reused the first grid's solve.
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(first.thermal_solve_count(), 8);
+        assert_eq!(second.thermal_solve_count(), 0);
     }
 
     #[test]

@@ -10,10 +10,16 @@
 //!
 //! Three properties make the sweep cheap and trustworthy:
 //!
-//! * **One thermal solve per scenario sample.**  Cells that differ only in
-//!   their scheme lineup share one [`Scenario`](crate::Scenario), whose
+//! * **One thermal solve per unique thermal key.**  Cells that differ only
+//!   in their scheme lineup share one [`Scenario`](crate::Scenario), whose
 //!   `Arc`-cached [`ThermalTrace`](crate::ThermalTrace) is solved by
-//!   whichever worker arrives first and reused by everyone else.
+//!   whichever worker arrives first and reused by everyone else.  On top of
+//!   that, the grid attaches a [`TraceCache`](crate::TraceCache) to every
+//!   sample it builds, so *samples* with bit-identical thermal inputs —
+//!   the fault-profile variants of one (module count, seed, drive)
+//!   coordinate — also share a single radiator solve.  Sharing is keyed by
+//!   exact input equality (never a lossy hash), so a cached trace is the
+//!   same value, bit for bit, a private solve would have produced.
 //! * **Deterministic ordering.**  Results are keyed by cell index, not by
 //!   completion order, so the assembled [`SweepReport`] lists cells in grid
 //!   order no matter how the pool interleaves.

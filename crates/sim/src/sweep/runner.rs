@@ -20,6 +20,13 @@ use crate::sweep::report::{SweepCellReport, SweepReport};
 /// assembled [`SweepReport`] independent of completion order — the
 /// serial-equivalence guarantee the integration tests pin down.
 ///
+/// Thermal work is shared at two levels while the pool runs: cells of one
+/// scenario sample reuse its `Arc`-cached trace, and samples with equal
+/// thermal inputs (e.g. fault-profile variants) resolve through the grid's
+/// [`TraceCache`](crate::TraceCache), so [`SweepReport::thermal_solves`]
+/// counts one radiator solve per drive-cycle second of each *unique thermal
+/// key*, whichever worker got there first.
+///
 /// # Examples
 ///
 /// ```

@@ -42,12 +42,18 @@ use crate::scenario::Scenario;
 #[derive(Debug, Clone, PartialEq)]
 pub struct ThermalTrace {
     times: Vec<Seconds>,
-    rows: Vec<Vec<f64>>,
     ambients: Vec<Celsius>,
+    // Structure-of-arrays storage: `width` consecutive entries per sample in
+    // one contiguous buffer, rather than one heap allocation per sample.
+    // The solve loop streams rows cache-linearly and `row(i)`/`deltas(i)`
+    // hand out strided slices, so the per-step hot path of every session
+    // walks a single flat allocation.
+    rows: Vec<f64>,
     // Scheme-independent derived quantities, precomputed once so N lockstep
-    // sessions do not redo them N times per sample.
-    deltas: Vec<Vec<TemperatureDelta>>,
+    // sessions do not redo them N times per sample (same strided layout).
+    deltas: Vec<TemperatureDelta>,
     ideal: Vec<Watts>,
+    width: usize,
     step: Seconds,
 }
 
@@ -57,6 +63,13 @@ impl ThermalTrace {
     /// caches the result; each sample solved is counted against the
     /// scenario's [`Scenario::thermal_solve_count`].
     ///
+    /// The loop writes each sample's temperatures and ΔT values straight
+    /// into the trace's strided buffers, so it performs no per-sample heap
+    /// allocation — the buffers are reserved once for the whole cycle.  The
+    /// arithmetic (profile evaluation order, ΔT clamping, ideal-power sum)
+    /// is identical to the historical row-per-`Vec` layout, so solved traces
+    /// are bit-identical to earlier revisions.
+    ///
     /// # Errors
     ///
     /// Propagates [`SimError::Thermal`] from the radiator solve and
@@ -64,52 +77,61 @@ impl ThermalTrace {
     pub fn solve(scenario: &Scenario) -> Result<Self, SimError> {
         let cycle: &DriveCycle = scenario.drive_cycle();
         let array = scenario.array();
+        let placement = scenario.placement();
+        let width = placement.module_count();
         let mut times = Vec::with_capacity(cycle.len());
-        let mut rows = Vec::with_capacity(cycle.len());
         let mut ambients = Vec::with_capacity(cycle.len());
-        let mut deltas = Vec::with_capacity(cycle.len());
+        let mut rows = Vec::with_capacity(cycle.len() * width);
+        let mut deltas = Vec::with_capacity(cycle.len() * width);
         let mut ideal = Vec::with_capacity(cycle.len());
         for sample in cycle.iter() {
             let profile = scenario
                 .radiator()
                 .surface_profile(&sample.coolant(), &sample.ambient())?;
-            let temps: Vec<f64> = profile
-                .sample(scenario.placement())
-                .iter()
-                .map(|t| t.value())
-                .collect();
+            let start = rows.len();
+            profile.sample_into(placement, &mut rows);
             scenario.count_thermal_solve();
             let ambient = sample.ambient().temperature();
-            let row_deltas = TelemetryWindow::deltas_from_row(&temps, ambient);
-            ideal.push(ideal_power(array.modules(), &row_deltas)?);
-            deltas.push(row_deltas);
+            TelemetryWindow::deltas_from_row_into(&rows[start..], ambient, &mut deltas);
+            ideal.push(ideal_power(array.modules(), &deltas[start..])?);
             times.push(sample.time());
-            rows.push(temps);
             ambients.push(ambient);
         }
         Ok(Self {
             times,
-            rows,
             ambients,
+            rows,
             deltas,
             ideal,
+            width,
             step: scenario.step(),
         })
     }
 
     /// Number of solved samples (one per drive-cycle second).
+    #[inline]
     #[must_use]
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.times.len()
     }
 
     /// Returns `true` for a trace over an empty drive cycle.
+    #[inline]
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.times.is_empty()
+    }
+
+    /// Number of modules per sample (the stride of [`ThermalTrace::row`] and
+    /// [`ThermalTrace::deltas`] slices).
+    #[inline]
+    #[must_use]
+    pub const fn width(&self) -> usize {
+        self.width
     }
 
     /// The sampling step the trace was solved at.
+    #[inline]
     #[must_use]
     pub const fn step(&self) -> Seconds {
         self.step
@@ -120,19 +142,22 @@ impl ThermalTrace {
     /// # Panics
     ///
     /// Panics if `index >= self.len()`.
+    #[inline]
     #[must_use]
     pub fn time(&self, index: usize) -> Seconds {
         self.times[index]
     }
 
-    /// Per-module surface temperatures (°C) at the `index`-th sample.
+    /// Per-module surface temperatures (°C) at the `index`-th sample — a
+    /// `width`-long slice into the trace's contiguous storage.
     ///
     /// # Panics
     ///
     /// Panics if `index >= self.len()`.
+    #[inline]
     #[must_use]
     pub fn row(&self, index: usize) -> &[f64] {
-        &self.rows[index]
+        &self.rows[index * self.width..(index + 1) * self.width]
     }
 
     /// Ambient (heatsink) temperature at the `index`-th sample.
@@ -140,6 +165,7 @@ impl ThermalTrace {
     /// # Panics
     ///
     /// Panics if `index >= self.len()`.
+    #[inline]
     #[must_use]
     pub fn ambient(&self, index: usize) -> Celsius {
         self.ambients[index]
@@ -151,9 +177,10 @@ impl ThermalTrace {
     /// # Panics
     ///
     /// Panics if `index >= self.len()`.
+    #[inline]
     #[must_use]
     pub fn deltas(&self, index: usize) -> &[TemperatureDelta] {
-        &self.deltas[index]
+        &self.deltas[index * self.width..(index + 1) * self.width]
     }
 
     /// The unconstrained upper bound `P_ideal` (sum of module MPPs) at the
@@ -162,6 +189,7 @@ impl ThermalTrace {
     /// # Panics
     ///
     /// Panics if `index >= self.len()`.
+    #[inline]
     #[must_use]
     pub fn ideal(&self, index: usize) -> Watts {
         self.ideal[index]
@@ -234,6 +262,37 @@ mod tests {
         // The window re-solves its own (shorter) cycle; the counter is
         // shared with the parent, so 50 + 20 solves are recorded in total.
         assert_eq!(s.thermal_solve_count(), 70);
+    }
+
+    #[test]
+    fn strided_rows_match_a_fresh_per_sample_solve() {
+        // The SoA buffers must hand out exactly the values the radiator
+        // produces for each sample, and the deltas must match
+        // `TelemetryWindow::deltas_from_row` bit for bit.
+        use teg_reconfig::TelemetryWindow;
+
+        let s = scenario(9, 12, 6);
+        let trace = s.thermal_trace().unwrap();
+        assert_eq!(trace.width(), 9);
+        for (i, sample) in s.drive_cycle().iter().enumerate() {
+            let profile = s
+                .radiator()
+                .surface_profile(&sample.coolant(), &sample.ambient())
+                .unwrap();
+            let fresh: Vec<f64> = profile
+                .sample(s.placement())
+                .iter()
+                .map(|t| t.value())
+                .collect();
+            let row = trace.row(i);
+            assert_eq!(row.len(), 9);
+            for (a, b) in fresh.iter().zip(row) {
+                assert_eq!(a.to_bits(), b.to_bits(), "row {i}");
+            }
+            let fresh_deltas =
+                TelemetryWindow::deltas_from_row(row, sample.ambient().temperature());
+            assert_eq!(fresh_deltas.as_slice(), trace.deltas(i), "deltas {i}");
+        }
     }
 
     #[test]

@@ -1,0 +1,373 @@
+//! Cross-scenario sharing of solved thermal traces.
+//!
+//! A sweep grid multiplies scenario samples along axes that do not all feed
+//! the radiator model: every fault profile of a (module count, seed, drive)
+//! coordinate replays *bit-identical* thermal inputs, yet each sample used
+//! to run its own full ε-NTU solve.  [`TraceCache`] deduplicates that work:
+//! scenarios attached to the same cache share one [`ThermalTrace`] per
+//! distinct set of thermal inputs, keyed **by value** — drive cycle,
+//! radiator, placement, step and the module parameters behind the trace's
+//! `P_ideal` column — so two scenarios share a trace only when every input
+//! that flows into the solve compares equal.  There is no lossy hashing on
+//! the sharing decision (a 64-bit fingerprint only pre-filters candidates;
+//! full equality always confirms), which keeps the cache inside the
+//! repository's bit-exactness discipline: a cached trace is the same value a
+//! fresh solve would produce, down to the last bit.
+//!
+//! The cache is `Arc`-shared and cheap to clone; [`ScenarioGrid`] attaches
+//! one to every sample it builds (unless opted out), and long-lived callers
+//! can thread one cache through many grids to share traces across sweeps.
+//!
+//! [`ScenarioGrid`]: crate::ScenarioGrid
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+use teg_device::TegModule;
+use teg_thermal::{DriveCycle, Radiator, SShapedPlacement};
+use teg_units::Seconds;
+
+use crate::error::SimError;
+use crate::scenario::Scenario;
+use crate::thermal_trace::ThermalTrace;
+
+/// Everything [`ThermalTrace::solve`] reads from a scenario, captured by
+/// value.  Two scenarios with equal keys solve to bit-identical traces, so
+/// they may share one.
+///
+/// Equality is exact structural equality of the inputs (IEEE bit semantics
+/// through `f64::eq`: a NaN anywhere simply never matches, degrading to a
+/// private solve rather than a wrong share).  The precomputed fingerprint is
+/// a fast reject only — full equality is always confirmed before sharing.
+pub(crate) struct ThermalKey {
+    fingerprint: u64,
+    step: Seconds,
+    placement: SShapedPlacement,
+    drive: DriveCycle,
+    radiator: Radiator,
+    modules: Vec<TegModule>,
+}
+
+impl ThermalKey {
+    /// Captures the thermal inputs of a scenario.
+    pub(crate) fn of(scenario: &Scenario) -> Self {
+        let drive = scenario.drive_cycle().clone();
+        let step = scenario.step();
+        let placement = *scenario.placement();
+        let mut fingerprint = 0xcbf2_9ce4_8422_2325_u64; // FNV-1a offset basis
+        let mut mix = |word: u64| {
+            for byte in word.to_le_bytes() {
+                fingerprint = (fingerprint ^ u64::from(byte)).wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        mix(placement.module_count() as u64);
+        mix(step.value().to_bits());
+        mix(drive.len() as u64);
+        for sample in drive.iter() {
+            mix(sample.coolant().inlet_temperature().value().to_bits());
+            mix(sample.coolant().mass_flow().to_bits());
+            mix(sample.ambient().temperature().value().to_bits());
+            mix(sample.ambient().mass_flow().to_bits());
+        }
+        Self {
+            fingerprint,
+            step,
+            placement,
+            drive,
+            radiator: scenario.radiator().clone(),
+            modules: scenario.array().modules().to_vec(),
+        }
+    }
+}
+
+impl PartialEq for ThermalKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.fingerprint == other.fingerprint
+            && self.step == other.step
+            && self.placement == other.placement
+            && self.modules == other.modules
+            && self.radiator == other.radiator
+            && self.drive == other.drive
+    }
+}
+
+impl fmt::Debug for ThermalKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThermalKey")
+            .field("fingerprint", &format_args!("{:016x}", self.fingerprint))
+            .field("modules", &self.placement.module_count())
+            .field("samples", &self.drive.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// One key's slot: the solve is serialised per key (not per cache), so two
+/// workers arriving with *different* keys solve concurrently while two with
+/// the same key race only for who runs it.
+#[derive(Default)]
+struct TraceCell {
+    solve_lock: Mutex<()>,
+    trace: OnceLock<Arc<ThermalTrace>>,
+}
+
+#[derive(Default)]
+struct CacheInner {
+    // Linear scan over (fingerprint-prefiltered, fully compared) keys: a
+    // grid holds a handful of distinct keys, and exact Vec lookup avoids
+    // putting f64-derived hashes on the correctness path.
+    entries: Mutex<Vec<(ThermalKey, Arc<TraceCell>)>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+/// An `Arc`-shared, input-keyed cache of solved [`ThermalTrace`]s.
+///
+/// Cloning shares the underlying storage.  Attach a cache to scenarios via
+/// [`ScenarioBuilder::trace_cache`](crate::ScenarioBuilder::trace_cache) —
+/// or let [`ScenarioGrid`](crate::ScenarioGrid) do it, which it does by
+/// default — and every attached scenario whose thermal inputs compare equal
+/// resolves to the same solved trace, radiator model run exactly once.
+///
+/// # Examples
+///
+/// ```
+/// use teg_sim::{Scenario, TraceCache};
+///
+/// # fn main() -> Result<(), teg_sim::SimError> {
+/// let cache = TraceCache::new();
+/// let build = |cache: &TraceCache| {
+///     Scenario::builder()
+///         .module_count(8)
+///         .duration_seconds(20)
+///         .seed(7)
+///         .trace_cache(cache.clone())
+///         .build()
+/// };
+/// let a = build(&cache)?;
+/// let b = build(&cache)?;
+/// a.thermal_trace()?;
+/// b.thermal_trace()?;
+/// // One key, one solve: the second scenario shared the first's trace.
+/// assert_eq!(cache.len(), 1);
+/// assert_eq!(cache.misses(), 1);
+/// assert_eq!(cache.hits(), 1);
+/// assert_eq!(a.thermal_solve_count() + b.thermal_solve_count(), 20);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Default)]
+pub struct TraceCache {
+    inner: Arc<CacheInner>,
+}
+
+impl TraceCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct thermal keys the cache has seen.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries().len()
+    }
+
+    /// Returns `true` while no scenario has resolved a trace through the
+    /// cache.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of trace requests answered from an already-solved entry.
+    #[must_use]
+    pub fn hits(&self) -> usize {
+        self.inner.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of trace requests that had to run the radiator solve.
+    #[must_use]
+    pub fn misses(&self) -> usize {
+        self.inner.misses.load(Ordering::Relaxed)
+    }
+
+    /// Drops every cached entry (keys and solved traces), keeping the
+    /// hit/miss counters.  Scenarios that already resolved their trace keep
+    /// their own `Arc` handle, so clearing never invalidates running work —
+    /// it only releases the cache's references.
+    ///
+    /// The cache never evicts on its own: each entry retains its key (a
+    /// drive-cycle and module-parameter clone) and the solved trace for as
+    /// long as the cache lives.  A long-lived caller sweeping an unbounded
+    /// stream of *distinct* keys should clear between phases — within one
+    /// grid, or a family of grids over one parameter space, the entry count
+    /// stays small and lookups stay cheap.
+    pub fn clear(&self) {
+        self.entries().clear();
+    }
+
+    fn entries(&self) -> std::sync::MutexGuard<'_, Vec<(ThermalKey, Arc<TraceCell>)>> {
+        self.inner
+            .entries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Resolves the scenario's trace through the cache: an equal key's
+    /// already-solved trace when one exists, a fresh solve (performed and
+    /// counted by *this* scenario) otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from [`ThermalTrace::solve`]; a failed solve
+    /// leaves the entry unsolved, so a later caller retries rather than
+    /// inheriting the failure.
+    pub(crate) fn trace_for(&self, scenario: &Scenario) -> Result<Arc<ThermalTrace>, SimError> {
+        let key = ThermalKey::of(scenario);
+        let cell = {
+            let mut entries = self.entries();
+            match entries.iter().find(|(k, _)| *k == key) {
+                Some((_, cell)) => Arc::clone(cell),
+                None => {
+                    let cell = Arc::new(TraceCell::default());
+                    entries.push((key, Arc::clone(&cell)));
+                    cell
+                }
+            }
+        };
+        if let Some(trace) = cell.trace.get() {
+            self.inner.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(trace));
+        }
+        let guard = cell
+            .solve_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(trace) = cell.trace.get() {
+            drop(guard);
+            self.inner.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(trace));
+        }
+        let solved = Arc::new(ThermalTrace::solve(scenario)?);
+        let stored = Arc::clone(cell.trace.get_or_init(|| Arc::clone(&solved)));
+        drop(guard);
+        self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        Ok(stored)
+    }
+}
+
+impl fmt::Debug for TraceCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceCache")
+            .field("keys", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultPlan, FaultSeverity};
+    use crate::scenario::ScenarioBuilder;
+    use teg_device::VariationModel;
+
+    fn builder(modules: usize, seconds: usize, seed: u64, cache: &TraceCache) -> ScenarioBuilder {
+        Scenario::builder()
+            .module_count(modules)
+            .duration_seconds(seconds)
+            .seed(seed)
+            .trace_cache(cache.clone())
+    }
+
+    #[test]
+    fn equal_inputs_share_one_solve() {
+        let cache = TraceCache::new();
+        let a = builder(6, 15, 3, &cache).build().unwrap();
+        let b = builder(6, 15, 3, &cache).build().unwrap();
+        let ta = a.thermal_trace().unwrap().clone();
+        let tb = b.thermal_trace().unwrap().clone();
+        assert_eq!(ta, tb);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+        // Only the solving scenario counted radiator work.
+        assert_eq!(a.thermal_solve_count(), 15);
+        assert_eq!(b.thermal_solve_count(), 0);
+    }
+
+    #[test]
+    fn fault_plans_do_not_split_keys_but_physics_inputs_do() {
+        let cache = TraceCache::new();
+        let healthy = builder(8, 10, 1, &cache).build().unwrap();
+        let degraded = builder(8, 10, 1, &cache)
+            .fault_plan(FaultPlan::random(8, 10, FaultSeverity::severe(), 9))
+            .build()
+            .unwrap();
+        let other_seed = builder(8, 10, 2, &cache).build().unwrap();
+        let other_size = builder(9, 10, 1, &cache).build().unwrap();
+        let varied = builder(8, 10, 1, &cache)
+            .module_variation(VariationModel::new(0.05, 0.05).unwrap())
+            .build()
+            .unwrap();
+        for s in [&healthy, &degraded, &other_seed, &other_size, &varied] {
+            s.thermal_trace().unwrap();
+        }
+        // healthy + degraded share; seed, module count and variation (which
+        // changes the modules behind P_ideal) each get their own key.
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 4);
+    }
+
+    #[test]
+    fn concurrent_same_key_scenarios_solve_once() {
+        let cache = TraceCache::new();
+        let scenarios: Vec<Scenario> = (0..8)
+            .map(|_| builder(6, 20, 11, &cache).build().unwrap())
+            .collect();
+        std::thread::scope(|scope| {
+            for s in &scenarios {
+                scope.spawn(|| {
+                    let trace = s.thermal_trace().unwrap();
+                    assert_eq!(trace.len(), 20);
+                });
+            }
+        });
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 7);
+        let solves: usize = scenarios.iter().map(Scenario::thermal_solve_count).sum();
+        assert_eq!(solves, 20, "eight scenarios, one 20-sample solve");
+    }
+
+    #[test]
+    fn clearing_releases_entries_but_not_outstanding_traces() {
+        let cache = TraceCache::new();
+        let a = builder(5, 10, 2, &cache).build().unwrap();
+        let trace = a.thermal_trace().unwrap();
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        // The scenario's own handle survives; a new equal-keyed scenario
+        // re-solves.
+        assert_eq!(trace.len(), 10);
+        let b = builder(5, 10, 2, &cache).build().unwrap();
+        b.thermal_trace().unwrap();
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn cache_is_send_sync_and_debuggable() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TraceCache>();
+        let cache = TraceCache::new();
+        assert!(cache.is_empty());
+        let text = format!("{cache:?}");
+        assert!(text.contains("keys"), "{text}");
+    }
+}

@@ -158,6 +158,19 @@ impl SurfaceProfile {
             .collect()
     }
 
+    /// Appends the sampled hot-side temperatures (°C, entrance-first) to an
+    /// existing buffer instead of allocating a fresh vector — the allocation-
+    /// free path the per-sample thermal solve loop writes its strided trace
+    /// rows through.  Performs exactly the same evaluations in the same order
+    /// as [`SurfaceProfile::sample`], so the two are bit-identical.
+    pub fn sample_into(&self, placement: &SShapedPlacement, out: &mut Vec<f64>) {
+        out.extend(
+            placement
+                .positions(self.path_length)
+                .map(|d| self.evaluate(d.value()).value()),
+        );
+    }
+
     /// Samples the profile at every module position and subtracts the
     /// heatsink/ambient temperature, returning each module's ΔT clamped at
     /// zero.
@@ -276,6 +289,20 @@ mod tests {
         // All samples lie inside the profile's bounds.
         for t in &temps {
             assert!(t.value() <= 95.0 && t.value() >= 30.0);
+        }
+    }
+
+    #[test]
+    fn sample_into_is_bit_identical_to_sample() {
+        let p = profile();
+        let placement = SShapedPlacement::new(33).unwrap();
+        let allocated = p.sample(&placement);
+        let mut appended = vec![-1.0_f64]; // existing content must survive
+        p.sample_into(&placement, &mut appended);
+        assert_eq!(appended.len(), 34);
+        assert_eq!(appended[0], -1.0);
+        for (a, b) in allocated.iter().zip(&appended[1..]) {
+            assert_eq!(a.value().to_bits(), b.to_bits());
         }
     }
 

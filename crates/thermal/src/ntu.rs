@@ -54,6 +54,7 @@ pub enum ExchangerArrangement {
 /// let eps = effectiveness(ExchangerArrangement::CounterFlow, 2.0, 1.0);
 /// assert!((eps - 2.0 / 3.0).abs() < 1e-12);
 /// ```
+#[inline]
 #[must_use]
 pub fn effectiveness(arrangement: ExchangerArrangement, ntu: f64, c_r: f64) -> f64 {
     let ntu = ntu.max(0.0);
@@ -68,10 +69,12 @@ pub fn effectiveness(arrangement: ExchangerArrangement, ntu: f64, c_r: f64) -> f
     eps.clamp(0.0, 1.0)
 }
 
+#[inline]
 fn single_stream(ntu: f64) -> f64 {
     1.0 - (-ntu).exp()
 }
 
+#[inline]
 fn counter_flow(ntu: f64, c_r: f64) -> f64 {
     if c_r < 1e-12 {
         return single_stream(ntu);
@@ -83,6 +86,7 @@ fn counter_flow(ntu: f64, c_r: f64) -> f64 {
     (1.0 - e) / (1.0 - c_r * e)
 }
 
+#[inline]
 fn parallel_flow(ntu: f64, c_r: f64) -> f64 {
     if c_r < 1e-12 {
         return single_stream(ntu);
@@ -90,6 +94,7 @@ fn parallel_flow(ntu: f64, c_r: f64) -> f64 {
     (1.0 - (-ntu * (1.0 + c_r)).exp()) / (1.0 + c_r)
 }
 
+#[inline]
 fn cross_flow_both_unmixed(ntu: f64, c_r: f64) -> f64 {
     if c_r < 1e-12 {
         return single_stream(ntu);
@@ -104,6 +109,7 @@ fn cross_flow_both_unmixed(ntu: f64, c_r: f64) -> f64 {
     1.0 - ((ntu022 / c_r) * inner).exp()
 }
 
+#[inline]
 fn cross_flow_cmax_mixed(ntu: f64, c_r: f64) -> f64 {
     if c_r < 1e-12 {
         return single_stream(ntu);

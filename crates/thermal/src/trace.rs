@@ -70,40 +70,45 @@ impl TimeSeries {
     ///
     /// # Panics
     ///
-    /// Panics if the step is not strictly positive.
+    /// Panics if the step is not strictly positive and finite.
     #[must_use]
     pub fn new(step: Seconds) -> Self {
-        assert!(step.value() > 0.0, "sampling step must be positive");
-        Self {
-            step,
-            values: Vec::new(),
-        }
+        Self::from_values(step, Vec::new())
     }
 
     /// Creates a series from existing samples.
     ///
     /// # Panics
     ///
-    /// Panics if the step is not strictly positive.
+    /// Panics if the step is not strictly positive and finite — the same
+    /// validation [`TimeSeries::new`] applies (an infinite or NaN step would
+    /// silently break [`TimeSeries::interpolate`] and
+    /// [`TimeSeries::duration`]).
     #[must_use]
     pub fn from_values(step: Seconds, values: Vec<f64>) -> Self {
-        assert!(step.value() > 0.0, "sampling step must be positive");
+        assert!(
+            step.value() > 0.0 && step.value().is_finite(),
+            "sampling step must be positive and finite"
+        );
         Self { step, values }
     }
 
     /// Sampling step.
+    #[inline]
     #[must_use]
     pub const fn step(&self) -> Seconds {
         self.step
     }
 
     /// Number of samples.
+    #[inline]
     #[must_use]
     pub fn len(&self) -> usize {
         self.values.len()
     }
 
     /// Returns `true` when the series holds no samples.
+    #[inline]
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.values.is_empty()
@@ -126,18 +131,21 @@ impl TimeSeries {
     }
 
     /// Returns the sample at `index`, if present.
+    #[inline]
     #[must_use]
     pub fn get(&self, index: usize) -> Option<f64> {
         self.values.get(index).copied()
     }
 
     /// Returns the most recent sample, if any.
+    #[inline]
     #[must_use]
     pub fn last(&self) -> Option<f64> {
         self.values.last().copied()
     }
 
     /// Returns the underlying values as a slice.
+    #[inline]
     #[must_use]
     pub fn values(&self) -> &[f64] {
         &self.values
@@ -147,6 +155,7 @@ impl TimeSeries {
     ///
     /// Returns `None` for an empty series or a time outside the covered
     /// range.
+    #[inline]
     #[must_use]
     pub fn interpolate(&self, time: Seconds) -> Option<f64> {
         if self.values.is_empty() || time.value() < 0.0 {
@@ -293,5 +302,17 @@ mod tests {
     #[should_panic(expected = "sampling step must be positive")]
     fn zero_step_is_rejected() {
         let _ = TimeSeries::new(Seconds::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling step must be positive and finite")]
+    fn infinite_step_is_rejected_by_from_values() {
+        let _ = TimeSeries::from_values(Seconds::new(f64::INFINITY), vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling step must be positive and finite")]
+    fn nan_step_is_rejected_by_from_values() {
+        let _ = TimeSeries::from_values(Seconds::new(f64::NAN), vec![1.0]);
     }
 }

@@ -69,6 +69,8 @@ fn thermal_solves_are_one_per_sample_regardless_of_worker_count() {
         let g = grid();
         // 6 distinct samples × 20 drive seconds; the 12 cells (two lineups
         // per sample, possibly on different workers) share the solves.
+        // Every sample here has distinct thermal inputs (module count ×
+        // seed), so the cross-sample cache cannot reduce further.
         let report = SweepRunner::new()
             .workers(workers)
             .runtime_policy(POLICY)
@@ -82,6 +84,69 @@ fn thermal_solves_are_one_per_sample_regardless_of_worker_count() {
         );
         assert_eq!(g.thermal_solve_count(), g.expected_thermal_solves());
     }
+}
+
+#[test]
+fn fault_axes_reduce_thermal_solves_to_unique_keys() {
+    // Three fault profiles over the same (module count, seed, drive)
+    // coordinates triple the samples but leave the radiator inputs
+    // untouched, so the shared trace cache must collapse the solves back to
+    // one per unique key — for any worker count.
+    let grid = |shared: bool| {
+        let builder = ScenarioGrid::builder()
+            .module_counts([6, 9])
+            .seeds([1, 2])
+            .drives([DriveProfile::named("short", 20)])
+            .faults([
+                FaultProfile::none(),
+                FaultProfile::random("light", FaultSeverity::light()),
+                FaultProfile::random("severe", FaultSeverity::severe()),
+            ])
+            .lineups([SchemeLineup::paper_fixed(POLICY_CHARGE)]);
+        let builder = if shared {
+            builder
+        } else {
+            builder.isolated_traces()
+        };
+        builder.build().expect("valid grid")
+    };
+    for workers in [1, 4] {
+        let g = grid(true);
+        assert_eq!(g.samples().len(), 12);
+        // 12 samples, 4 unique thermal keys: a 3x reduction.
+        assert_eq!(g.expected_thermal_solves(), 4 * 20);
+        let report = SweepRunner::new()
+            .workers(workers)
+            .runtime_policy(POLICY)
+            .run(&g)
+            .expect("sweep");
+        assert_eq!(
+            report.thermal_solves(),
+            4 * 20,
+            "unique-key sharing failed with {workers} workers"
+        );
+        let cache = g.trace_cache().expect("grids share traces by default");
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.misses(), 4);
+        assert_eq!(cache.hits(), 8);
+    }
+    // The isolated grid pays the historical one-solve-per-sample cost and
+    // still produces the identical report.
+    let shared_report = SweepRunner::new()
+        .workers(4)
+        .runtime_policy(POLICY)
+        .run(&grid(true))
+        .expect("shared sweep");
+    let isolated = grid(false);
+    assert_eq!(isolated.expected_thermal_solves(), 12 * 20);
+    let isolated_report = SweepRunner::new()
+        .workers(4)
+        .runtime_policy(POLICY)
+        .run(&isolated)
+        .expect("isolated sweep");
+    assert_eq!(isolated_report.thermal_solves(), 12 * 20);
+    assert_eq!(shared_report.cells(), isolated_report.cells());
+    assert_eq!(shared_report.summaries(), isolated_report.summaries());
 }
 
 #[test]
