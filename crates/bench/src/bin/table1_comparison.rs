@@ -3,16 +3,12 @@
 //! 100-module array, produced by one lockstep [`Comparison`] pass over the
 //! shared thermal trace.
 
-use teg_reconfig::{Dnor, Ehtr, Inor, StaticBaseline};
+use teg_reconfig::SchemeSpec;
 use teg_sim::{Comparison, Scenario};
 
 fn main() {
     let scenario = Scenario::paper_table1(2024).expect("scenario");
-    let comparison = Comparison::new(&scenario)
-        .scheme(Dnor::default())
-        .scheme(Inor::default())
-        .scheme(Ehtr::default())
-        .scheme(StaticBaseline::grid_10x10())
+    let comparison = Comparison::from_specs(&scenario, &SchemeSpec::paper_field(100))
         .run()
         .expect("comparison");
 

@@ -41,6 +41,7 @@ use crate::traits::Reconfigurer;
 #[derive(Clone)]
 pub struct SchemeSpec {
     name: String,
+    spec: Option<String>,
     build: Arc<dyn Fn() -> Box<dyn Reconfigurer> + Send + Sync>,
 }
 
@@ -55,14 +56,58 @@ impl SchemeSpec {
         let name = build().name().to_owned();
         Self {
             name,
+            spec: None,
             build: Arc::new(move || Box::new(build())),
         }
+    }
+
+    fn tagged(mut self, spec: String) -> Self {
+        self.spec = Some(spec);
+        self
     }
 
     /// The scheme's display name, as the built instances will report it.
     #[must_use]
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The compact text token this spec serialises to, when it was built
+    /// from one of the named presets ([`SchemeSpec::parse`] round-trips it).
+    /// Specs wrapping arbitrary constructors ([`SchemeSpec::new`],
+    /// [`SchemeSpec::inor_with`], …) have no token and return `None`.
+    #[must_use]
+    pub fn spec(&self) -> Option<&str> {
+        self.spec.as_deref()
+    }
+
+    /// Parses a preset token back into the spec that emitted it: `inor`,
+    /// `ehtr`, `dnor`, `dnor-det:<seconds>` or `baseline:<modules>`.
+    /// Returns `None` for unknown tokens or malformed parameters, so wire
+    /// layers can reject bad requests instead of panicking.
+    #[must_use]
+    pub fn parse(token: &str) -> Option<Self> {
+        match token {
+            "inor" => return Some(Self::inor()),
+            "ehtr" => return Some(Self::ehtr()),
+            "dnor" => return Some(Self::dnor()),
+            _ => {}
+        }
+        if let Some(value) = token.strip_prefix("dnor-det:") {
+            let seconds: f64 = value.parse().ok()?;
+            if !(seconds.is_finite() && seconds >= 0.0) {
+                return None;
+            }
+            return Some(Self::dnor_deterministic(Seconds::new(seconds)));
+        }
+        if let Some(value) = token.strip_prefix("baseline:") {
+            let modules: usize = value.parse().ok()?;
+            if modules == 0 {
+                return None;
+            }
+            return Some(Self::baseline_square_grid(modules));
+        }
+        None
     }
 
     /// Builds a fresh instance with pristine state.
@@ -74,7 +119,7 @@ impl SchemeSpec {
     /// INOR with its default tuning.
     #[must_use]
     pub fn inor() -> Self {
-        Self::new(Inor::default)
+        Self::new(Inor::default).tagged("inor".into())
     }
 
     /// INOR with explicit tuning parameters.
@@ -86,7 +131,7 @@ impl SchemeSpec {
     /// DNOR with its default tuning.
     #[must_use]
     pub fn dnor() -> Self {
-        Self::new(Dnor::default)
+        Self::new(Dnor::default).tagged("dnor".into())
     }
 
     /// DNOR with explicit tuning parameters.
@@ -107,13 +152,13 @@ impl SchemeSpec {
         let config = DnorConfig::default()
             .with_assumed_computation(computation)
             .expect("assumed computation must be non-negative and finite");
-        Self::dnor_with(config)
+        Self::dnor_with(config).tagged(format!("dnor-det:{}", computation.value()))
     }
 
     /// The prior-work EHTR re-implementation with its default tuning.
     #[must_use]
     pub fn ehtr() -> Self {
-        Self::new(Ehtr::default)
+        Self::new(Ehtr::default).tagged("ehtr".into())
     }
 
     /// The static square-grid baseline for an array of `module_count`
@@ -121,6 +166,7 @@ impl SchemeSpec {
     #[must_use]
     pub fn baseline_square_grid(module_count: usize) -> Self {
         Self::new(move || StaticBaseline::square_grid(module_count))
+            .tagged(format!("baseline:{module_count}"))
     }
 
     /// The paper's Table I field for an array of `module_count` modules:
@@ -222,5 +268,44 @@ mod tests {
     fn debug_shows_the_name_only() {
         let text = format!("{:?}", SchemeSpec::ehtr());
         assert!(text.contains("EHTR"), "{text}");
+    }
+
+    #[test]
+    fn preset_tokens_round_trip_through_parse() {
+        for token in ["inor", "ehtr", "dnor", "dnor-det:0.002", "baseline:100"] {
+            let spec = SchemeSpec::parse(token).expect(token);
+            assert_eq!(spec.spec(), Some(token), "canonical token for {token}");
+            let again = SchemeSpec::parse(spec.spec().unwrap()).unwrap();
+            assert_eq!(again.name(), spec.name());
+            assert_eq!(again.spec(), spec.spec());
+        }
+        assert_eq!(SchemeSpec::inor().spec(), Some("inor"));
+        assert_eq!(
+            SchemeSpec::baseline_square_grid(36).spec(),
+            Some("baseline:36")
+        );
+        assert_eq!(
+            SchemeSpec::dnor_deterministic(Seconds::new(0.002)).spec(),
+            Some("dnor-det:0.002")
+        );
+    }
+
+    #[test]
+    fn custom_constructors_have_no_token_and_bad_tokens_fail() {
+        assert_eq!(SchemeSpec::new(Inor::default).spec(), None);
+        assert_eq!(SchemeSpec::inor_with(InorConfig::default()).spec(), None);
+        for bad in [
+            "",
+            "nonesuch",
+            "dnor-det:",
+            "dnor-det:-1",
+            "dnor-det:inf",
+            "dnor-det:NaN",
+            "baseline:",
+            "baseline:0",
+            "baseline:ten",
+        ] {
+            assert!(SchemeSpec::parse(bad).is_none(), "{bad:?} should not parse");
+        }
     }
 }

@@ -45,6 +45,27 @@ impl RuntimeStats {
         Self::default()
     }
 
+    /// Reassembles an accumulator from its raw parts — the inverse of
+    /// reading [`RuntimeStats::total`], [`RuntimeStats::max`],
+    /// [`RuntimeStats::invocations`] and
+    /// [`RuntimeStats::faulted_invocations`] off an existing value.  Used by
+    /// wire codecs to reconstruct reports bit-identically; the parts are
+    /// stored verbatim, with no clamping or re-derivation.
+    #[must_use]
+    pub fn from_parts(
+        total: Seconds,
+        max: Seconds,
+        invocations: usize,
+        faulted_invocations: usize,
+    ) -> Self {
+        Self {
+            total_seconds: total.value(),
+            max_seconds: max.value(),
+            invocations,
+            faulted_invocations,
+        }
+    }
+
     /// Records one invocation's computation time (negative durations are
     /// clamped to zero).
     pub fn record(&mut self, duration: Seconds) {
@@ -186,6 +207,20 @@ mod tests {
         assert!((a.total().value() - 0.06).abs() < 1e-12);
         assert!((a.max().value() - 0.030).abs() < 1e-12);
         assert!((a.max_ms().value() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_parts_is_the_inverse_of_the_accessors() {
+        let mut stats = RuntimeStats::new();
+        stats.record(Seconds::new(0.013));
+        stats.record_faulted(Seconds::new(0.007));
+        let rebuilt = RuntimeStats::from_parts(
+            stats.total(),
+            stats.max(),
+            stats.invocations(),
+            stats.faulted_invocations(),
+        );
+        assert_eq!(rebuilt, stats);
     }
 
     #[test]

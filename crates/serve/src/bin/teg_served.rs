@@ -1,0 +1,160 @@
+//! The sweep service daemon binary.
+//!
+//! ```text
+//! teg-served [--addr HOST:PORT] [--workers N] [--queue N] [--max-cells N]
+//!            [--max-steps N] [--cache N] [--checkpoint-dir DIR]
+//!            [--max-frame BYTES] [--smoke]
+//! ```
+//!
+//! Without `--smoke` the daemon binds, prints `listening on <addr>` and runs
+//! until a client sends a SHUTDOWN frame.  With `--smoke` it instead binds an
+//! ephemeral port, drives a small deterministic sweep through the wire client
+//! and asserts the streamed report equals the in-process
+//! [`SweepRunner`] report — the end-to-end self-test CI
+//! runs.
+
+use std::process::ExitCode;
+
+use teg_serve::{ServeClient, ServerConfig, SubmitRequest, SweepServer};
+use teg_sim::{GridSpec, RuntimePolicy, SweepRunner};
+use teg_units::Seconds;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: teg-served [--addr HOST:PORT] [--workers N] [--queue N] [--max-cells N]\n\
+         \x20                 [--max-steps N] [--cache N] [--checkpoint-dir DIR]\n\
+         \x20                 [--max-frame BYTES] [--smoke]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> (ServerConfig, bool) {
+    let mut config = ServerConfig::default();
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        args.next().unwrap_or_else(|| {
+            eprintln!("error: {flag} needs a value");
+            usage();
+        })
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => config.addr = value(&mut args, "--addr"),
+            "--workers" => config.workers = numeric(&value(&mut args, "--workers"), "--workers"),
+            "--queue" => {
+                config.queue_capacity = numeric(&value(&mut args, "--queue"), "--queue");
+            }
+            "--max-cells" => {
+                config.max_cells = numeric(&value(&mut args, "--max-cells"), "--max-cells");
+            }
+            "--max-steps" => {
+                config.max_steps = numeric(&value(&mut args, "--max-steps"), "--max-steps");
+            }
+            "--cache" => config.cache_capacity = numeric(&value(&mut args, "--cache"), "--cache"),
+            "--checkpoint-dir" => {
+                config.checkpoint_dir = Some(value(&mut args, "--checkpoint-dir").into());
+            }
+            "--max-frame" => {
+                config.max_frame = numeric(&value(&mut args, "--max-frame"), "--max-frame");
+            }
+            "--smoke" => smoke = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+    (config, smoke)
+}
+
+fn numeric(text: &str, flag: &str) -> usize {
+    text.parse().unwrap_or_else(|_| {
+        eprintln!("error: {flag} value `{text}` is not an integer");
+        usage();
+    })
+}
+
+/// End-to-end self-test: the streamed report must equal the in-process one.
+fn smoke(mut config: ServerConfig) -> ExitCode {
+    config.addr = "127.0.0.1:0".to_owned();
+    config.checkpoint_dir = None;
+    let spec = "modules=6,8|seeds=1,2|drive=city:10|lineup=paper-fixed:0.002";
+    let policy = RuntimePolicy::Fixed(Seconds::new(0.002));
+    let grid_spec = match GridSpec::parse(spec) {
+        Ok(grid) => grid,
+        Err(err) => {
+            eprintln!("smoke: bad grid spec: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let expected = match grid_spec
+        .to_grid()
+        .map_err(|err| err.to_string())
+        .and_then(|grid| {
+            SweepRunner::new()
+                .runtime_policy(policy)
+                .run(&grid)
+                .map_err(|err| err.to_string())
+        }) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("smoke: in-process sweep failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let served = (|| -> Result<_, Box<dyn std::error::Error>> {
+        let server = SweepServer::start(config)?;
+        let addr = server.addr();
+        let mut client = ServeClient::connect(addr)?;
+        let request = SubmitRequest {
+            id: "smoke".into(),
+            grid: grid_spec,
+            policy,
+        };
+        let report = client.submit(&request)?.into_report()?;
+        client.shutdown_server()?;
+        server.wait();
+        Ok(report)
+    })();
+    let served = match served {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("smoke: service sweep failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if served != expected {
+        eprintln!("smoke: FAIL — streamed report differs from the in-process report");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "smoke: PASS — {} cells streamed bit-identically ({} thermal solves)",
+        served.cells().len(),
+        served.thermal_solves()
+    );
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let (config, run_smoke) = parse_args();
+    if run_smoke {
+        return smoke(config);
+    }
+    match SweepServer::start(config) {
+        Ok(server) => {
+            println!("listening on {}", server.addr());
+            server.wait();
+            println!("shut down");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("error: failed to start: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! Append-only checkpoint journals for long sweeps.
+//!
+//! One journal per request id, `<id>.ckpt` inside the server's checkpoint
+//! directory (ids are path-safe by [`validate_id`](crate::protocol::validate_id)).
+//! The format is a text header binding the journal to one exact request:
+//!
+//! ```text
+//! teg-sweep-checkpoint v1
+//! grid <canonical grid spec>
+//! policy <policy token>
+//! cell <index> <escaped CELL payload>
+//! cell <index> <escaped CELL payload>
+//! …
+//! ```
+//!
+//! Each finished cell is appended — and flushed — *before* it is streamed to
+//! the client, so anything the client saw is durable.  Escaping folds the
+//! multi-line CELL payload onto one journal line (`\` → `\\`, newline →
+//! `\n`); the stored bytes are exactly what [`encode_cell`](crate::codec::encode_cell)
+//! produced, so a resumed request re-emits byte-identical frames without
+//! re-solving.
+//!
+//! Crash safety is structural: a torn final line (no trailing newline, or a
+//! line that does not parse) is dropped along with everything after it, and
+//! the cells before it remain usable.  A header that does not match the
+//! resubmitted request's grid spec and policy is a [`CheckpointLoad::Mismatch`]
+//! — the server rejects rather than mixing incompatible results.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+
+/// Magic first line of every journal.
+pub const CHECKPOINT_MAGIC: &str = "teg-sweep-checkpoint v1";
+
+/// Folds a CELL payload onto one journal line.
+#[must_use]
+pub fn escape_payload(payload: &str) -> String {
+    let mut out = String::with_capacity(payload.len());
+    for c in payload.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape_payload`]; `None` for a torn escape sequence.
+#[must_use]
+pub fn unescape_payload(line: &str) -> Option<String> {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '\\' => out.push('\\'),
+            'n' => out.push('\n'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// The journal file for one request id.
+#[must_use]
+pub fn checkpoint_path(dir: &Path, id: &str) -> PathBuf {
+    dir.join(format!("{id}.ckpt"))
+}
+
+/// What loading a journal found.
+#[derive(Debug)]
+pub enum CheckpointLoad {
+    /// No journal exists for the id — a fresh run.
+    Missing,
+    /// A journal exists but belongs to a different grid or policy.
+    Mismatch {
+        /// Which header line disagreed.
+        reason: String,
+    },
+    /// The recovered cells: grid index → the exact CELL payload previously
+    /// streamed.
+    Cells(BTreeMap<usize, String>),
+}
+
+/// Loads the journal for `id`, checking its header against the resubmitted
+/// request's canonical grid spec and policy token.
+///
+/// # Errors
+///
+/// Propagates I/O failures other than the file not existing.
+pub fn load_checkpoint(
+    dir: &Path,
+    id: &str,
+    grid_spec: &str,
+    policy: &str,
+) -> io::Result<CheckpointLoad> {
+    let path = checkpoint_path(dir, id);
+    let mut text = String::new();
+    match File::open(&path) {
+        Ok(mut file) => {
+            file.read_to_string(&mut text)?;
+        }
+        Err(err) if err.kind() == io::ErrorKind::NotFound => {
+            return Ok(CheckpointLoad::Missing);
+        }
+        Err(err) => return Err(err),
+    }
+    // A torn final append has no trailing newline: drop the partial line.
+    let complete = match text.rfind('\n') {
+        Some(end) => &text[..=end],
+        None => "",
+    };
+    let mut lines = complete.lines();
+    let expect = |got: Option<&str>, want: &str, what: &str| -> Result<(), String> {
+        match got {
+            Some(line) if line == want => Ok(()),
+            Some(line) => Err(format!("{what} mismatch: journal has `{line}`")),
+            None => Err(format!("journal truncated before its {what} line")),
+        }
+    };
+    let header = expect(lines.next(), CHECKPOINT_MAGIC, "format")
+        .and_then(|()| expect(lines.next(), &format!("grid {grid_spec}"), "grid"))
+        .and_then(|()| expect(lines.next(), &format!("policy {policy}"), "policy"));
+    if let Err(reason) = header {
+        return Ok(CheckpointLoad::Mismatch { reason });
+    }
+    let mut cells = BTreeMap::new();
+    for line in lines {
+        // Stop at the first malformed line; everything before it is intact.
+        let Some(rest) = line.strip_prefix("cell ") else {
+            break;
+        };
+        let Some((index, escaped)) = rest.split_once(' ') else {
+            break;
+        };
+        let Ok(index) = index.parse::<usize>() else {
+            break;
+        };
+        let Some(payload) = unescape_payload(escaped) else {
+            break;
+        };
+        cells.insert(index, payload);
+    }
+    Ok(CheckpointLoad::Cells(cells))
+}
+
+/// An open journal accepting cell appends.
+#[derive(Debug)]
+pub struct CheckpointWriter {
+    file: BufWriter<File>,
+}
+
+impl CheckpointWriter {
+    /// Opens (or creates) the journal for `id`, writing the header when the
+    /// file is new.  Call [`load_checkpoint`] first — this does not validate
+    /// an existing header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation and write failures.
+    pub fn open(dir: &Path, id: &str, grid_spec: &str, policy: &str) -> io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let path = checkpoint_path(dir, id);
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let fresh = file.metadata()?.len() == 0;
+        let mut writer = Self {
+            file: BufWriter::new(file),
+        };
+        if fresh {
+            writer.file.write_all(
+                format!("{CHECKPOINT_MAGIC}\ngrid {grid_spec}\npolicy {policy}\n").as_bytes(),
+            )?;
+            writer.file.flush()?;
+        }
+        Ok(writer)
+    }
+
+    /// Appends one finished cell and flushes, so the entry is durable before
+    /// the cell is streamed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn append(&mut self, index: usize, payload: &str) -> io::Result<()> {
+        self.file
+            .write_all(format!("cell {index} {}\n", escape_payload(payload)).as_bytes())?;
+        self.file.flush()
+    }
+}
+
+/// Removes the journal for `id` (after a successful DONE).
+///
+/// # Errors
+///
+/// Propagates deletion failures other than the file already being gone.
+pub fn delete_checkpoint(dir: &Path, id: &str) -> io::Result<()> {
+    match std::fs::remove_file(checkpoint_path(dir, id)) {
+        Ok(()) => Ok(()),
+        Err(err) if err.kind() == io::ErrorKind::NotFound => Ok(()),
+        Err(err) => Err(err),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "teg-serve-ckpt-{}-{}-{tag}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn escaping_round_trips_awkward_payloads() {
+        for payload in ["", "plain", "two\nlines\n", "back\\slash", "\\n\n\\\\"] {
+            let escaped = escape_payload(payload);
+            assert!(!escaped.contains('\n'));
+            assert_eq!(unescape_payload(&escaped).unwrap(), payload);
+        }
+        assert!(unescape_payload("torn\\").is_none());
+        assert!(unescape_payload("bad\\x").is_none());
+    }
+
+    #[test]
+    fn journal_round_trips_and_deletes() {
+        let dir = temp_dir("roundtrip");
+        assert!(matches!(
+            load_checkpoint(&dir, "job", "modules=8", "measured").unwrap(),
+            CheckpointLoad::Missing
+        ));
+        let mut writer = CheckpointWriter::open(&dir, "job", "modules=8", "measured").unwrap();
+        writer.append(0, "cell 0\nbody a\n").unwrap();
+        writer.append(2, "cell 2\nbody b\n").unwrap();
+        drop(writer);
+        // Reopening appends without duplicating the header.
+        let mut writer = CheckpointWriter::open(&dir, "job", "modules=8", "measured").unwrap();
+        writer.append(1, "cell 1\nbody c\n").unwrap();
+        drop(writer);
+        let CheckpointLoad::Cells(cells) =
+            load_checkpoint(&dir, "job", "modules=8", "measured").unwrap()
+        else {
+            panic!("expected cells");
+        };
+        assert_eq!(cells.len(), 3);
+        assert_eq!(cells[&0], "cell 0\nbody a\n");
+        assert_eq!(cells[&1], "cell 1\nbody c\n");
+        assert_eq!(cells[&2], "cell 2\nbody b\n");
+        delete_checkpoint(&dir, "job").unwrap();
+        delete_checkpoint(&dir, "job").unwrap(); // idempotent
+        assert!(matches!(
+            load_checkpoint(&dir, "job", "modules=8", "measured").unwrap(),
+            CheckpointLoad::Missing
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn grid_and_policy_mismatches_are_refused() {
+        let dir = temp_dir("mismatch");
+        let mut writer = CheckpointWriter::open(&dir, "job", "modules=8", "measured").unwrap();
+        writer.append(0, "x").unwrap();
+        drop(writer);
+        for (grid, policy) in [("modules=12", "measured"), ("modules=8", "fixed:0.002")] {
+            assert!(matches!(
+                load_checkpoint(&dir, "job", grid, policy).unwrap(),
+                CheckpointLoad::Mismatch { .. }
+            ));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tails_and_malformed_lines_drop_cleanly() {
+        let dir = temp_dir("torn");
+        let mut writer = CheckpointWriter::open(&dir, "job", "g", "measured").unwrap();
+        writer.append(0, "good\n").unwrap();
+        drop(writer);
+        let path = checkpoint_path(&dir, "job");
+        // A torn append: bytes with no trailing newline.
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        file.write_all(b"cell 1 half-writt").unwrap();
+        drop(file);
+        let CheckpointLoad::Cells(cells) = load_checkpoint(&dir, "job", "g", "measured").unwrap()
+        else {
+            panic!("expected cells");
+        };
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[&0], "good\n");
+        // A malformed middle line ends recovery at that point.
+        std::fs::write(
+            &path,
+            format!("{CHECKPOINT_MAGIC}\ngrid g\npolicy measured\ncell 0 a\ngarbage\ncell 1 b\n"),
+        )
+        .unwrap();
+        let CheckpointLoad::Cells(cells) = load_checkpoint(&dir, "job", "g", "measured").unwrap()
+        else {
+            panic!("expected cells");
+        };
+        assert_eq!(cells.len(), 1);
+        assert!(cells.contains_key(&0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,270 @@
+//! A blocking wire-level client for the sweep service.
+//!
+//! [`ServeClient`] owns one connection and offers the full protocol:
+//! [`submit`](ServeClient::submit) returns a [`SweepStream`] that yields
+//! cells as the server streams them and closes into a
+//! [`SweepReport`] equal to what an in-process
+//! [`SweepRunner`](teg_sim::SweepRunner) would have produced.
+
+use std::fmt;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use teg_sim::{SweepCellReport, SweepReport};
+
+use crate::codec::decode_cell;
+use crate::protocol::{Accepted, Cancel, Done, ErrorReply, Rejected, StatsReply, SubmitRequest};
+use crate::wire::{read_frame, write_frame, Frame, FrameKind, ReadOutcome, WireError, MAX_FRAME};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Framing or transport failure.
+    Wire(WireError),
+    /// The server refused the request before doing any work.
+    Rejected(Rejected),
+    /// The server reported a failure after admission (an ERROR frame).
+    Remote(String),
+    /// The server sent something the protocol does not allow here.
+    Protocol(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Wire(err) => write!(f, "wire error: {err}"),
+            Self::Rejected(rejected) => {
+                write!(f, "request `{}` rejected: {}", rejected.id, rejected.reason)
+            }
+            Self::Remote(reason) => write!(f, "server error: {reason}"),
+            Self::Protocol(reason) => write!(f, "protocol violation: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<WireError> for ServeError {
+    fn from(err: WireError) -> Self {
+        Self::Wire(err)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(err: std::io::Error) -> Self {
+        Self::Wire(WireError::Io(err))
+    }
+}
+
+/// One connection to a sweep service.
+#[derive(Debug)]
+pub struct ServeClient {
+    stream: TcpStream,
+    max_frame: usize,
+}
+
+impl ServeClient {
+    /// Connects with the default frame cap.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServeError> {
+        Self::connect_with_frame_cap(addr, MAX_FRAME)
+    }
+
+    /// Connects with an explicit frame cap (must match the server's to
+    /// exchange large cells).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect_with_frame_cap(
+        addr: impl ToSocketAddrs,
+        max_frame: usize,
+    ) -> Result<Self, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream, max_frame })
+    }
+
+    fn send(&mut self, kind: FrameKind, payload: &str) -> Result<(), ServeError> {
+        write_frame(&mut self.stream, kind, payload.as_bytes(), self.max_frame)?;
+        Ok(())
+    }
+
+    /// Reads the next frame, treating EOF as a protocol violation (the
+    /// caller expects a reply).
+    fn expect_frame(&mut self) -> Result<Frame, ServeError> {
+        loop {
+            match read_frame(&mut self.stream, self.max_frame)? {
+                ReadOutcome::Frame(frame) => return Ok(frame),
+                ReadOutcome::Idle => continue,
+                ReadOutcome::Eof => {
+                    return Err(ServeError::Protocol(
+                        "server closed the connection mid-exchange".to_owned(),
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Submits a sweep and returns the result stream after the server's
+    /// admission decision.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Rejected`] when the server refuses the request;
+    /// otherwise wire or protocol failures.
+    pub fn submit(&mut self, request: &SubmitRequest) -> Result<SweepStream<'_>, ServeError> {
+        let payload = request.encode()?;
+        self.send(FrameKind::Submit, &payload)?;
+        let frame = self.expect_frame()?;
+        let accepted = match frame.kind {
+            FrameKind::Accepted => Accepted::decode(frame.text()?)?,
+            FrameKind::Rejected => {
+                return Err(ServeError::Rejected(Rejected::decode(frame.text()?)?))
+            }
+            other => {
+                return Err(ServeError::Protocol(format!(
+                    "expected ACCEPTED or REJECTED, got {other:?}"
+                )))
+            }
+        };
+        Ok(SweepStream {
+            client: self,
+            accepted,
+            cells: Vec::new(),
+            done: None,
+        })
+    }
+
+    /// Fetches the service counters.
+    ///
+    /// # Errors
+    ///
+    /// Wire or protocol failures.
+    pub fn stats(&mut self) -> Result<StatsReply, ServeError> {
+        self.send(FrameKind::Stats, "")?;
+        let frame = self.expect_frame()?;
+        match frame.kind {
+            FrameKind::StatsReply => Ok(StatsReply::decode(frame.text()?)?),
+            other => Err(ServeError::Protocol(format!(
+                "expected STATS_REPLY, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Cancels the named request (usually one submitted on a *different*
+    /// connection).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Remote`] when no such request is active; otherwise wire
+    /// or protocol failures.
+    pub fn cancel(&mut self, id: &str) -> Result<(), ServeError> {
+        let payload = Cancel { id: id.to_owned() }.encode();
+        self.send(FrameKind::Cancel, &payload)?;
+        let frame = self.expect_frame()?;
+        match frame.kind {
+            FrameKind::Accepted => Ok(()),
+            FrameKind::Error => Err(ServeError::Remote(
+                ErrorReply::decode(frame.text()?)?.reason,
+            )),
+            other => Err(ServeError::Protocol(format!(
+                "expected ACCEPTED or ERROR, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks the daemon to shut down and waits for the acknowledgement.
+    ///
+    /// # Errors
+    ///
+    /// Wire or protocol failures.
+    pub fn shutdown_server(&mut self) -> Result<(), ServeError> {
+        self.send(FrameKind::Shutdown, "")?;
+        let frame = self.expect_frame()?;
+        match frame.kind {
+            FrameKind::ShutdownAck => Ok(()),
+            other => Err(ServeError::Protocol(format!(
+                "expected SHUTDOWN_ACK, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// An in-flight sweep's result stream.
+///
+/// Cells arrive strictly in grid index order.  Drive the stream with
+/// [`SweepStream::next_cell`] for incremental consumption, or call
+/// [`SweepStream::into_report`] to drain everything into a
+/// [`SweepReport`].
+#[derive(Debug)]
+pub struct SweepStream<'a> {
+    client: &'a mut ServeClient,
+    accepted: Accepted,
+    cells: Vec<SweepCellReport>,
+    done: Option<Done>,
+}
+
+impl SweepStream<'_> {
+    /// The server's admission reply (total cells, checkpoint-resumed count).
+    #[must_use]
+    pub const fn accepted(&self) -> &Accepted {
+        &self.accepted
+    }
+
+    /// The completion marker, once the stream has ended.
+    #[must_use]
+    pub const fn done(&self) -> Option<&Done> {
+        self.done.as_ref()
+    }
+
+    /// Receives the next cell; `Ok(None)` after the DONE frame.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Remote`] when the server aborts the sweep; otherwise
+    /// wire or protocol failures.
+    pub fn next_cell(&mut self) -> Result<Option<&SweepCellReport>, ServeError> {
+        if self.done.is_some() {
+            return Ok(None);
+        }
+        let frame = self.client.expect_frame()?;
+        match frame.kind {
+            FrameKind::Cell => {
+                let cell = decode_cell(frame.text()?)?;
+                self.cells.push(cell);
+                Ok(self.cells.last())
+            }
+            FrameKind::Done => {
+                self.done = Some(Done::decode(frame.text()?)?);
+                Ok(None)
+            }
+            FrameKind::Error => Err(ServeError::Remote(
+                ErrorReply::decode(frame.text()?)?.reason,
+            )),
+            other => Err(ServeError::Protocol(format!(
+                "expected CELL, DONE or ERROR, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Drains the stream and assembles the full report.  The summaries are
+    /// recomputed exactly as [`SweepRunner`](teg_sim::SweepRunner) computes
+    /// them, so under a deterministic request the result compares equal to
+    /// the in-process report.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Remote`] when the server aborts the sweep; otherwise
+    /// wire or protocol failures.
+    pub fn into_report(mut self) -> Result<SweepReport, ServeError> {
+        while self.next_cell()?.is_some() {}
+        let done = self
+            .done
+            .as_ref()
+            .expect("loop above only exits at DONE or via an error");
+        Ok(SweepReport::from_cells(self.cells, done.thermal_solves))
+    }
+}

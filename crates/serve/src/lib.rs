@@ -1,0 +1,63 @@
+//! Sweep service daemon: simulate-as-a-service over a length-prefixed TCP
+//! protocol.
+//!
+//! This crate turns the in-process sweep machinery of
+//! [`teg_sim`] into a long-running daemon.  A [`SweepServer`]
+//! accepts scenario/sweep requests over a hand-rolled, zero-dependency frame
+//! protocol, multiplexes them onto a persistent worker pool that shares one
+//! [`TraceCache`](teg_sim::TraceCache) across requests, and streams per-cell
+//! results back incrementally — so a monitoring client renders progress while
+//! a sweep runs instead of waiting for the final report.
+//!
+//! # Layers
+//!
+//! * [`wire`] — `[u32 BE length][u8 kind][payload]` framing, with explicit
+//!   outcomes for clean EOF, idle timeouts, truncation and oversized
+//!   prefixes;
+//! * [`codec`] — the bit-exact text encoding of sweep cells (every `f64`
+//!   travels as its IEEE-754 bit pattern in hex);
+//! * [`protocol`] — the typed control payloads (SUBMIT, ACCEPTED, REJECTED,
+//!   DONE, STATS, CANCEL, …);
+//! * [`checkpoint`] — append-only journals that let an interrupted sweep
+//!   resume without re-solving a single finished cell;
+//! * [`server`] — admission control, budgets, the worker pool and the
+//!   streaming loop;
+//! * [`client`] — a blocking wire-level client, also used by the
+//!   integration tests.
+//!
+//! # Example
+//!
+//! ```
+//! use teg_serve::{ServeClient, ServerConfig, SubmitRequest, SweepServer};
+//! use teg_sim::{GridSpec, RuntimePolicy};
+//! use teg_units::Seconds;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let server = SweepServer::start(ServerConfig::default())?;
+//! let mut client = ServeClient::connect(server.addr())?;
+//! let request = SubmitRequest {
+//!     id: "doc-example".into(),
+//!     grid: GridSpec::parse("modules=6|seeds=1|drive=city:5|lineup=paper-fixed:0.002")?,
+//!     policy: RuntimePolicy::Fixed(Seconds::new(0.002)),
+//! };
+//! let report = client.submit(&request)?.into_report()?;
+//! assert_eq!(report.cells().len(), 1);
+//! server.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod client;
+pub mod codec;
+pub mod protocol;
+pub mod server;
+pub mod wire;
+
+pub use client::{ServeClient, ServeError, SweepStream};
+pub use protocol::{Accepted, Cancel, Done, ErrorReply, Rejected, StatsReply, SubmitRequest};
+pub use server::{ServerConfig, SweepServer};
+pub use wire::{read_frame, write_frame, Frame, FrameKind, ReadOutcome, WireError, MAX_FRAME};

@@ -228,6 +228,16 @@ pub struct ComparisonReport {
 }
 
 impl ComparisonReport {
+    /// Reassembles a comparison report from per-scheme simulation reports —
+    /// the wire-codec inverse of [`ComparisonReport::reports`].  The order
+    /// of `reports` is preserved verbatim (it is the scheme insertion
+    /// order), so a report rebuilt from faithfully transported parts
+    /// compares equal (`PartialEq`) to the in-process original.
+    #[must_use]
+    pub fn from_reports(reports: Vec<SimulationReport>) -> Self {
+        Self { reports }
+    }
+
     /// The per-scheme reports in the order the schemes were added.
     #[must_use]
     pub fn reports(&self) -> &[SimulationReport] {

@@ -287,6 +287,110 @@ impl FaultPlan {
             .join(";")
     }
 
+    /// Parses the compact serialisation [`FaultPlan::spec`] emits back into
+    /// a plan: `;`-separated `step:action` entries, the empty string for a
+    /// healthy plan.  The sensor seed is not part of the spec (callers that
+    /// need it carry it alongside, as the sweep fault-profile specs do) and
+    /// comes back as 0.
+    ///
+    /// Fractional parameters (`derate`, `noise`) are printed to two decimals
+    /// by [`FaultPlan::spec`], so `parse_spec(plan.spec())` reproduces the
+    /// plan exactly when its factors were given to two decimals, and the
+    /// canonical form is stable after one round trip in every case.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidScenario`] naming the first entry that
+    /// does not parse.
+    pub fn parse_spec(spec: &str) -> Result<Self, SimError> {
+        let bad = |entry: &str, why: &str| SimError::InvalidScenario {
+            reason: format!("fault spec entry {entry:?}: {why}"),
+        };
+        let mut events = Vec::new();
+        for entry in spec.split(';') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (step, action) = entry
+                .split_once(':')
+                .ok_or_else(|| bad(entry, "expected `step:action`"))?;
+            let step: usize = step
+                .parse()
+                .map_err(|_| bad(entry, "step is not an integer"))?;
+            let (target, verb) = action
+                .split_once('.')
+                .ok_or_else(|| bad(entry, "expected `m<i>.…`, `s<i>.…` or `n<i>.…`"))?;
+            let mut chars = target.chars();
+            let kind = chars
+                .next()
+                .ok_or_else(|| bad(entry, "target must start with m, s or n"))?;
+            let index: usize = chars
+                .as_str()
+                .parse()
+                .map_err(|_| bad(entry, "target index is not an integer"))?;
+            let action = match kind {
+                'm' => match verb {
+                    "open" => FaultAction::Module {
+                        module: index,
+                        fault: ModuleFault::OpenCircuit,
+                    },
+                    "short" => FaultAction::Module {
+                        module: index,
+                        fault: ModuleFault::ShortCircuit,
+                    },
+                    "repair" => FaultAction::ModuleRepair { module: index },
+                    _ => {
+                        let factor: f64 = verb
+                            .strip_prefix("derate")
+                            .and_then(|v| v.parse().ok())
+                            .ok_or_else(|| bad(entry, "unknown module verb"))?;
+                        FaultAction::Module {
+                            module: index,
+                            fault: ModuleFault::Derated(factor),
+                        }
+                    }
+                },
+                's' => match verb {
+                    "stuck_open" => FaultAction::Switch {
+                        link: index,
+                        stuck: SwitchStuck::Open,
+                    },
+                    "stuck_closed" => FaultAction::Switch {
+                        link: index,
+                        stuck: SwitchStuck::Closed,
+                    },
+                    "repair" => FaultAction::SwitchRepair { link: index },
+                    _ => return Err(bad(entry, "unknown switch verb")),
+                },
+                'n' => match verb {
+                    "dropout" => FaultAction::Sensor {
+                        module: index,
+                        fault: SensorFault::Dropout,
+                    },
+                    "stuck" => FaultAction::Sensor {
+                        module: index,
+                        fault: SensorFault::Stuck,
+                    },
+                    "repair" => FaultAction::SensorRepair { module: index },
+                    _ => {
+                        let sigma: f64 = verb
+                            .strip_prefix("noise")
+                            .and_then(|v| v.parse().ok())
+                            .ok_or_else(|| bad(entry, "unknown sensor verb"))?;
+                        FaultAction::Sensor {
+                            module: index,
+                            fault: SensorFault::Noisy { sigma },
+                        }
+                    }
+                },
+                _ => return Err(bad(entry, "target must start with m, s or n")),
+            };
+            events.push(FaultEvent::new(step, action));
+        }
+        Ok(Self::new(events))
+    }
+
     /// Generates a seeded random plan for an array of `module_count` modules
     /// over a drive of `duration_steps` steps.
     ///
@@ -554,6 +658,46 @@ mod tests {
         assert_eq!(plan.to_string(), plan.spec());
         assert_eq!(FaultPlan::none().to_string(), "healthy");
         assert_eq!(FaultPlan::none().spec(), "");
+    }
+
+    #[test]
+    fn parse_spec_round_trips_every_action_kind() {
+        let spec = "1:m0.open;2:m1.short;3:m2.derate0.50;4:m2.repair;\
+                    5:s3.stuck_open;6:s4.stuck_closed;7:s3.repair;\
+                    8:n5.dropout;9:n6.stuck;10:n7.noise1.25;11:n5.repair";
+        let plan = FaultPlan::parse_spec(spec).unwrap();
+        assert_eq!(plan.spec(), spec);
+        assert_eq!(FaultPlan::parse_spec(&plan.spec()).unwrap(), plan);
+        // Random plans round-trip too, modulo the sensor seed (which the
+        // spec does not carry).
+        let random = FaultPlan::random(30, 200, FaultSeverity::severe(), 7);
+        let reparsed = FaultPlan::parse_spec(&random.spec()).unwrap();
+        assert_eq!(reparsed.spec(), random.spec());
+        // Empty string and stray separators parse to the healthy plan.
+        assert_eq!(FaultPlan::parse_spec("").unwrap(), FaultPlan::none());
+        assert_eq!(FaultPlan::parse_spec(";; ;").unwrap(), FaultPlan::none());
+    }
+
+    #[test]
+    fn parse_spec_rejects_malformed_entries() {
+        for bad in [
+            "nocolon",
+            "x:m0.open",
+            "1:m0",
+            "1:.open",
+            "1:q0.open",
+            "1:mx.open",
+            "1:m0.explode",
+            "1:m0.derate",
+            "1:m0.deratex",
+            "1:s0.stuck",
+            "1:n0.noise",
+        ] {
+            assert!(
+                FaultPlan::parse_spec(bad).is_err(),
+                "{bad:?} should not parse"
+            );
+        }
     }
 
     #[test]

@@ -86,7 +86,7 @@ pub use report::SimulationReport;
 pub use scenario::{Scenario, ScenarioBuilder};
 pub use session::{RuntimePolicy, SessionSummary, SimSession, SolverPool, StepFn, StepObserver};
 pub use sweep::{
-    CellKey, DriveProfile, FaultProfile, ScenarioGrid, ScenarioGridBuilder, SchemeLineup,
+    CellKey, DriveProfile, FaultProfile, GridSpec, ScenarioGrid, ScenarioGridBuilder, SchemeLineup,
     SchemeSummary, SweepCell, SweepCellReport, SweepReport, SweepRunner,
 };
 pub use thermal_trace::ThermalTrace;

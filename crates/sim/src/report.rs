@@ -94,6 +94,12 @@ impl SimulationReport {
         self.step * self.records.len() as f64
     }
 
+    /// The step length the records were sampled at (the scenario's step).
+    #[must_use]
+    pub const fn step(&self) -> Seconds {
+        self.step
+    }
+
     /// Array energy before subtracting switching overhead.
     #[must_use]
     pub const fn gross_energy(&self) -> Joules {

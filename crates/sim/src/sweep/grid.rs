@@ -13,6 +13,54 @@ use crate::fault::{FaultPlan, FaultSeverity};
 use crate::scenario::Scenario;
 use crate::trace_cache::{ThermalKey, TraceCache};
 
+/// Whether a label/name may appear inside a compact grid spec: the spec
+/// grammar reserves `|` `,` `=` between fields, `:` and `+` inside tokens,
+/// and whitespace for readability.
+pub(crate) fn label_is_spec_safe(label: &str) -> bool {
+    !label.is_empty()
+        && label
+            .chars()
+            .all(|c| !c.is_whitespace() && !matches!(c, '|' | ',' | '=' | ':' | '+'))
+}
+
+/// The compact token of a [`FaultSeverity`]: a named preset when the rates
+/// match one, raw `<module>/<switch>/<sensor>` rates otherwise (`f64`
+/// `Display` round-trips exactly).
+fn severity_token(severity: FaultSeverity) -> String {
+    for (name, preset) in [
+        ("light", FaultSeverity::light()),
+        ("moderate", FaultSeverity::moderate()),
+        ("severe", FaultSeverity::severe()),
+    ] {
+        if severity == preset {
+            return name.to_owned();
+        }
+    }
+    format!(
+        "{}/{}/{}",
+        severity.module_rate(),
+        severity.switch_rate(),
+        severity.sensor_rate()
+    )
+}
+
+fn parse_severity(token: &str) -> Option<FaultSeverity> {
+    match token {
+        "light" => return Some(FaultSeverity::light()),
+        "moderate" => return Some(FaultSeverity::moderate()),
+        "severe" => return Some(FaultSeverity::severe()),
+        _ => {}
+    }
+    let mut rates = token.split('/');
+    let module: f64 = rates.next()?.parse().ok()?;
+    let switch: f64 = rates.next()?.parse().ok()?;
+    let sensor: f64 = rates.next()?.parse().ok()?;
+    if rates.next().is_some() {
+        return None;
+    }
+    FaultSeverity::new(module, switch, sensor).ok()
+}
+
 /// One drive-cycle variant of the sweep: a label plus the parameters fed to
 /// the scenario builder.
 ///
@@ -61,6 +109,27 @@ impl DriveProfile {
     pub const fn duration_seconds(&self) -> usize {
         self.duration_seconds
     }
+
+    /// The compact token this profile serialises to — `<label>:<seconds>`,
+    /// round-tripped by [`DriveProfile::parse`].  `None` when the label
+    /// contains characters the spec grammar reserves.
+    #[must_use]
+    pub fn spec(&self) -> Option<String> {
+        label_is_spec_safe(&self.label).then(|| format!("{}:{}", self.label, self.duration_seconds))
+    }
+
+    /// Parses a `<label>:<seconds>` token back into a profile.  Returns
+    /// `None` for malformed tokens (missing separator, unparsable or zero
+    /// duration, reserved characters in the label).
+    #[must_use]
+    pub fn parse(token: &str) -> Option<Self> {
+        let (label, seconds) = token.split_once(':')?;
+        let duration_seconds: usize = seconds.parse().ok()?;
+        if duration_seconds == 0 || !label_is_spec_safe(label) {
+            return None;
+        }
+        Some(Self::named(label, duration_seconds))
+    }
 }
 
 /// A named field of schemes competing in one cell, parameterised by the
@@ -72,6 +141,7 @@ impl DriveProfile {
 #[derive(Clone)]
 pub struct SchemeLineup {
     name: String,
+    spec: Option<String>,
     factory: Arc<dyn Fn(usize) -> Vec<SchemeSpec> + Send + Sync>,
 }
 
@@ -80,7 +150,7 @@ impl SchemeLineup {
     /// baseline sized for each cell's module count.
     #[must_use]
     pub fn paper() -> Self {
-        Self::parameterised("paper", SchemeSpec::paper_field)
+        Self::parameterised("paper", SchemeSpec::paper_field).tagged("paper".into())
     }
 
     /// The paper's Table I field in its bit-reproducible form: DNOR charges
@@ -93,13 +163,25 @@ impl SchemeLineup {
         Self::parameterised("paper-fixed", move |n| {
             SchemeSpec::paper_field_fixed(n, computation)
         })
+        .tagged(format!("paper-fixed:{}", computation.value()))
     }
 
     /// A lineup with a fixed set of specs, identical for every module count.
     #[must_use]
     pub fn fixed(name: impl Into<String>, specs: Vec<SchemeSpec>) -> Self {
+        let name = name.into();
+        let spec = (label_is_spec_safe(&name))
+            .then(|| {
+                specs
+                    .iter()
+                    .map(|s| s.spec().map(str::to_owned))
+                    .collect::<Option<Vec<_>>>()
+            })
+            .flatten()
+            .map(|tokens| format!("fixed:{name}:{}", tokens.join("+")));
         Self {
-            name: name.into(),
+            name,
+            spec,
             factory: Arc::new(move |_| specs.clone()),
         }
     }
@@ -111,14 +193,77 @@ impl SchemeLineup {
     {
         Self {
             name: name.into(),
+            spec: None,
             factory: Arc::new(factory),
         }
+    }
+
+    fn tagged(mut self, spec: String) -> Self {
+        self.spec = Some(spec);
+        self
     }
 
     /// The lineup's name, recorded in every cell key using it.
     #[must_use]
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The compact token this lineup serialises to, when it was built from
+    /// one of the named presets or from [`SchemeLineup::fixed`] over
+    /// preset-token schemes ([`SchemeLineup::parse`] round-trips it).
+    /// Lineups over arbitrary constructors have no token and return `None`.
+    #[must_use]
+    pub fn spec(&self) -> Option<&str> {
+        self.spec.as_deref()
+    }
+
+    /// Parses a lineup token back into the lineup that emitted it:
+    /// `paper`, `paper-fixed:<seconds>`, or `fixed:<name>:<tok>+<tok>+…`
+    /// where each `tok` follows the [`SchemeSpec::parse`] grammar — plus the
+    /// bare token `baseline`, which fields the square-grid baseline sized
+    /// for each cell's module count.  Returns `None` for unknown tokens or
+    /// malformed parameters.
+    #[must_use]
+    pub fn parse(token: &str) -> Option<Self> {
+        if token == "paper" {
+            return Some(Self::paper());
+        }
+        if let Some(value) = token.strip_prefix("paper-fixed:") {
+            let seconds: f64 = value.parse().ok()?;
+            if !(seconds.is_finite() && seconds >= 0.0) {
+                return None;
+            }
+            return Some(Self::paper_fixed(teg_units::Seconds::new(seconds)));
+        }
+        let rest = token.strip_prefix("fixed:")?;
+        let (name, tokens) = rest.split_once(':')?;
+        if !label_is_spec_safe(name) {
+            return None;
+        }
+        let tokens: Vec<String> = tokens.split('+').map(str::to_owned).collect();
+        for tok in &tokens {
+            if tok != "baseline" && SchemeSpec::parse(tok).is_none() {
+                return None;
+            }
+        }
+        let canonical = format!("fixed:{name}:{}", tokens.join("+"));
+        let field = tokens.clone();
+        Some(
+            Self::parameterised(name, move |module_count| {
+                field
+                    .iter()
+                    .map(|tok| {
+                        if tok == "baseline" {
+                            SchemeSpec::baseline_square_grid(module_count)
+                        } else {
+                            SchemeSpec::parse(tok).expect("tokens validated at parse time")
+                        }
+                    })
+                    .collect()
+            })
+            .tagged(canonical),
+        )
     }
 
     /// The specs this lineup fields for an array of `module_count` modules.
@@ -145,6 +290,7 @@ impl fmt::Debug for SchemeLineup {
 #[derive(Clone)]
 pub struct FaultProfile {
     label: String,
+    spec: Option<String>,
     recipe: Arc<dyn Fn(usize, usize, u64) -> FaultPlan + Send + Sync>,
 }
 
@@ -153,15 +299,19 @@ impl FaultProfile {
     /// fault axis).
     #[must_use]
     pub fn none() -> Self {
-        Self::parameterised("healthy", |_, _, _| FaultPlan::none())
+        Self::parameterised("healthy", |_, _, _| FaultPlan::none()).tagged("healthy".into())
     }
 
     /// A profile replaying one fixed plan in every cell (the plan must be
     /// valid for every module count on the grid's axis).
     #[must_use]
     pub fn fixed(label: impl Into<String>, plan: FaultPlan) -> Self {
+        let label = label.into();
+        let spec = label_is_spec_safe(&label)
+            .then(|| format!("fixed:{label}:{}:{}", plan.sensor_seed(), plan.spec()));
         Self {
-            label: label.into(),
+            label,
+            spec,
             recipe: Arc::new(move |_, _, _| plan.clone()),
         }
     }
@@ -171,9 +321,14 @@ impl FaultProfile {
     /// duration, seed) coordinates.
     #[must_use]
     pub fn random(label: impl Into<String>, severity: FaultSeverity) -> Self {
-        Self::parameterised(label, move |modules, duration, seed| {
+        let label = label.into();
+        let spec = label_is_spec_safe(&label)
+            .then(|| format!("random:{label}:{}", severity_token(severity)));
+        let mut profile = Self::parameterised(label, move |modules, duration, seed| {
             FaultPlan::random(modules, duration, severity, seed)
-        })
+        });
+        profile.spec = spec;
+        profile
     }
 
     /// A profile with an arbitrary `(module_count, duration_steps, seed) →
@@ -184,14 +339,60 @@ impl FaultProfile {
     {
         Self {
             label: label.into(),
+            spec: None,
             recipe: Arc::new(recipe),
         }
+    }
+
+    fn tagged(mut self, spec: String) -> Self {
+        self.spec = Some(spec);
+        self
     }
 
     /// The label recorded in every cell key using this profile.
     #[must_use]
     pub fn label(&self) -> &str {
         &self.label
+    }
+
+    /// The compact token this profile serialises to, when it was built from
+    /// [`FaultProfile::none`], [`FaultProfile::fixed`] or
+    /// [`FaultProfile::random`] ([`FaultProfile::parse`] round-trips it).
+    /// Profiles over arbitrary recipes have no token and return `None`.
+    #[must_use]
+    pub fn spec(&self) -> Option<&str> {
+        self.spec.as_deref()
+    }
+
+    /// Parses a fault-profile token back into the profile that emitted it:
+    /// `healthy`, `random:<label>:<severity>` (severity one of `light`,
+    /// `moderate`, `severe` or raw `<module>/<switch>/<sensor>` rates) or
+    /// `fixed:<label>:<sensor_seed>:<plan spec>` with the plan in
+    /// [`FaultPlan::spec`] grammar.  Returns `None` for unknown tokens or
+    /// malformed parameters.
+    #[must_use]
+    pub fn parse(token: &str) -> Option<Self> {
+        if token == "healthy" {
+            return Some(Self::none());
+        }
+        if let Some(rest) = token.strip_prefix("random:") {
+            let (label, severity) = rest.split_once(':')?;
+            if !label_is_spec_safe(label) {
+                return None;
+            }
+            return Some(Self::random(label, parse_severity(severity)?));
+        }
+        let rest = token.strip_prefix("fixed:")?;
+        let (label, rest) = rest.split_once(':')?;
+        let (sensor_seed, plan_spec) = rest.split_once(':')?;
+        if !label_is_spec_safe(label) {
+            return None;
+        }
+        let sensor_seed: u64 = sensor_seed.parse().ok()?;
+        let plan = FaultPlan::parse_spec(plan_spec)
+            .ok()?
+            .with_sensor_seed(sensor_seed);
+        Some(Self::fixed(label, plan))
     }
 
     /// The plan this profile produces for one cell's coordinates.
@@ -223,6 +424,31 @@ pub struct CellKey {
 }
 
 impl CellKey {
+    /// Reassembles a key from its raw coordinates — the inverse of reading
+    /// the accessors off an existing key.  Wire codecs use this to
+    /// reconstruct streamed cell reports; within one process, keys come from
+    /// [`ScenarioGridBuilder::build`].
+    #[must_use]
+    pub fn from_parts(
+        index: usize,
+        module_count: usize,
+        seed: u64,
+        drive: impl Into<String>,
+        variation: usize,
+        fault: impl Into<String>,
+        lineup: impl Into<String>,
+    ) -> Self {
+        Self {
+            index,
+            module_count,
+            seed,
+            drive: drive.into(),
+            variation,
+            fault: fault.into(),
+            lineup: lineup.into(),
+        }
+    }
+
     /// Position of the cell in grid order (the order reports are listed in).
     #[must_use]
     pub const fn index(&self) -> usize {

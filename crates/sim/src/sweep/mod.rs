@@ -69,9 +69,11 @@
 mod grid;
 mod report;
 mod runner;
+mod spec;
 
 pub use grid::{
     CellKey, DriveProfile, FaultProfile, ScenarioGrid, ScenarioGridBuilder, SchemeLineup, SweepCell,
 };
 pub use report::{SchemeSummary, SweepCellReport, SweepReport};
 pub use runner::SweepRunner;
+pub use spec::GridSpec;

@@ -20,6 +20,15 @@ impl SweepCellReport {
         Self { key, report }
     }
 
+    /// Reassembles a cell report from its coordinates and comparison report
+    /// — the wire-codec inverse of [`SweepCellReport::key`] and
+    /// [`SweepCellReport::report`].  Within one process, cell reports come
+    /// from [`SweepRunner::run`](crate::SweepRunner::run).
+    #[must_use]
+    pub fn from_parts(key: CellKey, report: ComparisonReport) -> Self {
+        Self::new(key, report)
+    }
+
     /// The cell's grid coordinates.
     #[must_use]
     pub const fn key(&self) -> &CellKey {
@@ -124,6 +133,16 @@ impl SweepReport {
             schemes,
             thermal_solves,
         }
+    }
+
+    /// Reassembles a sweep report from per-cell reports and a thermal-solve
+    /// count.  The per-scheme summaries are *recomputed* from the cells with
+    /// the same deterministic aggregation [`SweepRunner`](crate::SweepRunner)
+    /// uses, so a report rebuilt from faithfully transported cells compares
+    /// equal (`PartialEq`) to the in-process original.
+    #[must_use]
+    pub fn from_cells(cells: Vec<SweepCellReport>, thermal_solves: usize) -> Self {
+        Self::new(cells, thermal_solves)
     }
 
     /// The per-cell reports in grid order.

@@ -115,10 +115,14 @@ struct TraceCell {
 struct CacheInner {
     // Linear scan over (fingerprint-prefiltered, fully compared) keys: a
     // grid holds a handful of distinct keys, and exact Vec lookup avoids
-    // putting f64-derived hashes on the correctness path.
+    // putting f64-derived hashes on the correctness path.  The Vec doubles
+    // as the LRU order — least recently used at the front, so bounded
+    // caches evict from index 0.
     entries: Mutex<Vec<(ThermalKey, Arc<TraceCell>)>>,
+    capacity: usize, // 0 = unbounded
     hits: AtomicUsize,
     misses: AtomicUsize,
+    evictions: AtomicUsize,
 }
 
 /// An `Arc`-shared, input-keyed cache of solved [`ThermalTrace`]s.
@@ -162,10 +166,43 @@ pub struct TraceCache {
 }
 
 impl TraceCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with no capacity bound (entries are retained
+    /// until [`TraceCache::clear`]).
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty cache holding at most `capacity` entries, evicting
+    /// the least recently used entry when a new key would exceed the bound.
+    /// A capacity of `0` means unbounded, same as [`TraceCache::new`].
+    ///
+    /// Eviction releases only the cache's references: scenarios holding an
+    /// evicted trace keep it alive through their own `Arc` handle, and a
+    /// solve in flight on an evicted entry completes into that entry's
+    /// private slot.  A later request for an evicted key re-solves — counted
+    /// as a miss, with [`TraceCache::evictions`] recording each eviction.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            inner: Arc::new(CacheInner {
+                capacity,
+                ..CacheInner::default()
+            }),
+        }
+    }
+
+    /// The cache's entry bound, or `None` when unbounded.
+    #[must_use]
+    pub fn capacity(&self) -> Option<usize> {
+        (self.inner.capacity != 0).then_some(self.inner.capacity)
+    }
+
+    /// Number of entries evicted to keep the cache within its capacity
+    /// (always zero for unbounded caches).
+    #[must_use]
+    pub fn evictions(&self) -> usize {
+        self.inner.evictions.load(Ordering::Relaxed)
     }
 
     /// Number of distinct thermal keys the cache has seen.
@@ -198,12 +235,14 @@ impl TraceCache {
     /// their own `Arc` handle, so clearing never invalidates running work —
     /// it only releases the cache's references.
     ///
-    /// The cache never evicts on its own: each entry retains its key (a
-    /// drive-cycle and module-parameter clone) and the solved trace for as
-    /// long as the cache lives.  A long-lived caller sweeping an unbounded
-    /// stream of *distinct* keys should clear between phases — within one
-    /// grid, or a family of grids over one parameter space, the entry count
-    /// stays small and lookups stay cheap.
+    /// An unbounded cache (the default) never evicts on its own: each entry
+    /// retains its key (a drive-cycle and module-parameter clone) and the
+    /// solved trace for as long as the cache lives.  A long-lived caller
+    /// sweeping an unbounded stream of *distinct* keys should either clear
+    /// between phases or build the cache with
+    /// [`TraceCache::with_capacity`] — within one grid, or a family of
+    /// grids over one parameter space, the entry count stays small and
+    /// lookups stay cheap.
     pub fn clear(&self) {
         self.entries().clear();
     }
@@ -228,11 +267,25 @@ impl TraceCache {
         let key = ThermalKey::of(scenario);
         let cell = {
             let mut entries = self.entries();
-            match entries.iter().find(|(k, _)| *k == key) {
-                Some((_, cell)) => Arc::clone(cell),
+            match entries.iter().position(|(k, _)| *k == key) {
+                Some(pos) => {
+                    // Refresh recency: the touched entry moves to the back,
+                    // so bounded caches evict the *least* recently used key.
+                    let entry = entries.remove(pos);
+                    let cell = Arc::clone(&entry.1);
+                    entries.push(entry);
+                    cell
+                }
                 None => {
                     let cell = Arc::new(TraceCell::default());
                     entries.push((key, Arc::clone(&cell)));
+                    let capacity = self.inner.capacity;
+                    if capacity != 0 {
+                        while entries.len() > capacity {
+                            entries.remove(0);
+                            self.inner.evictions.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
                     cell
                 }
             }
@@ -262,8 +315,10 @@ impl fmt::Debug for TraceCache {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("TraceCache")
             .field("keys", &self.len())
+            .field("capacity", &self.capacity())
             .field("hits", &self.hits())
             .field("misses", &self.misses())
+            .field("evictions", &self.evictions())
             .finish()
     }
 }
@@ -359,6 +414,63 @@ mod tests {
         b.thermal_trace().unwrap();
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used() {
+        let cache = TraceCache::with_capacity(2);
+        assert_eq!(cache.capacity(), Some(2));
+        // Distinct seeds → distinct thermal keys.
+        let a = || builder(6, 10, 1, &cache).build().unwrap();
+        let b = || builder(6, 10, 2, &cache).build().unwrap();
+        let c = || builder(6, 10, 3, &cache).build().unwrap();
+        a().thermal_trace().unwrap(); // [A]
+        b().thermal_trace().unwrap(); // [A, B]
+        assert_eq!(cache.evictions(), 0);
+        a().thermal_trace().unwrap(); // hit refreshes A → [B, A]
+        c().thermal_trace().unwrap(); // evicts B → [A, C]
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        a().thermal_trace().unwrap(); // still cached → [C, A]
+        assert_eq!(cache.hits(), 2);
+        b().thermal_trace().unwrap(); // re-solve, evicts C → [A, B]
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 2);
+        assert_eq!(cache.misses(), 4, "A, B, C and the re-solved B");
+        assert_eq!(cache.hits(), 2);
+    }
+
+    #[test]
+    fn eviction_does_not_invalidate_outstanding_traces() {
+        let cache = TraceCache::with_capacity(1);
+        let a = builder(5, 10, 1, &cache).build().unwrap();
+        let trace = a.thermal_trace().unwrap().clone();
+        builder(5, 10, 2, &cache)
+            .build()
+            .unwrap()
+            .thermal_trace()
+            .unwrap();
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.evictions(), 1);
+        // The first scenario's handle survives the eviction.
+        assert_eq!(trace.len(), 10);
+        assert_eq!(a.thermal_trace().unwrap(), &trace);
+    }
+
+    #[test]
+    fn default_cache_is_unbounded() {
+        let cache = TraceCache::new();
+        assert_eq!(cache.capacity(), None);
+        for seed in 0..5 {
+            builder(5, 10, seed, &cache)
+                .build()
+                .unwrap()
+                .thermal_trace()
+                .unwrap();
+        }
+        assert_eq!(cache.len(), 5);
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(TraceCache::with_capacity(0).capacity(), None);
     }
 
     #[test]

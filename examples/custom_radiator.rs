@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo run --release --example custom_radiator`.
 
-use teg_harvest::reconfig::{Dnor, Inor, Reconfigurer, StaticBaseline};
+use teg_harvest::reconfig::SchemeSpec;
 use teg_harvest::sim::{Scenario, SimulationEngine};
 use teg_harvest::thermal::RadiatorGeometry;
 
@@ -22,17 +22,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let engine = SimulationEngine::new(scenario);
-    let mut schemes: Vec<Box<dyn Reconfigurer>> = vec![
-        Box::new(Dnor::default()),
-        Box::new(Inor::default()),
-        Box::new(StaticBaseline::square_grid(200)),
+    let specs = [
+        SchemeSpec::dnor(),
+        SchemeSpec::inor(),
+        SchemeSpec::baseline_square_grid(200),
     ];
 
     println!(
         "{:<10} {:>14} {:>14} {:>12} {:>14}",
         "scheme", "energy (J)", "overhead (J)", "switches", "ideal frac"
     );
-    for scheme in &mut schemes {
+    for spec in specs {
+        let mut scheme = spec.build();
         let report = engine.run(scheme.as_mut())?;
         println!(
             "{:<10} {:>14.1} {:>14.2} {:>12} {:>14.3}",

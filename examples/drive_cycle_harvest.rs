@@ -5,7 +5,7 @@
 //!
 //! Run with `cargo run --release --example drive_cycle_harvest`.
 
-use teg_harvest::reconfig::{Dnor, Ehtr, Inor, Reconfigurer, StaticBaseline};
+use teg_harvest::reconfig::SchemeSpec;
 use teg_harvest::sim::{Scenario, SimulationEngine};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -16,18 +16,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build()?;
     let engine = SimulationEngine::new(scenario);
 
-    let mut schemes: Vec<Box<dyn Reconfigurer>> = vec![
-        Box::new(Dnor::default()),
-        Box::new(Inor::default()),
-        Box::new(Ehtr::default()),
-        Box::new(StaticBaseline::grid_10x10()),
-    ];
-
     println!(
         "{:<10} {:>14} {:>16} {:>10} {:>16}",
         "scheme", "energy (J)", "overhead (J)", "switches", "avg runtime (ms)"
     );
-    for scheme in &mut schemes {
+    // The shared preset, so this example can never drift from the lineup
+    // Table I and the sweep subsystem use.
+    for spec in SchemeSpec::paper_field(100) {
+        let mut scheme = spec.build();
         let report = engine.run(scheme.as_mut())?;
         let (energy, overhead, runtime) = report.table1_row();
         println!(

@@ -9,7 +9,6 @@
 //!
 //! Run with `cargo run --release --example scalability_study`.
 
-use teg_harvest::reconfig::SchemeSpec;
 use teg_harvest::sim::{ScenarioGrid, SchemeLineup, SweepRunner};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -23,10 +22,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .module_counts([n])
             .seeds([7, 8])
             .duration_seconds(30)
-            .lineups([SchemeLineup::fixed(
-                "heuristics",
-                vec![SchemeSpec::inor(), SchemeSpec::ehtr()],
-            )])
+            .lineups([
+                SchemeLineup::parse("fixed:heuristics:inor+ehtr").expect("a valid lineup token")
+            ])
             .build()?;
         // One worker: the study times decisions, so concurrent cells must
         // not contend for the cores being measured.

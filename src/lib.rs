@@ -11,6 +11,7 @@ pub use teg_device as device;
 pub use teg_power as power;
 pub use teg_predict as predict;
 pub use teg_reconfig as reconfig;
+pub use teg_serve as serve;
 pub use teg_sim as sim;
 pub use teg_thermal as thermal;
 pub use teg_units as units;
