@@ -64,7 +64,7 @@
 //! # }
 //! ```
 
-use teg_units::{Amps, TemperatureDelta, Volts, Watts};
+use teg_units::{Amps, KernelMode, TemperatureDelta, Volts, Watts};
 
 use crate::configuration::Configuration;
 use crate::electrical::{GroupOperatingPoint, TegArray};
@@ -198,10 +198,21 @@ impl SolvedPoint {
 ///
 /// All buffers grow to the largest array solved and are then recycled:
 /// after warm-up no method allocates.  A solver is cheap to create and
-/// carries no observable state — only scratch — so cloning or defaulting
-/// one anywhere is always correct.
+/// carries no observable state beyond its [`KernelMode`] — otherwise only
+/// scratch — so cloning or defaulting one anywhere is always correct.
+///
+/// # Kernel modes
+///
+/// The solver defaults to [`KernelMode::BitExact`]: group sums run in
+/// module order with the reference rounding, matching the legacy per-call
+/// path bit for bit.  [`KernelMode::Fast`] (via [`ArraySolver::with_mode`]
+/// or [`ArraySolver::set_mode`]) switches the group accumulation to a
+/// branch-free 4-wide chunked sum — same mathematics, reordered rounding —
+/// whose results agree with the bit-exact lane within the tolerance the
+/// equivalence suite pins (see `TESTING.md`).
 #[derive(Debug, Clone, Default)]
 pub struct ArraySolver {
+    mode: KernelMode,
     // Per-module terms of the loaded ΔT vector (zero while nothing loaded).
     loaded_modules: usize,
     g: Vec<f64>,
@@ -221,6 +232,27 @@ impl ArraySolver {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty solver running the given kernel mode.
+    #[must_use]
+    pub fn with_mode(mode: KernelMode) -> Self {
+        Self {
+            mode,
+            ..Self::default()
+        }
+    }
+
+    /// The kernel mode this solver runs.
+    #[must_use]
+    pub const fn mode(&self) -> KernelMode {
+        self.mode
+    }
+
+    /// Switches the kernel mode (scratch and loaded terms are untouched;
+    /// only subsequent accumulations change lane).
+    pub fn set_mode(&mut self, mode: KernelMode) {
+        self.mode = mode;
     }
 
     /// Derives the per-module EMF/conductance terms for one ΔT vector and
@@ -318,11 +350,17 @@ impl ArraySolver {
     /// loaded or the candidate covers a different module count.
     pub fn mpp(&mut self, candidate: &Configuration) -> Result<SolvedPoint, ArrayError> {
         self.check_candidate(candidate)?;
+        Ok(self.mpp_validated(candidate))
+    }
+
+    /// [`ArraySolver::mpp`] for a candidate that has already passed
+    /// [`ArraySolver::check_candidate`] — the infallible inner scan.
+    fn mpp_validated(&mut self, candidate: &Configuration) -> SolvedPoint {
         let n = candidate.group_count();
         if !self.accumulate_groups(candidate.group_starts(), self.loaded_modules) {
-            return Ok(self.zero_point(n));
+            return self.zero_point(n);
         }
-        Ok(self.mpp_from_groups(n))
+        self.mpp_from_groups(n)
     }
 
     /// Total MPP power of one candidate against the loaded terms.
@@ -360,17 +398,23 @@ impl ArraySolver {
     ///
     /// # Errors
     ///
-    /// Same failure modes as [`ArraySolver::mpp`]; on error `out` holds the
-    /// results produced so far.
+    /// Same failure modes as [`ArraySolver::mpp`], but every candidate is
+    /// validated **up front**: on error `out` is left untouched (never
+    /// partially filled), and the scan itself runs branch-free with no
+    /// per-candidate early exit.
     pub fn evaluate_candidates(
         &mut self,
         candidates: &[Configuration],
         out: &mut Vec<Watts>,
     ) -> Result<(), ArrayError> {
+        for candidate in candidates {
+            self.check_candidate(candidate)?;
+        }
         out.clear();
         out.reserve(candidates.len());
         for candidate in candidates {
-            out.push(self.mpp_power(candidate)?);
+            let point = self.mpp_validated(candidate);
+            out.push(point.power());
         }
         Ok(())
     }
@@ -477,10 +521,15 @@ impl ArraySolver {
         self.group_g.clear();
         self.group_shorted.clear();
         let mut broken = false;
+        let fast = self.mode.is_fast();
         for j in 0..n {
             let start = starts[j];
             let end = starts.get(j + 1).copied().unwrap_or(module_count);
-            let (s_g, g_g, shorted) = self.sum_range(start, end);
+            let (s_g, g_g, shorted) = if fast {
+                self.sum_range_fast(start, end)
+            } else {
+                self.sum_range(start, end)
+            };
             broken |= g_g <= 0.0 && !shorted;
             self.group_s.push(s_g);
             self.group_g.push(g_g);
@@ -510,6 +559,45 @@ impl ArraySolver {
             s_g += self.ge[i];
             g_g += self.g[i];
         }
+        (s_g, g_g, shorted)
+    }
+
+    /// [`KernelMode::Fast`] lane of [`ArraySolver::sum_range`]: branch-free
+    /// 4-wide chunked sums.
+    ///
+    /// Disconnected modules hold zeroed terms (`reset_terms` zero-fills and
+    /// `load`/`load_plan` never write them), so the `connected` branch can
+    /// be dropped: adding `0.0` to a finite accumulator is exact.  Four
+    /// independent accumulators break the FP-add latency chain; the final
+    /// pairwise combine reorders rounding relative to the in-order scan,
+    /// which is why this lane is tolerance-checked rather than bit-exact.
+    /// The string-broken predicate (`G_g <= 0.0` with no short) is
+    /// unaffected: a group with no connected modules sums to exactly `0.0`
+    /// in both lanes.
+    fn sum_range_fast(&self, start: usize, end: usize) -> (f64, f64, bool) {
+        let ge = &self.ge[start..end];
+        let g = &self.g[start..end];
+        let mut s = [0.0_f64; 4];
+        let mut c = [0.0_f64; 4];
+        let mut ge_chunks = ge.chunks_exact(4);
+        let mut g_chunks = g.chunks_exact(4);
+        for (e4, g4) in (&mut ge_chunks).zip(&mut g_chunks) {
+            s[0] += e4[0];
+            s[1] += e4[1];
+            s[2] += e4[2];
+            s[3] += e4[3];
+            c[0] += g4[0];
+            c[1] += g4[1];
+            c[2] += g4[2];
+            c[3] += g4[3];
+        }
+        for (&e, &gv) in ge_chunks.remainder().iter().zip(g_chunks.remainder()) {
+            s[0] += e;
+            c[0] += gv;
+        }
+        let s_g = (s[0] + s[1]) + (s[2] + s[3]);
+        let g_g = (c[0] + c[1]) + (c[2] + c[3]);
+        let shorted = self.short[start..end].iter().any(|&b| b);
         (s_g, g_g, shorted)
     }
 
@@ -715,6 +803,78 @@ mod tests {
     }
 
     #[test]
+    fn default_mode_is_bit_exact_and_switchable() {
+        let solver = ArraySolver::new();
+        assert_eq!(solver.mode(), KernelMode::BitExact);
+        let mut solver = ArraySolver::with_mode(KernelMode::Fast);
+        assert_eq!(solver.mode(), KernelMode::Fast);
+        solver.set_mode(KernelMode::BitExact);
+        assert_eq!(solver.mode(), KernelMode::BitExact);
+    }
+
+    #[test]
+    fn invalid_candidate_leaves_batch_output_untouched() {
+        let array = TegArray::uniform(module(), 6);
+        let deltas = gradient_deltas(6, 40.0, 20.0);
+        let mut solver = ArraySolver::new();
+        solver.load(&array, &deltas, None).unwrap();
+        let mut powers = vec![Watts::new(1.0), Watts::new(2.0)];
+        let candidates = vec![
+            Configuration::uniform(6, 2).unwrap(),
+            Configuration::uniform(8, 2).unwrap(), // wrong module count
+        ];
+        assert!(solver
+            .evaluate_candidates(&candidates, &mut powers)
+            .is_err());
+        // Up-front validation: the stale contents survive, nothing partial.
+        assert_eq!(powers.len(), 2);
+        assert_eq!(powers[0], Watts::new(1.0));
+    }
+
+    #[test]
+    fn fast_mode_matches_bit_exact_within_tolerance() {
+        let array = TegArray::uniform(module(), 17);
+        let deltas = gradient_deltas(17, 30.0, 40.0);
+        let candidates: Vec<_> = (1..=17)
+            .map(|n| Configuration::uniform(17, n).unwrap())
+            .collect();
+        let mut exact = ArraySolver::new();
+        let mut fast = ArraySolver::with_mode(KernelMode::Fast);
+        let (mut pe, mut pf) = (Vec::new(), Vec::new());
+        exact.load(&array, &deltas, None).unwrap();
+        fast.load(&array, &deltas, None).unwrap();
+        exact.evaluate_candidates(&candidates, &mut pe).unwrap();
+        fast.evaluate_candidates(&candidates, &mut pf).unwrap();
+        for (a, b) in pe.iter().zip(&pf) {
+            assert!(
+                teg_units::approx_eq(a.value(), b.value(), 1e-12),
+                "fast {b:?} drifted from exact {a:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_mode_agrees_on_broken_strings() {
+        // An all-open group kills the string identically in both lanes.
+        let array = TegArray::uniform(module(), 8);
+        let deltas = gradient_deltas(8, 40.0, 10.0);
+        let mut faults = FaultState::healthy(8);
+        for i in 0..4 {
+            faults
+                .set_module_fault(i, ModuleFault::OpenCircuit)
+                .unwrap();
+        }
+        let config = Configuration::new(vec![0, 4], 8).unwrap();
+        for mode in [KernelMode::BitExact, KernelMode::Fast] {
+            let mut solver = ArraySolver::with_mode(mode);
+            solver.load(&array, &deltas, Some(&faults)).unwrap();
+            let point = solver.mpp(&config).unwrap();
+            assert_eq!(point.power(), Watts::ZERO, "{mode:?}");
+            assert_eq!(point.current(), Amps::ZERO, "{mode:?}");
+        }
+    }
+
+    #[test]
     fn scratch_is_reusable_across_array_sizes() {
         let mut solver = ArraySolver::new();
         for n in [4usize, 16, 7] {
@@ -771,6 +931,46 @@ mod tests {
             for (candidate, power) in candidates.iter().zip(&powers) {
                 let legacy = array.mpp_power_faulted(candidate, &deltas, &faults).unwrap();
                 prop_assert_eq!(power.value().to_bits(), legacy.value().to_bits());
+            }
+        }
+
+        /// Tolerance contract of the fast lane: for arbitrary partitions,
+        /// ΔT vectors and fault masks, `KernelMode::Fast` candidate powers
+        /// stay within a 1e-9 relative error of the bit-exact lane.  (The
+        /// chunked sums only reorder a ≤64-term addition of like-scaled
+        /// conductance terms, so the observed drift is orders of magnitude
+        /// below the bound.)
+        #[test]
+        fn prop_fast_lane_within_tolerance_of_bit_exact(
+            n in 2usize..24,
+            base in 0.0_f64..80.0,
+            span in -30.0_f64..50.0,
+            partition_seed in 0u64..u64::MAX,
+            fault_mask in 0u64..u64::MAX,
+        ) {
+            let array = TegArray::uniform(module(), n);
+            let deltas = gradient_deltas(n, base, span);
+            let faults = fault_pattern(n, fault_mask);
+            let mut candidates: Vec<_> = (1..=n)
+                .map(|groups| Configuration::uniform(n, groups).unwrap())
+                .collect();
+            for rotate in [0, 13, 37] {
+                candidates.push(partition_from_mask(n, partition_seed.rotate_left(rotate)));
+            }
+            let mut exact = ArraySolver::new();
+            let mut fast = ArraySolver::with_mode(KernelMode::Fast);
+            let (mut pe, mut pf) = (Vec::new(), Vec::new());
+            for active in [None, Some(&faults)] {
+                exact.load(&array, &deltas, active).unwrap();
+                fast.load(&array, &deltas, active).unwrap();
+                exact.evaluate_candidates(&candidates, &mut pe).unwrap();
+                fast.evaluate_candidates(&candidates, &mut pf).unwrap();
+                for (a, b) in pe.iter().zip(&pf) {
+                    prop_assert!(
+                        teg_units::approx_eq(a.value(), b.value(), 1e-9),
+                        "fast {} vs exact {}", b.value(), a.value()
+                    );
+                }
             }
         }
 

@@ -1,15 +1,19 @@
 //! Sweep hot-path benchmark — end-to-end cells/second of a scenario sweep
-//! with the cross-cell thermal trace cache on and off.
+//! with the cross-cell thermal trace cache on and off, and with the opt-in
+//! fast kernel lane against the bit-exact default.
 //!
 //! PR 4's `solver_hotpath` snapshot covers the electrical candidate scan;
 //! this binary extends the perf trajectory to the full sweep pipeline, where
-//! the radiator solve is the dominant shared cost.  Before any timing it
-//! asserts the correctness contract of the cache: the cached and uncached
-//! (isolated-trace) sweeps must produce identical cells and summaries, and
-//! one worker must equal four workers, bit for bit.  It then times both
-//! configurations end to end, prints a table, writes `BENCH_sweep.json`
-//! and **exits non-zero** if the headline grid's cached-vs-uncached speedup
-//! drops below the committed floor — so CI catches a regressing cache.
+//! the radiator solve is the dominant shared cost and the EHTR partition
+//! search dominates the paper lineup.  Before any timing it asserts the
+//! correctness contracts: the cached and uncached (isolated-trace) sweeps
+//! must produce identical cells and summaries, one worker must equal four
+//! workers bit for bit, and the fast-lane sweep must reproduce the bit-exact
+//! per-scheme summaries within a 1% relative bound.  It then times the
+//! configurations end to end, prints a table, writes `BENCH_sweep.json` and
+//! **exits non-zero** if the headline grid's cached-vs-uncached speedup or a
+//! fast-gated grid's fast-vs-bit-exact speedup drops below its committed
+//! floor — so CI catches a regressing cache or fast lane.
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -18,23 +22,35 @@ use std::time::Instant;
 use teg_sim::{
     FaultProfile, FaultSeverity, RuntimePolicy, ScenarioGrid, SchemeLineup, SweepRunner,
 };
-use teg_units::Seconds;
+use teg_units::{KernelMode, Seconds};
 
 /// Fixed per-decision charge: keeps every run bit-reproducible so the
 /// equivalence gates below are exact.
 const CHARGE: Seconds = Seconds::new(0.002);
 /// Worker count used for the timed runs (fixed for comparable snapshots).
 const WORKERS: usize = 4;
-/// The committed floor for the headline (gating) grid's speedup.  The
-/// snapshot in `BENCH_sweep.json` shows the measured value; the floor is
-/// deliberately conservative so CI noise cannot flake the gate.
+/// The committed floor for the headline (gating) grid's cached-vs-uncached
+/// speedup.  The snapshot in `BENCH_sweep.json` shows the measured value;
+/// the floor is deliberately conservative so CI noise cannot flake the gate.
 const SPEEDUP_FLOOR: f64 = 1.5;
+/// The committed floor for the fast-gated grids' fast-vs-bit-exact speedup
+/// (both cached).  The paper-field grid is dominated by the EHTR partition
+/// DP, whose unrolled fast lane carries this gate.
+const FAST_SPEEDUP_FLOOR: f64 = 1.3;
+/// Relative bound on the per-scheme summary statistics between the fast and
+/// bit-exact sweeps.  Per-kernel error is `1e-9`, but the fast solver's
+/// reordered sums may legally flip near-tie candidate decisions, moving
+/// delivered energy by up to a few percent on a single cell; averaged over a
+/// grid the summaries stay well inside 1%.
+const FAST_SUMMARY_TOLERANCE: f64 = 1e-2;
 
 struct GridSpec {
     name: &'static str,
-    /// Whether this case enforces `SPEEDUP_FLOOR`.
+    /// Whether this case enforces `SPEEDUP_FLOOR` (cache gate).
     gating: bool,
-    build: fn(bool) -> ScenarioGrid,
+    /// Whether this case enforces `FAST_SPEEDUP_FLOOR` (fast-lane gate).
+    fast_gating: bool,
+    build: fn(bool, KernelMode) -> ScenarioGrid,
 }
 
 /// The headline grid: a seed × fault-severity matrix over the paper's
@@ -42,11 +58,12 @@ struct GridSpec {
 /// workload whose per-step cost is dominated by the thermal solve).  Thirty-three
 /// of its 36 samples differ only by fault profile, so the cache
 /// collapses 36 trace solves to 3.
-fn monitoring_grid(shared: bool) -> ScenarioGrid {
+fn monitoring_grid(shared: bool, mode: KernelMode) -> ScenarioGrid {
     let builder = ScenarioGrid::builder()
         .module_counts([100])
         .seeds([1, 2, 3])
         .duration_seconds(160)
+        .kernel_mode(mode)
         .faults([FaultProfile::none()].into_iter().chain((0..11).map(|i| {
             // Electrical-degradation variants (aging derates and one
             // open circuit), deterministic in the cell coordinates.
@@ -88,14 +105,15 @@ fn monitoring_grid(shared: bool) -> ScenarioGrid {
     builder.build().expect("monitoring grid")
 }
 
-/// A full paper-lineup grid for context: all four schemes per cell, where
-/// the electrical candidate scan (already covered by `BENCH_solver.json`)
-/// dilutes the thermal share of the end-to-end cost.
-fn paper_grid(shared: bool) -> ScenarioGrid {
+/// A full paper-lineup grid: all four schemes per cell.  The electrical
+/// candidate search — above all the EHTR partition DP — dominates its
+/// end-to-end cost, which makes it the gating case for the fast kernel lane.
+fn paper_grid(shared: bool, mode: KernelMode) -> ScenarioGrid {
     let builder = ScenarioGrid::builder()
         .module_counts([40])
         .seeds([1, 2])
         .duration_seconds(120)
+        .kernel_mode(mode)
         .faults([
             FaultProfile::none(),
             FaultProfile::random("moderate", FaultSeverity::moderate()),
@@ -113,17 +131,23 @@ fn paper_grid(shared: bool) -> ScenarioGrid {
 struct Case {
     name: &'static str,
     gating: bool,
+    fast_gating: bool,
     cells: usize,
     samples: usize,
     unique_solves: usize,
     isolated_solves: usize,
     uncached_cps: f64,
     cached_cps: f64,
+    fast_cps: f64,
 }
 
 impl Case {
     fn speedup(&self) -> f64 {
         self.cached_cps / self.uncached_cps
+    }
+
+    fn fast_speedup(&self) -> f64 {
+        self.fast_cps / self.cached_cps
     }
 }
 
@@ -133,12 +157,25 @@ fn runner(workers: usize) -> SweepRunner {
         .runtime_policy(RuntimePolicy::Fixed(CHARGE))
 }
 
+fn relative_close(a: f64, b: f64, context: &str) {
+    let scale = a.abs().max(b.abs()).max(1e-12);
+    assert!(
+        (a - b).abs() <= FAST_SUMMARY_TOLERANCE * scale,
+        "{context}: {a} vs {b} (relative {})",
+        (a - b).abs() / scale
+    );
+}
+
 /// Best-of-N end-to-end run time, rebuilding a cold grid outside the timed
 /// region each iteration so every run pays its own thermal solves.
-fn time_run_secs(build: fn(bool) -> ScenarioGrid, shared: bool) -> f64 {
+fn time_run_secs(
+    build: fn(bool, KernelMode) -> ScenarioGrid,
+    shared: bool,
+    mode: KernelMode,
+) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..5 {
-        let grid = build(shared);
+        let grid = build(shared, mode);
         let start = Instant::now();
         let report = runner(WORKERS).run(&grid).expect("sweep");
         let elapsed = start.elapsed().as_secs_f64();
@@ -151,10 +188,16 @@ fn time_run_secs(build: fn(bool) -> ScenarioGrid, shared: bool) -> f64 {
 fn measure(spec: &GridSpec) -> Case {
     // Correctness gates first: sharing must be observationally invisible
     // (identical cells and summaries cached vs isolated; the solve *count*
-    // legitimately differs) and worker-count independent.
-    let cached_serial = runner(1).run(&(spec.build)(true)).expect("serial");
-    let cached_parallel = runner(WORKERS).run(&(spec.build)(true)).expect("parallel");
-    let isolated = runner(WORKERS).run(&(spec.build)(false)).expect("isolated");
+    // legitimately differs), worker-count independent, and the fast lane
+    // must reproduce the bit-exact summaries within the documented bound.
+    let exact = KernelMode::BitExact;
+    let cached_serial = runner(1).run(&(spec.build)(true, exact)).expect("serial");
+    let cached_parallel = runner(WORKERS)
+        .run(&(spec.build)(true, exact))
+        .expect("parallel");
+    let isolated = runner(WORKERS)
+        .run(&(spec.build)(false, exact))
+        .expect("isolated");
     assert_eq!(
         cached_serial, cached_parallel,
         "{}: cached sweep must be worker-count independent",
@@ -172,21 +215,41 @@ fn measure(spec: &GridSpec) -> Case {
         "{}: trace sharing changed a summary",
         spec.name
     );
+    let fast = runner(WORKERS)
+        .run(&(spec.build)(true, KernelMode::Fast))
+        .expect("fast sweep");
+    assert_eq!(fast.summaries().len(), cached_parallel.summaries().len());
+    for (e, f) in cached_parallel.summaries().iter().zip(fast.summaries()) {
+        assert_eq!(e.scheme(), f.scheme());
+        relative_close(
+            e.mean_net_energy().value(),
+            f.mean_net_energy().value(),
+            &format!("{}: {} fast-lane mean net energy", spec.name, e.scheme()),
+        );
+        relative_close(
+            e.mean_power_ratio(),
+            f.mean_power_ratio(),
+            &format!("{}: {} fast-lane mean power ratio", spec.name, e.scheme()),
+        );
+    }
 
-    let shared_grid = (spec.build)(true);
-    let isolated_grid = (spec.build)(false);
-    let uncached_secs = time_run_secs(spec.build, false);
-    let cached_secs = time_run_secs(spec.build, true);
+    let shared_grid = (spec.build)(true, exact);
+    let isolated_grid = (spec.build)(false, exact);
+    let uncached_secs = time_run_secs(spec.build, false, exact);
+    let cached_secs = time_run_secs(spec.build, true, exact);
+    let fast_secs = time_run_secs(spec.build, true, KernelMode::Fast);
     let cells = shared_grid.len();
     Case {
         name: spec.name,
         gating: spec.gating,
+        fast_gating: spec.fast_gating,
         cells,
         samples: shared_grid.samples().len(),
         unique_solves: shared_grid.expected_thermal_solves(),
         isolated_solves: isolated_grid.expected_thermal_solves(),
         uncached_cps: cells as f64 / uncached_secs,
         cached_cps: cells as f64 / cached_secs,
+        fast_cps: cells as f64 / fast_secs,
     }
 }
 
@@ -195,6 +258,11 @@ fn render_json(cases: &[Case]) -> String {
         .iter()
         .filter(|c| c.gating)
         .map(Case::speedup)
+        .fold(f64::INFINITY, f64::min);
+    let fast_gating_speedup = cases
+        .iter()
+        .filter(|c| c.fast_gating)
+        .map(Case::fast_speedup)
         .fold(f64::INFINITY, f64::min);
     let mut out = String::from("{\n  \"bench\": \"sweep_hotpath\",\n");
     out.push_str("  \"unit\": \"cells_per_second\",\n");
@@ -206,7 +274,8 @@ fn render_json(cases: &[Case]) -> String {
             "    {{\"grid\": \"{}\", \"cells\": {}, \"samples\": {}, \
              \"unique_thermal_solves\": {}, \"isolated_thermal_solves\": {}, \
              \"uncached_cells_per_s\": {:.1}, \"cached_cells_per_s\": {:.1}, \
-             \"speedup\": {:.2}, \"gating\": {}}}{comma}",
+             \"fast_cells_per_s\": {:.1}, \"speedup\": {:.2}, \
+             \"fast_speedup\": {:.2}, \"gating\": {}, \"fast_gating\": {}}}{comma}",
             case.name,
             case.cells,
             case.samples,
@@ -214,14 +283,19 @@ fn render_json(cases: &[Case]) -> String {
             case.isolated_solves,
             case.uncached_cps,
             case.cached_cps,
+            case.fast_cps,
             case.speedup(),
+            case.fast_speedup(),
             case.gating,
+            case.fast_gating,
         );
     }
     let _ = writeln!(
         out,
         "  ],\n  \"gating_speedup\": {gating_speedup:.2},\n  \
-         \"speedup_floor\": {SPEEDUP_FLOOR}\n}}"
+         \"speedup_floor\": {SPEEDUP_FLOOR},\n  \
+         \"fast_gating_speedup\": {fast_gating_speedup:.2},\n  \
+         \"fast_speedup_floor\": {FAST_SPEEDUP_FLOOR}\n}}"
     );
     out
 }
@@ -231,21 +305,26 @@ fn main() -> ExitCode {
         GridSpec {
             name: "monitoring-100mod",
             gating: true,
+            fast_gating: false,
             build: monitoring_grid,
         },
         GridSpec {
             name: "paper-field-40mod",
             gating: false,
+            fast_gating: true,
             build: paper_grid,
         },
     ];
     let cases: Vec<Case> = specs.iter().map(measure).collect();
 
-    println!("# Sweep hot path: shared trace cache vs per-sample solves (end to end)");
-    println!("grid,cells,samples,unique_solves,isolated_solves,uncached_cps,cached_cps,speedup");
+    println!("# Sweep hot path: shared trace cache and fast kernel lane (end to end)");
+    println!(
+        "grid,cells,samples,unique_solves,isolated_solves,uncached_cps,cached_cps,fast_cps,\
+         speedup,fast_speedup"
+    );
     for case in &cases {
         println!(
-            "{},{},{},{},{},{:.1},{:.1},{:.2}",
+            "{},{},{},{},{},{:.1},{:.1},{:.1},{:.2},{:.2}",
             case.name,
             case.cells,
             case.samples,
@@ -253,7 +332,9 @@ fn main() -> ExitCode {
             case.isolated_solves,
             case.uncached_cps,
             case.cached_cps,
-            case.speedup()
+            case.fast_cps,
+            case.speedup(),
+            case.fast_speedup()
         );
     }
 
@@ -268,13 +349,28 @@ fn main() -> ExitCode {
     for case in cases.iter().filter(|c| c.gating) {
         let speedup = case.speedup();
         println!(
-            "# {} speedup {speedup:.2}x (committed floor: {SPEEDUP_FLOOR}x)",
+            "# {} cache speedup {speedup:.2}x (committed floor: {SPEEDUP_FLOOR}x)",
             case.name
         );
         if speedup < SPEEDUP_FLOOR {
             eprintln!(
                 "FAIL: {} cached-vs-uncached speedup {speedup:.2}x fell below the \
                  committed floor {SPEEDUP_FLOOR}x",
+                case.name
+            );
+            ok = false;
+        }
+    }
+    for case in cases.iter().filter(|c| c.fast_gating) {
+        let speedup = case.fast_speedup();
+        println!(
+            "# {} fast-lane speedup {speedup:.2}x (committed floor: {FAST_SPEEDUP_FLOOR}x)",
+            case.name
+        );
+        if speedup < FAST_SPEEDUP_FLOOR {
+            eprintln!(
+                "FAIL: {} fast-vs-bit-exact speedup {speedup:.2}x fell below the \
+                 committed floor {FAST_SPEEDUP_FLOOR}x",
                 case.name
             );
             ok = false;

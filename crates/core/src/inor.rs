@@ -4,7 +4,7 @@ use std::time::Instant;
 
 use teg_array::{ArraySolver, Configuration, TegArray};
 use teg_power::Charger;
-use teg_units::{Amps, Seconds, TemperatureDelta, Watts};
+use teg_units::{Amps, KernelMode, Seconds, TemperatureDelta, Watts};
 
 use crate::error::ReconfigError;
 use crate::telemetry::TelemetryWindow;
@@ -117,19 +117,29 @@ impl Default for InorConfig {
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Inor {
     config: InorConfig,
+    mode: KernelMode,
 }
 
 impl Inor {
     /// Creates INOR with explicit tuning parameters.
     #[must_use]
     pub fn new(config: InorConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            mode: KernelMode::default(),
+        }
     }
 
     /// The tuning parameters in use.
     #[must_use]
     pub const fn config(&self) -> &InorConfig {
         &self.config
+    }
+
+    /// The kernel mode the candidate scans run in.
+    #[must_use]
+    pub const fn kernel_mode(&self) -> KernelMode {
+        self.mode
     }
 
     /// Derives the feasible group-count window `[n_min, n_max]` from the
@@ -218,7 +228,7 @@ impl Inor {
         array: &TegArray,
         deltas: &[TemperatureDelta],
     ) -> Result<(Configuration, Watts), ReconfigError> {
-        self.optimise_with(&mut ArraySolver::new(), array, deltas)
+        self.optimise_with(&mut ArraySolver::with_mode(self.mode), array, deltas)
     }
 
     /// [`Inor::optimise`] evaluating its candidates through a caller-owned
@@ -292,6 +302,10 @@ impl Reconfigurer for Inor {
         // The fixed-period controller re-applies its result every period,
         // paying the reconfiguration dead time even when nothing changed.
         Ok(ReconfigDecision::new(configuration, elapsed, true, true))
+    }
+
+    fn set_kernel_mode(&mut self, mode: KernelMode) {
+        self.mode = mode;
     }
 }
 

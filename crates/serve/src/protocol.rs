@@ -429,6 +429,40 @@ mod tests {
     }
 
     #[test]
+    fn kernel_mode_rides_the_grid_token_over_the_wire() {
+        use teg_units::KernelMode;
+
+        let base = GridSpec::parse("modules=8,12|seeds=1,2|drive=city:15").unwrap();
+        // A bit-exact (default) request omits the kernel field entirely, so
+        // frames from clients that predate kernel modes are byte-identical
+        // to frames from clients that spell the default out.
+        let exact = SubmitRequest {
+            id: "exact-sweep".into(),
+            grid: base.clone(),
+            policy: RuntimePolicy::Measured,
+        };
+        let exact_payload = exact.encode().unwrap();
+        assert!(!exact_payload.contains("kernel"), "{exact_payload}");
+        assert_eq!(
+            exact_payload,
+            "id exact-sweep\ngrid modules=8,12|seeds=1,2|drive=city:15|var=none|fault=healthy|lineup=paper\npolicy measured\n"
+        );
+        // A fast-lane request carries the mode inside the grid token — no
+        // protocol change — and decodes back to a fast grid on the daemon.
+        let fast = SubmitRequest {
+            id: "fast-sweep".into(),
+            grid: base.kernel_mode(KernelMode::Fast),
+            policy: RuntimePolicy::Measured,
+        };
+        let fast_payload = fast.encode().unwrap();
+        assert!(fast_payload.contains("|kernel=fast\n"), "{fast_payload}");
+        let decoded = SubmitRequest::decode(&fast_payload).unwrap();
+        assert!(decoded.grid.spec().unwrap().ends_with("|kernel=fast"));
+        let grid = decoded.grid.to_builder().build().unwrap();
+        assert_eq!(grid.kernel_mode(), KernelMode::Fast);
+    }
+
+    #[test]
     fn ids_are_validated_on_both_sides() {
         for bad in ["", "has space", "semi;colon", "a/b", &"x".repeat(65)] {
             assert!(validate_id(bad).is_err(), "{bad:?}");

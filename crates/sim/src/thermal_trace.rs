@@ -13,7 +13,7 @@
 use teg_array::ideal_power;
 use teg_reconfig::TelemetryWindow;
 use teg_thermal::DriveCycle;
-use teg_units::{Celsius, Seconds, TemperatureDelta, Watts};
+use teg_units::{Celsius, KernelMode, Seconds, TemperatureDelta, Watts};
 
 use crate::error::SimError;
 use crate::scenario::Scenario;
@@ -65,10 +65,17 @@ impl ThermalTrace {
     ///
     /// The loop writes each sample's temperatures and ΔT values straight
     /// into the trace's strided buffers, so it performs no per-sample heap
-    /// allocation — the buffers are reserved once for the whole cycle.  The
-    /// arithmetic (profile evaluation order, ΔT clamping, ideal-power sum)
-    /// is identical to the historical row-per-`Vec` layout, so solved traces
-    /// are bit-identical to earlier revisions.
+    /// allocation — the buffers are reserved once for the whole cycle.
+    ///
+    /// In [`KernelMode::BitExact`] (the scenario default) the arithmetic
+    /// (profile evaluation order, ΔT clamping, ideal-power sum) is identical
+    /// to the historical row-per-`Vec` layout, so solved traces are
+    /// bit-identical to earlier revisions.  In [`KernelMode::Fast`] the
+    /// radiator effectiveness uses the one-`powf` cross-flow relation and the
+    /// strided fill uses the geometric-recurrence sampler; the result agrees
+    /// with the reference within the documented `1e-9` relative bound but is
+    /// not bit-identical, which is why the mode is part of the trace-cache
+    /// key.
     ///
     /// # Errors
     ///
@@ -78,6 +85,8 @@ impl ThermalTrace {
         let cycle: &DriveCycle = scenario.drive_cycle();
         let array = scenario.array();
         let placement = scenario.placement();
+        let mode: KernelMode = scenario.kernel_mode();
+        let fast = mode.is_fast();
         let width = placement.module_count();
         let mut times = Vec::with_capacity(cycle.len());
         let mut ambients = Vec::with_capacity(cycle.len());
@@ -85,11 +94,17 @@ impl ThermalTrace {
         let mut deltas = Vec::with_capacity(cycle.len() * width);
         let mut ideal = Vec::with_capacity(cycle.len());
         for sample in cycle.iter() {
-            let profile = scenario
-                .radiator()
-                .surface_profile(&sample.coolant(), &sample.ambient())?;
+            let profile = scenario.radiator().surface_profile_with_mode(
+                &sample.coolant(),
+                &sample.ambient(),
+                mode,
+            )?;
             let start = rows.len();
-            profile.sample_into(placement, &mut rows);
+            if fast {
+                profile.sample_into_fast(placement, &mut rows);
+            } else {
+                profile.sample_into(placement, &mut rows);
+            }
             scenario.count_thermal_solve();
             let ambient = sample.ambient().temperature();
             TelemetryWindow::deltas_from_row_into(&rows[start..], ambient, &mut deltas);

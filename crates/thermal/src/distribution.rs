@@ -150,12 +150,14 @@ impl SurfaceProfile {
 
     /// Samples the profile at every module position of a placement, returning
     /// the hot-side temperature of each module (entrance-first order).
+    ///
+    /// This is a thin wrapper over [`SurfaceProfile::sample_into`] — one
+    /// sampling loop exists, so the two can never drift apart.
     #[must_use]
     pub fn sample(&self, placement: &SShapedPlacement) -> Vec<Celsius> {
-        placement
-            .positions(self.path_length)
-            .map(|d| self.evaluate(d.value()))
-            .collect()
+        let mut sampled = Vec::with_capacity(placement.module_count());
+        self.sample_into(placement, &mut sampled);
+        sampled.into_iter().map(Celsius::new).collect()
     }
 
     /// Appends the sampled hot-side temperatures (°C, entrance-first) to an
@@ -169,6 +171,29 @@ impl SurfaceProfile {
                 .positions(self.path_length)
                 .map(|d| self.evaluate(d.value()).value()),
         );
+    }
+
+    /// The `KernelMode::Fast` lane of [`SurfaceProfile::sample_into`].
+    ///
+    /// The placement's module positions are evenly spaced, so the sampled
+    /// exponentials form a geometric progression:
+    /// `exp(−k·d_{i+1}) = exp(−k·d_i) · r` with constant ratio
+    /// `r = exp(−k·L/n)`.  Two `exp` calls (the first sample and the ratio)
+    /// replace `n` of them; the running product accumulates a relative error
+    /// of order `n` ulps, far inside the documented `1e-9` tolerance bound
+    /// the equivalence suite enforces against [`SurfaceProfile::sample_into`].
+    pub fn sample_into_fast(&self, placement: &SShapedPlacement, out: &mut Vec<f64>) {
+        let n = placement.module_count();
+        let cold = self.cold_mean.value();
+        let excess = self.hot_inlet.value() - cold;
+        let spacing = self.path_length.value() / n as f64;
+        let ratio = (-self.decay_per_meter * spacing).exp();
+        let mut factor = (-self.decay_per_meter * (0.5 * spacing)).exp();
+        out.reserve(n);
+        for _ in 0..n {
+            out.push(cold + excess * factor);
+            factor *= ratio;
+        }
     }
 
     /// Samples the profile at every module position and subtracts the
@@ -303,6 +328,32 @@ mod tests {
         assert_eq!(appended[0], -1.0);
         for (a, b) in allocated.iter().zip(&appended[1..]) {
             assert_eq!(a.value().to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn fast_sampling_matches_the_reference_within_tolerance() {
+        for (inlet, decay) in [(95.0, 0.4), (60.0, 0.05), (110.0, 1.7), (40.0, 0.0)] {
+            let p = SurfaceProfile::new(
+                Celsius::new(inlet),
+                Celsius::new(30.0),
+                decay,
+                Meters::new(3.2),
+            )
+            .unwrap();
+            for n in [1usize, 5, 40, 200] {
+                let placement = SShapedPlacement::new(n).unwrap();
+                let (mut exact, mut fast) = (Vec::new(), Vec::new());
+                p.sample_into(&placement, &mut exact);
+                p.sample_into_fast(&placement, &mut fast);
+                assert_eq!(fast.len(), n);
+                for (a, b) in exact.iter().zip(&fast) {
+                    assert!(
+                        teg_units::approx_eq(*a, *b, 1e-12),
+                        "inlet={inlet} decay={decay} n={n}: {a} vs {b}"
+                    );
+                }
+            }
         }
     }
 
