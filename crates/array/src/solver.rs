@@ -64,6 +64,9 @@
 //! # }
 //! ```
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use teg_units::{Amps, KernelMode, TemperatureDelta, Volts, Watts};
 
 use crate::configuration::Configuration;
@@ -194,6 +197,85 @@ impl SolvedPoint {
     }
 }
 
+/// Every `load`/`load_plan`/`set_mode` stamps the solver with a fresh value
+/// from this process-wide counter, so a [`GroupSumMemo`] can tell "same
+/// terms, same lane" apart from "anything changed" — even across distinct
+/// solver instances sharing one memo.
+static LOAD_GENERATION: AtomicU64 = AtomicU64::new(1);
+
+fn next_generation() -> u64 {
+    LOAD_GENERATION.fetch_add(1, Ordering::Relaxed)
+}
+
+/// An old/new incremental table for search-style candidate scans: memoised
+/// per-range group sums `(S_g, G_g, shorted)` keyed by the half-open module
+/// range `(start, end)`.
+///
+/// Population-based searches (the ACO scheme) evaluate many partitions that
+/// differ from the incumbent in only a few boundaries, so most of their
+/// group ranges repeat across ants and generations.  The per-candidate MPP
+/// cost is dominated by the O(modules) range accumulation;
+/// [`ArraySolver::evaluate_candidates_with_memo`] reuses a cached sum for
+/// every range it has already accumulated under the current load generation
+/// and kernel lane, and falls back to the lane's own range kernel on a miss
+/// — cached or not, the value is produced by the same function, so results
+/// are **bit-identical** to [`ArraySolver::evaluate_candidates`] in both
+/// [`KernelMode`] lanes.
+///
+/// The memo self-invalidates: [`ArraySolver::load`],
+/// [`ArraySolver::set_mode`] and plan solves stamp the solver with a fresh
+/// generation, and a memo whose generation disagrees is cleared before use.
+/// Stale reuse is therefore impossible, even when one memo is passed
+/// between different solvers.
+#[derive(Debug, Clone, Default)]
+pub struct GroupSumMemo {
+    generation: u64,
+    entries: HashMap<(usize, usize), (f64, f64, bool)>,
+    hits: u64,
+    computed: u64,
+}
+
+impl GroupSumMemo {
+    /// Creates an empty memo; it binds to a solver's loaded terms on first
+    /// use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Range lookups served from the table since construction (cumulative
+    /// across invalidations).
+    #[must_use]
+    pub const fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Range sums computed and inserted since construction (cumulative
+    /// across invalidations).
+    #[must_use]
+    pub const fn computed(&self) -> u64 {
+        self.computed
+    }
+
+    /// Number of distinct ranges currently cached.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table currently caches nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops all cached ranges (the statistics counters are kept).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.generation = 0;
+    }
+}
+
 /// The reusable electrical solve kernel with caller-owned scratch.
 ///
 /// All buffers grow to the largest array solved and are then recycled:
@@ -215,6 +297,8 @@ pub struct ArraySolver {
     mode: KernelMode,
     // Per-module terms of the loaded ΔT vector (zero while nothing loaded).
     loaded_modules: usize,
+    // Stamp of the currently loaded terms + lane; see `LOAD_GENERATION`.
+    load_generation: u64,
     g: Vec<f64>,
     ge: Vec<f64>,
     connected: Vec<bool>,
@@ -252,6 +336,9 @@ impl ArraySolver {
     /// Switches the kernel mode (scratch and loaded terms are untouched;
     /// only subsequent accumulations change lane).
     pub fn set_mode(&mut self, mode: KernelMode) {
+        // The two lanes round differently, so cached range sums from one
+        // lane must never satisfy lookups in the other.
+        self.load_generation = next_generation();
         self.mode = mode;
     }
 
@@ -329,6 +416,7 @@ impl ArraySolver {
     }
 
     fn reset_terms(&mut self, n: usize) {
+        self.load_generation = next_generation();
         self.loaded_modules = n;
         self.g.clear();
         self.g.resize(n, 0.0);
@@ -414,6 +502,52 @@ impl ArraySolver {
         out.reserve(candidates.len());
         for candidate in candidates {
             let point = self.mpp_validated(candidate);
+            out.push(point.power());
+        }
+        Ok(())
+    }
+
+    /// [`ArraySolver::evaluate_candidates`] with an old/new incremental
+    /// table: per-range group sums already accumulated under the current
+    /// load generation are reused instead of re-summed, so candidates that
+    /// share ranges with earlier ones (a search population mutating a few
+    /// boundaries of an incumbent) cost O(groups) hash lookups instead of
+    /// O(modules) arithmetic.  Results are bit-identical to the unmemoised
+    /// scan in both kernel lanes — the cached value is whatever the lane's
+    /// own range kernel produced on first sight.
+    ///
+    /// A memo bound to different loaded terms (or a different lane) is
+    /// cleared automatically before use; pass the same memo across calls
+    /// between two `load`s to accumulate reuse.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ArraySolver::evaluate_candidates`]: every
+    /// candidate is validated up front and `out` is never partially filled.
+    pub fn evaluate_candidates_with_memo(
+        &mut self,
+        candidates: &[Configuration],
+        memo: &mut GroupSumMemo,
+        out: &mut Vec<Watts>,
+    ) -> Result<(), ArrayError> {
+        for candidate in candidates {
+            self.check_candidate(candidate)?;
+        }
+        if memo.generation != self.load_generation {
+            memo.entries.clear();
+            memo.generation = self.load_generation;
+        }
+        out.clear();
+        out.reserve(candidates.len());
+        for candidate in candidates {
+            let n = candidate.group_count();
+            let point =
+                if self.accumulate_groups_memo(candidate.group_starts(), self.loaded_modules, memo)
+                {
+                    self.mpp_from_groups(n)
+                } else {
+                    self.zero_point(n)
+                };
             out.push(point.power());
         }
         Ok(())
@@ -529,6 +663,49 @@ impl ArraySolver {
                 self.sum_range_fast(start, end)
             } else {
                 self.sum_range(start, end)
+            };
+            broken |= g_g <= 0.0 && !shorted;
+            self.group_s.push(s_g);
+            self.group_g.push(g_g);
+            self.group_shorted.push(shorted);
+        }
+        !broken
+    }
+
+    /// [`ArraySolver::accumulate_groups`] through a [`GroupSumMemo`]: each
+    /// range sum is looked up first and computed (by the active lane's own
+    /// kernel) only on a miss, so repeated ranges across a candidate
+    /// population are accumulated exactly once.
+    fn accumulate_groups_memo(
+        &mut self,
+        starts: &[usize],
+        module_count: usize,
+        memo: &mut GroupSumMemo,
+    ) -> bool {
+        let n = starts.len();
+        self.group_s.clear();
+        self.group_g.clear();
+        self.group_shorted.clear();
+        let mut broken = false;
+        let fast = self.mode.is_fast();
+        for j in 0..n {
+            let start = starts[j];
+            let end = starts.get(j + 1).copied().unwrap_or(module_count);
+            let (s_g, g_g, shorted) = match memo.entries.get(&(start, end)) {
+                Some(&sums) => {
+                    memo.hits += 1;
+                    sums
+                }
+                None => {
+                    let sums = if fast {
+                        self.sum_range_fast(start, end)
+                    } else {
+                        self.sum_range(start, end)
+                    };
+                    memo.computed += 1;
+                    memo.entries.insert((start, end), sums);
+                    sums
+                }
             };
             broken |= g_g <= 0.0 && !shorted;
             self.group_s.push(s_g);
@@ -1019,5 +1196,111 @@ mod tests {
                 prop_assert_eq!(at.power().value().to_bits(), legacy_at.power().value().to_bits());
             }
         }
+
+        /// The memoised candidate scan is bit-identical to the direct one in
+        /// both kernel lanes, for arbitrary partitions and fault patterns —
+        /// whether a range sum is served from the table or freshly computed
+        /// must be unobservable in the results.
+        #[test]
+        fn prop_memoised_scan_matches_direct_scan_bitwise(
+            n in 2usize..20,
+            base in 0.0_f64..80.0,
+            span in -30.0_f64..50.0,
+            seeds in collection::vec(0u64..u64::MAX, 1..8),
+            fault_mask in 0u64..u64::MAX,
+        ) {
+            let array = TegArray::uniform(module(), n);
+            let deltas = gradient_deltas(n, base, span);
+            let faults = fault_pattern(n, fault_mask);
+            let candidates: Vec<_> = seeds
+                .iter()
+                .map(|&s| partition_from_mask(n, s))
+                .collect();
+            for mode in [KernelMode::BitExact, KernelMode::Fast] {
+                let mut solver = ArraySolver::with_mode(mode);
+                solver.load(&array, &deltas, Some(&faults)).unwrap();
+                let mut direct = Vec::new();
+                solver.evaluate_candidates(&candidates, &mut direct).unwrap();
+                let mut memo = GroupSumMemo::new();
+                let mut memoised = Vec::new();
+                // Twice through the same memo: the second pass is all hits.
+                for _ in 0..2 {
+                    solver
+                        .evaluate_candidates_with_memo(&candidates, &mut memo, &mut memoised)
+                        .unwrap();
+                    for (a, b) in direct.iter().zip(&memoised) {
+                        prop_assert_eq!(a.value().to_bits(), b.value().to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memo_reuses_ranges_and_invalidates_on_reload_and_mode_switch() {
+        let array = TegArray::uniform(module(), 8);
+        let deltas = gradient_deltas(8, 50.0, 20.0);
+        let candidates = vec![
+            Configuration::new(vec![0, 4], 8).unwrap(),
+            // Shares the leading [0, 4) range with the first candidate.
+            Configuration::new(vec![0, 4, 6], 8).unwrap(),
+        ];
+        let mut solver = ArraySolver::new();
+        solver.load(&array, &deltas, None).unwrap();
+        let mut memo = GroupSumMemo::new();
+        let mut out = Vec::new();
+        solver
+            .evaluate_candidates_with_memo(&candidates, &mut memo, &mut out)
+            .unwrap();
+        // Ranges [0,4) and [4,8) computed for the first candidate; the
+        // second reuses [0,4) and computes [4,6) and [6,8).
+        assert_eq!((memo.hits(), memo.computed()), (1, 4));
+        assert_eq!(memo.len(), 4);
+
+        // Same load generation: a repeat scan is served entirely from the
+        // table.
+        solver
+            .evaluate_candidates_with_memo(&candidates, &mut memo, &mut out)
+            .unwrap();
+        assert_eq!((memo.hits(), memo.computed()), (6, 4));
+
+        // Reloading the same terms still invalidates — the memo cannot tell
+        // equal inputs apart and must never trust a stale generation.
+        solver.load(&array, &deltas, None).unwrap();
+        solver
+            .evaluate_candidates_with_memo(&candidates, &mut memo, &mut out)
+            .unwrap();
+        assert_eq!((memo.hits(), memo.computed()), (7, 8));
+
+        // A lane switch re-rounds every range sum, so it invalidates too.
+        solver.set_mode(KernelMode::Fast);
+        solver
+            .evaluate_candidates_with_memo(&candidates, &mut memo, &mut out)
+            .unwrap();
+        assert_eq!((memo.hits(), memo.computed()), (8, 12));
+
+        memo.clear();
+        assert!(memo.is_empty());
+        assert_eq!(memo.len(), 0);
+    }
+
+    #[test]
+    fn memoised_scan_validates_like_the_direct_scan() {
+        let array = TegArray::uniform(module(), 6);
+        let deltas = gradient_deltas(6, 40.0, 10.0);
+        let mut solver = ArraySolver::new();
+        let mut memo = GroupSumMemo::new();
+        let mut out = vec![Watts::ZERO];
+        let ok = Configuration::uniform(6, 2).unwrap();
+        let wrong = Configuration::uniform(8, 2).unwrap();
+        assert!(solver
+            .evaluate_candidates_with_memo(std::slice::from_ref(&ok), &mut memo, &mut out)
+            .is_err());
+        solver.load(&array, &deltas, None).unwrap();
+        assert!(solver
+            .evaluate_candidates_with_memo(&[ok, wrong], &mut memo, &mut out)
+            .is_err());
+        // On error `out` is untouched, exactly like the direct scan.
+        assert_eq!(out.len(), 1);
     }
 }

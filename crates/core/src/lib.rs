@@ -1,6 +1,6 @@
 //! TEG array reconfiguration algorithms — the paper's primary contribution.
 //!
-//! Four schemes are provided behind the common [`Reconfigurer`] trait:
+//! Five schemes are provided behind the common [`Reconfigurer`] trait:
 //!
 //! * [`Inor`] — **I**nstantaneous **N**ear-**O**ptimal **R**econfiguration
 //!   (Algorithm 1): an `O(N)` greedy that, for every feasible group count
@@ -15,6 +15,12 @@
 //!   **H**euristic **T**EG **R**econfiguration (Baek et al., ISLPED'17): a
 //!   dynamic program over group boundaries that is near-optimal but has
 //!   polynomial (≫ linear) complexity and reconfigures every period.
+//! * [`AcoReconfigurer`] — a metaheuristic beyond the paper's heuristics:
+//!   a seeded ant-colony search over the full contiguous-partition space,
+//!   seeded with INOR's candidates (so it never does worse) and batched
+//!   through the solver's incremental old/new table.  It wins where heavy
+//!   module variation plus faults pull the power optimum away from the
+//!   balanced-current surrogate the greedy schemes optimise.
 //! * [`StaticBaseline`] — the fixed 10 × 10 wiring the paper compares
 //!   against; it never reconfigures.
 //!
@@ -51,6 +57,7 @@
 // `x <= 0.0` it also rejects NaN parameters.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
+mod aco;
 mod baseline;
 mod dnor;
 mod ehtr;
@@ -62,6 +69,7 @@ mod sensor;
 mod telemetry;
 mod traits;
 
+pub use aco::{AcoConfig, AcoReconfigurer};
 pub use baseline::StaticBaseline;
 pub use dnor::{Dnor, DnorConfig};
 pub use ehtr::Ehtr;

@@ -5,11 +5,11 @@
 //! The format is a text header binding the journal to one exact request:
 //!
 //! ```text
-//! teg-sweep-checkpoint v1
+//! teg-sweep-checkpoint v2
 //! grid <canonical grid spec>
 //! policy <policy token>
-//! cell <index> <escaped CELL payload>
-//! cell <index> <escaped CELL payload>
+//! cell <index> <escaped byte length> <escaped CELL payload>
+//! cell <index> <escaped byte length> <escaped CELL payload>
 //! …
 //! ```
 //!
@@ -20,11 +20,17 @@
 //! produced, so a resumed request re-emits byte-identical frames without
 //! re-solving.
 //!
-//! Crash safety is structural: a torn final line (no trailing newline, or a
-//! line that does not parse) is dropped along with everything after it, and
-//! the cells before it remain usable.  A header that does not match the
-//! resubmitted request's grid spec and policy is a [`CheckpointLoad::Mismatch`]
-//! — the server rejects rather than mixing incompatible results.
+//! Crash safety is structural: every cell record carries the byte length of
+//! its escaped payload, so each line proves its own completeness.  A final
+//! line whose payload matches its declared length is a finished append that
+//! merely lost its trailing newline (killed between `write` and the
+//! terminator landing) and is recovered; a line whose payload falls short of
+//! the declared length is genuinely torn and is dropped along with
+//! everything after it, leaving the cells before it usable.  A header that
+//! does not match the resubmitted request's grid spec and policy is a
+//! [`CheckpointLoad::Mismatch`] — the server rejects rather than mixing
+//! incompatible results.  v1 journals (no length field) mismatch on the
+//! format line and are likewise refused rather than half-recovered.
 
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
@@ -32,7 +38,7 @@ use std::io::{self, BufWriter, Read as _, Write as _};
 use std::path::{Path, PathBuf};
 
 /// Magic first line of every journal.
-pub const CHECKPOINT_MAGIC: &str = "teg-sweep-checkpoint v1";
+pub const CHECKPOINT_MAGIC: &str = "teg-sweep-checkpoint v2";
 
 /// Folds a CELL payload onto one journal line.
 #[must_use]
@@ -111,12 +117,11 @@ pub fn load_checkpoint(
         }
         Err(err) => return Err(err),
     }
-    // A torn final append has no trailing newline: drop the partial line.
-    let complete = match text.rfind('\n') {
-        Some(end) => &text[..=end],
-        None => "",
-    };
-    let mut lines = complete.lines();
+    // Every cell record is self-validating (it declares its escaped payload
+    // length), so the final line is parsed even without a trailing newline:
+    // a complete append that lost only its terminator is recovered, while a
+    // genuinely truncated one fails its own length check below.
+    let mut lines = text.lines();
     let expect = |got: Option<&str>, want: &str, what: &str| -> Result<(), String> {
         match got {
             Some(line) if line == want => Ok(()),
@@ -132,16 +137,28 @@ pub fn load_checkpoint(
     }
     let mut cells = BTreeMap::new();
     for line in lines {
-        // Stop at the first malformed line; everything before it is intact.
+        // Stop at the first malformed or short line; everything before it is
+        // intact.  A torn append truncates the line somewhere, so either the
+        // prefix fields fail to parse or the payload comes up shorter than
+        // its declared length.
         let Some(rest) = line.strip_prefix("cell ") else {
             break;
         };
-        let Some((index, escaped)) = rest.split_once(' ') else {
+        let Some((index, rest)) = rest.split_once(' ') else {
             break;
         };
         let Ok(index) = index.parse::<usize>() else {
             break;
         };
+        let Some((length, escaped)) = rest.split_once(' ') else {
+            break;
+        };
+        let Ok(length) = length.parse::<usize>() else {
+            break;
+        };
+        if escaped.len() != length {
+            break;
+        }
         let Some(payload) = unescape_payload(escaped) else {
             break;
         };
@@ -188,8 +205,9 @@ impl CheckpointWriter {
     ///
     /// Propagates write failures.
     pub fn append(&mut self, index: usize, payload: &str) -> io::Result<()> {
+        let escaped = escape_payload(payload);
         self.file
-            .write_all(format!("cell {index} {}\n", escape_payload(payload)).as_bytes())?;
+            .write_all(format!("cell {index} {} {escaped}\n", escaped.len()).as_bytes())?;
         self.file.flush()
     }
 }
@@ -289,9 +307,9 @@ mod tests {
         writer.append(0, "good\n").unwrap();
         drop(writer);
         let path = checkpoint_path(&dir, "job");
-        // A torn append: bytes with no trailing newline.
+        // A torn append: the payload is shorter than its declared length.
         let mut file = OpenOptions::new().append(true).open(&path).unwrap();
-        file.write_all(b"cell 1 half-writt").unwrap();
+        file.write_all(b"cell 1 17 half-writt").unwrap();
         drop(file);
         let CheckpointLoad::Cells(cells) = load_checkpoint(&dir, "job", "g", "measured").unwrap()
         else {
@@ -299,10 +317,23 @@ mod tests {
         };
         assert_eq!(cells.len(), 1);
         assert_eq!(cells[&0], "good\n");
+        // An append torn inside the length field itself also drops.
+        std::fs::write(
+            &path,
+            format!("{CHECKPOINT_MAGIC}\ngrid g\npolicy measured\ncell 1 1"),
+        )
+        .unwrap();
+        let CheckpointLoad::Cells(cells) = load_checkpoint(&dir, "job", "g", "measured").unwrap()
+        else {
+            panic!("expected cells");
+        };
+        assert!(cells.is_empty());
         // A malformed middle line ends recovery at that point.
         std::fs::write(
             &path,
-            format!("{CHECKPOINT_MAGIC}\ngrid g\npolicy measured\ncell 0 a\ngarbage\ncell 1 b\n"),
+            format!(
+                "{CHECKPOINT_MAGIC}\ngrid g\npolicy measured\ncell 0 1 a\ngarbage\ncell 1 1 b\n"
+            ),
         )
         .unwrap();
         let CheckpointLoad::Cells(cells) = load_checkpoint(&dir, "job", "g", "measured").unwrap()
@@ -311,6 +342,42 @@ mod tests {
         };
         assert_eq!(cells.len(), 1);
         assert!(cells.contains_key(&0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn complete_final_line_without_newline_is_recovered() {
+        // Regression: a finished append that lost only its trailing newline
+        // (process killed between the payload landing and the terminator)
+        // used to be dropped as torn, so resume re-solved a finished cell.
+        // The length field proves the line complete, so it is recovered.
+        let dir = temp_dir("noterm");
+        let mut writer = CheckpointWriter::open(&dir, "job", "g", "measured").unwrap();
+        writer.append(0, "cell 0\nbody a\n").unwrap();
+        writer.append(1, "cell 1\nbody b\n").unwrap();
+        drop(writer);
+        let path = checkpoint_path(&dir, "job");
+        // Chop exactly the final newline: the last record is complete but
+        // unterminated.
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes.last(), Some(&b'\n'));
+        std::fs::write(&path, &bytes[..bytes.len() - 1]).unwrap();
+        let CheckpointLoad::Cells(cells) = load_checkpoint(&dir, "job", "g", "measured").unwrap()
+        else {
+            panic!("expected cells");
+        };
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[&0], "cell 0\nbody a\n");
+        assert_eq!(cells[&1], "cell 1\nbody b\n");
+        // Chop one more byte and the same record is genuinely torn: only the
+        // terminated cell survives.
+        std::fs::write(&path, &bytes[..bytes.len() - 2]).unwrap();
+        let CheckpointLoad::Cells(cells) = load_checkpoint(&dir, "job", "g", "measured").unwrap()
+        else {
+            panic!("expected cells");
+        };
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[&0], "cell 0\nbody a\n");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

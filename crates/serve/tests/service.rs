@@ -175,6 +175,55 @@ fn killed_sweep_resumes_without_resolving_finished_cells() {
 }
 
 #[test]
+fn kill_at_exact_record_boundary_resumes_every_journalled_cell() {
+    let dir = temp_dir("boundary");
+    let config = || ServerConfig {
+        workers: 1,
+        checkpoint_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    };
+
+    // Interrupt a sweep so a journal with at least one cell survives.
+    let server = SweepServer::start(config()).unwrap();
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+    let mut stream = client.submit(&request("boundary", SLOW)).unwrap();
+    let _ = stream.next_cell().unwrap().expect("first cell streams");
+    server.shutdown();
+    drop(stream);
+    drop(client);
+
+    // Simulate a kill at the exact record boundary: the final append fully
+    // landed but its trailing newline did not.  Dropping that last byte must
+    // not cost the finished cell on resume.
+    let path = dir.join("boundary.ckpt");
+    let bytes = std::fs::read(&path).unwrap();
+    assert_eq!(bytes.last(), Some(&b'\n'), "journal ends on a boundary");
+    let journalled = bytes
+        .split(|&b| b == b'\n')
+        .filter(|line| line.starts_with(b"cell "))
+        .count();
+    assert!(
+        journalled >= 1,
+        "the kill left at least one journalled cell"
+    );
+    std::fs::write(&path, &bytes[..bytes.len() - 1]).unwrap();
+
+    // Resume: every journalled cell replays, including the unterminated one.
+    let server = SweepServer::start(config()).unwrap();
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+    let stream = client.submit(&request("boundary", SLOW)).unwrap();
+    assert_eq!(
+        stream.accepted().resumed,
+        journalled,
+        "the complete-but-unterminated final record must not be re-solved"
+    );
+    let report = stream.into_report().unwrap();
+    assert_eq!(report, expected_report(SLOW));
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn checkpoint_mismatch_is_rejected_not_mixed() {
     let dir = temp_dir("mismatch");
     let config = ServerConfig {

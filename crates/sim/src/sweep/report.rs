@@ -217,7 +217,13 @@ impl fmt::Display for SweepReport {
 /// `[0, 100]`).
 fn percentile(sorted: &[f64], p: f64) -> f64 {
     debug_assert!(!sorted.is_empty());
-    let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
+    // Multiply before dividing: `p / 100.0` is inexact for most integer `p`
+    // (0.95 rounds up in binary), so `p / 100.0 * n` can land a hair above
+    // the exact rank and `ceil` then overshoots by one — at n=20 that made
+    // p95 silently equal the max.  `p * n` is exact for integer inputs well
+    // past any realistic cell count, and dividing an exact multiple of 100
+    // by 100.0 is correctly rounded to the integer rank.
+    let rank = (p * sorted.len() as f64 / 100.0).ceil() as usize;
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
@@ -276,5 +282,34 @@ mod tests {
         assert_eq!(percentile(&values, 100.0), 5.0);
         assert_eq!(percentile(&values, 0.0), 1.0);
         assert_eq!(percentile(&[7.0], 50.0), 7.0);
+    }
+
+    #[test]
+    fn percentile_small_cell_counts_exact() {
+        // n = 1: every percentile is the lone sample.
+        assert_eq!(percentile(&[4.0], 50.0), 4.0);
+        assert_eq!(percentile(&[4.0], 95.0), 4.0);
+
+        // n = 2: rank(50) = ceil(1.0) = 1 → lower sample; p95 → upper.
+        let two = [1.0, 2.0];
+        assert_eq!(percentile(&two, 50.0), 1.0);
+        assert_eq!(percentile(&two, 95.0), 2.0);
+
+        // n = 3: rank(50) = ceil(1.5) = 2 → middle; rank(95) = ceil(2.85) = 3.
+        let three = [1.0, 2.0, 3.0];
+        assert_eq!(percentile(&three, 50.0), 2.0);
+        assert_eq!(percentile(&three, 95.0), 3.0);
+    }
+
+    #[test]
+    fn percentile_rank_is_exact_at_n20() {
+        // Regression: with `p / 100.0 * n`, 0.95 is not representable and
+        // 0.95 * 20 lands at 19.000000000000004, so ceil gave rank 20 and
+        // p95 of a 20-cell grid silently equalled the max.  The exact
+        // nearest-rank answer is rank ceil(19.0) = 19.
+        let values: Vec<f64> = (1..=20).map(f64::from).collect();
+        assert_eq!(percentile(&values, 95.0), 19.0);
+        assert_eq!(percentile(&values, 50.0), 10.0);
+        assert_eq!(percentile(&values, 100.0), 20.0);
     }
 }

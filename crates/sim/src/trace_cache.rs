@@ -128,7 +128,9 @@ struct CacheInner {
     // as the LRU order — least recently used at the front, so bounded
     // caches evict from index 0.
     entries: Mutex<Vec<(ThermalKey, Arc<TraceCell>)>>,
-    capacity: usize, // 0 = unbounded
+    // `None` = unbounded; `Some(0)` = cache nothing (every request solves
+    // privately and counts a miss, never an eviction).
+    capacity: Option<usize>,
     hits: AtomicUsize,
     misses: AtomicUsize,
     evictions: AtomicUsize,
@@ -184,7 +186,10 @@ impl TraceCache {
 
     /// Creates an empty cache holding at most `capacity` entries, evicting
     /// the least recently used entry when a new key would exceed the bound.
-    /// A capacity of `0` means unbounded, same as [`TraceCache::new`].
+    /// A capacity of `0` means *cache nothing*: every request runs its own
+    /// private solve and counts as a miss, no entry is ever stored, and the
+    /// evictions counter stays at zero (nothing is admitted, so nothing is
+    /// evicted).  For an unbounded cache use [`TraceCache::new`].
     ///
     /// Eviction releases only the cache's references: scenarios holding an
     /// evicted trace keep it alive through their own `Arc` handle, and a
@@ -195,16 +200,17 @@ impl TraceCache {
     pub fn with_capacity(capacity: usize) -> Self {
         Self {
             inner: Arc::new(CacheInner {
-                capacity,
+                capacity: Some(capacity),
                 ..CacheInner::default()
             }),
         }
     }
 
-    /// The cache's entry bound, or `None` when unbounded.
+    /// The cache's entry bound, or `None` when unbounded.  `Some(0)` is the
+    /// cache-nothing configuration.
     #[must_use]
     pub fn capacity(&self) -> Option<usize> {
-        (self.inner.capacity != 0).then_some(self.inner.capacity)
+        self.inner.capacity
     }
 
     /// Number of entries evicted to keep the cache within its capacity
@@ -273,6 +279,14 @@ impl TraceCache {
     /// leaves the entry unsolved, so a later caller retries rather than
     /// inheriting the failure.
     pub(crate) fn trace_for(&self, scenario: &Scenario) -> Result<Arc<ThermalTrace>, SimError> {
+        // Capacity 0: cache nothing.  Solve privately without touching the
+        // entry list — admitting a key only to evict it in the same breath
+        // would report phantom evictions and serialise unrelated solves.
+        if self.inner.capacity == Some(0) {
+            let solved = Arc::new(ThermalTrace::solve(scenario)?);
+            self.inner.misses.fetch_add(1, Ordering::Relaxed);
+            return Ok(solved);
+        }
         let key = ThermalKey::of(scenario);
         let cell = {
             let mut entries = self.entries();
@@ -288,8 +302,7 @@ impl TraceCache {
                 None => {
                     let cell = Arc::new(TraceCell::default());
                     entries.push((key, Arc::clone(&cell)));
-                    let capacity = self.inner.capacity;
-                    if capacity != 0 {
+                    if let Some(capacity) = self.inner.capacity {
                         while entries.len() > capacity {
                             entries.remove(0);
                             self.inner.evictions.fetch_add(1, Ordering::Relaxed);
@@ -506,7 +519,56 @@ mod tests {
         }
         assert_eq!(cache.len(), 5);
         assert_eq!(cache.evictions(), 0);
-        assert_eq!(TraceCache::with_capacity(0).capacity(), None);
+    }
+
+    #[test]
+    fn capacity_zero_caches_nothing() {
+        // Regression: `with_capacity(0)` used to alias the unbounded cache.
+        // It must mean "cache nothing": every request is a private solve and
+        // a miss, nothing is stored, and no phantom evictions are counted.
+        let cache = TraceCache::with_capacity(0);
+        assert_eq!(cache.capacity(), Some(0));
+        let a = builder(5, 10, 1, &cache).build().unwrap();
+        let b = builder(5, 10, 1, &cache).build().unwrap();
+        let ta = a.thermal_trace().unwrap().clone();
+        let tb = b.thermal_trace().unwrap().clone();
+        // Same inputs still solve to the same value — just not shared.
+        assert_eq!(ta, tb);
+        assert!(cache.is_empty(), "nothing is admitted");
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.evictions(), 0);
+        // Both scenarios performed their own radiator work.
+        assert_eq!(a.thermal_solve_count(), 10);
+        assert_eq!(b.thermal_solve_count(), 10);
+    }
+
+    #[test]
+    fn eviction_of_borrowed_entry_keeps_counters_coherent() {
+        // Evicting an entry whose trace is still held by a live scenario
+        // must not disturb the hit/miss/eviction accounting: the books must
+        // balance (misses = solves, hits = shared reads, evictions = keys
+        // pushed out) even while the evicted Arc is outstanding.
+        let cache = TraceCache::with_capacity(1);
+        let a = builder(5, 10, 1, &cache).build().unwrap();
+        let held = a.thermal_trace().unwrap().clone(); // miss 1, entry [A]
+        assert_eq!((cache.hits(), cache.misses(), cache.evictions()), (0, 1, 0));
+        // B evicts A while A's trace is borrowed.
+        builder(5, 10, 2, &cache)
+            .build()
+            .unwrap()
+            .thermal_trace()
+            .unwrap(); // miss 2, evict A → [B]
+        assert_eq!((cache.hits(), cache.misses(), cache.evictions()), (0, 2, 1));
+        assert_eq!(held.len(), 10, "the borrowed trace survives eviction");
+        // Re-requesting A's key is a fresh miss (A is gone), evicting B —
+        // the outstanding borrow must not make it a hit or skip the
+        // eviction.
+        let c = builder(5, 10, 1, &cache).build().unwrap();
+        let resolved = c.thermal_trace().unwrap().clone();
+        assert_eq!((cache.hits(), cache.misses(), cache.evictions()), (0, 3, 2));
+        assert_eq!(resolved, held, "the re-solve reproduces the same value");
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]
