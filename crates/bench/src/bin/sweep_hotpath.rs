@@ -11,9 +11,10 @@
 //! workers bit for bit, and the fast-lane sweep must reproduce the bit-exact
 //! per-scheme summaries within a 1% relative bound.  It then times the
 //! configurations end to end, prints a table, writes `BENCH_sweep.json` and
-//! **exits non-zero** if the headline grid's cached-vs-uncached speedup or a
-//! fast-gated grid's fast-vs-bit-exact speedup drops below its committed
-//! floor — so CI catches a regressing cache or fast lane.
+//! **exits non-zero** if the headline grid's cached-vs-uncached speedup, a
+//! fast-gated grid's fast-vs-bit-exact speedup, or a presolve-gated grid's
+//! planner-on throughput drops below its committed floor — so CI catches a
+//! regressing cache, fast lane, or decision/pre-solve pipeline.
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -34,9 +35,23 @@ const WORKERS: usize = 4;
 /// the floor is deliberately conservative so CI noise cannot flake the gate.
 const SPEEDUP_FLOOR: f64 = 1.5;
 /// The committed floor for the fast-gated grids' fast-vs-bit-exact speedup
-/// (both cached).  The paper-field grid is dominated by the EHTR partition
-/// DP, whose unrolled fast lane carries this gate.
-const FAST_SPEEDUP_FLOOR: f64 = 1.3;
+/// (both cached).  Re-based from 1.3 when the reference EHTR partition DP
+/// adopted the fast lane's flat scratch layout and a reachability bound
+/// (bit-identical outputs, pinned by the golden traces): the paper-field
+/// grid's fast edge was almost entirely that layout difference and is now
+/// ~1.0x, so the gate moved to the monitoring grid, where the fast thermal
+/// sampling path still carries a measured 1.13–1.16x.  The floor sits below
+/// the worst measured value so CI noise cannot flake the gate.
+const FAST_SPEEDUP_FLOOR: f64 = 1.05;
+/// The committed end-to-end throughput of the paper-field grid at 4 workers
+/// as of the PR-8 snapshot (cached, bit-exact, demand-solved traces), in
+/// cells per second.  The presolve gate below holds the planner-enabled run
+/// to a multiple of this absolute baseline rather than to a same-run ratio,
+/// so the gate tracks the cumulative decision-memo + planner win.
+const PRESOLVE_BASELINE_CPS: f64 = 39.7;
+/// Committed floor on `presolve_cells_per_s / PRESOLVE_BASELINE_CPS` for
+/// presolve-gated grids.
+const PRESOLVE_FLOOR: f64 = 2.0;
 /// Relative bound on the per-scheme summary statistics between the fast and
 /// bit-exact sweeps.  Per-kernel error is `1e-9`, but the fast solver's
 /// reordered sums may legally flip near-tie candidate decisions, moving
@@ -50,6 +65,9 @@ struct GridSpec {
     gating: bool,
     /// Whether this case enforces `FAST_SPEEDUP_FLOOR` (fast-lane gate).
     fast_gating: bool,
+    /// Whether this case enforces `PRESOLVE_FLOOR` against
+    /// `PRESOLVE_BASELINE_CPS` (pre-solve planner gate).
+    presolve_gating: bool,
     build: fn(bool, KernelMode) -> ScenarioGrid,
 }
 
@@ -107,7 +125,9 @@ fn monitoring_grid(shared: bool, mode: KernelMode) -> ScenarioGrid {
 
 /// A full paper-lineup grid: all four schemes per cell.  The electrical
 /// candidate search — above all the EHTR partition DP — dominates its
-/// end-to-end cost, which makes it the gating case for the fast kernel lane.
+/// end-to-end cost, which makes it the gating case for the pre-solve
+/// planner's absolute-throughput floor (the cumulative decision-memo and
+/// DP-layout wins are what move this grid).
 fn paper_grid(shared: bool, mode: KernelMode) -> ScenarioGrid {
     let builder = ScenarioGrid::builder()
         .module_counts([40])
@@ -132,13 +152,17 @@ struct Case {
     name: &'static str,
     gating: bool,
     fast_gating: bool,
+    presolve_gating: bool,
     cells: usize,
     samples: usize,
     unique_solves: usize,
     isolated_solves: usize,
+    presolve_planned: usize,
+    presolve_solved: usize,
     uncached_cps: f64,
     cached_cps: f64,
     fast_cps: f64,
+    presolve_cps: f64,
 }
 
 impl Case {
@@ -149,9 +173,25 @@ impl Case {
     fn fast_speedup(&self) -> f64 {
         self.fast_cps / self.cached_cps
     }
+
+    fn presolve_ratio(&self) -> f64 {
+        self.presolve_cps / PRESOLVE_BASELINE_CPS
+    }
 }
 
+/// Runner for the legacy columns: planner off, so `uncached_cps`,
+/// `cached_cps` and `fast_cps` keep the meaning of earlier snapshots
+/// (traces demand-solved by the first cell that needs them).
 fn runner(workers: usize) -> SweepRunner {
+    SweepRunner::new()
+        .workers(workers)
+        .runtime_policy(RuntimePolicy::Fixed(CHARGE))
+        .presolve(false)
+}
+
+/// Runner for the `presolve_cells_per_s` column: the default planner-on
+/// configuration that `SweepRunner::new()` ships with.
+fn presolve_runner(workers: usize) -> SweepRunner {
     SweepRunner::new()
         .workers(workers)
         .runtime_policy(RuntimePolicy::Fixed(CHARGE))
@@ -166,21 +206,36 @@ fn relative_close(a: f64, b: f64, context: &str) {
     );
 }
 
-/// Best-of-N end-to-end run time, rebuilding a cold grid outside the timed
-/// region each iteration so every run pays its own thermal solves.
-fn time_run_secs(
-    build: fn(bool, KernelMode) -> ScenarioGrid,
-    shared: bool,
-    mode: KernelMode,
-) -> f64 {
-    let mut best = f64::INFINITY;
+/// Best-of-N end-to-end run times for all four timed configurations,
+/// rebuilding a cold grid outside the timed region each iteration so every
+/// run pays its own thermal solves.  The configurations are interleaved
+/// within each iteration — a transient load spike on shared hardware then
+/// hits every configuration about equally, which keeps the speedup *ratios*
+/// the gates check far more stable than timing each configuration in its
+/// own best-of-N window.
+fn time_runs_secs(build: fn(bool, KernelMode) -> ScenarioGrid) -> [f64; 4] {
+    // (shared, mode, planner-on) per slot: uncached, cached, fast, presolve.
+    let configs = [
+        (false, KernelMode::BitExact, false),
+        (true, KernelMode::BitExact, false),
+        (true, KernelMode::Fast, false),
+        (true, KernelMode::BitExact, true),
+    ];
+    let mut best = [f64::INFINITY; 4];
     for _ in 0..5 {
-        let grid = build(shared, mode);
-        let start = Instant::now();
-        let report = runner(WORKERS).run(&grid).expect("sweep");
-        let elapsed = start.elapsed().as_secs_f64();
-        assert!(!report.cells().is_empty());
-        best = best.min(elapsed);
+        for (slot, &(shared, mode, presolve)) in configs.iter().enumerate() {
+            let grid = build(shared, mode);
+            let sweep = if presolve {
+                presolve_runner(WORKERS)
+            } else {
+                runner(WORKERS)
+            };
+            let start = Instant::now();
+            let report = sweep.run(&grid).expect("sweep");
+            let elapsed = start.elapsed().as_secs_f64();
+            assert!(!report.cells().is_empty());
+            best[slot] = best[slot].min(elapsed);
+        }
     }
     best
 }
@@ -215,6 +270,18 @@ fn measure(spec: &GridSpec) -> Case {
         "{}: trace sharing changed a summary",
         spec.name
     );
+    let presolved = presolve_runner(WORKERS)
+        .run(&(spec.build)(true, exact))
+        .expect("presolved sweep");
+    assert_eq!(
+        cached_parallel, presolved,
+        "{}: the pre-solve planner changed the report",
+        spec.name
+    );
+    let stats = presolved
+        .presolve()
+        .copied()
+        .expect("planner-on run records presolve stats");
     let fast = runner(WORKERS)
         .run(&(spec.build)(true, KernelMode::Fast))
         .expect("fast sweep");
@@ -235,21 +302,23 @@ fn measure(spec: &GridSpec) -> Case {
 
     let shared_grid = (spec.build)(true, exact);
     let isolated_grid = (spec.build)(false, exact);
-    let uncached_secs = time_run_secs(spec.build, false, exact);
-    let cached_secs = time_run_secs(spec.build, true, exact);
-    let fast_secs = time_run_secs(spec.build, true, KernelMode::Fast);
+    let [uncached_secs, cached_secs, fast_secs, presolve_secs] = time_runs_secs(spec.build);
     let cells = shared_grid.len();
     Case {
         name: spec.name,
         gating: spec.gating,
         fast_gating: spec.fast_gating,
+        presolve_gating: spec.presolve_gating,
         cells,
         samples: shared_grid.samples().len(),
         unique_solves: shared_grid.expected_thermal_solves(),
         isolated_solves: isolated_grid.expected_thermal_solves(),
+        presolve_planned: stats.planned(),
+        presolve_solved: stats.solved(),
         uncached_cps: cells as f64 / uncached_secs,
         cached_cps: cells as f64 / cached_secs,
         fast_cps: cells as f64 / fast_secs,
+        presolve_cps: cells as f64 / presolve_secs,
     }
 }
 
@@ -264,6 +333,11 @@ fn render_json(cases: &[Case]) -> String {
         .filter(|c| c.fast_gating)
         .map(Case::fast_speedup)
         .fold(f64::INFINITY, f64::min);
+    let presolve_gating_ratio = cases
+        .iter()
+        .filter(|c| c.presolve_gating)
+        .map(Case::presolve_ratio)
+        .fold(f64::INFINITY, f64::min);
     let mut out = String::from("{\n  \"bench\": \"sweep_hotpath\",\n");
     out.push_str("  \"unit\": \"cells_per_second\",\n");
     let _ = writeln!(out, "  \"workers\": {WORKERS},\n  \"cases\": [");
@@ -273,21 +347,28 @@ fn render_json(cases: &[Case]) -> String {
             out,
             "    {{\"grid\": \"{}\", \"cells\": {}, \"samples\": {}, \
              \"unique_thermal_solves\": {}, \"isolated_thermal_solves\": {}, \
+             \"presolve_planned\": {}, \"presolve_solved\": {}, \
              \"uncached_cells_per_s\": {:.1}, \"cached_cells_per_s\": {:.1}, \
-             \"fast_cells_per_s\": {:.1}, \"speedup\": {:.2}, \
-             \"fast_speedup\": {:.2}, \"gating\": {}, \"fast_gating\": {}}}{comma}",
+             \"fast_cells_per_s\": {:.1}, \"presolve_cells_per_s\": {:.1}, \
+             \"speedup\": {:.2}, \"fast_speedup\": {:.2}, \
+             \"gating\": {}, \"fast_gating\": {}, \
+             \"presolve_gating\": {}}}{comma}",
             case.name,
             case.cells,
             case.samples,
             case.unique_solves,
             case.isolated_solves,
+            case.presolve_planned,
+            case.presolve_solved,
             case.uncached_cps,
             case.cached_cps,
             case.fast_cps,
+            case.presolve_cps,
             case.speedup(),
             case.fast_speedup(),
             case.gating,
             case.fast_gating,
+            case.presolve_gating,
         );
     }
     let _ = writeln!(
@@ -295,7 +376,10 @@ fn render_json(cases: &[Case]) -> String {
         "  ],\n  \"gating_speedup\": {gating_speedup:.2},\n  \
          \"speedup_floor\": {SPEEDUP_FLOOR},\n  \
          \"fast_gating_speedup\": {fast_gating_speedup:.2},\n  \
-         \"fast_speedup_floor\": {FAST_SPEEDUP_FLOOR}\n}}"
+         \"fast_speedup_floor\": {FAST_SPEEDUP_FLOOR},\n  \
+         \"presolve_baseline_cells_per_s\": {PRESOLVE_BASELINE_CPS},\n  \
+         \"presolve_gating_ratio\": {presolve_gating_ratio:.2},\n  \
+         \"presolve_floor\": {PRESOLVE_FLOOR}\n}}"
     );
     out
 }
@@ -305,34 +389,39 @@ fn main() -> ExitCode {
         GridSpec {
             name: "monitoring-100mod",
             gating: true,
-            fast_gating: false,
+            fast_gating: true,
+            presolve_gating: false,
             build: monitoring_grid,
         },
         GridSpec {
             name: "paper-field-40mod",
             gating: false,
-            fast_gating: true,
+            fast_gating: false,
+            presolve_gating: true,
             build: paper_grid,
         },
     ];
     let cases: Vec<Case> = specs.iter().map(measure).collect();
 
-    println!("# Sweep hot path: shared trace cache and fast kernel lane (end to end)");
+    println!("# Sweep hot path: shared trace cache, fast kernel lane, pre-solve planner");
     println!(
-        "grid,cells,samples,unique_solves,isolated_solves,uncached_cps,cached_cps,fast_cps,\
-         speedup,fast_speedup"
+        "grid,cells,samples,unique_solves,isolated_solves,presolve_planned,presolve_solved,\
+         uncached_cps,cached_cps,fast_cps,presolve_cps,speedup,fast_speedup"
     );
     for case in &cases {
         println!(
-            "{},{},{},{},{},{:.1},{:.1},{:.1},{:.2},{:.2}",
+            "{},{},{},{},{},{},{},{:.1},{:.1},{:.1},{:.1},{:.2},{:.2}",
             case.name,
             case.cells,
             case.samples,
             case.unique_solves,
             case.isolated_solves,
+            case.presolve_planned,
+            case.presolve_solved,
             case.uncached_cps,
             case.cached_cps,
             case.fast_cps,
+            case.presolve_cps,
             case.speedup(),
             case.fast_speedup()
         );
@@ -372,6 +461,23 @@ fn main() -> ExitCode {
                 "FAIL: {} fast-vs-bit-exact speedup {speedup:.2}x fell below the \
                  committed floor {FAST_SPEEDUP_FLOOR}x",
                 case.name
+            );
+            ok = false;
+        }
+    }
+    for case in cases.iter().filter(|c| c.presolve_gating) {
+        let ratio = case.presolve_ratio();
+        println!(
+            "# {} planner-on throughput {:.1} cells/s = {ratio:.2}x the committed \
+             PR-8 baseline {PRESOLVE_BASELINE_CPS} cells/s (floor: {PRESOLVE_FLOOR}x)",
+            case.name, case.presolve_cps
+        );
+        if ratio < PRESOLVE_FLOOR {
+            eprintln!(
+                "FAIL: {} planner-on throughput {:.1} cells/s is {ratio:.2}x the \
+                 committed baseline {PRESOLVE_BASELINE_CPS} cells/s, below the \
+                 floor {PRESOLVE_FLOOR}x",
+                case.name, case.presolve_cps
             );
             ok = false;
         }

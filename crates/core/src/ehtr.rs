@@ -19,6 +19,7 @@ use teg_units::{Amps, KernelMode, Seconds, TemperatureDelta, Watts};
 
 use crate::error::ReconfigError;
 use crate::inor::{pick_best_candidate, Inor, InorConfig};
+use crate::memo::DecisionMemo;
 use crate::telemetry::TelemetryWindow;
 use crate::traits::{ReconfigDecision, Reconfigurer};
 
@@ -44,10 +45,20 @@ use crate::traits::{ReconfigDecision, Reconfigurer};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Ehtr {
     config: InorConfig,
     mode: KernelMode,
+    // Last (ΔT row → partition) pair: a 0.5 s period over 1 s steps asks the
+    // same question twice per step, and the DP is ~95 % of a decide.
+    memo: Option<DecisionMemo>,
+}
+
+/// The memo caches derived state only, so it stays out of scheme identity.
+impl PartialEq for Ehtr {
+    fn eq(&self, other: &Self) -> bool {
+        self.config == other.config && self.mode == other.mode
+    }
 }
 
 impl Ehtr {
@@ -58,6 +69,7 @@ impl Ehtr {
         Self {
             config,
             mode: KernelMode::default(),
+            memo: None,
         }
     }
 
@@ -80,9 +92,25 @@ impl Ehtr {
     ///
     /// Panics if `n` is zero or exceeds the number of modules.
     #[must_use]
-    // DP over parallel tables reads clearest with explicit indices.
-    #[allow(clippy::needless_range_loop)]
     pub fn optimal_partition(mpp_currents: &[Amps], n: usize) -> Configuration {
+        Self::optimal_partition_with(mpp_currents, n, &mut PartitionScratch::default())
+    }
+
+    /// The reference DP over reusable flat tables.
+    ///
+    /// Every cost is evaluated with the original operation order
+    /// (`cost[j-1][k] + ((prefix[i] − prefix[k]) − ideal)²`, strict-`<`
+    /// first-minimum scan), so the returned partition is bit-identical to
+    /// the nested-table formulation this replaced; the layout change and
+    /// the reachability bound below are pure speed.  States `cost[j][i]`
+    /// with `i > modules − (n−1−j)` cannot leave a module for each of the
+    /// `n−1−j` groups still to come, so neither a later layer nor the
+    /// reconstruction ever reads them and the DP skips computing them.
+    fn optimal_partition_with(
+        mpp_currents: &[Amps],
+        n: usize,
+        scratch: &mut PartitionScratch,
+    ) -> Configuration {
         let modules = mpp_currents.len();
         assert!(
             n >= 1 && n <= modules,
@@ -91,40 +119,61 @@ impl Ehtr {
         let total: f64 = mpp_currents.iter().map(|c| c.value()).sum();
         let ideal = total / n as f64;
 
+        let width = modules + 1;
+        let PartitionScratch {
+            prefix,
+            cost_prev,
+            cost_cur,
+            choice,
+        } = scratch;
         // prefix[i] = sum of the first i currents.
-        let mut prefix = vec![0.0; modules + 1];
-        for (i, c) in mpp_currents.iter().enumerate() {
-            prefix[i + 1] = prefix[i] + c.value();
+        prefix.clear();
+        prefix.reserve(width);
+        prefix.push(0.0);
+        let mut acc = 0.0;
+        for c in mpp_currents {
+            acc += c.value();
+            prefix.push(acc);
         }
-        let group_cost = |from: usize, to: usize| {
-            let sum = prefix[to] - prefix[from];
-            (sum - ideal) * (sum - ideal)
-        };
+        cost_prev.clear();
+        cost_prev.resize(width, f64::INFINITY);
+        cost_cur.clear();
+        cost_cur.resize(width, f64::INFINITY);
+        choice.clear();
+        choice.resize(n * width, 0);
 
-        // cost[j][i]: minimal cost of splitting the first i modules into j+1
-        // groups; choice[j][i]: the boundary that achieves it.
-        let mut cost = vec![vec![f64::INFINITY; modules + 1]; n];
-        let mut choice = vec![vec![0usize; modules + 1]; n];
-        for i in 1..=modules {
-            cost[0][i] = group_cost(0, i);
+        for i in 1..=(modules - (n - 1)) {
+            let sum = prefix[i] - prefix[0];
+            let d = sum - ideal;
+            cost_prev[i] = d * d;
         }
         for j in 1..n {
-            for i in (j + 1)..=modules {
+            let row = j * width;
+            let reachable = modules - (n - 1 - j);
+            for i in (j + 1)..=reachable {
+                let pi = prefix[i];
+                let mut best = f64::INFINITY;
+                let mut best_k = 0usize;
                 for k in j..i {
-                    let candidate = cost[j - 1][k] + group_cost(k, i);
-                    if candidate < cost[j][i] {
-                        cost[j][i] = candidate;
-                        choice[j][i] = k;
+                    let sum = pi - prefix[k];
+                    let d = sum - ideal;
+                    let candidate = cost_prev[k] + d * d;
+                    if candidate < best {
+                        best = candidate;
+                        best_k = k;
                     }
                 }
+                cost_cur[i] = best;
+                choice[row + i] = best_k as u32;
             }
+            std::mem::swap(cost_prev, cost_cur);
         }
 
         // Reconstruct the boundaries.
         let mut starts = vec![0usize; n];
         let mut end = modules;
         for j in (1..n).rev() {
-            let boundary = choice[j][end];
+            let boundary = choice[j * width + end] as usize;
             starts[j] = boundary;
             end = boundary;
         }
@@ -187,14 +236,17 @@ impl Ehtr {
         choice.clear();
         choice.resize(n * width, 0);
 
-        for i in 1..=modules {
+        for i in 1..=(modules - (n - 1)) {
             let sum = prefix[i] - prefix[0];
             let d = sum - ideal;
             cost_prev[i] = d * d;
         }
         for j in 1..n {
             let row = j * width;
-            for i in (j + 1)..=modules {
+            // Same reachability bound as the reference lane: states that
+            // leave fewer modules than remaining groups are never read.
+            let reachable = modules - (n - 1 - j);
+            for i in (j + 1)..=reachable {
                 let pi = prefix[i];
                 // Four independent (value, boundary) minima; lane-local
                 // strict-< keeps each lane's earliest minimum.
@@ -299,9 +351,14 @@ impl Ehtr {
         let inor_view = Inor::new(self.config.clone());
         let (n_min, n_max) = inor_view.group_bounds(array, deltas);
         let candidates: Vec<Configuration> = match self.mode {
-            KernelMode::BitExact => (n_min..=n_max)
-                .map(|n| Self::optimal_partition(&mpp_currents, n))
-                .collect(),
+            KernelMode::BitExact => {
+                // The same flat scratch reuse as the fast lane — a layout
+                // change only; the reference arithmetic is untouched.
+                let mut scratch = PartitionScratch::default();
+                (n_min..=n_max)
+                    .map(|n| Self::optimal_partition_with(&mpp_currents, n, &mut scratch))
+                    .collect()
+            }
             KernelMode::Fast => {
                 // One flat scratch shared by every group count: the DP is
                 // ~95 % of an EHTR decide, so the fast lane's gains live
@@ -343,13 +400,27 @@ impl Reconfigurer for Ehtr {
     ) -> Result<ReconfigDecision, ReconfigError> {
         let started = Instant::now();
         let deltas = window.current_deltas();
-        let (configuration, _) = self.optimise(window.array(), &deltas)?;
+        let configuration = match self.memo.as_ref().and_then(|m| m.lookup(&deltas)) {
+            Some(cached) => cached.clone(),
+            None => {
+                let (configuration, _) = self.optimise(window.array(), &deltas)?;
+                self.memo = Some(DecisionMemo::new(deltas, configuration.clone()));
+                configuration
+            }
+        };
         let elapsed = Seconds::new(started.elapsed().as_secs_f64());
         // Like INOR, the prior-work controller re-applies on every period.
         Ok(ReconfigDecision::new(configuration, elapsed, true, true))
     }
 
+    fn reset(&mut self) {
+        self.memo = None;
+    }
+
     fn set_kernel_mode(&mut self, mode: KernelMode) {
+        if mode != self.mode {
+            self.memo = None;
+        }
         self.mode = mode;
     }
 }

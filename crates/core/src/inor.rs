@@ -7,6 +7,7 @@ use teg_power::Charger;
 use teg_units::{Amps, KernelMode, Seconds, TemperatureDelta, Watts};
 
 use crate::error::ReconfigError;
+use crate::memo::DecisionMemo;
 use crate::telemetry::TelemetryWindow;
 use crate::traits::{ReconfigDecision, Reconfigurer};
 
@@ -114,10 +115,20 @@ impl Default for InorConfig {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Inor {
     config: InorConfig,
     mode: KernelMode,
+    // Last (ΔT row → partition) pair: a 0.5 s period over 1 s steps asks the
+    // same question twice per step.
+    memo: Option<DecisionMemo>,
+}
+
+/// The memo caches derived state only, so it stays out of scheme identity.
+impl PartialEq for Inor {
+    fn eq(&self, other: &Self) -> bool {
+        self.config == other.config && self.mode == other.mode
+    }
 }
 
 impl Inor {
@@ -127,6 +138,7 @@ impl Inor {
         Self {
             config,
             mode: KernelMode::default(),
+            memo: None,
         }
     }
 
@@ -297,14 +309,28 @@ impl Reconfigurer for Inor {
     ) -> Result<ReconfigDecision, ReconfigError> {
         let started = Instant::now();
         let deltas = window.current_deltas();
-        let (configuration, _) = self.optimise(window.array(), &deltas)?;
+        let configuration = match self.memo.as_ref().and_then(|m| m.lookup(&deltas)) {
+            Some(cached) => cached.clone(),
+            None => {
+                let (configuration, _) = self.optimise(window.array(), &deltas)?;
+                self.memo = Some(DecisionMemo::new(deltas, configuration.clone()));
+                configuration
+            }
+        };
         let elapsed = Seconds::new(started.elapsed().as_secs_f64());
         // The fixed-period controller re-applies its result every period,
         // paying the reconfiguration dead time even when nothing changed.
         Ok(ReconfigDecision::new(configuration, elapsed, true, true))
     }
 
+    fn reset(&mut self) {
+        self.memo = None;
+    }
+
     fn set_kernel_mode(&mut self, mode: KernelMode) {
+        if mode != self.mode {
+            self.memo = None;
+        }
         self.mode = mode;
     }
 }

@@ -64,6 +64,7 @@ mod ehtr;
 mod error;
 mod factory;
 mod inor;
+mod memo;
 mod runtime;
 mod sensor;
 mod telemetry;

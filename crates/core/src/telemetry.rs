@@ -332,6 +332,22 @@ impl<'a> TelemetryWindow<'a> {
         );
     }
 
+    /// [`TelemetryWindow::deltas_from_row_into`] writing into an
+    /// exact-length slice instead of appending — the chunk-safe form a
+    /// parallel trace solver uses to fill disjoint strided ranges of one
+    /// preallocated buffer.  Same per-module operation, so the written
+    /// values are bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != row.len()`.
+    pub fn deltas_from_row_into_slice(row: &[f64], ambient: Celsius, out: &mut [TemperatureDelta]) {
+        assert_eq!(out.len(), row.len(), "slice length must equal the row's");
+        for (slot, &t) in out.iter_mut().zip(row) {
+            *slot = (Celsius::new(t) - ambient).clamp_non_negative();
+        }
+    }
+
     /// The windowed history of a single module as a scalar series (°C),
     /// oldest first.
     ///

@@ -360,6 +360,13 @@ pub struct StatsReply {
     pub cache_evictions: usize,
     /// Worker threads solving cells.
     pub workers: usize,
+    /// Unique thermal keys the pre-solve planner enumerated across all
+    /// admitted requests since start.
+    pub presolve_planned: usize,
+    /// Planned keys the planner actually solved ahead of cell dispatch
+    /// (the rest were already warm in the cache, or failed and were left to
+    /// the demand path).
+    pub presolve_solved: usize,
 }
 
 impl StatsReply {
@@ -367,7 +374,7 @@ impl StatsReply {
     #[must_use]
     pub fn encode(&self) -> String {
         format!(
-            "active {}\nqueued_cells {}\ncompleted_requests {}\ncache_len {}\ncache_hits {}\ncache_misses {}\ncache_evictions {}\nworkers {}\n",
+            "active {}\nqueued_cells {}\ncompleted_requests {}\ncache_len {}\ncache_hits {}\ncache_misses {}\ncache_evictions {}\nworkers {}\npresolve_planned {}\npresolve_solved {}\n",
             self.active,
             self.queued_cells,
             self.completed_requests,
@@ -375,7 +382,9 @@ impl StatsReply {
             self.cache_hits,
             self.cache_misses,
             self.cache_evictions,
-            self.workers
+            self.workers,
+            self.presolve_planned,
+            self.presolve_solved
         )
     }
 
@@ -395,6 +404,8 @@ impl StatsReply {
             cache_misses: lines.usize("cache_misses")?,
             cache_evictions: lines.usize("cache_evictions")?,
             workers: lines.usize("workers")?,
+            presolve_planned: lines.usize("presolve_planned")?,
+            presolve_solved: lines.usize("presolve_solved")?,
         };
         lines.done()?;
         Ok(reply)
@@ -509,6 +520,8 @@ mod tests {
             cache_misses: 11,
             cache_evictions: 2,
             workers: 8,
+            presolve_planned: 12,
+            presolve_solved: 10,
         };
         assert_eq!(StatsReply::decode(&stats.encode()).unwrap(), stats);
     }

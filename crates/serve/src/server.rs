@@ -127,7 +127,22 @@ impl ActiveRequest {
 /// One unit of worker work.
 struct Job {
     request: Arc<ActiveRequest>,
-    cell_index: usize,
+    unit: Unit,
+}
+
+/// What a worker does with a popped job: run one cell, or pre-solve one
+/// unique thermal key ahead of the cells.  Pre-solve jobs are enqueued
+/// before a request's cell jobs, so the FIFO queue naturally warms every
+/// trace between the ACCEPTED frame and the first CELL frame.
+enum Unit {
+    Cell(usize),
+    Presolve {
+        /// Index into the request grid's samples.
+        sample: usize,
+        /// Row-parallel chunk threads folded into this one solve (more than
+        /// 1 only when the planned keys are fewer than the workers).
+        threads: usize,
+    },
 }
 
 /// State shared by the accept loop, handlers and workers.
@@ -140,6 +155,11 @@ struct Shared {
     active: AtomicUsize,
     /// Sweeps that ran to DONE.
     completed: AtomicUsize,
+    /// Unique thermal keys the pre-solve planner enumerated, across all
+    /// admitted requests.
+    presolve_planned: AtomicUsize,
+    /// Planned keys the workers solved ahead of cell dispatch.
+    presolve_solved: AtomicUsize,
     /// Admitted requests by id, for CANCEL and duplicate detection.
     registry: Mutex<HashMap<String, Arc<ActiveRequest>>>,
     shutdown: AtomicBool,
@@ -190,7 +210,24 @@ fn worker_loop(shared: &Shared) {
             continue;
         }
         let grid = &job.request.grid;
-        let cell = &grid.cells()[job.cell_index];
+        let cell_index = match job.unit {
+            Unit::Presolve { sample, threads } => {
+                // Warm one unique thermal key before the request's cells
+                // run.  Failures (and panics) are deliberately swallowed:
+                // the owning cell re-attempts the solve on demand and
+                // reports the error with its usual attribution, exactly as
+                // if no planner ran.
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    grid.samples()[sample].presolve(threads)
+                }));
+                if matches!(outcome, Ok(Ok(true))) {
+                    shared.presolve_solved.fetch_add(1, Ordering::Relaxed);
+                }
+                continue;
+            }
+            Unit::Cell(index) => index,
+        };
+        let cell = &grid.cells()[cell_index];
         let policy = job.request.policy;
         // Same recipe — and same panic containment — as SweepRunner's
         // in-process workers, so service results match runner results.
@@ -207,7 +244,7 @@ fn worker_loop(shared: &Shared) {
                 reason: format!("sweep cell {} panicked in a scheme or solver", cell.key()),
             })
         });
-        job.request.push_result(job.cell_index, outcome);
+        job.request.push_result(cell_index, outcome);
     }
 }
 
@@ -247,6 +284,8 @@ impl SweepServer {
             queue_signal: Condvar::new(),
             active: AtomicUsize::new(0),
             completed: AtomicUsize::new(0),
+            presolve_planned: AtomicUsize::new(0),
+            presolve_solved: AtomicUsize::new(0),
             registry: Mutex::new(HashMap::new()),
             shutdown: AtomicBool::new(false),
         });
@@ -427,6 +466,8 @@ fn stats_reply(shared: &Shared) -> StatsReply {
         cache_misses: shared.cache.misses(),
         cache_evictions: shared.cache.evictions(),
         workers: shared.config.workers.max(1),
+        presolve_planned: shared.presolve_planned.load(Ordering::Relaxed),
+        presolve_solved: shared.presolve_solved.load(Ordering::Relaxed),
     }
 }
 
@@ -618,16 +659,46 @@ fn handle_submit(stream: &mut TcpStream, shared: &Arc<Shared>, frame: &Frame) ->
         None => None,
     };
 
-    // Fan the unfinished cells out to the workers, in grid order.
+    // Fan the unfinished cells out to the workers, in grid order — with the
+    // pre-solve plan queued *first*, so the pool warms every unique thermal
+    // key the unfinished cells need before any cell starts.  Cells restored
+    // from the checkpoint are replayed from journalled bytes and never
+    // touch the radiator, so their keys are not planned.
     let total = active.grid.len();
     let resumed = restored.len();
+    let pending: Vec<&teg_sim::SweepCell> = active
+        .grid
+        .cells()
+        .iter()
+        .enumerate()
+        .filter(|(index, _)| !restored.contains_key(index))
+        .map(|(_, cell)| cell)
+        .collect();
+    let plan = active
+        .grid
+        .unique_sample_indices_for(pending.iter().copied());
+    let workers = shared.config.workers.max(1);
+    let threads = if plan.is_empty() {
+        1
+    } else {
+        (workers / plan.len()).clamp(1, workers)
+    };
+    shared
+        .presolve_planned
+        .fetch_add(plan.len(), Ordering::Relaxed);
     {
         let mut queue = shared.lock_queue();
+        for sample in plan {
+            queue.push_back(Job {
+                request: Arc::clone(&active),
+                unit: Unit::Presolve { sample, threads },
+            });
+        }
         for index in 0..total {
             if !restored.contains_key(&index) {
                 queue.push_back(Job {
                     request: Arc::clone(&active),
-                    cell_index: index,
+                    unit: Unit::Cell(index),
                 });
             }
         }

@@ -27,8 +27,12 @@ const SMALL: &str = "modules=6,8|seeds=1,2|drive=city:12|lineup=paper-fixed:0.00
 
 /// A sweep slow enough (hundreds of ms per cell in a debug build, tens in
 /// release) that interrupting it after the first streamed cell reliably
-/// leaves later cells unsolved.
-const SLOW: &str = "modules=40|seeds=1,2,3,4,5,6,7,8|drive=city:30|lineup=paper-fixed:0.002";
+/// leaves later cells unsolved.  Sized against the memoised EHTR decide:
+/// the partition DP grows ~quartically in the module count, so 64 modules
+/// over a 60 s cycle keeps each cell comfortably slower than a client
+/// round-trip even in release builds (re-sized from 48 when the reference
+/// DP adopted flat scratch tables and a reachability bound).
+const SLOW: &str = "modules=64|seeds=1,2,3,4,5,6,7,8|drive=city:60|lineup=paper-fixed:0.002";
 
 fn expected_report(spec: &str) -> SweepReport {
     let grid = GridSpec::parse(spec).unwrap().to_grid().unwrap();
@@ -69,6 +73,10 @@ fn tcp_sweep_is_bit_identical_to_in_process_runner() {
     let stats = client.stats().unwrap();
     assert_eq!(stats.completed_requests, 1);
     assert_eq!(stats.active, 0);
+    // The pre-solve planner warmed the grid's 4 unique thermal keys before
+    // the first cell ran.
+    assert_eq!(stats.presolve_planned, 4);
+    assert_eq!(stats.presolve_solved, 4);
     server.shutdown();
 }
 

@@ -86,8 +86,9 @@ pub use report::SimulationReport;
 pub use scenario::{Scenario, ScenarioBuilder};
 pub use session::{RuntimePolicy, SessionSummary, SimSession, SolverPool, StepFn, StepObserver};
 pub use sweep::{
-    CellKey, DriveProfile, FaultProfile, GridSpec, ScenarioGrid, ScenarioGridBuilder, SchemeLineup,
-    SchemeSummary, SweepCell, SweepCellReport, SweepReport, SweepRunner,
+    CellKey, DriveProfile, FaultProfile, GridSpec, PresolveStats, ScenarioGrid,
+    ScenarioGridBuilder, SchemeLineup, SchemeSummary, SweepCell, SweepCellReport, SweepReport,
+    SweepRunner,
 };
 pub use thermal_trace::ThermalTrace;
 pub use trace_cache::TraceCache;

@@ -156,8 +156,13 @@ impl Scenario {
     /// Restricts the scenario to a window of the drive cycle (sample indices
     /// `[start, end)`), e.g. the 120-second slice plotted in Figs. 6–7.
     ///
-    /// The windowed scenario solves its own (shorter) thermal trace; the
-    /// solve counter stays shared with the parent.
+    /// When the parent's trace is already solved, the window *slices* it —
+    /// [`DriveCycle::window`](teg_thermal::DriveCycle::window) keeps the
+    /// original sample timestamps, so the sliced trace is bit-identical to
+    /// freshly solving the windowed cycle, and no further radiator solves are
+    /// counted.  An unsolved parent leaves the window to solve its own
+    /// (shorter) cycle on first access; the solve counter stays shared with
+    /// the parent either way.
     ///
     /// # Errors
     ///
@@ -167,6 +172,9 @@ impl Scenario {
         let mut out = self.clone();
         out.drive_cycle = self.drive_cycle.window(start, end)?;
         out.trace = Arc::new(OnceLock::new());
+        if let Some(parent) = self.trace.get() {
+            let _ = out.trace.set(Arc::new(parent.slice(start, end)));
+        }
         Ok(out)
     }
 
@@ -209,6 +217,40 @@ impl Scenario {
         let stored = self.trace.get_or_init(|| solved);
         drop(guard);
         Ok(stored)
+    }
+
+    /// Solves this scenario's thermal trace ahead of demand, splitting the
+    /// solve across `threads` chunk workers (bit-identical to the serial
+    /// solve for any thread count — see
+    /// [`ThermalTrace::solve_with_threads`]).  With a [`TraceCache`]
+    /// attached the solve lands in the cache, so every equal-keyed scenario
+    /// shares it; otherwise it lands in this scenario's own slot.  Returns
+    /// `true` when this call performed the solve, `false` when the trace was
+    /// already available.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError::Thermal`] from the radiator solve.
+    pub fn presolve(&self, threads: usize) -> Result<bool, SimError> {
+        if self.trace.get().is_some() {
+            return Ok(false);
+        }
+        match &self.trace_cache {
+            Some(cache) => cache.presolve_for(self, threads),
+            None => {
+                let guard = self
+                    .solve_lock
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                if self.trace.get().is_some() {
+                    return Ok(false);
+                }
+                let solved = Arc::new(ThermalTrace::solve_with_threads(self, threads)?);
+                self.trace.get_or_init(|| solved);
+                drop(guard);
+                Ok(true)
+            }
+        }
     }
 
     /// The cross-scenario trace cache this scenario resolves its thermal

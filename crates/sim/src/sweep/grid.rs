@@ -643,6 +643,50 @@ impl ScenarioGrid {
     pub const fn kernel_mode(&self) -> KernelMode {
         self.kernel_mode
     }
+
+    /// Indices into [`ScenarioGrid::samples`] of the first sample carrying
+    /// each distinct thermal key — the set a pre-solve planner must solve to
+    /// warm the whole grid.  With trace sharing disabled
+    /// ([`ScenarioGridBuilder::isolated_traces`]) every sample is its own
+    /// key, so every sample index is returned.
+    #[must_use]
+    pub fn unique_sample_indices(&self) -> Vec<usize> {
+        self.unique_sample_indices_for(&self.cells)
+    }
+
+    /// Like [`ScenarioGrid::unique_sample_indices`], restricted to the
+    /// samples the given cells reference — e.g. the cells a
+    /// checkpoint-resumed sweep still has to run.  Order follows the cells'
+    /// first references, so the result is deterministic for a given cell
+    /// order.
+    #[must_use]
+    pub fn unique_sample_indices_for<'a>(
+        &self,
+        cells: impl IntoIterator<Item = &'a SweepCell>,
+    ) -> Vec<usize> {
+        let mut seen = vec![false; self.samples.len()];
+        let mut referenced = Vec::new();
+        for cell in cells {
+            if !seen[cell.sample_index] {
+                seen[cell.sample_index] = true;
+                referenced.push(cell.sample_index);
+            }
+        }
+        if self.trace_cache.is_none() {
+            // Isolated traces: nothing dedupes, each sample solves its own.
+            return referenced;
+        }
+        let mut unique: Vec<ThermalKey> = Vec::new();
+        let mut indices = Vec::new();
+        for index in referenced {
+            let key = ThermalKey::of(&self.samples[index]);
+            if !unique.contains(&key) {
+                unique.push(key);
+                indices.push(index);
+            }
+        }
+        indices
+    }
 }
 
 /// Builder for [`ScenarioGrid`] values; every axis defaults to the paper's

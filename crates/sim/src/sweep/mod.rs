@@ -67,6 +67,7 @@
 //! ```
 
 mod grid;
+mod presolve;
 mod report;
 mod runner;
 mod spec;
@@ -74,6 +75,7 @@ mod spec;
 pub use grid::{
     CellKey, DriveProfile, FaultProfile, ScenarioGrid, ScenarioGridBuilder, SchemeLineup, SweepCell,
 };
+pub use presolve::PresolveStats;
 pub use report::{SchemeSummary, SweepCellReport, SweepReport};
 pub use runner::SweepRunner;
 pub use spec::GridSpec;

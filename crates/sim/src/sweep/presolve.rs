@@ -1,0 +1,203 @@
+//! The sweep-wide thermal pre-solve planner.
+//!
+//! Before a [`SweepRunner`](crate::SweepRunner) dispatches any cell, the
+//! planner enumerates the grid's *unique thermal keys* (via
+//! [`ScenarioGrid::unique_sample_indices`]), checks which of them the shared
+//! [`TraceCache`](crate::TraceCache) has already solved, and solves the
+//! missing ones across the worker pool up front.  Demand-path cells then
+//! find every trace warm: no worker stalls mid-sweep behind another worker's
+//! radiator solve, and when the planned keys outnumber the workers the
+//! solves themselves run cell-parallel while few keys on many workers fall
+//! back to row-parallel chunking inside each solve
+//! ([`ThermalTrace::solve_with_threads`](crate::ThermalTrace::solve_with_threads)).
+//!
+//! The planner never changes results: every trace it produces is
+//! bit-identical to what the demand path would have solved (same solver,
+//! same inputs, chunk boundaries independent of thread count), so a
+//! planner-on sweep report compares equal to a planner-off report.  Solve
+//! *errors* are deliberately left to the demand path too — the failing cell
+//! re-attempts its solve and reports the error with the runner's usual
+//! lowest-failing-cell attribution, exactly as if no planner ran.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::sweep::grid::ScenarioGrid;
+
+/// What the pre-solve planner did for one sweep: how many unique thermal
+/// keys it planned, how many were already warm in the cache, how many it
+/// solved, and how long the pre-solve phase took.
+///
+/// `planned = skipped + solved` unless a solve failed, in which case the
+/// difference is the number of keys left for the demand path to re-attempt
+/// (and report the error for).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PresolveStats {
+    planned: usize,
+    skipped: usize,
+    solved: usize,
+    wall: Duration,
+}
+
+impl PresolveStats {
+    /// Assembles stats from raw counters — the wire-codec inverse of the
+    /// accessors, for transports that carry them across processes.
+    #[must_use]
+    pub const fn from_parts(planned: usize, skipped: usize, solved: usize, wall: Duration) -> Self {
+        Self {
+            planned,
+            skipped,
+            solved,
+            wall,
+        }
+    }
+
+    /// Unique thermal keys the planner enumerated for this sweep.
+    #[must_use]
+    pub const fn planned(&self) -> usize {
+        self.planned
+    }
+
+    /// Planned keys that were already solved in the shared cache (e.g. by an
+    /// earlier sweep or a resumed request's completed cells).
+    #[must_use]
+    pub const fn skipped(&self) -> usize {
+        self.skipped
+    }
+
+    /// Planned keys this planner actually solved.
+    #[must_use]
+    pub const fn solved(&self) -> usize {
+        self.solved
+    }
+
+    /// Wall-clock time of the pre-solve phase.
+    #[must_use]
+    pub const fn wall(&self) -> Duration {
+        self.wall
+    }
+}
+
+/// Pre-solves the given sample indices of a grid across `workers` threads.
+///
+/// Keys are distributed over `min(workers, planned)` scoped threads; when
+/// the workers outnumber the keys, the surplus is folded *into* each solve
+/// as row-parallel chunk threads, so a one-key grid on a four-worker pool
+/// still uses the whole pool.  Infallible by design: a key whose solve
+/// fails is simply left unsolved for the demand path to re-attempt, so the
+/// planner cannot change which error a sweep reports.
+pub(crate) fn presolve_samples(
+    grid: &ScenarioGrid,
+    indices: &[usize],
+    workers: usize,
+) -> PresolveStats {
+    let start = Instant::now();
+    let planned = indices.len();
+    if planned == 0 {
+        return PresolveStats::from_parts(0, 0, 0, start.elapsed());
+    }
+    let workers = workers.max(1);
+    let concurrent = workers.min(planned);
+    let per_solve = (workers / planned).clamp(1, workers);
+    let solved = AtomicUsize::new(0);
+    let skipped = AtomicUsize::new(0);
+    let samples = grid.samples();
+    let run_one = |index: usize| match samples[index].presolve(per_solve) {
+        Ok(true) => {
+            solved.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(false) => {
+            skipped.fetch_add(1, Ordering::Relaxed);
+        }
+        // Left for the demand path: the owning cell re-solves and reports.
+        Err(_) => {}
+    };
+    if concurrent <= 1 {
+        for &index in indices {
+            run_one(index);
+        }
+    } else {
+        let queue = Mutex::new(indices.iter().copied());
+        thread::scope(|scope| {
+            for _ in 0..concurrent {
+                scope.spawn(|| loop {
+                    let next = queue.lock().unwrap_or_else(PoisonError::into_inner).next();
+                    let Some(index) = next else { break };
+                    run_one(index);
+                });
+            }
+        });
+    }
+    PresolveStats::from_parts(
+        planned,
+        skipped.into_inner(),
+        solved.into_inner(),
+        start.elapsed(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::grid::{FaultProfile, SchemeLineup};
+    use crate::trace_cache::TraceCache;
+    use teg_reconfig::SchemeSpec;
+
+    fn grid(cache: Option<TraceCache>) -> ScenarioGrid {
+        let mut builder = ScenarioGrid::builder()
+            .module_counts([6])
+            .seeds([1, 2])
+            .duration_seconds(10)
+            .faults([
+                FaultProfile::none(),
+                FaultProfile::random("f", crate::fault::FaultSeverity::moderate()),
+            ])
+            .lineups([SchemeLineup::fixed("solo", vec![SchemeSpec::inor()])]);
+        if let Some(cache) = cache {
+            builder = builder.trace_cache(cache);
+        }
+        builder.build().unwrap()
+    }
+
+    #[test]
+    fn planner_solves_each_unique_key_once() {
+        let g = grid(None);
+        // 2 seeds × 2 fault profiles = 4 samples, but faults do not touch
+        // the radiator: 2 unique keys.
+        let indices = g.unique_sample_indices();
+        assert_eq!(indices.len(), 2);
+        let stats = presolve_samples(&g, &indices, 4);
+        assert_eq!(stats.planned(), 2);
+        assert_eq!(stats.solved(), 2);
+        assert_eq!(stats.skipped(), 0);
+        assert_eq!(g.thermal_solve_count(), 2 * 10);
+        // A second pass finds everything warm.
+        let again = presolve_samples(&g, &indices, 4);
+        assert_eq!(again.solved(), 0);
+        assert_eq!(again.skipped(), 2);
+        assert_eq!(g.thermal_solve_count(), 2 * 10);
+    }
+
+    #[test]
+    fn planner_skips_keys_an_external_cache_already_holds() {
+        let cache = TraceCache::new();
+        let first = grid(Some(cache.clone()));
+        presolve_samples(&first, &first.unique_sample_indices(), 2);
+        let second = grid(Some(cache));
+        let stats = presolve_samples(&second, &second.unique_sample_indices(), 2);
+        assert_eq!(stats.planned(), 2);
+        assert_eq!(stats.skipped(), 2, "warm keys cost nothing");
+        assert_eq!(stats.solved(), 0);
+        assert_eq!(second.thermal_solve_count(), 0);
+    }
+
+    #[test]
+    fn empty_plan_is_a_cheap_no_op() {
+        let g = grid(None);
+        let stats = presolve_samples(&g, &[], 4);
+        assert_eq!(stats, PresolveStats::from_parts(0, 0, 0, stats.wall()));
+        assert_eq!(g.thermal_solve_count(), 0);
+    }
+}

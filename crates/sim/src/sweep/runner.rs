@@ -8,6 +8,7 @@ use crate::comparison::{Comparison, ComparisonReport};
 use crate::error::SimError;
 use crate::session::{RuntimePolicy, SolverPool};
 use crate::sweep::grid::{ScenarioGrid, SweepCell};
+use crate::sweep::presolve::presolve_samples;
 use crate::sweep::report::{SweepCellReport, SweepReport};
 
 /// Executes every cell of a [`ScenarioGrid`] on a pool of scoped worker
@@ -53,16 +54,19 @@ use crate::sweep::report::{SweepCellReport, SweepReport};
 pub struct SweepRunner {
     workers: usize,
     runtime_policy: RuntimePolicy,
+    presolve: bool,
 }
 
 impl SweepRunner {
     /// Creates a runner sized to the machine's available parallelism, with
-    /// the default [`RuntimePolicy::Measured`] accounting.
+    /// the default [`RuntimePolicy::Measured`] accounting and the thermal
+    /// pre-solve planner enabled.
     #[must_use]
     pub fn new() -> Self {
         Self {
             workers: thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
             runtime_policy: RuntimePolicy::Measured,
+            presolve: true,
         }
     }
 
@@ -92,6 +96,25 @@ impl SweepRunner {
         self
     }
 
+    /// Enables or disables the thermal pre-solve planner (enabled by
+    /// default).  With the planner on, the runner solves every missing
+    /// unique thermal key of the grid across the worker pool *before*
+    /// dispatching cells, so no worker stalls mid-sweep behind another's
+    /// radiator solve.  The planner never changes results — reports compare
+    /// equal either way; it only changes when the solves happen (and records
+    /// [`SweepReport::presolve`] stats when on).
+    #[must_use]
+    pub const fn presolve(mut self, enabled: bool) -> Self {
+        self.presolve = enabled;
+        self
+    }
+
+    /// Whether the thermal pre-solve planner will run before cell dispatch.
+    #[must_use]
+    pub const fn presolve_enabled(&self) -> bool {
+        self.presolve
+    }
+
     /// Runs every cell of the grid and assembles the report in grid order.
     ///
     /// # Errors
@@ -110,6 +133,13 @@ impl SweepRunner {
         let solves_before = grid.thermal_solve_count();
         let workers = self.workers.min(cells.len());
         let policy = self.runtime_policy;
+
+        // Pre-solve phase: warm every missing unique thermal key across the
+        // pool before any cell runs, so the demand path below never blocks
+        // a worker behind another worker's radiator solve.
+        let presolve_stats = self
+            .presolve
+            .then(|| presolve_samples(grid, &grid.unique_sample_indices(), workers));
 
         // Per-worker deques seeded round-robin; a slot per cell for results.
         let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
@@ -171,7 +201,11 @@ impl SweepRunner {
             reports.push(SweepCellReport::new(cell.key().clone(), outcome?));
         }
         let thermal_solves = grid.thermal_solve_count() - solves_before;
-        Ok(SweepReport::new(reports, thermal_solves))
+        let mut report = SweepReport::new(reports, thermal_solves);
+        if let Some(stats) = presolve_stats {
+            report = report.with_presolve(stats);
+        }
+        Ok(report)
     }
 }
 
@@ -308,6 +342,43 @@ mod tests {
             .run(&small_grid())
             .unwrap();
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn planner_on_and_off_reports_compare_equal() {
+        let policy = RuntimePolicy::Fixed(Seconds::new(0.003));
+        let on = SweepRunner::new()
+            .workers(4)
+            .runtime_policy(policy)
+            .run(&small_grid())
+            .unwrap();
+        let off = SweepRunner::new()
+            .workers(4)
+            .runtime_policy(policy)
+            .presolve(false)
+            .run(&small_grid())
+            .unwrap();
+        // Same cells, same summaries, same thermal-solve total: the planner
+        // only moves the solves ahead of dispatch.
+        assert_eq!(on, off);
+        let stats = on.presolve().expect("planner stats recorded");
+        assert_eq!(stats.planned(), 4, "four distinct thermal keys");
+        assert_eq!(stats.solved(), 4);
+        assert_eq!(stats.skipped(), 0);
+        assert!(off.presolve().is_none(), "planner off records no stats");
+    }
+
+    #[test]
+    fn planner_skips_keys_a_warm_grid_already_solved() {
+        let grid = small_grid();
+        let runner = SweepRunner::new().workers(2);
+        runner.run(&grid).unwrap();
+        let second = runner.run(&grid).unwrap();
+        let stats = second.presolve().expect("planner stats recorded");
+        assert_eq!(stats.planned(), 4);
+        assert_eq!(stats.skipped(), 4, "everything already warm");
+        assert_eq!(stats.solved(), 0);
+        assert_eq!(second.thermal_solves(), 0);
     }
 
     #[test]

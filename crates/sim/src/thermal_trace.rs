@@ -10,13 +10,34 @@
 //! [`SimulationEngine::run`]: crate::SimulationEngine::run
 //! [`Scenario`]: crate::Scenario
 
+use std::sync::Mutex;
+
 use teg_array::ideal_power;
 use teg_reconfig::TelemetryWindow;
-use teg_thermal::DriveCycle;
+use teg_thermal::{DriveCycle, DriveSample};
 use teg_units::{Celsius, KernelMode, Seconds, TemperatureDelta, Watts};
 
 use crate::error::SimError;
 use crate::scenario::Scenario;
+
+/// Samples per parallel solve chunk.  Chunk boundaries are a pure function
+/// of the cycle length — never of the worker count — so the sample → chunk
+/// assignment (and therefore every written value) is identical for any
+/// number of solver threads.
+const SOLVE_CHUNK: usize = 32;
+
+/// One fixed slice of the solve: a run of drive-cycle samples plus the
+/// matching disjoint ranges of every output buffer.
+struct Chunk<'a> {
+    /// Absolute index of the chunk's first sample.
+    base: usize,
+    samples: &'a [DriveSample],
+    times: &'a mut [Seconds],
+    ambients: &'a mut [Celsius],
+    rows: &'a mut [f64],
+    deltas: &'a mut [TemperatureDelta],
+    ideal: &'a mut [Watts],
+}
 
 /// Per-module surface temperatures (and the ambient) for every sample of a
 /// scenario's drive cycle — the radiator model solved exactly once.
@@ -82,36 +103,103 @@ impl ThermalTrace {
     /// Propagates [`SimError::Thermal`] from the radiator solve and
     /// [`SimError::Array`] from the ideal-power bound.
     pub fn solve(scenario: &Scenario) -> Result<Self, SimError> {
+        Self::solve_with_threads(scenario, 1)
+    }
+
+    /// Like [`ThermalTrace::solve`], but splits the cycle into fixed
+    /// 32-sample chunks executed across `threads` scoped threads.
+    ///
+    /// Every sample's value depends only on that sample's drive-cycle entry,
+    /// and each chunk writes a disjoint strided range of the trace buffers,
+    /// so the solved trace is bit-identical to the serial loop for any
+    /// thread count — the chunk boundaries are a pure function of the cycle
+    /// length, never of `threads`.  `threads <= 1` runs the chunks in order
+    /// on the calling thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError::Thermal`] from the radiator solve and
+    /// [`SimError::Array`] from the ideal-power bound.  When several chunks
+    /// fail, the error of the earliest failing sample is returned, matching
+    /// what the serial loop would have reported.
+    pub fn solve_with_threads(scenario: &Scenario, threads: usize) -> Result<Self, SimError> {
+        Self::solve_chunked(scenario, threads, SOLVE_CHUNK)
+    }
+
+    /// [`ThermalTrace::solve_with_threads`] with an explicit chunk size, so
+    /// the equivalence tests can probe arbitrary chunk boundaries.  Not part
+    /// of the public API.
+    #[doc(hidden)]
+    pub fn solve_chunked(
+        scenario: &Scenario,
+        threads: usize,
+        chunk: usize,
+    ) -> Result<Self, SimError> {
         let cycle: &DriveCycle = scenario.drive_cycle();
-        let array = scenario.array();
-        let placement = scenario.placement();
         let mode: KernelMode = scenario.kernel_mode();
-        let fast = mode.is_fast();
-        let width = placement.module_count();
-        let mut times = Vec::with_capacity(cycle.len());
-        let mut ambients = Vec::with_capacity(cycle.len());
-        let mut rows = Vec::with_capacity(cycle.len() * width);
-        let mut deltas = Vec::with_capacity(cycle.len() * width);
-        let mut ideal = Vec::with_capacity(cycle.len());
-        for sample in cycle.iter() {
-            let profile = scenario.radiator().surface_profile_with_mode(
-                &sample.coolant(),
-                &sample.ambient(),
-                mode,
-            )?;
-            let start = rows.len();
-            if fast {
-                profile.sample_into_fast(placement, &mut rows);
-            } else {
-                profile.sample_into(placement, &mut rows);
+        let width = scenario.placement().module_count();
+        let len = cycle.len();
+        let chunk = chunk.max(1);
+
+        let mut times = vec![Seconds::ZERO; len];
+        let mut ambients = vec![Celsius::new(0.0); len];
+        let mut rows = vec![0.0; len * width];
+        let mut deltas = vec![TemperatureDelta::ZERO; len * width];
+        let mut ideal = vec![Watts::ZERO; len];
+
+        let samples = cycle.samples();
+        let jobs: Vec<Chunk<'_>> = samples
+            .chunks(chunk)
+            .zip(times.chunks_mut(chunk))
+            .zip(ambients.chunks_mut(chunk))
+            .zip(rows.chunks_mut(chunk * width))
+            .zip(deltas.chunks_mut(chunk * width))
+            .zip(ideal.chunks_mut(chunk))
+            .enumerate()
+            .map(
+                |(i, (((((samples, times), ambients), rows), deltas), ideal))| Chunk {
+                    base: i * chunk,
+                    samples,
+                    times,
+                    ambients,
+                    rows,
+                    deltas,
+                    ideal,
+                },
+            )
+            .collect();
+
+        let workers = threads.min(jobs.len()).max(1);
+        if workers <= 1 {
+            for job in jobs {
+                Self::solve_chunk(scenario, mode, width, job).map_err(|(_, e)| e)?;
             }
-            scenario.count_thermal_solve();
-            let ambient = sample.ambient().temperature();
-            TelemetryWindow::deltas_from_row_into(&rows[start..], ambient, &mut deltas);
-            ideal.push(ideal_power(array.modules(), &deltas[start..])?);
-            times.push(sample.time());
-            ambients.push(ambient);
+        } else {
+            let queue = Mutex::new(jobs.into_iter());
+            // The earliest failing sample, so the parallel path reports the
+            // same error the serial loop would have stopped at.
+            let failure: Mutex<Option<(usize, SimError)>> = Mutex::new(None);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let Some(job) = queue.lock().expect("queue poisoned").next() else {
+                            break;
+                        };
+                        if let Err((index, error)) = Self::solve_chunk(scenario, mode, width, job) {
+                            let mut slot = failure.lock().expect("failure slot poisoned");
+                            if slot.as_ref().is_none_or(|(held, _)| index < *held) {
+                                *slot = Some((index, error));
+                            }
+                            break;
+                        }
+                    });
+                }
+            });
+            if let Some((_, error)) = failure.into_inner().expect("failure slot poisoned") {
+                return Err(error);
+            }
         }
+
         Ok(Self {
             times,
             ambients,
@@ -121,6 +209,63 @@ impl ThermalTrace {
             width,
             step: scenario.step(),
         })
+    }
+
+    /// Solves one chunk's samples into its disjoint buffer slices.  On
+    /// failure returns the absolute index of the first failing sample so the
+    /// caller can pick the earliest error across chunks.
+    fn solve_chunk(
+        scenario: &Scenario,
+        mode: KernelMode,
+        width: usize,
+        job: Chunk<'_>,
+    ) -> Result<(), (usize, SimError)> {
+        let fast = mode.is_fast();
+        let array = scenario.array();
+        let placement = scenario.placement();
+        for (offset, sample) in job.samples.iter().enumerate() {
+            let index = job.base + offset;
+            let fail = |e: SimError| (index, e);
+            let profile = scenario
+                .radiator()
+                .surface_profile_with_mode(&sample.coolant(), &sample.ambient(), mode)
+                .map_err(|e| fail(e.into()))?;
+            let row = &mut job.rows[offset * width..(offset + 1) * width];
+            if fast {
+                profile.sample_into_fast_slice(placement, row);
+            } else {
+                profile.sample_into_slice(placement, row);
+            }
+            scenario.count_thermal_solve();
+            let ambient = sample.ambient().temperature();
+            let delta = &mut job.deltas[offset * width..(offset + 1) * width];
+            TelemetryWindow::deltas_from_row_into_slice(row, ambient, delta);
+            job.ideal[offset] = ideal_power(array.modules(), delta).map_err(|e| fail(e.into()))?;
+            job.times[offset] = sample.time();
+            job.ambients[offset] = ambient;
+        }
+        Ok(())
+    }
+
+    /// Copies the `[start, end)` sample range into a standalone trace.
+    ///
+    /// [`DriveCycle::window`] keeps the original sample timestamps, so the
+    /// result is bit-identical to freshly solving the windowed cycle — the
+    /// basis for [`Scenario::window`] reusing the parent's solved trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > self.len()`.
+    pub(crate) fn slice(&self, start: usize, end: usize) -> Self {
+        Self {
+            times: self.times[start..end].to_vec(),
+            ambients: self.ambients[start..end].to_vec(),
+            rows: self.rows[start * self.width..end * self.width].to_vec(),
+            deltas: self.deltas[start * self.width..end * self.width].to_vec(),
+            ideal: self.ideal[start..end].to_vec(),
+            width: self.width,
+            step: self.step,
+        }
     }
 
     /// Number of solved samples (one per drive-cycle second).
@@ -268,15 +413,59 @@ mod tests {
     }
 
     #[test]
-    fn windowing_resolves_independently() {
+    fn windowing_slices_an_already_solved_parent_trace() {
         let s = scenario(6, 50, 4);
         let _ = s.thermal_trace().unwrap();
         let w = s.window(10, 30).unwrap();
         let trace = w.thermal_trace().unwrap();
         assert_eq!(trace.len(), 20);
-        // The window re-solves its own (shorter) cycle; the counter is
-        // shared with the parent, so 50 + 20 solves are recorded in total.
-        assert_eq!(s.thermal_solve_count(), 70);
+        // The window reuses the parent's solved samples instead of
+        // re-running the radiator over its sub-range: the shared counter
+        // still reads the parent's 50 solves, nothing more.
+        assert_eq!(s.thermal_solve_count(), 50);
+    }
+
+    #[test]
+    fn windowing_an_unsolved_parent_solves_only_the_window() {
+        let s = scenario(6, 50, 4);
+        let w = s.window(10, 30).unwrap();
+        let trace = w.thermal_trace().unwrap();
+        assert_eq!(trace.len(), 20);
+        // Nothing to slice yet: the window solves its own 20-sample cycle.
+        assert_eq!(s.thermal_solve_count(), 20);
+    }
+
+    #[test]
+    fn sliced_window_trace_matches_a_fresh_window_solve_bit_for_bit() {
+        // `DriveCycle::window` keeps the original timestamps, so slicing the
+        // parent's solved trace must reproduce exactly what solving the
+        // windowed cycle from scratch produces — every row, delta, ideal
+        // power, timestamp and ambient down to the last bit.
+        for mode in [KernelMode::BitExact, KernelMode::Fast] {
+            let build = || {
+                Scenario::builder()
+                    .module_count(9)
+                    .duration_seconds(60)
+                    .seed(13)
+                    .kernel_mode(mode)
+                    .build()
+                    .expect("valid scenario")
+            };
+            let solved_parent = build();
+            let _ = solved_parent.thermal_trace().unwrap();
+            let sliced = solved_parent.window(15, 45).unwrap();
+            let fresh = build().window(15, 45).unwrap();
+            let a = sliced.thermal_trace().unwrap();
+            let b = fresh.thermal_trace().unwrap();
+            assert_eq!(a, b, "{mode:?}");
+            assert_eq!(a.time(0), Seconds::new(15.0), "window keeps timestamps");
+            for i in 0..a.len() {
+                for (x, y) in a.row(i).iter().zip(b.row(i)) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "{mode:?} row {i}");
+                }
+                assert_eq!(a.ideal(i), b.ideal(i), "{mode:?} ideal {i}");
+            }
+        }
     }
 
     #[test]
@@ -308,6 +497,36 @@ mod tests {
                 TelemetryWindow::deltas_from_row(row, sample.ambient().temperature());
             assert_eq!(fresh_deltas.as_slice(), trace.deltas(i), "deltas {i}");
         }
+    }
+
+    #[test]
+    fn chunked_parallel_solve_equals_the_serial_solve() {
+        // 100 samples spans several SOLVE_CHUNK boundaries plus a ragged
+        // tail; every thread count must produce the identical trace value.
+        let s = scenario(7, 100, 8);
+        let serial = ThermalTrace::solve(&s).unwrap();
+        for threads in [2, 3, 4, 9] {
+            let parallel = ThermalTrace::solve_with_threads(&s, threads).unwrap();
+            assert_eq!(serial, parallel, "{threads} threads");
+        }
+        // Chunk size overrides (including degenerate ones) cannot move the
+        // values either — boundaries only partition the work.
+        for chunk in [1, 7, 100, 1000] {
+            let chunked = ThermalTrace::solve_chunked(&s, 4, chunk).unwrap();
+            assert_eq!(serial, chunked, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn presolve_populates_the_scenario_and_reports_who_solved() {
+        let s = scenario(6, 30, 2);
+        assert!(s.presolve(4).unwrap(), "first presolve runs the solve");
+        assert!(!s.presolve(4).unwrap(), "second presolve finds it done");
+        assert_eq!(s.thermal_solve_count(), 30);
+        let trace = s.thermal_trace().unwrap();
+        assert_eq!(trace.len(), 30);
+        // Still exactly one solve: thermal_trace() reused the presolved one.
+        assert_eq!(s.thermal_solve_count(), 30);
     }
 
     #[test]

@@ -117,7 +117,22 @@ impl fmt::Debug for ThermalKey {
 #[derive(Default)]
 struct TraceCell {
     solve_lock: Mutex<()>,
+    // Number of callers currently between "decided to solve (or wait on) this
+    // entry" and "done with it".  Eviction skips entries with a non-zero
+    // count: evicting one would detach the in-flight solve from the key, and
+    // the next same-key request would run the whole radiator solve again.
+    in_flight: AtomicUsize,
     trace: OnceLock<Arc<ThermalTrace>>,
+}
+
+/// Decrements a cell's in-flight count when the registered caller is done
+/// with it — on every exit path, including a failed solve.
+struct InFlightGuard<'a>(&'a AtomicUsize);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
 }
 
 #[derive(Default)]
@@ -287,10 +302,44 @@ impl TraceCache {
             self.inner.misses.fetch_add(1, Ordering::Relaxed);
             return Ok(solved);
         }
+        self.resolve(scenario, 1).map(|(trace, _)| trace)
+    }
+
+    /// Solves the scenario's trace into the cache ahead of demand, splitting
+    /// the solve across `threads` chunk workers (see
+    /// [`ThermalTrace::solve_with_threads`]).  Returns `true` when *this*
+    /// call performed the solve, `false` when an equal key was already solved
+    /// (or being solved by another caller).  A cache-nothing configuration
+    /// (`with_capacity(0)`) has nothing to pre-populate, so the call is a
+    /// no-op returning `false`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the solve; the entry is left unsolved so
+    /// a later demand-path request retries.
+    pub(crate) fn presolve_for(
+        &self,
+        scenario: &Scenario,
+        threads: usize,
+    ) -> Result<bool, SimError> {
+        if self.inner.capacity == Some(0) {
+            return Ok(false);
+        }
+        self.resolve(scenario, threads).map(|(_, solved)| solved)
+    }
+
+    /// The shared lookup-or-solve path behind [`TraceCache::trace_for`] and
+    /// [`TraceCache::presolve_for`].  The boolean reports whether this call
+    /// ran the solve.
+    fn resolve(
+        &self,
+        scenario: &Scenario,
+        threads: usize,
+    ) -> Result<(Arc<ThermalTrace>, bool), SimError> {
         let key = ThermalKey::of(scenario);
-        let cell = {
+        let (cell, registered) = {
             let mut entries = self.entries();
-            match entries.iter().position(|(k, _)| *k == key) {
+            let cell = match entries.iter().position(|(k, _)| *k == key) {
                 Some(pos) => {
                     // Refresh recency: the touched entry moves to the back,
                     // so bounded caches evict the *least* recently used key.
@@ -302,19 +351,24 @@ impl TraceCache {
                 None => {
                     let cell = Arc::new(TraceCell::default());
                     entries.push((key, Arc::clone(&cell)));
-                    if let Some(capacity) = self.inner.capacity {
-                        while entries.len() > capacity {
-                            entries.remove(0);
-                            self.inner.evictions.fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
                     cell
                 }
+            };
+            // Register as in-flight *before* releasing the entries lock: an
+            // unsolved entry stays pinned against eviction from here until
+            // the guard drops, so a concurrent flood of other keys cannot
+            // detach a solve that is about to populate this entry.
+            let registered = cell.trace.get().is_none();
+            if registered {
+                cell.in_flight.fetch_add(1, Ordering::AcqRel);
             }
+            Self::enforce_capacity(&self.inner, &mut entries);
+            (cell, registered)
         };
+        let in_flight = registered.then(|| InFlightGuard(&cell.in_flight));
         if let Some(trace) = cell.trace.get() {
             self.inner.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(trace));
+            return Ok((Arc::clone(trace), false));
         }
         let guard = cell
             .solve_lock
@@ -323,13 +377,47 @@ impl TraceCache {
         if let Some(trace) = cell.trace.get() {
             drop(guard);
             self.inner.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(trace));
+            return Ok((Arc::clone(trace), false));
         }
-        let solved = Arc::new(ThermalTrace::solve(scenario)?);
+        let solved = Arc::new(ThermalTrace::solve_with_threads(scenario, threads)?);
         let stored = Arc::clone(cell.trace.get_or_init(|| Arc::clone(&solved)));
         drop(guard);
+        drop(in_flight);
         self.inner.misses.fetch_add(1, Ordering::Relaxed);
-        Ok(stored)
+        Ok((stored, true))
+    }
+
+    /// Evicts least-recently-used entries until the cache fits its bound,
+    /// skipping entries whose solve is in flight (evicting one would detach
+    /// the running solve from its key and force a same-key successor to
+    /// re-run the whole radiator solve).  When every candidate is pinned the
+    /// cache temporarily exceeds its bound; the next insertion retries.
+    fn enforce_capacity(inner: &CacheInner, entries: &mut Vec<(ThermalKey, Arc<TraceCell>)>) {
+        let Some(capacity) = inner.capacity else {
+            return;
+        };
+        while entries.len() > capacity {
+            let evictable = entries
+                .iter()
+                .position(|(_, cell)| cell.in_flight.load(Ordering::Acquire) == 0);
+            match evictable {
+                Some(pos) => {
+                    entries.remove(pos);
+                    inner.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Number of entries whose solve is currently in flight (pinned against
+    /// eviction).
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.entries()
+            .iter()
+            .filter(|(_, cell)| cell.in_flight.load(Ordering::Acquire) > 0)
+            .count()
     }
 }
 
@@ -569,6 +657,82 @@ mod tests {
         assert_eq!((cache.hits(), cache.misses(), cache.evictions()), (0, 3, 2));
         assert_eq!(resolved, held, "the re-solve reproduces the same value");
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn barrier_released_same_key_misses_solve_exactly_once() {
+        // Eight workers released by a barrier all miss the same key at the
+        // same instant on a *bounded* cache: the in-flight marker plus the
+        // per-cell solve lock must still collapse them to one radiator
+        // solve, with the seven losers counted as hits.
+        use std::sync::Barrier;
+
+        let cache = TraceCache::with_capacity(2);
+        let scenarios: Vec<Scenario> = (0..8)
+            .map(|_| builder(6, 20, 11, &cache).build().unwrap())
+            .collect();
+        let barrier = Barrier::new(8);
+        std::thread::scope(|scope| {
+            for s in &scenarios {
+                scope.spawn(|| {
+                    barrier.wait();
+                    let trace = s.thermal_trace().unwrap();
+                    assert_eq!(trace.len(), 20);
+                });
+            }
+        });
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 7);
+        assert_eq!(cache.in_flight(), 0, "all guards released");
+        let solves: usize = scenarios.iter().map(Scenario::thermal_solve_count).sum();
+        assert_eq!(solves, 20, "eight simultaneous misses, one 20-sample solve");
+    }
+
+    #[test]
+    fn eviction_skips_an_entry_whose_solve_is_in_flight() {
+        // Regression: a capacity-bounded cache used to evict entries purely
+        // by LRU position, so a flood of other keys arriving while a solve
+        // was still running would detach that solve from its key and the
+        // next same-key request re-ran the whole radiator solve.  The
+        // in-flight marker pins the entry until the solve lands.
+        let cache = TraceCache::with_capacity(1);
+        // Big enough that the main thread reliably observes the solve in
+        // flight on any scheduler.
+        let slow = builder(40, 400, 1, &cache).build().unwrap();
+        let mut observed_in_flight = false;
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                slow.thermal_trace().unwrap();
+            });
+            // Wait until the solver has registered (or, if the scheduler ran
+            // it to completion already, until its miss is counted — the
+            // pressure below then exercises plain LRU, not the regression).
+            while cache.in_flight() == 0 && cache.misses() == 0 {
+                std::thread::yield_now();
+            }
+            observed_in_flight = cache.in_flight() == 1;
+            // Capacity pressure while the solve is (possibly) in flight.
+            builder(6, 10, 2, &cache)
+                .build()
+                .unwrap()
+                .thermal_trace()
+                .unwrap();
+            if observed_in_flight {
+                // The pinned entry survived: the cache holds both keys even
+                // though its bound is 1.
+                assert_eq!(cache.len(), 2, "in-flight entry not evicted");
+                assert_eq!(cache.evictions(), 0);
+            }
+        });
+        if observed_in_flight {
+            // Re-requesting the slow key shares the already-solved trace:
+            // exactly one solve of its 400 samples ever runs.
+            let again = builder(40, 400, 1, &cache).build().unwrap();
+            again.thermal_trace().unwrap();
+            assert_eq!(again.thermal_solve_count(), 0, "no second solve");
+        }
+        assert_eq!(cache.in_flight(), 0);
     }
 
     #[test]

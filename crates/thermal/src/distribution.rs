@@ -173,6 +173,27 @@ impl SurfaceProfile {
         );
     }
 
+    /// [`SurfaceProfile::sample_into`] writing into an exact-length slice
+    /// instead of appending — the chunk-safe form a parallel trace solver
+    /// uses to fill disjoint strided ranges of one preallocated buffer.
+    /// Performs exactly the same evaluations in the same order as
+    /// [`SurfaceProfile::sample_into`], so the written values are
+    /// bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != placement.module_count()`.
+    pub fn sample_into_slice(&self, placement: &SShapedPlacement, out: &mut [f64]) {
+        assert_eq!(
+            out.len(),
+            placement.module_count(),
+            "slice length must equal the placement's module count"
+        );
+        for (slot, d) in out.iter_mut().zip(placement.positions(self.path_length)) {
+            *slot = self.evaluate(d.value()).value();
+        }
+    }
+
     /// The `KernelMode::Fast` lane of [`SurfaceProfile::sample_into`].
     ///
     /// The placement's module positions are evenly spaced, so the sampled
@@ -192,6 +213,32 @@ impl SurfaceProfile {
         out.reserve(n);
         for _ in 0..n {
             out.push(cold + excess * factor);
+            factor *= ratio;
+        }
+    }
+
+    /// [`SurfaceProfile::sample_into_fast`] writing into an exact-length
+    /// slice instead of appending — the chunk-safe sibling of
+    /// [`SurfaceProfile::sample_into_slice`] for the fast kernel lane, with
+    /// the identical geometric recurrence (and therefore identical values).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != placement.module_count()`.
+    pub fn sample_into_fast_slice(&self, placement: &SShapedPlacement, out: &mut [f64]) {
+        let n = placement.module_count();
+        assert_eq!(
+            out.len(),
+            n,
+            "slice length must equal the placement's module count"
+        );
+        let cold = self.cold_mean.value();
+        let excess = self.hot_inlet.value() - cold;
+        let spacing = self.path_length.value() / n as f64;
+        let ratio = (-self.decay_per_meter * spacing).exp();
+        let mut factor = (-self.decay_per_meter * (0.5 * spacing)).exp();
+        for slot in out.iter_mut() {
+            *slot = cold + excess * factor;
             factor *= ratio;
         }
     }

@@ -60,14 +60,15 @@ fn unique_solve_count_is_pinned_for_a_shared_key_grid() {
         .run(&grid)
         .expect("sweep");
     // Exactly one radiator solve per drive second of each unique key, and
-    // the cache accounting agrees: 2 misses (one per key), 4 hits (the four
-    // fault variants that shared).
+    // the cache accounting agrees: the pre-solve planner takes the 2 misses
+    // (one per key) before any cell runs, so all 6 cell lookups are hits
+    // (planner-off demand solving would split them 2 misses / 4 hits).
     assert_eq!(report.thermal_solves(), 2 * 15);
     assert_eq!(grid.thermal_solve_count(), 2 * 15);
     let cache = grid.trace_cache().expect("sharing is on by default");
     assert_eq!(cache.len(), 2);
     assert_eq!(cache.misses(), 2);
-    assert_eq!(cache.hits(), 4);
+    assert_eq!(cache.hits(), 6);
 }
 
 /// Strict bitwise trace equality — stronger than `PartialEq` (which would
