@@ -60,6 +60,11 @@ fn stats(addr: &str) -> Result<(), Box<dyn std::error::Error>> {
         "pre-solve planner  {} keys planned, {} solved ahead of cells",
         reply.presolve_planned, reply.presolve_solved
     );
+    println!("workers respawned  {}", reply.workers_respawned);
+    println!(
+        "connections        {} open, {} rejected at the cap",
+        reply.connections, reply.connections_rejected
+    );
     Ok(())
 }
 

@@ -1,0 +1,313 @@
+//! Seeded chaos soak for the sweep service.
+//!
+//! ```text
+//! chaos_soak [--sessions N] [--seed S] [--out PATH]
+//! ```
+//!
+//! Each session boots a checkpointing [`SweepServer`], runs one undisturbed
+//! baseline sweep to capture the clean byte stream, then re-runs the same
+//! grid through a seeded [`ChaosProxy`] with a [`ResilientClient`] while a
+//! poison pill kills one worker thread mid-session.  The session passes only
+//! if
+//!
+//! 1. the resilient run completes despite the injected kills, truncations,
+//!    corruptions, delays and split writes;
+//! 2. its canonical CELL+DONE stream is **byte-identical** to the
+//!    undisturbed baseline;
+//! 3. the decoded [`SweepReport`](teg_sim::SweepReport)s compare equal
+//!    (bit-exact `f64`s);
+//! 4. the supervisor respawned the poisoned worker (`workers_respawned` in
+//!    STATS) and the server is quiescent afterwards (no active sweeps, no
+//!    queued cells, no leftover journal).
+//!
+//! Fault schedules are a pure function of the session seed, so a passing
+//! seed passes forever; the per-session summary (attempt counts, fault
+//! tallies) lands in `--out` for CI artifacts.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use teg_serve::{
+    ChaosPlan, ChaosProxy, ResilientClient, RetryPolicy, ServeClient, ServerConfig, SubmitRequest,
+    SweepServer,
+};
+use teg_sim::{GridSpec, RuntimePolicy};
+use teg_units::Seconds;
+
+/// The sweep every session runs: 4 cells, small enough that a CI soak of a
+/// few sessions stays in seconds, large enough that kills land mid-stream.
+const SPEC: &str = "modules=6,8|seeds=1,2|drive=city:12|lineup=paper-fixed:0.002";
+const POLICY: RuntimePolicy = RuntimePolicy::Fixed(Seconds::new(0.002));
+
+/// How long to wait for the server to go quiescent after the chaos run.
+const QUIESCENCE: Duration = Duration::from_secs(20);
+
+fn usage() -> ! {
+    eprintln!("usage: chaos_soak [--sessions N] [--seed S] [--out PATH]");
+    std::process::exit(2);
+}
+
+struct Args {
+    sessions: u64,
+    seed: u64,
+    out: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        sessions: 3,
+        seed: 0xC4A0_5EED,
+        out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        args.next().unwrap_or_else(|| {
+            eprintln!("error: {flag} needs a value");
+            usage();
+        })
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--sessions" => {
+                parsed.sessions = value(&mut args, "--sessions").parse().unwrap_or_else(|_| {
+                    eprintln!("error: --sessions value is not an integer");
+                    usage();
+                });
+            }
+            "--seed" => {
+                parsed.seed = value(&mut args, "--seed").parse().unwrap_or_else(|_| {
+                    eprintln!("error: --seed value is not an integer");
+                    usage();
+                });
+            }
+            "--out" => parsed.out = Some(value(&mut args, "--out")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+    parsed
+}
+
+fn request(id: &str) -> SubmitRequest {
+    SubmitRequest {
+        id: id.to_owned(),
+        grid: GridSpec::parse(SPEC).expect("the soak grid spec is valid"),
+        policy: POLICY,
+    }
+}
+
+/// Polls STATS until the server reports no active sweeps and an empty
+/// queue, or the quiescence budget runs out.
+fn await_quiescence(addr: std::net::SocketAddr) -> Result<teg_serve::StatsReply, String> {
+    let deadline = Instant::now() + QUIESCENCE;
+    loop {
+        let stats = ServeClient::connect(addr)
+            .and_then(|mut c| c.stats())
+            .map_err(|err| format!("stats poll failed: {err}"))?;
+        if stats.active == 0 && stats.queued_cells == 0 {
+            return Ok(stats);
+        }
+        if Instant::now() >= deadline {
+            return Err(format!(
+                "server not quiescent after {QUIESCENCE:?}: {} active, {} queued",
+                stats.active, stats.queued_cells
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// One seeded session; returns its summary line and destructive-fault count
+/// (kills + truncations + corruptions), or the failure description.
+fn session(ordinal: u64, seed: u64) -> Result<(String, usize), String> {
+    let checkpoint_dir =
+        std::env::temp_dir().join(format!("teg-chaos-soak-{}-{ordinal}", std::process::id()));
+    std::fs::create_dir_all(&checkpoint_dir)
+        .map_err(|err| format!("cannot create checkpoint dir: {err}"))?;
+
+    let server = SweepServer::start(ServerConfig {
+        workers: 2,
+        queue_capacity: 2,
+        checkpoint_dir: Some(checkpoint_dir.clone()),
+        idle_timeout_secs: Some(30.0),
+        ..ServerConfig::default()
+    })
+    .map_err(|err| format!("server failed to start: {err}"))?;
+    let addr = server.addr();
+
+    let outcome = (|| {
+        // Undisturbed baseline: the byte stream every chaos run must match.
+        // Same id as the chaos run — the DONE payload echoes the id, so the
+        // byte-identity assertion needs both runs to submit as one request.
+        // The baseline completes (and deletes its journal) before the chaos
+        // run starts, so the id is free for reuse.
+        let id = format!("soak-{ordinal}");
+        let baseline = ResilientClient::new(addr.to_string())
+            .run(&request(&id))
+            .map_err(|err| format!("baseline run failed: {err}"))?;
+        if baseline.attempts() != 1 {
+            return Err(format!(
+                "baseline needed {} attempts on a fault-free path",
+                baseline.attempts()
+            ));
+        }
+
+        let proxy = ChaosProxy::start(
+            addr,
+            ChaosPlan {
+                seed,
+                ..ChaosPlan::default()
+            },
+        )
+        .map_err(|err| format!("proxy failed to start: {err}"))?;
+
+        // Kill one worker mid-session: the supervisor must respawn it and
+        // the sweep must not notice beyond momentary throughput.
+        let chaotic = std::thread::scope(|scope| {
+            scope.spawn(|| {
+                std::thread::sleep(Duration::from_millis(30));
+                server.poison_worker();
+            });
+            ResilientClient::new(proxy.addr().to_string())
+                .retry_policy(RetryPolicy {
+                    max_attempts: 48,
+                    base_delay: Duration::from_millis(10),
+                    max_delay: Duration::from_millis(250),
+                    stall_timeout: Duration::from_secs(5),
+                    seed,
+                })
+                .run(&request(&id))
+        })
+        .map_err(|err| format!("chaos run failed: {err}"))?;
+
+        if chaotic.canonical_stream() != baseline.canonical_stream() {
+            return Err("canonical CELL+DONE stream differs from the baseline".to_owned());
+        }
+        let attempts = chaotic.attempts();
+        let stats = await_quiescence(addr)?;
+        if stats.workers_respawned == 0 {
+            return Err("poisoned worker was never respawned".to_owned());
+        }
+        if stats.completed_requests < 2 {
+            return Err(format!(
+                "expected both sweeps to complete, server counted {}",
+                stats.completed_requests
+            ));
+        }
+        let expected = baseline
+            .into_report()
+            .map_err(|err| format!("baseline report failed to decode: {err}"))?;
+        let got = chaotic
+            .into_report()
+            .map_err(|err| format!("chaos report failed to decode: {err}"))?;
+        if got != expected {
+            return Err("decoded SweepReport differs from the baseline".to_owned());
+        }
+        let leftovers = std::fs::read_dir(&checkpoint_dir)
+            .map(|entries| entries.count())
+            .unwrap_or(0);
+        if leftovers != 0 {
+            return Err(format!(
+                "{leftovers} journal file(s) left behind after both sweeps completed"
+            ));
+        }
+
+        let pstats = proxy.stats();
+        let disruptions = pstats.disruptions();
+        let line = format!(
+            "session {ordinal}: seed {seed:#x} PASS — {attempts} connection(s), \
+             {} frames proxied, {} kills, {} truncations, {} corruptions, \
+             {} delays, {} splits, {} worker respawn(s)",
+            pstats.frames(),
+            pstats.kills(),
+            pstats.truncations(),
+            pstats.corruptions(),
+            pstats.delays(),
+            pstats.splits(),
+            stats.workers_respawned,
+        );
+        proxy.stop();
+        Ok((line, disruptions))
+    })();
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&checkpoint_dir);
+    outcome
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    // The poison pill panics a worker thread *by design*; keep its
+    // backtrace out of the soak log while leaving every other panic loud.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let poison = info
+            .payload()
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| info.payload().downcast_ref::<String>().cloned())
+            .is_some_and(|message| message.contains("chaos poison pill"));
+        if !poison {
+            default_hook(info);
+        }
+    }));
+    let started = Instant::now();
+    let mut summary = String::new();
+    let _ = writeln!(
+        summary,
+        "chaos_soak: {} session(s), base seed {:#x}, grid `{SPEC}`",
+        args.sessions, args.seed
+    );
+    let mut failures = 0usize;
+    let mut disruptions = 0usize;
+    for ordinal in 0..args.sessions {
+        let seed = args.seed.wrapping_add(ordinal);
+        match session(ordinal, seed) {
+            Ok((line, destroyed)) => {
+                disruptions += destroyed;
+                println!("{line}");
+                let _ = writeln!(summary, "{line}");
+            }
+            Err(err) => {
+                failures += 1;
+                let line = format!("session {ordinal}: seed {seed:#x} FAIL — {err}");
+                eprintln!("{line}");
+                let _ = writeln!(summary, "{line}");
+            }
+        }
+    }
+    // A soak that injected nothing destructive proved nothing: fail loudly
+    // so a seed or probability change cannot silently drain the coverage.
+    if failures == 0 && disruptions == 0 {
+        failures += 1;
+        let line = "chaos_soak: FAIL — no kill/truncate/corrupt fault was injected across \
+                    the whole soak; change --seed or raise the plan's probabilities"
+            .to_owned();
+        eprintln!("{line}");
+        let _ = writeln!(summary, "{line}");
+    }
+    let verdict = if failures == 0 { "PASS" } else { "FAIL" };
+    let footer = format!(
+        "chaos_soak: {verdict} — {}/{} session(s) byte-identical to their undisturbed baselines in {:.1}s",
+        args.sessions as usize - failures,
+        args.sessions,
+        started.elapsed().as_secs_f64()
+    );
+    println!("{footer}");
+    let _ = writeln!(summary, "{footer}");
+    if let Some(path) = &args.out {
+        if let Err(err) = std::fs::write(path, &summary) {
+            eprintln!("warning: could not write summary to {path}: {err}");
+        }
+    }
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

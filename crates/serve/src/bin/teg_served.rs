@@ -3,7 +3,8 @@
 //! ```text
 //! teg-served [--addr HOST:PORT] [--workers N] [--queue N] [--max-cells N]
 //!            [--max-steps N] [--cache N] [--checkpoint-dir DIR]
-//!            [--max-frame BYTES] [--smoke]
+//!            [--max-frame BYTES] [--max-request-secs SECS]
+//!            [--idle-timeout-secs SECS] [--max-connections N] [--smoke]
 //! ```
 //!
 //! Without `--smoke` the daemon binds, prints `listening on <addr>` and runs
@@ -23,7 +24,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: teg-served [--addr HOST:PORT] [--workers N] [--queue N] [--max-cells N]\n\
          \x20                 [--max-steps N] [--cache N] [--checkpoint-dir DIR]\n\
-         \x20                 [--max-frame BYTES] [--smoke]"
+         \x20                 [--max-frame BYTES] [--max-request-secs SECS]\n\
+         \x20                 [--idle-timeout-secs SECS] [--max-connections N] [--smoke]"
     );
     std::process::exit(2);
 }
@@ -58,6 +60,22 @@ fn parse_args() -> (ServerConfig, bool) {
             "--max-frame" => {
                 config.max_frame = numeric(&value(&mut args, "--max-frame"), "--max-frame");
             }
+            "--max-request-secs" => {
+                config.max_request_secs = Some(seconds(
+                    &value(&mut args, "--max-request-secs"),
+                    "--max-request-secs",
+                ));
+            }
+            "--idle-timeout-secs" => {
+                config.idle_timeout_secs = Some(seconds(
+                    &value(&mut args, "--idle-timeout-secs"),
+                    "--idle-timeout-secs",
+                ));
+            }
+            "--max-connections" => {
+                config.max_connections =
+                    numeric(&value(&mut args, "--max-connections"), "--max-connections");
+            }
             "--smoke" => smoke = true,
             "--help" | "-h" => usage(),
             other => {
@@ -74,6 +92,18 @@ fn numeric(text: &str, flag: &str) -> usize {
         eprintln!("error: {flag} value `{text}` is not an integer");
         usage();
     })
+}
+
+fn seconds(text: &str, flag: &str) -> f64 {
+    let parsed: f64 = text.parse().unwrap_or_else(|_| {
+        eprintln!("error: {flag} value `{text}` is not a number of seconds");
+        usage();
+    });
+    if !parsed.is_finite() || parsed <= 0.0 {
+        eprintln!("error: {flag} must be a positive, finite number of seconds");
+        usage();
+    }
+    parsed
 }
 
 /// End-to-end self-test: the streamed report must equal the in-process one.

@@ -1,0 +1,553 @@
+//! Deterministic wire-fault injection: a TCP shim between a client and the
+//! sweep service.
+//!
+//! A [`ChaosProxy`] listens on an ephemeral port and relays every connection
+//! to an upstream server, frame by frame.  Each relay direction draws one
+//! [`FaultAction`] per frame from a [`FaultSchedule`] — a seeded
+//! deterministic stream — so a given [`ChaosPlan`] seed always injects the
+//! same faults at the same frame ordinals of the same connection.  The
+//! injected repertoire covers the transport failures a production deployment
+//! sees:
+//!
+//! * **delays** — the whole frame is held back before delivery;
+//! * **split writes** — the frame is delivered in two bursts, exercising
+//!   partial-read paths without breaking frame sync;
+//! * **corruption** — the frame's kind byte is flipped to an unassigned
+//!   value, which the receiving framing layer rejects as
+//!   [`WireError::UnknownKind`](crate::WireError::UnknownKind) (payload
+//!   bytes are left alone: the protocol carries no checksum, so payload
+//!   corruption would be undetectable and is out of scope);
+//! * **truncation** — the frame is cut mid-body and the connection killed,
+//!   surfacing as [`WireError::Truncated`](crate::WireError::Truncated);
+//! * **kills** — the connection is dropped cold, mid-stream.
+//!
+//! Determinism contract: the fault *schedule* is a pure function of
+//! `(plan seed, connection ordinal, direction, frame ordinal)`.  What those
+//! faults then *do* to a session can depend on scheduling (a killed
+//! connection may already have more frames in flight on one run than on
+//! another), but a resilient client's final assembled stream must come out
+//! byte-identical regardless — that is exactly the property the
+//! `chaos_soak` bin asserts.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use rand_chacha::{ChaCha8Rng, RngCore, SeedableRng};
+
+/// How long relay reads block before re-checking the shutdown flag.
+const RELAY_POLL: Duration = Duration::from_millis(50);
+
+/// Gap between the two bursts of a split write — far below any frame
+/// receiver's read timeout, so a split never masquerades as truncation.
+const SPLIT_GAP: Duration = Duration::from_millis(1);
+
+/// Largest frame the proxy will buffer; matches the service's own cap.
+const PROXY_MAX_FRAME: usize = crate::wire::MAX_FRAME;
+
+/// The seeded fault mix of one proxy.  Probabilities are per *frame* and are
+/// checked in the order kill → truncate → corrupt → delay → split against a
+/// single uniform draw, so they must sum to at most 1.
+#[derive(Debug, Clone)]
+pub struct ChaosPlan {
+    /// Root seed; every `(connection, direction)` schedule derives from it.
+    pub seed: u64,
+    /// Probability a frame's connection is dropped cold instead of
+    /// delivering the frame.
+    pub kill_probability: f64,
+    /// Probability a frame is cut mid-body and the connection dropped.
+    pub truncate_probability: f64,
+    /// Probability a frame's kind byte is flipped to an unassigned value.
+    pub corrupt_probability: f64,
+    /// Probability a frame is delayed before delivery.
+    pub delay_probability: f64,
+    /// Probability a frame is delivered in two bursts.
+    pub split_probability: f64,
+    /// Ceiling of an injected delay (actual delay is a uniform draw below
+    /// it).  Keep this well under the resilient client's stall timeout.
+    pub max_delay: Duration,
+}
+
+impl Default for ChaosPlan {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            kill_probability: 0.06,
+            truncate_probability: 0.04,
+            corrupt_probability: 0.04,
+            delay_probability: 0.10,
+            split_probability: 0.10,
+            max_delay: Duration::from_millis(20),
+        }
+    }
+}
+
+impl ChaosPlan {
+    /// A plan that injects nothing — the proxy becomes a transparent relay,
+    /// which the test suite uses to prove the shim itself preserves bytes.
+    #[must_use]
+    pub fn benign(seed: u64) -> Self {
+        Self {
+            seed,
+            kill_probability: 0.0,
+            truncate_probability: 0.0,
+            corrupt_probability: 0.0,
+            delay_probability: 0.0,
+            split_probability: 0.0,
+            max_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// What happens to one relayed frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Forward unchanged.
+    Deliver,
+    /// Hold the whole frame back, then forward unchanged.
+    Delay(Duration),
+    /// Forward in two bursts with a short gap.
+    Split,
+    /// Flip the kind byte to the unassigned value `0x7f`, then forward.
+    Corrupt,
+    /// Forward the header and half the body, then kill the connection.
+    Truncate,
+    /// Kill the connection without forwarding anything.
+    Kill,
+}
+
+/// The deterministic per-direction fault stream of one proxied connection.
+#[derive(Debug)]
+pub struct FaultSchedule {
+    rng: ChaCha8Rng,
+    plan: ChaosPlan,
+}
+
+impl FaultSchedule {
+    /// Derives the schedule for `direction` (0 = client→server,
+    /// 1 = server→client) of the `connection`-th proxied connection.
+    #[must_use]
+    pub fn new(plan: &ChaosPlan, connection: u64, direction: u64) -> Self {
+        let mixed = plan
+            .seed
+            .wrapping_add(connection.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(direction.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        Self {
+            rng: ChaCha8Rng::seed_from_u64(mixed),
+            plan: plan.clone(),
+        }
+    }
+
+    /// A uniform draw in `[0, 1)`.
+    fn unit(&mut self) -> f64 {
+        (self.rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Draws the action for the next frame.
+    pub fn next_action(&mut self) -> FaultAction {
+        let draw = self.unit();
+        let mut edge = self.plan.kill_probability;
+        if draw < edge {
+            return FaultAction::Kill;
+        }
+        edge += self.plan.truncate_probability;
+        if draw < edge {
+            return FaultAction::Truncate;
+        }
+        edge += self.plan.corrupt_probability;
+        if draw < edge {
+            return FaultAction::Corrupt;
+        }
+        edge += self.plan.delay_probability;
+        if draw < edge {
+            return FaultAction::Delay(self.plan.max_delay.mul_f64(self.unit()));
+        }
+        edge += self.plan.split_probability;
+        if draw < edge {
+            return FaultAction::Split;
+        }
+        FaultAction::Deliver
+    }
+}
+
+/// Live counters of everything a proxy did, for soak summaries.
+#[derive(Debug, Default)]
+pub struct ChaosStats {
+    connections: AtomicUsize,
+    frames: AtomicUsize,
+    delays: AtomicUsize,
+    splits: AtomicUsize,
+    corruptions: AtomicUsize,
+    truncations: AtomicUsize,
+    kills: AtomicUsize,
+}
+
+impl ChaosStats {
+    /// Connections proxied.
+    #[must_use]
+    pub fn connections(&self) -> usize {
+        self.connections.load(Ordering::Relaxed)
+    }
+
+    /// Frames relayed (whatever their fate).
+    #[must_use]
+    pub fn frames(&self) -> usize {
+        self.frames.load(Ordering::Relaxed)
+    }
+
+    /// Frames delivered late.
+    #[must_use]
+    pub fn delays(&self) -> usize {
+        self.delays.load(Ordering::Relaxed)
+    }
+
+    /// Frames delivered in two bursts.
+    #[must_use]
+    pub fn splits(&self) -> usize {
+        self.splits.load(Ordering::Relaxed)
+    }
+
+    /// Frames delivered with a flipped kind byte.
+    #[must_use]
+    pub fn corruptions(&self) -> usize {
+        self.corruptions.load(Ordering::Relaxed)
+    }
+
+    /// Frames cut mid-body (connection killed).
+    #[must_use]
+    pub fn truncations(&self) -> usize {
+        self.truncations.load(Ordering::Relaxed)
+    }
+
+    /// Connections dropped cold.
+    #[must_use]
+    pub fn kills(&self) -> usize {
+        self.kills.load(Ordering::Relaxed)
+    }
+
+    /// Faults of any destructive or visible kind (everything but clean and
+    /// split/delayed delivery).
+    #[must_use]
+    pub fn disruptions(&self) -> usize {
+        self.corruptions() + self.truncations() + self.kills()
+    }
+}
+
+/// One raw frame as the proxy sees it: the 4-byte length header plus the
+/// body (kind byte + payload).
+struct RawFrame {
+    header: [u8; 4],
+    body: Vec<u8>,
+}
+
+/// A fault-injecting TCP relay in front of a sweep service.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    relays: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    stats: Arc<ChaosStats>,
+}
+
+impl ChaosProxy {
+    /// Binds an ephemeral local port and starts relaying every accepted
+    /// connection to `upstream` under `plan`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding the listener.
+    pub fn start(upstream: SocketAddr, plan: ChaosPlan) -> io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let relays: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::default();
+        let stats = Arc::new(ChaosStats::default());
+        let accept_thread = {
+            let shutdown = Arc::clone(&shutdown);
+            let relays = Arc::clone(&relays);
+            let stats = Arc::clone(&stats);
+            thread::spawn(move || {
+                proxy_accept_loop(&listener, upstream, &plan, &shutdown, &relays, &stats);
+            })
+        };
+        Ok(Self {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            relays,
+            stats,
+        })
+    }
+
+    /// The proxy's listen address — point the client here instead of at the
+    /// server.
+    #[must_use]
+    pub const fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The proxy's live fault counters.
+    #[must_use]
+    pub fn stats(&self) -> &ChaosStats {
+        &self.stats
+    }
+
+    /// Stops accepting, tears down every live relay and joins all threads.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(accept) = self.accept_thread.take() {
+            let _ = accept.join();
+        }
+        let relays =
+            std::mem::take(&mut *self.relays.lock().unwrap_or_else(PoisonError::into_inner));
+        for relay in relays {
+            let _ = relay.join();
+        }
+    }
+}
+
+fn proxy_accept_loop(
+    listener: &TcpListener,
+    upstream: SocketAddr,
+    plan: &ChaosPlan,
+    shutdown: &Arc<AtomicBool>,
+    relays: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    stats: &Arc<ChaosStats>,
+) {
+    let mut connection: u64 = 0;
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        match listener.accept() {
+            Ok((client, _)) => {
+                stats.connections.fetch_add(1, Ordering::Relaxed);
+                let Ok(server) = TcpStream::connect(upstream) else {
+                    let _ = client.shutdown(Shutdown::Both);
+                    continue;
+                };
+                let _ = client.set_nodelay(true);
+                let _ = server.set_nodelay(true);
+                let _ = client.set_read_timeout(Some(RELAY_POLL));
+                let _ = server.set_read_timeout(Some(RELAY_POLL));
+                let (Ok(client_r), Ok(server_r)) = (client.try_clone(), server.try_clone()) else {
+                    let _ = client.shutdown(Shutdown::Both);
+                    let _ = server.shutdown(Shutdown::Both);
+                    continue;
+                };
+                let forward = spawn_relay(
+                    client_r,
+                    server,
+                    FaultSchedule::new(plan, connection, 0),
+                    Arc::clone(shutdown),
+                    Arc::clone(stats),
+                );
+                let backward = spawn_relay(
+                    server_r,
+                    client,
+                    FaultSchedule::new(plan, connection, 1),
+                    Arc::clone(shutdown),
+                    Arc::clone(stats),
+                );
+                let mut relays = relays.lock().unwrap_or_else(PoisonError::into_inner);
+                relays.push(forward);
+                relays.push(backward);
+                // Reap finished relay threads so long soaks do not
+                // accumulate a handle pair per connection ever proxied.
+                let mut index = 0;
+                while index < relays.len() {
+                    if relays[index].is_finished() {
+                        let finished = relays.swap_remove(index);
+                        let _ = finished.join();
+                    } else {
+                        index += 1;
+                    }
+                }
+                connection += 1;
+            }
+            Err(err) if err.kind() == io::ErrorKind::WouldBlock => thread::sleep(RELAY_POLL),
+            Err(_) => thread::sleep(RELAY_POLL),
+        }
+    }
+}
+
+fn spawn_relay(
+    from: TcpStream,
+    to: TcpStream,
+    schedule: FaultSchedule,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<ChaosStats>,
+) -> JoinHandle<()> {
+    thread::spawn(move || relay(from, to, schedule, &shutdown, &stats))
+}
+
+/// Drops both ends of a relayed connection.  Killing both sockets (not just
+/// one direction) makes the opposite relay's blocked read fail too, so the
+/// pair always dies together.
+fn sever(a: &TcpStream, b: &TcpStream) {
+    let _ = a.shutdown(Shutdown::Both);
+    let _ = b.shutdown(Shutdown::Both);
+}
+
+fn relay(
+    mut from: TcpStream,
+    mut to: TcpStream,
+    mut schedule: FaultSchedule,
+    shutdown: &AtomicBool,
+    stats: &ChaosStats,
+) {
+    while let Some(mut frame) = read_raw_frame(&mut from, shutdown) {
+        stats.frames.fetch_add(1, Ordering::Relaxed);
+        let action = schedule.next_action();
+        let delivered = match action {
+            FaultAction::Deliver => deliver(&mut to, &frame),
+            FaultAction::Delay(delay) => {
+                stats.delays.fetch_add(1, Ordering::Relaxed);
+                thread::sleep(delay);
+                deliver(&mut to, &frame)
+            }
+            FaultAction::Split => {
+                stats.splits.fetch_add(1, Ordering::Relaxed);
+                deliver_split(&mut to, &frame)
+            }
+            FaultAction::Corrupt => {
+                stats.corruptions.fetch_add(1, Ordering::Relaxed);
+                // Body byte 0 is the frame kind; 0x7f is unassigned on both
+                // sides of the protocol, so the receiving framing layer
+                // detects the corruption deterministically.  Payload bytes
+                // are left alone — the protocol carries no checksum, so
+                // payload corruption would be silent.
+                frame.body[0] = 0x7f;
+                deliver(&mut to, &frame)
+            }
+            FaultAction::Truncate => {
+                stats.truncations.fetch_add(1, Ordering::Relaxed);
+                let cut = frame.body.len() / 2;
+                let _ = to.write_all(&frame.header);
+                let _ = to.write_all(&frame.body[..cut]);
+                let _ = to.flush();
+                sever(&from, &to);
+                break;
+            }
+            FaultAction::Kill => {
+                stats.kills.fetch_add(1, Ordering::Relaxed);
+                sever(&from, &to);
+                break;
+            }
+        };
+        if !delivered {
+            break;
+        }
+    }
+    sever(&from, &to);
+}
+
+fn deliver(to: &mut TcpStream, frame: &RawFrame) -> bool {
+    to.write_all(&frame.header)
+        .and_then(|()| to.write_all(&frame.body))
+        .and_then(|()| to.flush())
+        .is_ok()
+}
+
+fn deliver_split(to: &mut TcpStream, frame: &RawFrame) -> bool {
+    // First burst: the header plus the first body byte (the kind), so the
+    // receiver is parked mid-body when the gap hits.
+    let cut = 1.min(frame.body.len());
+    let first = to
+        .write_all(&frame.header)
+        .and_then(|()| to.write_all(&frame.body[..cut]))
+        .and_then(|()| to.flush());
+    if first.is_err() {
+        return false;
+    }
+    thread::sleep(SPLIT_GAP);
+    to.write_all(&frame.body[cut..])
+        .and_then(|()| to.flush())
+        .is_ok()
+}
+
+/// Reads one whole raw frame, retrying timeouts until `shutdown`.  `None`
+/// on EOF, transport failure, shutdown, or a length prefix beyond the cap.
+fn read_raw_frame(from: &mut TcpStream, shutdown: &AtomicBool) -> Option<RawFrame> {
+    let mut header = [0u8; 4];
+    read_full(from, &mut header, shutdown)?;
+    let length = u32::from_be_bytes(header) as usize;
+    if length == 0 || length > PROXY_MAX_FRAME {
+        return None;
+    }
+    let mut body = vec![0u8; length];
+    read_full(from, &mut body, shutdown)?;
+    Some(RawFrame { header, body })
+}
+
+/// Fills `buf` completely, treating timeouts as retry points.  `None` on
+/// EOF, failure or shutdown.
+fn read_full(from: &mut TcpStream, buf: &mut [u8], shutdown: &AtomicBool) -> Option<()> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if shutdown.load(Ordering::Relaxed) {
+            return None;
+        }
+        match from.read(&mut buf[filled..]) {
+            Ok(0) => return None,
+            Ok(n) => filled += n,
+            Err(err)
+                if matches!(
+                    err.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) => {}
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return None,
+        }
+    }
+    Some(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_deterministic_per_seed_connection_and_direction() {
+        let plan = ChaosPlan::default();
+        let actions = |conn, dir| {
+            let mut schedule = FaultSchedule::new(&plan, conn, dir);
+            (0..64).map(|_| schedule.next_action()).collect::<Vec<_>>()
+        };
+        assert_eq!(actions(0, 0), actions(0, 0));
+        assert_eq!(actions(3, 1), actions(3, 1));
+        assert_ne!(actions(0, 0), actions(1, 0));
+        assert_ne!(actions(0, 0), actions(0, 1));
+    }
+
+    #[test]
+    fn benign_plan_always_delivers() {
+        let mut schedule = FaultSchedule::new(&ChaosPlan::benign(7), 0, 1);
+        for _ in 0..256 {
+            assert_eq!(schedule.next_action(), FaultAction::Deliver);
+        }
+    }
+
+    #[test]
+    fn default_plan_mixes_all_fault_kinds() {
+        let mut schedule = FaultSchedule::new(&ChaosPlan::default(), 0, 0);
+        let actions: Vec<FaultAction> = (0..4096).map(|_| schedule.next_action()).collect();
+        assert!(actions.contains(&FaultAction::Kill));
+        assert!(actions.contains(&FaultAction::Truncate));
+        assert!(actions.contains(&FaultAction::Corrupt));
+        assert!(actions.contains(&FaultAction::Split));
+        assert!(actions.iter().any(|a| matches!(a, FaultAction::Delay(_))));
+        assert!(actions.contains(&FaultAction::Deliver));
+        // The mix must remain dominated by clean delivery, or nothing ever
+        // completes.
+        let clean = actions
+            .iter()
+            .filter(|a| matches!(a, FaultAction::Deliver))
+            .count();
+        assert!(clean * 2 > actions.len(), "{clean}/{}", actions.len());
+    }
+}

@@ -5,10 +5,21 @@
 //! cells as the server streams them and closes into a
 //! [`SweepReport`] equal to what an in-process
 //! [`SweepRunner`](teg_sim::SweepRunner) would have produced.
+//!
+//! [`ResilientClient`] layers reconnect-with-resume on top: a transport
+//! failure mid-stream re-dials with capped exponential backoff and seeded
+//! jitter, resubmits the same id, verifies the server's checkpoint replay
+//! byte-for-byte against the cells already received, and splices the fresh
+//! cells on — so the caller sees one uninterrupted, bit-identical stream no
+//! matter how often the connection flapped.
 
 use std::fmt;
+use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::thread;
+use std::time::{Duration, Instant};
 
+use rand_chacha::{ChaCha8Rng, RngCore, SeedableRng};
 use teg_sim::{SweepCellReport, SweepReport};
 
 use crate::codec::decode_cell;
@@ -266,5 +277,358 @@ impl SweepStream<'_> {
             .as_ref()
             .expect("loop above only exits at DONE or via an error");
         Ok(SweepReport::from_cells(self.cells, done.thermal_solves))
+    }
+}
+
+/// Reconnect/backoff tuning of a [`ResilientClient`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total SUBMIT attempts (first try included) before giving up.
+    pub max_attempts: usize,
+    /// Backoff before the second attempt; doubles per further attempt.
+    pub base_delay: Duration,
+    /// Ceiling on the (pre-jitter) backoff delay.
+    pub max_delay: Duration,
+    /// Longest mid-stream silence tolerated before the connection is
+    /// declared dead and re-dialled.
+    pub stall_timeout: Duration,
+    /// Seed of the jitter stream.  Backoff delays are a pure function of
+    /// this seed, so a retry schedule can be replayed exactly.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 16,
+            base_delay: Duration::from_millis(25),
+            max_delay: Duration::from_secs(2),
+            stall_timeout: Duration::from_secs(30),
+            seed: 0x7E65_EED5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The pre-jitter delay before attempt `attempt` (1-based; attempt 1 is
+    /// the first *retry*): `base_delay · 2^(attempt-1)` capped at
+    /// `max_delay`.
+    fn backoff(&self, attempt: usize) -> Duration {
+        let doublings = attempt.saturating_sub(1).min(20) as u32;
+        let delay = self.base_delay.saturating_mul(1 << doublings);
+        delay.min(self.max_delay)
+    }
+}
+
+/// A uniform draw in `[0, 1)` from the shared deterministic generator.
+fn unit(rng: &mut ChaCha8Rng) -> f64 {
+    (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Whether a failed attempt is worth a reconnect.
+///
+/// Transport and framing failures always are — the journal preserves every
+/// streamed cell, so a fresh connection resumes instead of restarting.
+/// Rejections and remote errors are retriable only when they describe a
+/// transient server condition (backpressure, a stale registry entry from our
+/// own dropped connection, a deadline that the resumed run will beat);
+/// semantic refusals (budget, checkpoint mismatch, bad spec) and protocol
+/// violations (including a replay that diverged from received cells) are
+/// final.
+fn retriable(err: &ServeError) -> bool {
+    const TRANSIENT_REMOTE: [&str; 6] = [
+        "deadline exceeded",
+        "interrupted",
+        "busy",
+        "desynchronised",
+        "unrecognised frame",
+        "idle timeout",
+    ];
+    match err {
+        ServeError::Wire(_) => true,
+        ServeError::Rejected(rejected) => {
+            rejected.reason.contains("busy") || rejected.reason.contains("already running")
+        }
+        ServeError::Remote(reason) => TRANSIENT_REMOTE.iter().any(|t| reason.contains(t)),
+        ServeError::Protocol(_) => false,
+    }
+}
+
+/// A client that survives connection flaps, server deadlines and transient
+/// backpressure by reconnecting and resuming.
+///
+/// [`run`](ResilientClient::run) drives one sweep to completion across as
+/// many connections as it takes (bounded by
+/// [`RetryPolicy::max_attempts`]).  On every reconnect the same id is
+/// resubmitted; the server replays the journalled prefix, which is verified
+/// byte-for-byte against the cells already received before fresh cells are
+/// spliced on.  Progress is monotonic across retries because the server
+/// journals each cell *before* streaming it.
+///
+/// Requires a checkpointing server
+/// ([`ServerConfig::checkpoint_dir`](crate::ServerConfig::checkpoint_dir))
+/// for mid-stream resume; against a non-checkpointing server a reconnect
+/// simply re-runs the sweep from the start, which still converges but
+/// re-solves finished cells.
+#[derive(Debug, Clone)]
+pub struct ResilientClient {
+    addr: String,
+    max_frame: usize,
+    policy: RetryPolicy,
+}
+
+impl ResilientClient {
+    /// Creates a client for `addr` with the default [`RetryPolicy`].
+    #[must_use]
+    pub fn new(addr: impl Into<String>) -> Self {
+        Self {
+            addr: addr.into(),
+            max_frame: MAX_FRAME,
+            policy: RetryPolicy::default(),
+        }
+    }
+
+    /// Replaces the retry policy.
+    #[must_use]
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Replaces the frame cap (must match the server's to exchange large
+    /// cells).
+    #[must_use]
+    pub const fn frame_cap(mut self, max_frame: usize) -> Self {
+        self.max_frame = max_frame;
+        self
+    }
+
+    /// Runs one sweep to completion, reconnecting and resuming as needed.
+    ///
+    /// # Errors
+    ///
+    /// The last attempt's error once the retry budget is exhausted, or
+    /// immediately for non-retriable failures (semantic rejection, protocol
+    /// violation, replay divergence).
+    pub fn run(&self, request: &SubmitRequest) -> Result<ResilientReport, ServeError> {
+        // An encode failure is local and deterministic: fail fast instead
+        // of burning the retry budget on it.
+        let payload = request.encode()?;
+        let mut rng = ChaCha8Rng::seed_from_u64(self.policy.seed);
+        let mut cells: Vec<String> = Vec::new();
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            match self.attempt(&payload, &mut cells) {
+                Ok((accepted, done)) => {
+                    return Ok(ResilientReport {
+                        accepted,
+                        cells,
+                        done,
+                        attempts,
+                    })
+                }
+                Err(err) => {
+                    if !retriable(&err) || attempts >= self.policy.max_attempts.max(1) {
+                        return Err(err);
+                    }
+                    // Capped exponential backoff with seeded jitter in
+                    // [0.5, 1.0]× so synchronised clients de-correlate.
+                    let delay = self
+                        .policy
+                        .backoff(attempts)
+                        .mul_f64(0.5 + 0.5 * unit(&mut rng));
+                    thread::sleep(delay);
+                }
+            }
+        }
+    }
+
+    /// One connection's worth of progress: dial, submit, verify the replayed
+    /// prefix against `cells`, splice fresh cells on, and return the
+    /// completion pair — or fail with the error that ended the connection
+    /// (every cell received before the failure stays in `cells`).
+    fn attempt(
+        &self,
+        payload: &str,
+        cells: &mut Vec<String>,
+    ) -> Result<(Accepted, Done), ServeError> {
+        let mut stream = TcpStream::connect(&self.addr)?;
+        stream.set_nodelay(true)?;
+        // The short read timeout turns silence into Idle outcomes, which
+        // next_frame converts into a stall verdict after stall_timeout.
+        stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+        write_frame(
+            &mut stream,
+            FrameKind::Submit,
+            payload.as_bytes(),
+            self.max_frame,
+        )?;
+
+        let frame = self.next_frame(&mut stream)?;
+        let accepted = match frame.kind {
+            FrameKind::Accepted => Accepted::decode(frame.text()?)?,
+            FrameKind::Rejected => {
+                return Err(ServeError::Rejected(Rejected::decode(frame.text()?)?))
+            }
+            FrameKind::Error => {
+                return Err(ServeError::Remote(
+                    ErrorReply::decode(frame.text()?)?.reason,
+                ))
+            }
+            other => {
+                return Err(ServeError::Protocol(format!(
+                    "expected ACCEPTED or REJECTED, got {other:?}"
+                )))
+            }
+        };
+
+        let mut position = 0usize;
+        loop {
+            let frame = self.next_frame(&mut stream)?;
+            match frame.kind {
+                FrameKind::Cell => {
+                    let payload = frame.text()?;
+                    if let Some(seen) = cells.get(position) {
+                        // The replayed journal prefix must equal what the
+                        // interrupted connection already delivered; anything
+                        // else breaks the bit-identical-stream contract and
+                        // is final, not retriable.
+                        if seen != payload {
+                            return Err(ServeError::Protocol(format!(
+                                "resume replay diverged at cell {position}: \
+                                 journalled bytes differ from the cell already received"
+                            )));
+                        }
+                    } else {
+                        cells.push(payload.to_owned());
+                    }
+                    position += 1;
+                }
+                FrameKind::Done => {
+                    let done = Done::decode(frame.text()?)?;
+                    if cells.len() != accepted.cells {
+                        return Err(ServeError::Protocol(format!(
+                            "DONE after {} cells, expected {}",
+                            cells.len(),
+                            accepted.cells
+                        )));
+                    }
+                    return Ok((accepted, done));
+                }
+                FrameKind::Error => {
+                    return Err(ServeError::Remote(
+                        ErrorReply::decode(frame.text()?)?.reason,
+                    ))
+                }
+                other => {
+                    return Err(ServeError::Protocol(format!(
+                        "expected CELL, DONE or ERROR, got {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Reads the next frame, converting silence past
+    /// [`RetryPolicy::stall_timeout`] and EOF into retriable wire errors.
+    fn next_frame(&self, stream: &mut TcpStream) -> Result<Frame, ServeError> {
+        let deadline = Instant::now() + self.policy.stall_timeout;
+        loop {
+            match read_frame(stream, self.max_frame) {
+                Ok(ReadOutcome::Frame(frame)) => return Ok(frame),
+                Ok(ReadOutcome::Idle) => {
+                    if Instant::now() >= deadline {
+                        return Err(ServeError::Wire(WireError::Io(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "no frame within the stall timeout",
+                        ))));
+                    }
+                }
+                Ok(ReadOutcome::Eof) => {
+                    return Err(ServeError::Wire(WireError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-stream",
+                    ))))
+                }
+                Err(err) => return Err(ServeError::Wire(err)),
+            }
+        }
+    }
+}
+
+/// The completed sweep a [`ResilientClient`] assembled, with the raw frame
+/// payloads kept for byte-level comparison against an undisturbed run.
+#[derive(Debug, Clone)]
+pub struct ResilientReport {
+    accepted: Accepted,
+    cells: Vec<String>,
+    done: Done,
+    attempts: usize,
+}
+
+impl ResilientReport {
+    /// The admission reply of the attempt that completed the sweep (its
+    /// `resumed` count reflects that attempt's checkpoint replay).
+    #[must_use]
+    pub const fn accepted(&self) -> &Accepted {
+        &self.accepted
+    }
+
+    /// The completion marker as received (its `executed`/`resumed` split
+    /// reflects the final attempt, not the whole retried session).
+    #[must_use]
+    pub const fn done(&self) -> &Done {
+        &self.done
+    }
+
+    /// Raw CELL payloads in grid order, exactly as streamed.
+    #[must_use]
+    pub fn cell_payloads(&self) -> &[String] {
+        &self.cells
+    }
+
+    /// Connections it took to finish the sweep (1 = no fault seen).
+    #[must_use]
+    pub const fn attempts(&self) -> usize {
+        self.attempts
+    }
+
+    /// The concatenated CELL payloads followed by the completion marker *as
+    /// an undisturbed run would have streamed it* (`executed` = every cell,
+    /// `resumed` = 0).  The received DONE's executed/resumed split depends
+    /// on where faults happened to land, so byte-identity against a clean
+    /// run is asserted on this canonical form; everything else in the
+    /// stream is compared raw.
+    #[must_use]
+    pub fn canonical_stream(&self) -> String {
+        let mut out = String::new();
+        for cell in &self.cells {
+            out.push_str(cell);
+        }
+        let canonical = Done {
+            id: self.done.id.clone(),
+            thermal_solves: self.done.thermal_solves,
+            executed: self.cells.len(),
+            resumed: 0,
+        };
+        out.push_str(&canonical.encode());
+        out
+    }
+
+    /// Decodes the cells and assembles the full [`SweepReport`], equal to
+    /// what an in-process [`SweepRunner`](teg_sim::SweepRunner) would have
+    /// produced for the same request.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Wire`] when a stored payload fails to decode (possible
+    /// only if the server journalled malformed bytes).
+    pub fn into_report(self) -> Result<SweepReport, ServeError> {
+        let mut decoded = Vec::with_capacity(self.cells.len());
+        for cell in &self.cells {
+            decoded.push(decode_cell(cell)?);
+        }
+        Ok(SweepReport::from_cells(decoded, self.done.thermal_solves))
     }
 }

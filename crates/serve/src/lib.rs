@@ -20,10 +20,12 @@
 //!   DONE, STATS, CANCEL, …);
 //! * [`checkpoint`] — append-only journals that let an interrupted sweep
 //!   resume without re-solving a single finished cell;
-//! * [`server`] — admission control, budgets, the worker pool and the
-//!   streaming loop;
-//! * [`client`] — a blocking wire-level client, also used by the
-//!   integration tests.
+//! * [`server`] — admission control, budgets, deadlines, the supervised
+//!   worker pool and the streaming loop;
+//! * [`client`] — a blocking wire-level client plus [`ResilientClient`],
+//!   which reconnects and resumes across transport faults;
+//! * [`chaos`] — a deterministic fault-injecting TCP proxy for chaos
+//!   testing the whole stack.
 //!
 //! # Example
 //!
@@ -50,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod checkpoint;
 pub mod client;
 pub mod codec;
@@ -57,7 +60,10 @@ pub mod protocol;
 pub mod server;
 pub mod wire;
 
-pub use client::{ServeClient, ServeError, SweepStream};
+pub use chaos::{ChaosPlan, ChaosProxy, ChaosStats, FaultAction, FaultSchedule};
+pub use client::{
+    ResilientClient, ResilientReport, RetryPolicy, ServeClient, ServeError, SweepStream,
+};
 pub use protocol::{Accepted, Cancel, Done, ErrorReply, Rejected, StatsReply, SubmitRequest};
 pub use server::{ServerConfig, SweepServer};
 pub use wire::{read_frame, write_frame, Frame, FrameKind, ReadOutcome, WireError, MAX_FRAME};

@@ -367,6 +367,13 @@ pub struct StatsReply {
     /// (the rest were already warm in the cache, or failed and were left to
     /// the demand path).
     pub presolve_solved: usize,
+    /// Dead worker threads the supervisor replaced since start.
+    pub workers_respawned: usize,
+    /// Connections currently open (handler threads alive).
+    pub connections: usize,
+    /// Accepts answered with a busy ERROR at the connection cap since
+    /// start.
+    pub connections_rejected: usize,
 }
 
 impl StatsReply {
@@ -374,7 +381,7 @@ impl StatsReply {
     #[must_use]
     pub fn encode(&self) -> String {
         format!(
-            "active {}\nqueued_cells {}\ncompleted_requests {}\ncache_len {}\ncache_hits {}\ncache_misses {}\ncache_evictions {}\nworkers {}\npresolve_planned {}\npresolve_solved {}\n",
+            "active {}\nqueued_cells {}\ncompleted_requests {}\ncache_len {}\ncache_hits {}\ncache_misses {}\ncache_evictions {}\nworkers {}\npresolve_planned {}\npresolve_solved {}\nworkers_respawned {}\nconnections {}\nconnections_rejected {}\n",
             self.active,
             self.queued_cells,
             self.completed_requests,
@@ -384,7 +391,10 @@ impl StatsReply {
             self.cache_evictions,
             self.workers,
             self.presolve_planned,
-            self.presolve_solved
+            self.presolve_solved,
+            self.workers_respawned,
+            self.connections,
+            self.connections_rejected
         )
     }
 
@@ -406,6 +416,9 @@ impl StatsReply {
             workers: lines.usize("workers")?,
             presolve_planned: lines.usize("presolve_planned")?,
             presolve_solved: lines.usize("presolve_solved")?,
+            workers_respawned: lines.usize("workers_respawned")?,
+            connections: lines.usize("connections")?,
+            connections_rejected: lines.usize("connections_rejected")?,
         };
         lines.done()?;
         Ok(reply)
@@ -522,6 +535,9 @@ mod tests {
             workers: 8,
             presolve_planned: 12,
             presolve_solved: 10,
+            workers_respawned: 1,
+            connections: 3,
+            connections_rejected: 5,
         };
         assert_eq!(StatsReply::decode(&stats.encode()).unwrap(), stats);
     }

@@ -1,6 +1,6 @@
 //! The sweep service daemon.
 //!
-//! A [`SweepServer`] owns one TCP listener, a persistent pool of worker
+//! A [`SweepServer`] owns one TCP listener, a supervised pool of worker
 //! threads, and one shared [`TraceCache`].  Each client connection is served
 //! by its own handler thread speaking the frame protocol of
 //! [`wire`](crate::wire); a SUBMIT admits a sweep, fans its cells out to the
@@ -14,6 +14,30 @@
 //! ([`ServerConfig::max_cells`] / [`ServerConfig::max_steps`]) or when
 //! [`ServerConfig::queue_capacity`] sweeps are already in flight.  A
 //! rejected request has performed no work and may simply be retried later.
+//! The same explicitness extends to connections: past
+//! [`ServerConfig::max_connections`] an accept is answered with a busy ERROR
+//! frame instead of spawning an unbounded handler thread, and a client that
+//! sends nothing for [`ServerConfig::idle_timeout_secs`] is told so and
+//! closed.
+//!
+//! # Fault tolerance
+//!
+//! Every per-job step a worker performs — including the grid indexing and
+//! lineup/scenario construction — runs inside panic containment, so a
+//! malformed cell errors *that cell* and never the worker.  Should a worker
+//! die anyway (the containment has a bug, or a chaos test poisons the pool
+//! via [`SweepServer::poison_worker`]), a supervisor thread detects the dead
+//! thread, joins it and spawns a replacement, counting each respawn in the
+//! STATS `workers_respawned` field — the pool is always at full strength.
+//! Finished connection handlers are reaped on every accept iteration instead
+//! of accumulating until shutdown.
+//!
+//! # Deadlines
+//!
+//! With [`ServerConfig::max_request_secs`] set, a sweep that outlives its
+//! wall-clock deadline is aborted with a DEADLINE-exceeded ERROR frame.  The
+//! abort leaves the checkpoint journal intact, so a resubmission resumes the
+//! finished cells instead of starting over.
 //!
 //! # Checkpoint / resume
 //!
@@ -39,7 +63,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use teg_sim::{
     Comparison, ComparisonReport, RuntimePolicy, ScenarioGrid, SimError, SolverPool,
@@ -77,6 +101,17 @@ pub struct ServerConfig {
     pub checkpoint_dir: Option<PathBuf>,
     /// Largest frame accepted or emitted on any connection.
     pub max_frame: usize,
+    /// Per-request wall-clock deadline in seconds; a sweep still streaming
+    /// past it is aborted with a DEADLINE-exceeded ERROR frame that leaves
+    /// the checkpoint journal intact for resume.  `None` means no deadline.
+    pub max_request_secs: Option<f64>,
+    /// Connections that send no frame for this many seconds are told so with
+    /// an ERROR frame and closed.  `None` keeps idle clients forever.
+    pub idle_timeout_secs: Option<f64>,
+    /// Concurrent connections served; further accepts are answered with a
+    /// busy ERROR frame and closed instead of spawning unbounded handler
+    /// threads.  `0` means unlimited.
+    pub max_connections: usize,
 }
 
 impl Default for ServerConfig {
@@ -90,6 +125,9 @@ impl Default for ServerConfig {
             cache_capacity: 256,
             checkpoint_dir: None,
             max_frame: MAX_FRAME,
+            max_request_secs: None,
+            idle_timeout_secs: None,
+            max_connections: 256,
         }
     }
 }
@@ -124,28 +162,46 @@ impl ActiveRequest {
     }
 }
 
-/// One unit of worker work.
-struct Job {
-    request: Arc<ActiveRequest>,
-    unit: Unit,
-}
-
-/// What a worker does with a popped job: run one cell, or pre-solve one
-/// unique thermal key ahead of the cells.  Pre-solve jobs are enqueued
-/// before a request's cell jobs, so the FIFO queue naturally warms every
-/// trace between the ACCEPTED frame and the first CELL frame.
-enum Unit {
-    Cell(usize),
+/// One unit of worker work.  Pre-solve jobs are enqueued before a request's
+/// cell jobs, so the FIFO queue naturally warms every trace between the
+/// ACCEPTED frame and the first CELL frame.
+enum Job {
+    /// Run one cell of an admitted sweep.
+    Cell {
+        /// The owning request.
+        request: Arc<ActiveRequest>,
+        /// Index into the request grid's cells.
+        index: usize,
+    },
+    /// Warm one unique thermal key ahead of the request's cells.
     Presolve {
+        /// The owning request.
+        request: Arc<ActiveRequest>,
         /// Index into the request grid's samples.
         sample: usize,
         /// Row-parallel chunk threads folded into this one solve (more than
         /// 1 only when the planned keys are fewer than the workers).
         threads: usize,
     },
+    /// Chaos-testing poison pill: panics *outside* the per-job panic
+    /// containment, killing the worker thread exactly the way an escaped
+    /// panic would.  Pushed by [`SweepServer::poison_worker`]; the
+    /// supervisor respawns the victim.
+    Poison,
 }
 
-/// State shared by the accept loop, handlers and workers.
+impl Job {
+    fn belongs_to(&self, target: &Arc<ActiveRequest>) -> bool {
+        match self {
+            Self::Cell { request, .. } | Self::Presolve { request, .. } => {
+                Arc::ptr_eq(request, target)
+            }
+            Self::Poison => false,
+        }
+    }
+}
+
+/// State shared by the accept loop, handlers, workers and the supervisor.
 struct Shared {
     config: ServerConfig,
     cache: TraceCache,
@@ -160,6 +216,12 @@ struct Shared {
     presolve_planned: AtomicUsize,
     /// Planned keys the workers solved ahead of cell dispatch.
     presolve_solved: AtomicUsize,
+    /// Dead worker threads the supervisor replaced.
+    workers_respawned: AtomicUsize,
+    /// Connection handlers currently alive.
+    connections: AtomicUsize,
+    /// Accepts answered with a busy ERROR at the connection cap.
+    connections_rejected: AtomicUsize,
     /// Admitted requests by id, for CANCEL and duplicate detection.
     registry: Mutex<HashMap<String, Arc<ActiveRequest>>>,
     shutdown: AtomicBool,
@@ -185,6 +247,13 @@ impl Shared {
             request.cancel();
         }
     }
+
+    /// Drops every queued job of `request`, so a cancelled sweep stops
+    /// burning worker time as soon as its handler unwinds instead of making
+    /// the workers pop and discard each stale job one by one.
+    fn purge_jobs(&self, request: &Arc<ActiveRequest>) {
+        self.lock_queue().retain(|job| !job.belongs_to(request));
+    }
 }
 
 fn worker_loop(shared: &Shared) {
@@ -206,45 +275,88 @@ fn worker_loop(shared: &Shared) {
                     .0;
             }
         };
-        if job.request.is_cancelled() {
-            continue;
-        }
-        let grid = &job.request.grid;
-        let cell_index = match job.unit {
-            Unit::Presolve { sample, threads } => {
+        match job {
+            Job::Poison => panic!("chaos poison pill: simulated worker crash"),
+            Job::Presolve {
+                request,
+                sample,
+                threads,
+            } => {
+                if request.is_cancelled() {
+                    continue;
+                }
                 // Warm one unique thermal key before the request's cells
                 // run.  Failures (and panics) are deliberately swallowed:
                 // the owning cell re-attempts the solve on demand and
                 // reports the error with its usual attribution, exactly as
                 // if no planner ran.
+                let grid = &request.grid;
                 let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    grid.samples()[sample].presolve(threads)
+                    grid.samples().get(sample).map(|s| s.presolve(threads))
                 }));
-                if matches!(outcome, Ok(Ok(true))) {
+                if matches!(outcome, Ok(Some(Ok(true)))) {
                     shared.presolve_solved.fetch_add(1, Ordering::Relaxed);
                 }
-                continue;
             }
-            Unit::Cell(index) => index,
-        };
-        let cell = &grid.cells()[cell_index];
-        let policy = job.request.policy;
-        // Same recipe — and same panic containment — as SweepRunner's
-        // in-process workers, so service results match runner results.
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let scenario = grid.scenario(cell);
-            let specs = grid.lineup(cell).specs(cell.key().module_count());
-            Comparison::from_specs(scenario, &specs)
-                .runtime_policy(policy)
-                .solver_pool(&mut pool)
-                .run()
-        }))
-        .unwrap_or_else(|_| {
-            Err(SimError::InvalidScenario {
-                reason: format!("sweep cell {} panicked in a scheme or solver", cell.key()),
-            })
-        });
-        job.request.push_result(cell_index, outcome);
+            Job::Cell { request, index } => {
+                if request.is_cancelled() {
+                    continue;
+                }
+                let policy = request.policy;
+                // Same recipe — and same panic containment — as
+                // SweepRunner's in-process workers, so service results match
+                // runner results.  *Everything* per-job runs inside the
+                // containment, including the grid indexing and the
+                // lineup/scenario construction: a malformed cell errors the
+                // cell, never the worker.
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let grid = &request.grid;
+                    let cell =
+                        grid.cells()
+                            .get(index)
+                            .ok_or_else(|| SimError::InvalidScenario {
+                                reason: format!("cell index {index} is outside the request grid"),
+                            })?;
+                    let scenario = grid.scenario(cell);
+                    let specs = grid.lineup(cell).specs(cell.key().module_count());
+                    Comparison::from_specs(scenario, &specs)
+                        .runtime_policy(policy)
+                        .solver_pool(&mut pool)
+                        .run()
+                }))
+                .unwrap_or_else(|_| {
+                    Err(SimError::InvalidScenario {
+                        reason: format!("sweep cell {index} panicked in a scheme or solver"),
+                    })
+                });
+                request.push_result(index, outcome);
+            }
+        }
+    }
+}
+
+fn spawn_worker(shared: &Arc<Shared>) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    thread::spawn(move || worker_loop(&shared))
+}
+
+/// Keeps the worker pool at full strength.  A worker thread that dies — a
+/// panic that escaped containment, or a [`Job::Poison`] pill — is joined and
+/// replaced with a fresh worker; each replacement increments the
+/// `workers_respawned` STATS counter.
+fn supervisor_loop(shared: &Arc<Shared>, mut workers: Vec<JoinHandle<()>>) {
+    while !shared.shutting_down() {
+        for slot in &mut workers {
+            if slot.is_finished() && !shared.shutting_down() {
+                let dead = std::mem::replace(slot, spawn_worker(shared));
+                let _ = dead.join();
+                shared.workers_respawned.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        thread::sleep(POLL);
+    }
+    for worker in workers {
+        let _ = worker.join();
     }
 }
 
@@ -257,12 +369,13 @@ pub struct SweepServer {
     addr: SocketAddr,
     shared: Arc<Shared>,
     accept_thread: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
     handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 impl SweepServer {
-    /// Binds the listener and starts the worker pool and accept loop.
+    /// Binds the listener and starts the worker pool, its supervisor and the
+    /// accept loop.
     ///
     /// # Errors
     ///
@@ -286,15 +399,18 @@ impl SweepServer {
             completed: AtomicUsize::new(0),
             presolve_planned: AtomicUsize::new(0),
             presolve_solved: AtomicUsize::new(0),
+            workers_respawned: AtomicUsize::new(0),
+            connections: AtomicUsize::new(0),
+            connections_rejected: AtomicUsize::new(0),
             registry: Mutex::new(HashMap::new()),
             shutdown: AtomicBool::new(false),
         });
-        let workers = (0..worker_count)
-            .map(|_| {
-                let shared = Arc::clone(&shared);
-                thread::spawn(move || worker_loop(&shared))
-            })
-            .collect();
+        let workers: Vec<JoinHandle<()>> =
+            (0..worker_count).map(|_| spawn_worker(&shared)).collect();
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || supervisor_loop(&shared, workers))
+        };
         let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::default();
         let accept_thread = {
             let shared = Arc::clone(&shared);
@@ -305,7 +421,7 @@ impl SweepServer {
             addr,
             shared,
             accept_thread: Some(accept_thread),
-            workers,
+            supervisor: Some(supervisor),
             handlers,
         })
     }
@@ -320,6 +436,16 @@ impl SweepServer {
     #[must_use]
     pub fn cache(&self) -> &TraceCache {
         &self.shared.cache
+    }
+
+    /// Chaos-testing hook: enqueues a poison pill that kills one worker
+    /// thread exactly the way a panic escaping containment would.  The
+    /// supervisor detects the death and spawns a replacement (observable as
+    /// `workers_respawned` in STATS); in-flight sweeps lose nothing but the
+    /// dead worker's momentary throughput.
+    pub fn poison_worker(&self) {
+        self.shared.lock_queue().push_front(Job::Poison);
+        self.shared.queue_signal.notify_all();
     }
 
     /// Blocks until the daemon shuts down (a client sent SHUTDOWN), then
@@ -339,13 +465,28 @@ impl SweepServer {
         if let Some(accept) = self.accept_thread.take() {
             let _ = accept.join();
         }
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+        if let Some(supervisor) = self.supervisor.take() {
+            let _ = supervisor.join();
         }
         let handlers =
             std::mem::take(&mut *self.handlers.lock().unwrap_or_else(PoisonError::into_inner));
         for handler in handlers {
             let _ = handler.join();
+        }
+    }
+}
+
+/// Joins every finished connection handler, so the handler list tracks live
+/// connections instead of accumulating a handle per connection ever served.
+fn reap_finished(handlers: &Mutex<Vec<JoinHandle<()>>>) {
+    let mut handlers = handlers.lock().unwrap_or_else(PoisonError::into_inner);
+    let mut index = 0;
+    while index < handlers.len() {
+        if handlers[index].is_finished() {
+            let finished = handlers.swap_remove(index);
+            let _ = finished.join();
+        } else {
+            index += 1;
         }
     }
 }
@@ -359,10 +500,36 @@ fn accept_loop(
         if shared.shutting_down() {
             return;
         }
+        reap_finished(handlers);
         match listener.accept() {
-            Ok((stream, _)) => {
+            Ok((mut stream, _)) => {
+                let limit = shared.config.max_connections;
+                if limit > 0 && shared.connections.load(Ordering::Relaxed) >= limit {
+                    // Answer with a busy ERROR instead of spawning an
+                    // unbounded handler; the write is best-effort and
+                    // bounded so a stalled client cannot stall accepts.
+                    shared.connections_rejected.fetch_add(1, Ordering::Relaxed);
+                    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+                    let reply = ErrorReply {
+                        id: String::new(),
+                        reason: format!(
+                            "server busy: {limit} connections already open; retry later"
+                        ),
+                    };
+                    let _ = send(
+                        &mut stream,
+                        FrameKind::Error,
+                        &reply.encode(),
+                        shared.config.max_frame,
+                    );
+                    continue;
+                }
+                shared.connections.fetch_add(1, Ordering::Relaxed);
                 let shared = Arc::clone(shared);
-                let handle = thread::spawn(move || handle_connection(stream, &shared));
+                let handle = thread::spawn(move || {
+                    handle_connection(stream, &shared);
+                    shared.connections.fetch_sub(1, Ordering::Relaxed);
+                });
                 handlers
                     .lock()
                     .unwrap_or_else(PoisonError::into_inner)
@@ -385,15 +552,37 @@ fn send(
 
 fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
     let max_frame = shared.config.max_frame;
+    let idle_limit = shared.config.idle_timeout_secs.map(Duration::from_secs_f64);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
     let _ = stream.set_nodelay(true);
+    let mut last_frame = Instant::now();
     loop {
         if shared.shutting_down() {
             return;
         }
         let frame = match read_frame(&mut stream, max_frame) {
-            Ok(ReadOutcome::Frame(frame)) => frame,
-            Ok(ReadOutcome::Idle) => continue,
+            Ok(ReadOutcome::Frame(frame)) => {
+                last_frame = Instant::now();
+                frame
+            }
+            Ok(ReadOutcome::Idle) => {
+                if let Some(limit) = idle_limit {
+                    if last_frame.elapsed() >= limit {
+                        // A silent client holds a connection slot for
+                        // nothing; tell it why it is going away, then close.
+                        let reply = ErrorReply {
+                            id: String::new(),
+                            reason: format!(
+                                "idle timeout: no frame in {:.1}s; closing connection",
+                                limit.as_secs_f64()
+                            ),
+                        };
+                        let _ = send(&mut stream, FrameKind::Error, &reply.encode(), max_frame);
+                        return;
+                    }
+                }
+                continue;
+            }
             Ok(ReadOutcome::Eof) => return,
             Err(
                 WireError::UnknownKind(_) | WireError::EmptyFrame | WireError::Malformed { .. },
@@ -407,6 +596,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
                 if send(&mut stream, FrameKind::Error, &reply.encode(), max_frame).is_err() {
                     return;
                 }
+                last_frame = Instant::now();
                 continue;
             }
             Err(_) => {
@@ -425,6 +615,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
                 if !handle_submit(&mut stream, shared, &frame) {
                     return;
                 }
+                last_frame = Instant::now();
             }
             FrameKind::Stats => {
                 let reply = stats_reply(shared).encode();
@@ -468,6 +659,9 @@ fn stats_reply(shared: &Shared) -> StatsReply {
         workers: shared.config.workers.max(1),
         presolve_planned: shared.presolve_planned.load(Ordering::Relaxed),
         presolve_solved: shared.presolve_solved.load(Ordering::Relaxed),
+        workers_respawned: shared.workers_respawned.load(Ordering::Relaxed),
+        connections: shared.connections.load(Ordering::Relaxed),
+        connections_rejected: shared.connections_rejected.load(Ordering::Relaxed),
     }
 }
 
@@ -515,9 +709,20 @@ impl Drop for Admission<'_> {
     fn drop(&mut self) {
         // Stale queue entries and late worker results check this flag.
         self.request.cancel();
+        // Queued jobs of a dead request are pure waste: purge them now so a
+        // cancelled-by-disconnect sweep stops burning worker time the
+        // moment its handler unwinds.
+        self.shared.purge_jobs(&self.request);
         self.shared.lock_registry().remove(&self.id);
         self.shared.active.fetch_sub(1, Ordering::Relaxed);
     }
+}
+
+/// What the result-wait loop produced for one cell index.
+enum Wait {
+    Ready(Result<ComparisonReport, SimError>),
+    Interrupted,
+    Deadline,
 }
 
 /// Serves one SUBMIT end to end.  Returns `false` when the connection is no
@@ -537,6 +742,8 @@ fn handle_submit(stream: &mut TcpStream, shared: &Arc<Shared>, frame: &Frame) ->
         Err(err) => return reject(stream, "", format!("bad submit payload: {err}")),
     };
     let id = request.id.clone();
+    let started = Instant::now();
+    let deadline = shared.config.max_request_secs.map(Duration::from_secs_f64);
 
     // Budget checks: refuse before building anything expensive.
     let cells = request.grid.cell_count();
@@ -689,16 +896,17 @@ fn handle_submit(stream: &mut TcpStream, shared: &Arc<Shared>, frame: &Frame) ->
     {
         let mut queue = shared.lock_queue();
         for sample in plan {
-            queue.push_back(Job {
+            queue.push_back(Job::Presolve {
                 request: Arc::clone(&active),
-                unit: Unit::Presolve { sample, threads },
+                sample,
+                threads,
             });
         }
         for index in 0..total {
             if !restored.contains_key(&index) {
-                queue.push_back(Job {
+                queue.push_back(Job::Cell {
                     request: Arc::clone(&active),
-                    unit: Unit::Cell(index),
+                    index,
                 });
             }
         }
@@ -711,6 +919,15 @@ fn handle_submit(stream: &mut TcpStream, shared: &Arc<Shared>, frame: &Frame) ->
         resumed,
     };
     if send(stream, FrameKind::Accepted, &accepted.encode(), max_frame).is_err() {
+        // The client vanished before even seeing ACCEPTED: no cell has been
+        // journalled for this run, so a journal without any cell record is a
+        // stale header-only file — delete it rather than leaving it behind.
+        if restored.is_empty() {
+            if let Some(dir) = &shared.config.checkpoint_dir {
+                journal.take();
+                let _ = delete_checkpoint(dir, &id);
+            }
+        }
         return false;
     }
 
@@ -731,10 +948,15 @@ fn handle_submit(stream: &mut TcpStream, shared: &Arc<Shared>, frame: &Frame) ->
                 .unwrap_or_else(PoisonError::into_inner);
             loop {
                 if let Some(outcome) = results.remove(&index) {
-                    break Some(outcome);
+                    break Wait::Ready(outcome);
                 }
                 if shared.shutting_down() || active.is_cancelled() {
-                    break None;
+                    break Wait::Interrupted;
+                }
+                if let Some(limit) = deadline {
+                    if started.elapsed() >= limit {
+                        break Wait::Deadline;
+                    }
                 }
                 results = active
                     .results_signal
@@ -743,14 +965,30 @@ fn handle_submit(stream: &mut TcpStream, shared: &Arc<Shared>, frame: &Frame) ->
                     .0;
             }
         };
-        let Some(outcome) = outcome else {
-            let reply = ErrorReply {
-                id: id.clone(),
-                reason: "sweep interrupted by shutdown or cancellation".to_owned(),
-            };
-            // The journal survives for resumption.
-            return send(stream, FrameKind::Error, &reply.encode(), max_frame).is_ok()
-                && !shared.shutting_down();
+        let outcome = match outcome {
+            Wait::Ready(outcome) => outcome,
+            Wait::Interrupted => {
+                let reply = ErrorReply {
+                    id: id.clone(),
+                    reason: "sweep interrupted by shutdown or cancellation".to_owned(),
+                };
+                // The journal survives for resumption.
+                return send(stream, FrameKind::Error, &reply.encode(), max_frame).is_ok()
+                    && !shared.shutting_down();
+            }
+            Wait::Deadline => {
+                // Admission teardown cancels the sweep and purges its queued
+                // jobs; the journal survives, so a resubmission resumes the
+                // cells that finished inside the deadline.
+                let reply = ErrorReply {
+                    id: id.clone(),
+                    reason: format!(
+                        "deadline exceeded: request ran past {:.1}s; checkpoint journal intact for resume",
+                        started.elapsed().as_secs_f64()
+                    ),
+                };
+                return send(stream, FrameKind::Error, &reply.encode(), max_frame).is_ok();
+            }
         };
         match outcome {
             Ok(report) => {
@@ -810,6 +1048,9 @@ mod tests {
         assert!(config.max_steps > config.max_cells);
         assert!(config.checkpoint_dir.is_none());
         assert_eq!(config.max_frame, MAX_FRAME);
+        assert!(config.max_request_secs.is_none());
+        assert!(config.idle_timeout_secs.is_none());
+        assert!(config.max_connections >= 1);
     }
 
     #[test]
